@@ -1,0 +1,48 @@
+//! Bulk-labelling throughput: time to label a whole document, per
+//! scheme, per document size. Backs the "initial construction" costs the
+//! paper discusses (recursive labelling algorithms requiring multiple
+//! passes, §5.1 *Recursive Labelling Algorithm*).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xupd_labelcore::{LabelingScheme, SchemeVisitor};
+use xupd_workloads::docs;
+use xupd_xmldom::XmlTree;
+
+struct BulkBench<'a, 'b> {
+    c: &'a mut Criterion,
+    tree: &'b XmlTree,
+    size: usize,
+}
+
+impl SchemeVisitor for BulkBench<'_, '_> {
+    fn visit<S: LabelingScheme>(&mut self, mut scheme: S) {
+        let name = scheme.name();
+        self.c.bench_with_input(
+            BenchmarkId::new(format!("bulk/{name}"), self.size),
+            self.tree,
+            |b, tree| {
+                b.iter(|| black_box(scheme.label_tree(black_box(tree))));
+            },
+        );
+    }
+}
+
+fn bench_bulk(c: &mut Criterion) {
+    for size in [500usize, 2000] {
+        let tree = docs::random_tree(42, size);
+        let mut v = BulkBench {
+            c,
+            tree: &tree,
+            size,
+        };
+        xupd_schemes::visit_figure7_schemes(&mut v);
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_bulk
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! P3 — label-growth measurement as a timed harness: drives the skewed
+//! and zigzag storms against the headline pair (QED vs Vector) plus the
+//! compact schemes, so `cargo bench` regenerates both the timing and —
+//! via the printed summary — the growth shape the paper relays from
+//! \[27\].
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xupd_bench::growth_series;
+use xupd_schemes::prefix::cdqs::Cdqs;
+use xupd_schemes::prefix::qed::Qed;
+use xupd_schemes::vector::VectorScheme;
+use xupd_workloads::{docs, ScriptKind};
+
+fn bench_growth(c: &mut Criterion) {
+    let base = docs::wide(50);
+    for kind in [ScriptKind::Skewed, ScriptKind::PrependStorm] {
+        for ops in [200usize, 400] {
+            c.bench_with_input(
+                BenchmarkId::new(format!("growth/qed/{}", kind.name()), ops),
+                &ops,
+                |b, &ops| b.iter(|| black_box(growth_series(Qed::new(), &base, kind, ops, ops, 1))),
+            );
+            c.bench_with_input(
+                BenchmarkId::new(format!("growth/cdqs/{}", kind.name()), ops),
+                &ops,
+                |b, &ops| {
+                    b.iter(|| black_box(growth_series(Cdqs::new(), &base, kind, ops, ops, 1)))
+                },
+            );
+            c.bench_with_input(
+                BenchmarkId::new(format!("growth/vector/{}", kind.name()), ops),
+                &ops,
+                |b, &ops| {
+                    b.iter(|| {
+                        black_box(growth_series(VectorScheme::new(), &base, kind, ops, ops, 1))
+                    })
+                },
+            );
+        }
+    }
+
+    // Print the headline comparison once per bench run so the series is
+    // recorded in bench output (paper-shape check: Vector ≪ QED).
+    let qed = growth_series(Qed::new(), &base, ScriptKind::Skewed, 400, 100, 1);
+    let vec = growth_series(VectorScheme::new(), &base, ScriptKind::Skewed, 400, 100, 1);
+    println!("\nP3 headline (max label bits under 400 skewed inserts):");
+    for (q, v) in qed.points.iter().zip(&vec.points) {
+        println!("  ops={:<4} qed={:<6} vector={}", q.0, q.2, v.2);
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_growth
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! P5 — XPath evaluation over the encoding scheme, per labelling
+//! scheme. Schemes whose labels answer more relations (the *XPath
+//! Evaluations* column) let the encoding answer axes from label algebra;
+//! the others fall back to parent-reference chains.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xupd_encoding::{parse_xpath, EncodedDocument};
+use xupd_labelcore::{LabelingScheme, SchemeVisitor};
+use xupd_workloads::docs;
+use xupd_xmldom::XmlTree;
+
+const QUERIES: [&str; 4] = [
+    "/site/regions/europe/item",
+    "//item/name",
+    "//person/@id",
+    "//open_auction/bidder/following-sibling::*",
+];
+
+struct QueryBench<'a, 'b> {
+    c: &'a mut Criterion,
+    tree: &'b XmlTree,
+}
+
+impl SchemeVisitor for QueryBench<'_, '_> {
+    fn visit<S: LabelingScheme>(&mut self, scheme: S) {
+        let name = scheme.name();
+        let doc = EncodedDocument::encode(scheme, self.tree);
+        let exprs: Vec<_> = QUERIES.iter().map(|q| parse_xpath(q).unwrap()).collect();
+        self.c
+            .bench_with_input(BenchmarkId::new("xpath", name), &doc, |b, doc| {
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for e in &exprs {
+                        total += black_box(e.evaluate(doc)).len();
+                    }
+                    total
+                });
+            });
+    }
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let tree = docs::xmark_like(7, 150);
+    let mut v = QueryBench { c, tree: &tree };
+    xupd_schemes::visit_figure7_schemes(&mut v);
+}
+
+/// The §2.3 trade-off, timed: `//name` via full-table evaluation vs the
+/// name index + label-algebra ancestry filter.
+fn bench_index_vs_scan(c: &mut Criterion) {
+    use xupd_encoding::NameIndex;
+    use xupd_schemes::prefix::qed::Qed;
+
+    let tree = docs::xmark_like(7, 300);
+    let doc = EncodedDocument::encode(Qed::new(), &tree);
+    let expr = parse_xpath("//item").unwrap();
+    let idx = NameIndex::build(&doc);
+    let root = doc.root();
+
+    c.bench_function("descendant-name/scan", |b| {
+        b.iter(|| black_box(expr.evaluate(&doc)).len())
+    });
+    c.bench_function("descendant-name/index", |b| {
+        b.iter(|| black_box(idx.descendants_named(&doc, root, "item")).len())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_queries, bench_index_vs_scan
+}
+criterion_main!(benches);

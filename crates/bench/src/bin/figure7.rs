@@ -1,0 +1,24 @@
+//! Regenerates the paper's Figure 7: the declared evaluation matrix
+//! (transcribed) next to this reproduction's *measured* matrix, with the
+//! §5.2 ranking, all declared-vs-measured divergences, and soundness
+//! findings (LSDX's uniqueness failures).
+//!
+//! ```text
+//! cargo run --release --bin figure7 [--all]
+//! ```
+//!
+//! `--all` extends the roster with the §6 schemes (CDBS, Com-D, Prime,
+//! DDE) the paper announces as future evaluation work.
+
+use xupd_framework::{measure_all, measure_figure7, Figure7Report};
+
+fn main() {
+    let all = std::env::args().any(|a| a == "--all");
+    let results = if all {
+        measure_all()
+    } else {
+        measure_figure7()
+    };
+    let report = Figure7Report::new(results);
+    println!("{}", report.render());
+}

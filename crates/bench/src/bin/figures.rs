@@ -1,0 +1,210 @@
+//! Regenerates the paper's worked figures:
+//!
+//! * Figure 1 — the sample document and its pre/post-labelled tree;
+//! * Figure 2 — the encoding table;
+//! * Figure 3 — the DeweyID-labelled tree;
+//! * Figure 4 — the ORDPATH tree with its three insertion examples;
+//! * Figure 5 — the LSDX tree with its three insertion examples;
+//! * Figure 6 — the ImprovedBinary tree with its three insertion
+//!   examples.
+//!
+//! ```text
+//! cargo run --release --bin figures
+//! ```
+
+use xupd_encoding::figure2::{figure2_table, render_figure2};
+use xupd_labelcore::{Label, Labeling, LabelingScheme};
+use xupd_schemes::prefix::dewey::DeweyId;
+use xupd_schemes::prefix::improved_binary::ImprovedBinary;
+use xupd_schemes::prefix::lsdx::Lsdx;
+use xupd_schemes::prefix::ordpath::OrdPath;
+use xupd_xmldom::sample::{figure1_document, figure1_labelled_nodes, FIGURE1_XML};
+use xupd_xmldom::{NodeId, NodeKind, XmlTree};
+
+fn main() {
+    figure1();
+    figure2();
+    figure3();
+    figure4();
+    figure5();
+    figure6();
+}
+
+fn indent(tree: &XmlTree, n: NodeId) -> String {
+    "  ".repeat(tree.depth(n) as usize)
+}
+
+fn print_labelled_tree<S: LabelingScheme>(
+    title: &str,
+    tree: &XmlTree,
+    scheme: &S,
+    labeling: &Labeling<S::Label>,
+) {
+    let _ = scheme;
+    println!("\n{title}");
+    println!("{}", "=".repeat(title.len()));
+    for n in tree.preorder() {
+        if n == tree.root() {
+            continue;
+        }
+        let kind = tree.kind(n);
+        let what = match kind {
+            NodeKind::Element { name } => format!("<{name}>"),
+            NodeKind::Attribute { name, value } => format!("@{name}={value}"),
+            NodeKind::Text { value } => format!("\"{}\"", value.trim()),
+            other => format!("{other:?}"),
+        };
+        println!(
+            "  {}{:<24} {}",
+            indent(tree, n),
+            what,
+            labeling.expect(n).display()
+        );
+    }
+}
+
+fn figure1() {
+    println!("Figure 1(a) — the sample XML file");
+    println!("=================================");
+    println!("{FIGURE1_XML}");
+
+    println!("\nFigure 1(b) — preorder/postorder labelled tree");
+    println!("===============================================");
+    let tree = figure1_document();
+    let nodes = figure1_labelled_nodes(&tree);
+    let pre_seq: Vec<NodeId> = nodes.clone();
+    let post_seq: Vec<NodeId> = tree
+        .postorder()
+        .filter(|n| nodes.contains(n))
+        .collect::<Vec<_>>();
+    for &n in &nodes {
+        let pre = pre_seq.iter().position(|&x| x == n).unwrap();
+        let post = post_seq.iter().position(|&x| x == n).unwrap();
+        println!(
+            "  {}{:<24} {},{}",
+            indent(&tree, n),
+            tree.kind(n).name().unwrap_or(""),
+            pre,
+            post
+        );
+    }
+}
+
+fn figure2() {
+    println!("\nFigure 2 — encoding of the sample XML file");
+    println!("===========================================");
+    let tree = figure1_document();
+    print!("{}", render_figure2(&figure2_table(&tree)));
+}
+
+/// The shared silhouette of Figures 3–6: a root with three children; the
+/// first has two children, the second one, the third three.
+fn shape() -> XmlTree {
+    xupd_xmldom::sample::figure3_shape().0
+}
+
+fn figure3() {
+    let tree = shape();
+    let mut scheme = DeweyId::new();
+    let labeling = scheme.label_tree(&tree);
+    print_labelled_tree(
+        "Figure 3 — DeweyID labelled XML tree",
+        &tree,
+        &scheme,
+        &labeling,
+    );
+}
+
+fn figure4() {
+    let mut tree = shape();
+    let mut scheme = OrdPath::new();
+    let mut labeling = scheme.label_tree(&tree);
+    // the paper's grey nodes: after-last (1.3.3-style), before-first
+    // (1.1.-1-style), careted-in (1.5.2.1-style)
+    let root_elem = tree.document_element().expect("shape has a root element");
+    let third = tree.last_child(root_elem).expect("three children");
+    let right = tree.create(NodeKind::element("new-right"));
+    tree.append_child(third, right).expect("live");
+    scheme.on_insert(&tree, &mut labeling, right);
+
+    let first = tree.first_child(root_elem).expect("three children");
+    let left = tree.create(NodeKind::element("new-left"));
+    tree.prepend_child(first, left).expect("live");
+    scheme.on_insert(&tree, &mut labeling, left);
+
+    let third_first = tree.first_child(third).expect("has children");
+    let mid = tree.create(NodeKind::element("new-mid"));
+    tree.insert_after(third_first, mid).expect("live");
+    scheme.on_insert(&tree, &mut labeling, mid);
+
+    print_labelled_tree(
+        "Figure 4 — ORDPATH labelled XML tree (grey nodes inserted)",
+        &tree,
+        &scheme,
+        &labeling,
+    );
+}
+
+fn figure5() {
+    let mut tree = shape();
+    let mut scheme = Lsdx::new();
+    let mut labeling = scheme.label_tree(&tree);
+    let root_elem = tree.document_element().expect("root element");
+    let first = tree.first_child(root_elem).expect("children");
+    // before-first under the first child (2ab.ab in the paper)
+    let ff = tree.first_child(first).expect("grandchild");
+    let n1 = tree.create(NodeKind::element("new-before"));
+    tree.insert_before(ff, n1).expect("live");
+    scheme.on_insert(&tree, &mut labeling, n1);
+    // after-last under the second child (2ac.c)
+    let second = tree.next_sibling(first).expect("three children");
+    let n2 = tree.create(NodeKind::element("new-after"));
+    tree.append_child(second, n2).expect("live");
+    scheme.on_insert(&tree, &mut labeling, n2);
+    // between under the third child (2ad.bb)
+    let third = tree.next_sibling(second).expect("three children");
+    let tfirst = tree.first_child(third).expect("children");
+    let n3 = tree.create(NodeKind::element("new-between"));
+    tree.insert_after(tfirst, n3).expect("live");
+    scheme.on_insert(&tree, &mut labeling, n3);
+
+    print_labelled_tree(
+        "Figure 5 — LSDX labelled XML tree (grey nodes inserted)",
+        &tree,
+        &scheme,
+        &labeling,
+    );
+}
+
+fn figure6() {
+    let mut tree = shape();
+    let mut scheme = ImprovedBinary::new();
+    let mut labeling = scheme.label_tree(&tree);
+    let root_elem = tree.document_element().expect("root element");
+    let second = {
+        let first = tree.first_child(root_elem).expect("children");
+        tree.next_sibling(first).expect("three children")
+    };
+    // the paper's grey nodes under 0101: 0101.001 (before first),
+    // 0101.011 (after last)
+    let sfirst = tree.first_child(second).expect("child");
+    let n1 = tree.create(NodeKind::element("new-before"));
+    tree.insert_before(sfirst, n1).expect("live");
+    scheme.on_insert(&tree, &mut labeling, n1);
+    let n2 = tree.create(NodeKind::element("new-after"));
+    tree.append_child(second, n2).expect("live");
+    scheme.on_insert(&tree, &mut labeling, n2);
+    // and 011.0101 (between) under the third child
+    let third = tree.next_sibling(second).expect("three children");
+    let tfirst = tree.first_child(third).expect("children");
+    let n3 = tree.create(NodeKind::element("new-between"));
+    tree.insert_after(tfirst, n3).expect("live");
+    scheme.on_insert(&tree, &mut labeling, n3);
+
+    print_labelled_tree(
+        "Figure 6 — ImprovedBinary labelled XML tree (grey nodes inserted)",
+        &tree,
+        &scheme,
+        &labeling,
+    );
+}

@@ -1,0 +1,81 @@
+//! Regenerates the P1/P2 experiments (DESIGN.md §5): per-workload
+//! relabelling volume and overflow events for every scheme —
+//! quantifying §3.1.1's "a significant number of labels may need to be
+//! recomputed when a node is inserted" for the containment family and
+//! §4's overflow behaviour for the fixed/variable-length schemes.
+//!
+//! ```text
+//! cargo run --release --bin update_cost_table [ops]
+//! ```
+
+use xupd_framework::driver::run_script;
+use xupd_labelcore::{LabelingScheme, SchemeVisitor};
+use xupd_workloads::{docs, Script, ScriptKind};
+use xupd_xmldom::XmlTree;
+
+struct CostRow {
+    scheme: &'static str,
+    relabels: u64,
+    overflows: u64,
+    relabels_per_insert: f64,
+}
+
+struct CostVisitor<'a> {
+    base: &'a XmlTree,
+    kind: ScriptKind,
+    ops: usize,
+    rows: Vec<CostRow>,
+}
+
+impl SchemeVisitor for CostVisitor<'_> {
+    fn visit<S: LabelingScheme>(&mut self, mut scheme: S) {
+        let mut tree = self.base.clone();
+        let mut labeling = scheme.label_tree(&tree);
+        let script = Script::generate(self.kind, self.ops, tree.len(), 7);
+        let stats = run_script(&mut tree, &mut scheme, &mut labeling, &script);
+        self.rows.push(CostRow {
+            scheme: scheme.name(),
+            relabels: stats.relabeled,
+            overflows: stats.overflow_events,
+            relabels_per_insert: stats.relabeled as f64 / stats.inserts.max(1) as f64,
+        });
+    }
+}
+
+fn main() {
+    let ops: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(400);
+    let base = docs::random_tree(0xC057, 800);
+    println!("P1/P2 — update cost, {ops} ops per workload on an 800-node document\n");
+    for kind in [
+        ScriptKind::Random,
+        ScriptKind::Uniform,
+        ScriptKind::Skewed,
+        ScriptKind::PrependStorm,
+        ScriptKind::MixedDelete,
+        ScriptKind::Zigzag,
+    ] {
+        let mut v = CostVisitor {
+            base: &base,
+            kind,
+            ops,
+            rows: Vec::new(),
+        };
+        xupd_schemes::visit_all_schemes(&mut v);
+        println!("Workload: {}", kind.name());
+        println!(
+            "{:<18} {:>10} {:>10} {:>16}",
+            "Scheme", "relabels", "overflows", "relabels/insert"
+        );
+        println!("{}", "-".repeat(58));
+        for r in &v.rows {
+            println!(
+                "{:<18} {:>10} {:>10} {:>16.3}",
+                r.scheme, r.relabels, r.overflows, r.relabels_per_insert
+            );
+        }
+        println!();
+    }
+}

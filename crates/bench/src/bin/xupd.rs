@@ -1,0 +1,167 @@
+//! `xupd` — label, inspect and query an XML file from the command line.
+//!
+//! ```text
+//! xupd <file.xml> labels  [--scheme NAME]          print every node's label
+//! xupd <file.xml> query   <XPATH> [--scheme NAME]  evaluate an XPath subset query
+//! xupd <file.xml> table                            print the Figure-2-style encoding table
+//! xupd <file.xml> schemes                          list available schemes
+//! ```
+//!
+//! The default scheme is QED (persistent + overflow-free — the safe
+//! choice §5.2's framework would recommend for a general repository).
+
+use std::process::ExitCode;
+use xupd_encoding::figure2::{figure2_table, render_figure2};
+use xupd_encoding::{parse_xpath, EncodedDocument};
+use xupd_labelcore::{Label, LabelingScheme, SchemeVisitor};
+use xupd_schemes::visit_all_schemes;
+use xupd_xmldom::{parse, NodeKind, XmlTree};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: xupd <file.xml> <labels|query|table|schemes> [XPATH] [--scheme NAME]\n\
+         default scheme: QED. `xupd <file> schemes` lists all."
+    );
+    ExitCode::from(2)
+}
+
+enum Cmd {
+    Labels,
+    Query(String),
+    Table,
+    Schemes,
+}
+
+struct Run<'a> {
+    tree: &'a XmlTree,
+    wanted: String,
+    cmd: Cmd,
+    matched: bool,
+}
+
+impl SchemeVisitor for Run<'_> {
+    fn visit<S: LabelingScheme>(&mut self, mut scheme: S) {
+        match &self.cmd {
+            Cmd::Schemes => {
+                let d = scheme.descriptor();
+                println!(
+                    "  {:<18} {:<8} {:<9} {}",
+                    d.name,
+                    d.order.to_string(),
+                    d.encoding.to_string(),
+                    if d.in_figure7 {
+                        "Figure 7"
+                    } else {
+                        "extension"
+                    }
+                );
+                self.matched = true;
+            }
+            _ if scheme.name() != self.wanted => {}
+            Cmd::Labels => {
+                self.matched = true;
+                let labeling = scheme.label_tree(self.tree);
+                for n in self.tree.ids_in_doc_order() {
+                    let what = match self.tree.kind(n) {
+                        NodeKind::Document => "#document".to_string(),
+                        NodeKind::Element { name } => format!("<{name}>"),
+                        NodeKind::Attribute { name, .. } => format!("@{name}"),
+                        NodeKind::Text { .. } => "#text".to_string(),
+                        NodeKind::Comment { .. } => "#comment".to_string(),
+                        NodeKind::Pi { target, .. } => format!("<?{target}?>"),
+                    };
+                    println!(
+                        "{}{:<24} {}",
+                        "  ".repeat(self.tree.depth(n) as usize),
+                        what,
+                        labeling.expect(n).display()
+                    );
+                }
+            }
+            Cmd::Query(q) => {
+                self.matched = true;
+                let expr = match parse_xpath(q) {
+                    Ok(e) => e,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return;
+                    }
+                };
+                let doc = EncodedDocument::encode(scheme, self.tree);
+                let hits = expr.evaluate(&doc);
+                println!("{} hit(s)", hits.len());
+                for h in hits {
+                    let row = doc.row(h);
+                    println!(
+                        "  {:<12} {:<16} {}",
+                        row.kind.type_tag(),
+                        row.kind.name().unwrap_or(""),
+                        doc.string_value(h).chars().take(60).collect::<String>()
+                    );
+                }
+            }
+            Cmd::Table => unreachable!("handled before dispatch"),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        return usage();
+    }
+    let file = &args[0];
+    let mut wanted = "QED".to_string();
+    if let Some(i) = args.iter().position(|a| a == "--scheme") {
+        match args.get(i + 1) {
+            Some(name) => wanted = name.clone(),
+            None => return usage(),
+        }
+    }
+    let cmd = match args[1].as_str() {
+        "labels" => Cmd::Labels,
+        "table" => Cmd::Table,
+        "schemes" => Cmd::Schemes,
+        "query" => match args.get(2) {
+            Some(q) if !q.starts_with("--") => Cmd::Query(q.clone()),
+            _ => return usage(),
+        },
+        _ => return usage(),
+    };
+
+    let text = match std::fs::read_to_string(file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let tree = match parse(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if matches!(cmd, Cmd::Table) {
+        print!("{}", render_figure2(&figure2_table(&tree)));
+        return ExitCode::SUCCESS;
+    }
+
+    let mut run = Run {
+        tree: &tree,
+        wanted,
+        cmd,
+        matched: false,
+    };
+    visit_all_schemes(&mut run);
+    if !run.matched {
+        eprintln!(
+            "unknown scheme '{}'; run `xupd {file} schemes` for the roster",
+            run.wanted
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

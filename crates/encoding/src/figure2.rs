@@ -1,0 +1,127 @@
+//! The paper's Figure 2: the encoding table of the Figure 1 sample
+//! document.
+//!
+//! Figure 2's rows cover only the ten labelled (element/attribute) nodes;
+//! text leaves are folded into their parent's `Value` column — "Leaf
+//! nodes will always contain content values and not structural
+//! information and are thus, considered by the XML encoding scheme and
+//! not the labelling scheme" (§3.1.1).
+
+use xupd_xmldom::{NodeId, NodeKind, XmlTree};
+
+/// One Figure 2 row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Figure2Row {
+    /// Preorder rank among labelled nodes.
+    pub pre: u64,
+    /// Postorder rank among labelled nodes.
+    pub post: u64,
+    /// `Element` or `Attribute`.
+    pub node_type: String,
+    /// Parent's preorder rank (None for the document element).
+    pub parent_pre: Option<u64>,
+    /// Element/attribute name.
+    pub name: String,
+    /// Folded text content (or attribute value).
+    pub value: String,
+}
+
+/// Build the Figure 2 table for a document: pre/post ranks over the
+/// labelled (element + attribute) nodes, direct text folded into `value`.
+pub fn figure2_table(tree: &XmlTree) -> Vec<Figure2Row> {
+    let labelled: Vec<NodeId> = tree
+        .preorder()
+        .filter(|&n| {
+            let k = tree.kind(n);
+            k.is_element() || k.is_attribute()
+        })
+        .collect();
+    let is_labelled = |n: NodeId| {
+        let k = tree.kind(n);
+        k.is_element() || k.is_attribute()
+    };
+    let post_seq: Vec<NodeId> = tree.postorder().filter(|&n| is_labelled(n)).collect();
+    let pre_of = |n: NodeId| labelled.iter().position(|&x| x == n).unwrap() as u64;
+    let post_of = |n: NodeId| post_seq.iter().position(|&x| x == n).unwrap() as u64;
+
+    labelled
+        .iter()
+        .map(|&n| {
+            let kind = tree.kind(n);
+            let value = match kind {
+                NodeKind::Attribute { value, .. } => value.clone(),
+                _ => {
+                    // fold DIRECT text children only (Figure 2 gives
+                    // publisher an empty value even though its subtree
+                    // contains text)
+                    let mut v = String::new();
+                    for c in tree.children(n) {
+                        if let NodeKind::Text { value } = tree.kind(c) {
+                            v.push_str(value);
+                        }
+                    }
+                    v
+                }
+            };
+            let parent_pre = tree.parent(n).filter(|&p| is_labelled(p)).map(pre_of);
+            Figure2Row {
+                pre: pre_of(n),
+                post: post_of(n),
+                node_type: kind.type_tag().to_string(),
+                parent_pre,
+                name: kind.name().unwrap_or("").to_string(),
+                value,
+            }
+        })
+        .collect()
+}
+
+/// Render the table in the paper's column layout.
+pub fn render_figure2(rows: &[Figure2Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Pre  Post  Node Type  Parent(Pre)  Name       Value\n");
+    out.push_str("----------------------------------------------------------------\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{:<4} {:<5} {:<10} {:<12} {:<10} {}\n",
+            r.pre,
+            r.post,
+            r.node_type,
+            r.parent_pre.map(|p| p.to_string()).unwrap_or_default(),
+            r.name,
+            r.value
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xupd_xmldom::sample::{figure1_document, FIGURE2_ROWS};
+
+    #[test]
+    fn figure2_golden() {
+        let tree = figure1_document();
+        let rows = figure2_table(&tree);
+        assert_eq!(rows.len(), 10);
+        for (row, &(pre, post, ty, parent, name, value)) in rows.iter().zip(&FIGURE2_ROWS) {
+            assert_eq!(row.pre, pre, "{name}");
+            assert_eq!(row.post, post, "{name}");
+            assert_eq!(row.node_type, ty, "{name}");
+            assert_eq!(row.parent_pre, parent, "{name}");
+            assert_eq!(row.name, name);
+            assert_eq!(row.value, value, "{name}");
+        }
+    }
+
+    #[test]
+    fn render_contains_headline_cells() {
+        let tree = figure1_document();
+        let rows = figure2_table(&tree);
+        let s = render_figure2(&rows);
+        assert!(s.contains("book"));
+        assert!(s.contains("Destiny Image"));
+        assert!(s.contains("Attribute"));
+    }
+}

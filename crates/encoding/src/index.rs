@@ -1,0 +1,121 @@
+//! A name index over the encoding table — the classic accompaniment to a
+//! labelling scheme in an XML repository (§2.3: the encoding scheme
+//! stores whatever "extra information" the workload justifies, trading
+//! update cost for query speed).
+//!
+//! The index maps element/attribute names to their rows in document
+//! order, so a `//name` query becomes one hash lookup plus an ancestry
+//! filter over the scheme's label algebra — instead of a full table
+//! scan. It must be rebuilt (or maintained) across updates, which is
+//! precisely the "slower update performance" §2.3 warns the designer
+//! about; the benchmarks quantify the other side of the trade.
+
+use crate::table::EncodedDocument;
+use std::collections::HashMap;
+use xupd_labelcore::LabelingScheme;
+
+/// Element and attribute name index: name → row indices in document
+/// order.
+#[derive(Debug, Clone, Default)]
+pub struct NameIndex {
+    elements: HashMap<String, Vec<usize>>,
+    attributes: HashMap<String, Vec<usize>>,
+}
+
+impl NameIndex {
+    /// Build the index over an encoded document in one pass.
+    pub fn build<S: LabelingScheme>(doc: &EncodedDocument<S>) -> Self {
+        let mut idx = NameIndex::default();
+        for i in 0..doc.len() {
+            let kind = &doc.row(i).kind;
+            if let Some(name) = kind.name() {
+                if kind.is_element() {
+                    idx.elements.entry(name.to_string()).or_default().push(i);
+                } else if kind.is_attribute() {
+                    idx.attributes.entry(name.to_string()).or_default().push(i);
+                }
+            }
+        }
+        idx
+    }
+
+    /// All element rows with this name, in document order.
+    pub fn elements(&self, name: &str) -> &[usize] {
+        self.elements.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// All attribute rows with this name, in document order.
+    pub fn attributes(&self, name: &str) -> &[usize] {
+        self.attributes.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// `//name` under a context row: the indexed rows filtered by the
+    /// scheme's ancestor algebra — a point lookup plus label comparisons,
+    /// no table scan.
+    pub fn descendants_named<S: LabelingScheme>(
+        &self,
+        doc: &EncodedDocument<S>,
+        context: usize,
+        name: &str,
+    ) -> Vec<usize> {
+        self.elements(name)
+            .iter()
+            .copied()
+            .filter(|&i| doc.is_ancestor(context, i))
+            .collect()
+    }
+
+    /// Number of distinct indexed element names.
+    pub fn distinct_element_names(&self) -> usize {
+        self.elements.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_xpath;
+    use crate::table::EncodedDocument;
+    use xupd_schemes::prefix::qed::Qed;
+    use xupd_workloads::docs;
+
+    #[test]
+    fn index_matches_scan() {
+        let tree = docs::xmark_like(11, 60);
+        let doc = EncodedDocument::encode(Qed::new(), &tree);
+        let idx = NameIndex::build(&doc);
+        // indexed //item == evaluator //item
+        let via_index = idx.descendants_named(&doc, doc.root(), "item");
+        let via_xpath = parse_xpath("//item").unwrap().evaluate(&doc);
+        assert_eq!(via_index, via_xpath);
+        assert!(!via_index.is_empty());
+    }
+
+    #[test]
+    fn scoped_lookup_filters_by_ancestry() {
+        let tree = docs::xmark_like(11, 60);
+        let doc = EncodedDocument::encode(Qed::new(), &tree);
+        let idx = NameIndex::build(&doc);
+        // names exist under both /site/regions items and /site/people
+        let all_names = idx.elements("name").len();
+        let people = parse_xpath("/site/people").unwrap().evaluate(&doc)[0];
+        let people_names = idx.descendants_named(&doc, people, "name");
+        assert!(!people_names.is_empty());
+        assert!(people_names.len() < all_names, "scoping filtered some");
+        // agreement with the evaluator on the scoped query
+        let via_xpath = parse_xpath("/site/people//name").unwrap().evaluate(&doc);
+        assert_eq!(people_names, via_xpath);
+    }
+
+    #[test]
+    fn attribute_lookup() {
+        let tree = docs::book();
+        let doc = EncodedDocument::encode(Qed::new(), &tree);
+        let idx = NameIndex::build(&doc);
+        assert_eq!(idx.attributes("genre").len(), 1);
+        assert_eq!(idx.attributes("year").len(), 1);
+        assert!(idx.attributes("missing").is_empty());
+        assert!(idx.elements("missing").is_empty());
+        assert_eq!(idx.distinct_element_names(), 8);
+    }
+}

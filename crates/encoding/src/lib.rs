@@ -1,0 +1,35 @@
+//! # xupd-encoding — the XML encoding scheme (Definition 2 of the paper)
+//!
+//! "An XML encoding scheme codifies the structure of the node sequence in
+//! the XML tree and the properties and content of each node" (§2.3). It
+//! is built **on top of** a labelling scheme and augments labels with the
+//! node type, names and content that no labelling scheme captures, so
+//! that (a) full XPath query evaluation and (b) full reconstruction of
+//! the textual document become possible.
+//!
+//! * [`table`] — [`EncodedDocument`]: the node table (one [`Row`] per
+//!   node: label, kind, parent reference), generic over any
+//!   [`xupd_labelcore::LabelingScheme`]; axis evaluation uses the
+//!   scheme's label algebra where the scheme supports it and falls back
+//!   to the table's parent references where it does not — making the
+//!   paper's point that richer labels shrink the encoding's work;
+//! * [`xpath`] — a parser and evaluator for the XPath subset used by the
+//!   examples and benchmarks (child/descendant/parent/ancestor/sibling/
+//!   following/preceding/attribute axes, name and text tests, positional
+//!   and attribute-value predicates);
+//! * [`reconstruct`] — rebuilds the [`xupd_xmldom::XmlTree`] (and hence
+//!   the textual document) from the table alone;
+//! * [`index`] — a name index accelerating `//name` lookups via the
+//!   scheme's ancestor algebra (the query/update trade §2.3 describes);
+//! * [`figure2`] — the paper's Figure 2 table for the Figure 1 sample
+//!   document, golden-tested cell by cell.
+
+pub mod figure2;
+pub mod index;
+pub mod reconstruct;
+pub mod table;
+pub mod xpath;
+
+pub use index::NameIndex;
+pub use table::{EncodedDocument, Row};
+pub use xpath::{parse_xpath, XPathError, XPathExpr};

@@ -1,0 +1,309 @@
+//! The node table: an [`EncodedDocument`] is the self-contained encoding
+//! of Definition 2 — once built, neither the original tree nor its node
+//! ids are needed.
+
+use std::cmp::Ordering;
+use xupd_labelcore::{Labeling, LabelingScheme, Relation};
+use xupd_xmldom::{NodeId, NodeKind, XmlTree};
+
+/// One row of the encoding table (cf. Figure 2's columns: label, node
+/// type, parent, name, value — type/name/value live in [`NodeKind`]).
+#[derive(Debug, Clone)]
+pub struct Row<L> {
+    /// The node's label under the chosen labelling scheme.
+    pub label: L,
+    /// Node type, name and content.
+    pub kind: NodeKind,
+    /// Row index of the parent (like Figure 2's `Parent(Pre)` column,
+    /// which stores the parent's label value). `None` for the document
+    /// root.
+    pub parent: Option<usize>,
+}
+
+/// A labelled, self-contained encoding of one document. Rows are stored
+/// in document order (row index = document-order position).
+#[derive(Debug, Clone)]
+pub struct EncodedDocument<S: LabelingScheme> {
+    scheme: S,
+    rows: Vec<Row<S::Label>>,
+}
+
+impl<S: LabelingScheme> EncodedDocument<S> {
+    /// Label `tree` with `scheme` and extract the node table.
+    pub fn encode(mut scheme: S, tree: &XmlTree) -> Self {
+        let labeling: Labeling<S::Label> = scheme.label_tree(tree);
+        let order: Vec<NodeId> = tree.ids_in_doc_order();
+        let mut index_of = vec![usize::MAX; tree.id_bound()];
+        for (i, &id) in order.iter().enumerate() {
+            index_of[id.index()] = i;
+        }
+        let rows = order
+            .iter()
+            .map(|&id| Row {
+                label: labeling.expect(id).clone(),
+                kind: tree.kind(id).clone(),
+                parent: tree.parent(id).map(|p| index_of[p.index()]),
+            })
+            .collect();
+        EncodedDocument { scheme, rows }
+    }
+
+    /// Number of rows (= nodes).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table is empty (never the case for a well-formed
+    /// document, which has at least the document root).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Row access.
+    pub fn row(&self, i: usize) -> &Row<S::Label> {
+        &self.rows[i]
+    }
+
+    /// All rows in document order.
+    pub fn rows(&self) -> &[Row<S::Label>] {
+        &self.rows
+    }
+
+    /// The labelling scheme this table was encoded with.
+    pub fn scheme(&self) -> &S {
+        &self.scheme
+    }
+
+    /// Index of the document root row (always 0 — first in document
+    /// order).
+    pub fn root(&self) -> usize {
+        0
+    }
+
+    /// Document-order comparison of two rows by their labels.
+    pub fn cmp_doc(&self, a: usize, b: usize) -> Ordering {
+        self.scheme
+            .cmp_doc(&self.rows[a].label, &self.rows[b].label)
+    }
+
+    /// Is row `a` an ancestor of row `b`? Uses the label algebra when the
+    /// scheme supports it; otherwise walks the table's parent references —
+    /// the supplementary information §2.4 says the encoding must carry
+    /// when the labelling scheme does not.
+    pub fn is_ancestor(&self, a: usize, b: usize) -> bool {
+        if let Some(ans) = self.scheme.relation(
+            Relation::AncestorDescendant,
+            &self.rows[a].label,
+            &self.rows[b].label,
+        ) {
+            return ans;
+        }
+        let mut cur = self.rows[b].parent;
+        while let Some(p) = cur {
+            if p == a {
+                return true;
+            }
+            cur = self.rows[p].parent;
+        }
+        false
+    }
+
+    /// Parent of a row.
+    pub fn parent(&self, i: usize) -> Option<usize> {
+        self.rows[i].parent
+    }
+
+    /// Children of a row, in document order.
+    pub fn children(&self, i: usize) -> Vec<usize> {
+        (0..self.rows.len())
+            .filter(|&j| self.rows[j].parent == Some(i))
+            .collect()
+    }
+
+    /// Strict descendants of a row, in document order.
+    pub fn descendants(&self, i: usize) -> Vec<usize> {
+        (0..self.rows.len())
+            .filter(|&j| j != i && self.is_ancestor(i, j))
+            .collect()
+    }
+
+    /// Strict ancestors of a row, root first.
+    pub fn ancestors(&self, i: usize) -> Vec<usize> {
+        let mut up = Vec::new();
+        let mut cur = self.rows[i].parent;
+        while let Some(p) = cur {
+            up.push(p);
+            cur = self.rows[p].parent;
+        }
+        up.reverse();
+        up
+    }
+
+    /// XPath `following` axis: after `i` in document order, excluding
+    /// descendants.
+    pub fn following(&self, i: usize) -> Vec<usize> {
+        (i + 1..self.rows.len())
+            .filter(|&j| !self.is_ancestor(i, j))
+            .collect()
+    }
+
+    /// XPath `preceding` axis: before `i` in document order, excluding
+    /// ancestors.
+    pub fn preceding(&self, i: usize) -> Vec<usize> {
+        (0..i).filter(|&j| !self.is_ancestor(j, i)).collect()
+    }
+
+    /// Following siblings of `i`, in document order.
+    pub fn following_siblings(&self, i: usize) -> Vec<usize> {
+        match self.rows[i].parent {
+            None => Vec::new(),
+            Some(p) => (i + 1..self.rows.len())
+                .filter(|&j| self.rows[j].parent == Some(p))
+                .collect(),
+        }
+    }
+
+    /// Preceding siblings of `i`, in document order.
+    pub fn preceding_siblings(&self, i: usize) -> Vec<usize> {
+        match self.rows[i].parent {
+            None => Vec::new(),
+            Some(p) => (0..i).filter(|&j| self.rows[j].parent == Some(p)).collect(),
+        }
+    }
+
+    /// Attribute children of `i`.
+    pub fn attributes(&self, i: usize) -> Vec<usize> {
+        self.children(i)
+            .into_iter()
+            .filter(|&j| self.rows[j].kind.is_attribute())
+            .collect()
+    }
+
+    /// The XPath string value of a row: concatenated descendant text for
+    /// elements, own value for attributes/text/comments/PIs.
+    pub fn string_value(&self, i: usize) -> String {
+        match &self.rows[i].kind {
+            NodeKind::Document | NodeKind::Element { .. } => {
+                let mut out = String::new();
+                for j in self.descendants(i) {
+                    if let NodeKind::Text { value } = &self.rows[j].kind {
+                        out.push_str(value);
+                    }
+                }
+                out
+            }
+            other => other.value().unwrap_or("").to_string(),
+        }
+    }
+
+    /// The value of attribute `name` on element row `i`.
+    pub fn attribute_value(&self, i: usize, name: &str) -> Option<String> {
+        self.attributes(i)
+            .into_iter()
+            .find_map(|j| match &self.rows[j].kind {
+                NodeKind::Attribute { name: n, value } if n == name => Some(value.clone()),
+                _ => None,
+            })
+    }
+
+    /// Total label storage in bits — the per-scheme cost Figure 7's
+    /// *Compact Enc.* column talks about, observable per document here.
+    pub fn total_label_bits(&self) -> u64 {
+        use xupd_labelcore::Label;
+        self.rows.iter().map(|r| r.label.size_bits()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xupd_schemes::containment::accel::XPathAccelerator;
+    use xupd_schemes::containment::sector::Sector;
+    use xupd_schemes::prefix::dewey::DeweyId;
+    use xupd_xmldom::sample::figure1_document;
+
+    #[test]
+    fn rows_are_in_document_order() {
+        let tree = figure1_document();
+        let enc = EncodedDocument::encode(DeweyId::new(), &tree);
+        assert_eq!(enc.len(), tree.len());
+        for i in 1..enc.len() {
+            assert_eq!(enc.cmp_doc(i - 1, i), Ordering::Less);
+        }
+    }
+
+    #[test]
+    fn axes_match_tree_ground_truth() {
+        let tree = figure1_document();
+        let enc = EncodedDocument::encode(DeweyId::new(), &tree);
+        let order = tree.ids_in_doc_order();
+        for (i, &id) in order.iter().enumerate() {
+            // children
+            let kid_names: Vec<_> = enc
+                .children(i)
+                .into_iter()
+                .map(|j| enc.row(j).kind.name().unwrap_or("").to_string())
+                .collect();
+            let tree_kids: Vec<_> = tree
+                .children(id)
+                .map(|c| tree.kind(c).name().unwrap_or("").to_string())
+                .collect();
+            assert_eq!(kid_names, tree_kids);
+            // descendant count
+            assert_eq!(enc.descendants(i).len(), tree.subtree_size(id) - 1);
+            // following/preceding partition
+            let f = enc.following(i).len();
+            let p = enc.preceding(i).len();
+            let anc = enc.ancestors(i).len();
+            let desc = enc.descendants(i).len();
+            assert_eq!(f + p + anc + desc + 1, enc.len());
+        }
+    }
+
+    #[test]
+    fn ancestor_falls_back_to_parent_refs_for_sector() {
+        // Sector answers ancestor from labels; parent-chain fallback is
+        // exercised via... sector supports ancestor, so use string_value
+        // paths instead: encode with Sector and verify axes still work.
+        let tree = figure1_document();
+        let enc = EncodedDocument::encode(Sector::new(), &tree);
+        for i in 0..enc.len() {
+            let via_labels = enc.descendants(i).len();
+            let mut via_parents = 0;
+            for j in 0..enc.len() {
+                let mut cur = enc.parent(j);
+                while let Some(p) = cur {
+                    if p == i {
+                        via_parents += 1;
+                        break;
+                    }
+                    cur = enc.parent(p);
+                }
+            }
+            assert_eq!(via_labels, via_parents);
+        }
+    }
+
+    #[test]
+    fn string_values_and_attributes() {
+        let tree = figure1_document();
+        let enc = EncodedDocument::encode(XPathAccelerator::new(), &tree);
+        // find the title element row
+        let title = (0..enc.len())
+            .find(|&i| enc.row(i).kind.name() == Some("title"))
+            .unwrap();
+        assert_eq!(enc.string_value(title), "Wayfarer");
+        assert_eq!(enc.attribute_value(title, "genre"), Some("Fantasy".into()));
+        assert_eq!(enc.attribute_value(title, "nope"), None);
+        // whole-document string value concatenates all text
+        let all = enc.string_value(enc.root());
+        assert!(all.contains("Wayfarer") && all.contains("USA"));
+    }
+
+    #[test]
+    fn label_bits_accounting() {
+        let tree = figure1_document();
+        let enc = EncodedDocument::encode(XPathAccelerator::new(), &tree);
+        assert_eq!(enc.total_label_bits(), enc.len() as u64 * 160);
+    }
+}

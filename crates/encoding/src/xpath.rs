@@ -1,0 +1,477 @@
+//! A parser and evaluator for the XPath 1.0 subset the reproduction's
+//! examples and benchmarks use.
+//!
+//! Supported grammar (location paths only):
+//!
+//! ```text
+//! path     := '/'? step ( '/' step | '//' step )*   |  '//' step ...
+//! step     := axis '::' test preds | '@' name preds | '..' | '.' | test preds
+//! axis     := child | descendant | descendant-or-self | parent | ancestor
+//!           | following | preceding | following-sibling | preceding-sibling
+//!           | attribute | self
+//! test     := name | '*' | 'text()' | 'node()'
+//! preds    := ( '[' pred ']' )*
+//! pred     := integer                (1-based position)
+//!           | '@' name '=' '"' v '"' (attribute equality)
+//! ```
+//!
+//! `//` between steps abbreviates `descendant-or-self::node()/` as in the
+//! XPath spec. Results are node sets in document order with duplicates
+//! eliminated — the behaviour §2.2 of the paper derives the uniqueness
+//! requirement for labels from.
+
+use crate::table::EncodedDocument;
+use std::fmt;
+use xupd_labelcore::LabelingScheme;
+
+/// XPath axes supported by the evaluator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// `child::`
+    Child,
+    /// `descendant::`
+    Descendant,
+    /// `descendant-or-self::`
+    DescendantOrSelf,
+    /// `parent::`
+    Parent,
+    /// `ancestor::`
+    Ancestor,
+    /// `following::`
+    Following,
+    /// `preceding::`
+    Preceding,
+    /// `following-sibling::`
+    FollowingSibling,
+    /// `preceding-sibling::`
+    PrecedingSibling,
+    /// `attribute::`
+    Attribute,
+    /// `self::`
+    SelfAxis,
+}
+
+/// Node tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeTest {
+    /// A name test (element or attribute name).
+    Name(String),
+    /// `*` — any element (or any attribute on the attribute axis).
+    Any,
+    /// `text()`.
+    Text,
+    /// `node()` — any node.
+    AnyNode,
+}
+
+/// Step predicates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pred {
+    /// `[k]` — 1-based position within the step's result for one context
+    /// node.
+    Position(usize),
+    /// `[@name="value"]`.
+    AttrEq(String, String),
+}
+
+/// One location step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// The axis.
+    pub axis: Axis,
+    /// The node test.
+    pub test: NodeTest,
+    /// Predicates, applied in order.
+    pub preds: Vec<Pred>,
+}
+
+/// A parsed XPath expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XPathExpr {
+    steps: Vec<Step>,
+}
+
+/// XPath parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XPathError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for XPathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XPath error: {}", self.message)
+    }
+}
+
+impl std::error::Error for XPathError {}
+
+fn err(m: impl Into<String>) -> XPathError {
+    XPathError { message: m.into() }
+}
+
+/// Parse an absolute XPath location path.
+pub fn parse_xpath(input: &str) -> Result<XPathExpr, XPathError> {
+    let input = input.trim();
+    if input.is_empty() {
+        return Err(err("empty expression"));
+    }
+    if !input.starts_with('/') {
+        return Err(err("only absolute paths are supported"));
+    }
+    let mut steps = Vec::new();
+    let mut rest = input;
+    while !rest.is_empty() {
+        let descendant = if let Some(r) = rest.strip_prefix("//") {
+            rest = r;
+            true
+        } else if let Some(r) = rest.strip_prefix('/') {
+            rest = r;
+            false
+        } else {
+            return Err(err(format!("expected '/' at '{rest}'")));
+        };
+        if rest.is_empty() {
+            return Err(err("trailing '/'"));
+        }
+        let end = rest.find('/').unwrap_or(rest.len());
+        let (raw_step, tail) = rest.split_at(end);
+        rest = tail;
+        if descendant {
+            steps.push(Step {
+                axis: Axis::DescendantOrSelf,
+                test: NodeTest::AnyNode,
+                preds: Vec::new(),
+            });
+        }
+        steps.push(parse_step(raw_step)?);
+    }
+    Ok(XPathExpr { steps })
+}
+
+fn parse_step(raw: &str) -> Result<Step, XPathError> {
+    let (head, preds) = split_predicates(raw)?;
+    let preds = preds
+        .into_iter()
+        .map(|p| parse_pred(&p))
+        .collect::<Result<Vec<_>, _>>()?;
+    if head == ".." {
+        return Ok(Step {
+            axis: Axis::Parent,
+            test: NodeTest::AnyNode,
+            preds,
+        });
+    }
+    if head == "." {
+        return Ok(Step {
+            axis: Axis::SelfAxis,
+            test: NodeTest::AnyNode,
+            preds,
+        });
+    }
+    if let Some(name) = head.strip_prefix('@') {
+        return Ok(Step {
+            axis: Axis::Attribute,
+            test: if name == "*" {
+                NodeTest::Any
+            } else {
+                NodeTest::Name(name.to_string())
+            },
+            preds,
+        });
+    }
+    let (axis, test_str) = match head.split_once("::") {
+        Some((a, t)) => {
+            let axis = match a {
+                "child" => Axis::Child,
+                "descendant" => Axis::Descendant,
+                "descendant-or-self" => Axis::DescendantOrSelf,
+                "parent" => Axis::Parent,
+                "ancestor" => Axis::Ancestor,
+                "following" => Axis::Following,
+                "preceding" => Axis::Preceding,
+                "following-sibling" => Axis::FollowingSibling,
+                "preceding-sibling" => Axis::PrecedingSibling,
+                "attribute" => Axis::Attribute,
+                "self" => Axis::SelfAxis,
+                other => return Err(err(format!("unknown axis '{other}'"))),
+            };
+            (axis, t)
+        }
+        None => (Axis::Child, head),
+    };
+    let test = match test_str {
+        "*" => NodeTest::Any,
+        "text()" => NodeTest::Text,
+        "node()" => NodeTest::AnyNode,
+        name if !name.is_empty()
+            && name
+                .chars()
+                .all(|c| c.is_alphanumeric() || c == '_' || c == '-' || c == ':' || c == '.') =>
+        {
+            NodeTest::Name(name.to_string())
+        }
+        other => return Err(err(format!("bad node test '{other}'"))),
+    };
+    Ok(Step { axis, test, preds })
+}
+
+fn split_predicates(raw: &str) -> Result<(&str, Vec<String>), XPathError> {
+    match raw.find('[') {
+        None => Ok((raw, Vec::new())),
+        Some(i) => {
+            let head = &raw[..i];
+            let mut preds = Vec::new();
+            let mut rest = &raw[i..];
+            while !rest.is_empty() {
+                if !rest.starts_with('[') {
+                    return Err(err(format!("expected '[' at '{rest}'")));
+                }
+                let close = rest.find(']').ok_or_else(|| err("missing ']'"))?;
+                preds.push(rest[1..close].to_string());
+                rest = &rest[close + 1..];
+            }
+            Ok((head, preds))
+        }
+    }
+}
+
+fn parse_pred(raw: &str) -> Result<Pred, XPathError> {
+    let raw = raw.trim();
+    if let Ok(k) = raw.parse::<usize>() {
+        if k == 0 {
+            return Err(err("positions are 1-based"));
+        }
+        return Ok(Pred::Position(k));
+    }
+    if let Some(rest) = raw.strip_prefix('@') {
+        let (name, value) = rest
+            .split_once('=')
+            .ok_or_else(|| err(format!("bad predicate '{raw}'")))?;
+        let value = value.trim();
+        let value = value
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .or_else(|| value.strip_prefix('\'').and_then(|v| v.strip_suffix('\'')))
+            .ok_or_else(|| err("predicate value must be quoted"))?;
+        return Ok(Pred::AttrEq(name.trim().to_string(), value.to_string()));
+    }
+    Err(err(format!("unsupported predicate '{raw}'")))
+}
+
+impl XPathExpr {
+    /// The parsed steps.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Evaluate against an encoded document, returning row indices in
+    /// document order, duplicates eliminated (§2.2: XPath operators
+    /// "eliminate duplicate nodes from their result sequences based on
+    /// node identity" and return document order).
+    pub fn evaluate<S: LabelingScheme>(&self, doc: &EncodedDocument<S>) -> Vec<usize> {
+        let mut context: Vec<usize> = vec![doc.root()];
+        for step in &self.steps {
+            let mut next: Vec<usize> = Vec::new();
+            for &ctx in &context {
+                let mut candidates: Vec<usize> = match step.axis {
+                    Axis::Child => doc.children(ctx),
+                    Axis::Descendant => doc.descendants(ctx),
+                    Axis::DescendantOrSelf => {
+                        let mut v = vec![ctx];
+                        v.extend(doc.descendants(ctx));
+                        v
+                    }
+                    Axis::Parent => doc.parent(ctx).into_iter().collect(),
+                    Axis::Ancestor => doc.ancestors(ctx),
+                    Axis::Following => doc.following(ctx),
+                    Axis::Preceding => doc.preceding(ctx),
+                    Axis::FollowingSibling => doc.following_siblings(ctx),
+                    Axis::PrecedingSibling => doc.preceding_siblings(ctx),
+                    Axis::Attribute => doc.attributes(ctx),
+                    Axis::SelfAxis => vec![ctx],
+                };
+                candidates.retain(|&i| test_matches(doc, i, step.axis, &step.test));
+                for pred in &step.preds {
+                    match pred {
+                        Pred::Position(k) => {
+                            candidates = candidates
+                                .into_iter()
+                                .enumerate()
+                                .filter(|(pos, _)| pos + 1 == *k)
+                                .map(|(_, i)| i)
+                                .collect();
+                        }
+                        Pred::AttrEq(name, value) => {
+                            candidates.retain(|&i| {
+                                doc.attribute_value(i, name).as_deref() == Some(value)
+                            });
+                        }
+                    }
+                }
+                next.extend(candidates);
+            }
+            next.sort_unstable();
+            next.dedup();
+            context = next;
+        }
+        context
+    }
+}
+
+fn test_matches<S: LabelingScheme>(
+    doc: &EncodedDocument<S>,
+    i: usize,
+    axis: Axis,
+    test: &NodeTest,
+) -> bool {
+    let kind = &doc.row(i).kind;
+    match test {
+        NodeTest::AnyNode => true,
+        NodeTest::Text => kind.is_text(),
+        NodeTest::Any => {
+            if axis == Axis::Attribute {
+                kind.is_attribute()
+            } else {
+                kind.is_element()
+            }
+        }
+        NodeTest::Name(name) => {
+            if axis == Axis::Attribute {
+                kind.is_attribute() && kind.name() == Some(name)
+            } else {
+                kind.is_element() && kind.name() == Some(name)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::EncodedDocument;
+    use xupd_schemes::prefix::dewey::DeweyId;
+    use xupd_workloads::docs;
+
+    fn book() -> EncodedDocument<DeweyId> {
+        EncodedDocument::encode(DeweyId::new(), &docs::book())
+    }
+
+    fn names<S: LabelingScheme>(doc: &EncodedDocument<S>, rows: &[usize]) -> Vec<String> {
+        rows.iter()
+            .map(|&i| doc.row(i).kind.name().unwrap_or("#text").to_string())
+            .collect()
+    }
+
+    #[test]
+    fn simple_child_path() {
+        let doc = book();
+        let r = parse_xpath("/book/publisher/editor/name")
+            .unwrap()
+            .evaluate(&doc);
+        assert_eq!(names(&doc, &r), ["name"]);
+        assert_eq!(doc.string_value(r[0]), "Destiny Image");
+    }
+
+    #[test]
+    fn descendant_shorthand() {
+        let doc = book();
+        let r = parse_xpath("//name").unwrap().evaluate(&doc);
+        assert_eq!(names(&doc, &r), ["name"]);
+        let all = parse_xpath("//*").unwrap().evaluate(&doc);
+        assert_eq!(all.len(), 8, "eight elements in the sample document");
+    }
+
+    #[test]
+    fn attribute_axis_and_shorthand() {
+        let doc = book();
+        let r = parse_xpath("/book/title/@genre").unwrap().evaluate(&doc);
+        assert_eq!(r.len(), 1);
+        assert_eq!(doc.row(r[0]).kind.value(), Some("Fantasy"));
+        let r2 = parse_xpath("/book/title/attribute::*")
+            .unwrap()
+            .evaluate(&doc);
+        assert_eq!(r, r2);
+    }
+
+    #[test]
+    fn predicates() {
+        let doc = book();
+        let r = parse_xpath("/book/publisher/editor/*[2]")
+            .unwrap()
+            .evaluate(&doc);
+        assert_eq!(names(&doc, &r), ["address"]);
+        let r = parse_xpath("//edition[@year=\"2004\"]")
+            .unwrap()
+            .evaluate(&doc);
+        assert_eq!(names(&doc, &r), ["edition"]);
+        let r = parse_xpath("//edition[@year=\"1999\"]")
+            .unwrap()
+            .evaluate(&doc);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn parent_ancestor_sibling_axes() {
+        let doc = book();
+        let r = parse_xpath("//address/..").unwrap().evaluate(&doc);
+        assert_eq!(names(&doc, &r), ["editor"]);
+        let r = parse_xpath("//address/ancestor::*").unwrap().evaluate(&doc);
+        assert_eq!(names(&doc, &r), ["book", "publisher", "editor"]);
+        let r = parse_xpath("//name/following-sibling::*")
+            .unwrap()
+            .evaluate(&doc);
+        assert_eq!(names(&doc, &r), ["address"]);
+        let r = parse_xpath("//address/preceding-sibling::*")
+            .unwrap()
+            .evaluate(&doc);
+        assert_eq!(names(&doc, &r), ["name"]);
+    }
+
+    #[test]
+    fn following_preceding_axes() {
+        let doc = book();
+        let r = parse_xpath("//author/following::*").unwrap().evaluate(&doc);
+        assert_eq!(
+            names(&doc, &r),
+            ["publisher", "editor", "name", "address", "edition"]
+        );
+        let r = parse_xpath("//publisher/preceding::*")
+            .unwrap()
+            .evaluate(&doc);
+        assert_eq!(names(&doc, &r), ["title", "author"]);
+    }
+
+    #[test]
+    fn text_test() {
+        let doc = book();
+        let r = parse_xpath("/book/title/text()").unwrap().evaluate(&doc);
+        assert_eq!(r.len(), 1);
+        assert_eq!(doc.row(r[0]).kind.value(), Some("Wayfarer"));
+    }
+
+    #[test]
+    fn results_in_document_order_without_duplicates() {
+        let doc = book();
+        // both steps can reach the same nodes; dedup must apply
+        let r = parse_xpath("//*/descendant-or-self::name")
+            .unwrap()
+            .evaluate(&doc);
+        assert_eq!(names(&doc, &r), ["name"]);
+        let r = parse_xpath("//*").unwrap().evaluate(&doc);
+        for w in r.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_xpath("").is_err());
+        assert!(parse_xpath("book").is_err(), "relative paths unsupported");
+        assert!(parse_xpath("/book/").is_err());
+        assert!(parse_xpath("/book/unknown-axis::x").is_err());
+        assert!(parse_xpath("/book[0]").is_err(), "positions are 1-based");
+        assert!(parse_xpath("/book[@a=b]").is_err(), "unquoted value");
+        assert!(parse_xpath("/book[").is_err());
+    }
+}

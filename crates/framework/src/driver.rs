@@ -1,0 +1,373 @@
+//! Replays update scripts against a labelling scheme, collecting the
+//! evidence the property checkers grade.
+
+use xupd_labelcore::{Labeling, LabelingScheme};
+use xupd_workloads::{Script, ScriptOp};
+use xupd_xmldom::{NodeId, NodeKind, XmlTree};
+
+/// Evidence accumulated while driving one script.
+#[derive(Debug, Clone, Default)]
+pub struct DriveStats {
+    /// Nodes inserted.
+    pub inserts: usize,
+    /// Subtrees deleted.
+    pub deletes: usize,
+    /// Existing nodes whose labels the scheme changed.
+    pub relabeled: u64,
+    /// §4 overflow events the scheme reported.
+    pub overflow_events: u64,
+    /// Largest single-label size (bits) observed at any checkpoint —
+    /// catches pre-renumbering peaks that the end state hides.
+    pub peak_label_bits: u64,
+    /// Mean label size (bits) at the end of the script.
+    pub end_mean_bits: f64,
+    /// Largest single-label size at the end of the script.
+    pub end_max_bits: u64,
+}
+
+/// How often (in ops) the driver scans label sizes for the peak metric.
+const CHECKPOINT_EVERY: usize = 25;
+
+/// Replay `script` against `scheme`/`labeling`/`tree`.
+///
+/// Index resolution: each op's index addresses the element pool (live
+/// element nodes in document order) modulo its size. Deletions skip the
+/// document element and never shrink the pool below two elements.
+/// [`ScriptOp::InsertAfter`] with index `usize::MAX` is the zigzag
+/// pattern: the driver maintains an adjacent pair and alternately
+/// tightens its left and right ends.
+pub fn run_script<S: LabelingScheme>(
+    tree: &mut XmlTree,
+    scheme: &mut S,
+    labeling: &mut Labeling<S::Label>,
+    script: &Script,
+) -> DriveStats {
+    let mut stats = DriveStats::default();
+    let mut zig: Option<(NodeId, NodeId)> = None;
+    let mut zig_step = 0usize;
+
+    for (op_idx, op) in script.ops.iter().enumerate() {
+        let pool: Vec<NodeId> = tree
+            .preorder()
+            .filter(|&n| tree.kind(n).is_element())
+            .collect();
+        if pool.is_empty() {
+            break;
+        }
+        let resolve = |i: usize| pool[i % pool.len()];
+        match *op {
+            ScriptOp::InsertBefore(i) => {
+                let target = resolve(i);
+                let node = tree.create(NodeKind::element("u"));
+                if tree.parent(target) == Some(tree.root()) || tree.parent(target).is_none() {
+                    tree.prepend_child(target, node).expect("live target");
+                } else {
+                    tree.insert_before(target, node).expect("live target");
+                }
+                apply_insert(tree, scheme, labeling, node, &mut stats);
+            }
+            ScriptOp::InsertAfter(i) if i == usize::MAX => {
+                // zigzag: insert between an adjacent pair, alternately
+                // keeping the new node as the pair's right or left end.
+                let (a, b) = match zig {
+                    Some((a, b))
+                        if tree.is_alive(a)
+                            && tree.is_alive(b)
+                            && tree.next_sibling(a) == Some(b) =>
+                    {
+                        (a, b)
+                    }
+                    _ => {
+                        let base = resolve(pool.len() / 2);
+                        let c1 = tree.create(NodeKind::element("u"));
+                        tree.append_child(base, c1).expect("live base");
+                        apply_insert(tree, scheme, labeling, c1, &mut stats);
+                        let c2 = tree.create(NodeKind::element("u"));
+                        tree.append_child(base, c2).expect("live base");
+                        apply_insert(tree, scheme, labeling, c2, &mut stats);
+                        (c1, c2)
+                    }
+                };
+                let node = tree.create(NodeKind::element("u"));
+                tree.insert_after(a, node).expect("live anchor");
+                apply_insert(tree, scheme, labeling, node, &mut stats);
+                zig = Some(if zig_step % 2 == 0 {
+                    (a, node)
+                } else {
+                    (node, b)
+                });
+                zig_step += 1;
+            }
+            ScriptOp::InsertAfter(i) => {
+                let target = resolve(i);
+                let node = tree.create(NodeKind::element("u"));
+                if tree.parent(target) == Some(tree.root()) || tree.parent(target).is_none() {
+                    tree.append_child(target, node).expect("live target");
+                } else {
+                    tree.insert_after(target, node).expect("live target");
+                }
+                apply_insert(tree, scheme, labeling, node, &mut stats);
+            }
+            ScriptOp::PrependChild(i) => {
+                let target = resolve(i);
+                let node = tree.create(NodeKind::element("u"));
+                tree.prepend_child(target, node).expect("live target");
+                apply_insert(tree, scheme, labeling, node, &mut stats);
+            }
+            ScriptOp::AppendChild(i) => {
+                let target = resolve(i);
+                let node = tree.create(NodeKind::element("u"));
+                tree.append_child(target, node).expect("live target");
+                apply_insert(tree, scheme, labeling, node, &mut stats);
+            }
+            ScriptOp::DeleteSubtree(i) => {
+                let target = resolve(i);
+                if Some(target) == tree.document_element() || pool.len() <= 2 {
+                    continue;
+                }
+                scheme.on_delete(tree, labeling, target);
+                tree.remove_subtree(target).expect("live target");
+                stats.deletes += 1;
+            }
+        }
+        if op_idx % CHECKPOINT_EVERY == 0 {
+            stats.peak_label_bits = stats.peak_label_bits.max(labeling.max_bits());
+        }
+    }
+    stats.peak_label_bits = stats.peak_label_bits.max(labeling.max_bits());
+    stats.end_mean_bits = labeling.mean_bits();
+    stats.end_max_bits = labeling.max_bits();
+    stats
+}
+
+/// Label a freshly grafted **subtree** (the paper's third structural
+/// update class, §1/§3.1.2: "Subtree insertions may be serialised as a
+/// sequence of nodes and inserted individually"): `root` and all its
+/// descendants are already attached to `tree`; each is labelled in
+/// preorder through the scheme's ordinary single-node insertion path.
+/// Returns the accumulated insert evidence.
+pub fn graft_subtree<S: LabelingScheme>(
+    tree: &XmlTree,
+    scheme: &mut S,
+    labeling: &mut Labeling<S::Label>,
+    root: NodeId,
+) -> DriveStats {
+    let mut stats = DriveStats::default();
+    for node in tree.preorder_from(root).collect::<Vec<_>>() {
+        apply_insert(tree, scheme, labeling, node, &mut stats);
+    }
+    stats.peak_label_bits = labeling.max_bits();
+    stats.end_mean_bits = labeling.mean_bits();
+    stats.end_max_bits = labeling.max_bits();
+    stats
+}
+
+/// Move a subtree: detach `root` from its current position, re-attach it
+/// with `attach`, and relabel it through the scheme's insertion path.
+/// Labelling-wise a move is a delete followed by a subtree insertion —
+/// which is exactly how XQuery Update expresses it — so persistent
+/// schemes keep every *other* label untouched, while the moved nodes
+/// necessarily get fresh labels (their positions changed).
+pub fn move_subtree<S: LabelingScheme>(
+    tree: &mut XmlTree,
+    scheme: &mut S,
+    labeling: &mut Labeling<S::Label>,
+    root: NodeId,
+    attach: impl FnOnce(&mut XmlTree, NodeId),
+) -> DriveStats {
+    scheme.on_delete(tree, labeling, root);
+    tree.detach(root).expect("movable subtree root");
+    attach(tree, root);
+    graft_subtree(tree, scheme, labeling, root)
+}
+
+fn apply_insert<S: LabelingScheme>(
+    tree: &XmlTree,
+    scheme: &mut S,
+    labeling: &mut Labeling<S::Label>,
+    node: NodeId,
+    stats: &mut DriveStats,
+) {
+    let report = scheme.on_insert(tree, labeling, node);
+    stats.inserts += 1;
+    stats.relabeled += report.relabeled.len() as u64;
+    if report.overflowed {
+        stats.overflow_events += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xupd_schemes::prefix::dewey::DeweyId;
+    use xupd_schemes::prefix::qed::Qed;
+    use xupd_workloads::{docs, Script, ScriptKind};
+
+    #[test]
+    fn random_script_drives_cleanly_for_qed() {
+        let mut tree = docs::random_tree(1, 100);
+        let mut scheme = Qed::new();
+        let mut labeling = scheme.label_tree(&tree);
+        let script = Script::generate(ScriptKind::Random, 150, 100, 2);
+        let stats = run_script(&mut tree, &mut scheme, &mut labeling, &script);
+        assert_eq!(stats.inserts, 150);
+        assert_eq!(stats.relabeled, 0);
+        assert_eq!(stats.overflow_events, 0);
+        tree.validate().unwrap();
+        assert_eq!(labeling.len(), tree.len());
+    }
+
+    #[test]
+    fn skewed_script_relabels_for_dewey() {
+        let mut tree = docs::wide(20);
+        let mut scheme = DeweyId::new();
+        let mut labeling = scheme.label_tree(&tree);
+        let script = Script::generate(ScriptKind::Skewed, 50, 20, 3);
+        let stats = run_script(&mut tree, &mut scheme, &mut labeling, &script);
+        assert!(stats.relabeled > 0, "skewed inserts renumber for DeweyID");
+    }
+
+    #[test]
+    fn mixed_delete_keeps_labeling_in_sync() {
+        let mut tree = docs::random_tree(4, 120);
+        let mut scheme = Qed::new();
+        let mut labeling = scheme.label_tree(&tree);
+        let script = Script::generate(ScriptKind::MixedDelete, 200, 120, 5);
+        let stats = run_script(&mut tree, &mut scheme, &mut labeling, &script);
+        assert!(stats.deletes > 0);
+        tree.validate().unwrap();
+        assert_eq!(labeling.len(), tree.len(), "one label per live node");
+    }
+
+    #[test]
+    fn zigzag_initialises_and_runs() {
+        let mut tree = docs::wide(10);
+        let mut scheme = Qed::new();
+        let mut labeling = scheme.label_tree(&tree);
+        let script = Script::generate(ScriptKind::Zigzag, 60, 10, 6);
+        let stats = run_script(&mut tree, &mut scheme, &mut labeling, &script);
+        assert!(stats.inserts >= 60);
+        assert_eq!(labeling.len(), tree.len());
+    }
+
+    #[test]
+    fn graft_labels_a_whole_subtree_in_document_order() {
+        use xupd_xmldom::TreeBuilder;
+        let mut tree = docs::book();
+        let mut scheme = Qed::new();
+        let mut labeling = scheme.label_tree(&tree);
+
+        // build a detached appendix subtree, then graft it under <book>
+        let sub = TreeBuilder::new()
+            .open("appendix")
+            .leaf("section", "errata")
+            .leaf("section", "index")
+            .close()
+            .finish();
+        // copy the subtree into the main tree (serialised as a sequence
+        // of nodes, exactly as §3.1.2 describes)
+        let book = tree.document_element().unwrap();
+        let sub_root_src = sub.document_element().unwrap();
+        let appendix = clone_into(&sub, sub_root_src, &mut tree);
+        tree.append_child(book, appendix).unwrap();
+
+        let stats = graft_subtree(&tree, &mut scheme, &mut labeling, appendix);
+        assert_eq!(stats.inserts, sub.subtree_size(sub_root_src));
+        assert_eq!(stats.relabeled, 0, "QED grafts persist too");
+        assert_eq!(labeling.len(), tree.len());
+        let order = tree.ids_in_doc_order();
+        for w in order.windows(2) {
+            assert_eq!(
+                scheme.cmp_doc(labeling.expect(w[0]), labeling.expect(w[1])),
+                std::cmp::Ordering::Less
+            );
+        }
+
+        fn clone_into(src: &XmlTree, node: NodeId, dst: &mut XmlTree) -> NodeId {
+            let copy = dst.create(src.kind(node).clone());
+            for child in src.children(node) {
+                let c = clone_into(src, child, dst);
+                dst.append_child(copy, c).expect("fresh node is detached");
+            }
+            copy
+        }
+    }
+
+    #[test]
+    fn move_subtree_keeps_other_labels_for_persistent_schemes() {
+        let mut tree = docs::book();
+        let mut scheme = Qed::new();
+        let mut labeling = scheme.label_tree(&tree);
+        let publisher = tree
+            .preorder()
+            .find(|&n| tree.kind(n).name() == Some("publisher"))
+            .unwrap();
+        let title = tree
+            .preorder()
+            .find(|&n| tree.kind(n).name() == Some("title"))
+            .unwrap();
+        let untouched: Vec<_> = tree
+            .ids_in_doc_order()
+            .into_iter()
+            .filter(|&n| !tree.is_ancestor(publisher, n) && n != publisher)
+            .map(|n| (n, labeling.expect(n).clone()))
+            .collect();
+        // move <publisher> to sit before <title>
+        let stats = move_subtree(&mut tree, &mut scheme, &mut labeling, publisher, |t, r| {
+            t.insert_before(title, r).expect("live anchor");
+        });
+        assert_eq!(stats.inserts, tree.subtree_size(publisher));
+        assert_eq!(stats.relabeled, 0, "no bystander relabels");
+        for (n, old) in untouched {
+            assert_eq!(labeling.expect(n), &old, "bystander label changed");
+        }
+        // order + structure intact
+        tree.validate().unwrap();
+        assert_eq!(labeling.len(), tree.len());
+        let order = tree.ids_in_doc_order();
+        for w in order.windows(2) {
+            assert_eq!(
+                scheme.cmp_doc(labeling.expect(w[0]), labeling.expect(w[1])),
+                std::cmp::Ordering::Less
+            );
+        }
+        // publisher is now the first child of book
+        let book = tree.document_element().unwrap();
+        assert_eq!(tree.first_child(book), Some(publisher));
+    }
+
+    #[test]
+    fn graft_relabels_followers_for_dewey() {
+        use xupd_xmldom::NodeKind;
+        let mut tree = docs::wide(5);
+        let mut scheme = DeweyId::new();
+        let mut labeling = scheme.label_tree(&tree);
+        let root_elem = tree.document_element().unwrap();
+        let first = tree.first_child(root_elem).unwrap();
+        // graft a two-node subtree before the first child
+        let sub_root = tree.create(NodeKind::element("g"));
+        let sub_leaf = tree.create(NodeKind::element("gl"));
+        tree.append_child(sub_root, sub_leaf).unwrap();
+        tree.insert_before(first, sub_root).unwrap();
+        let stats = graft_subtree(&tree, &mut scheme, &mut labeling, sub_root);
+        assert_eq!(stats.inserts, 2);
+        assert!(stats.relabeled > 0, "following siblings renumbered");
+    }
+
+    #[test]
+    fn peak_captures_pre_renumber_sizes() {
+        use xupd_schemes::prefix::improved_binary::ImprovedBinary;
+        let mut tree = docs::wide(5);
+        let mut scheme = ImprovedBinary::with_max_code_bits(64);
+        let mut labeling = scheme.label_tree(&tree);
+        let script = Script::generate(ScriptKind::Skewed, 200, 5, 7);
+        let stats = run_script(&mut tree, &mut scheme, &mut labeling, &script);
+        assert!(stats.overflow_events > 0);
+        assert!(
+            stats.peak_label_bits > stats.end_max_bits / 2,
+            "peak {} retains the pre-renumber spike (end {})",
+            stats.peak_label_bits,
+            stats.end_max_bits
+        );
+    }
+}

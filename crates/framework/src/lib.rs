@@ -1,0 +1,33 @@
+//! # xupd-framework — the paper's evaluation framework, made executable
+//!
+//! *Desirable Properties for XML Update Mechanisms* contributes "a
+//! template of properties that are representative of the characteristics
+//! of a good dynamic labelling scheme" (§1.1) and applies it as the
+//! Figure 7 evaluation matrix. This crate turns that template into
+//! executable machinery:
+//!
+//! * [`driver`] — replays [`xupd_workloads::Script`]s against any
+//!   [`xupd_labelcore::LabelingScheme`], collecting relabel / overflow /
+//!   size evidence;
+//! * [`verify`] — invariant verification: document order, label
+//!   uniqueness, relation and level correctness against tree ground
+//!   truth;
+//! * [`checkers`] — one empirical checker per §5.1 property, combined
+//!   into a measured compliance row per scheme;
+//! * [`orthogonal`] — a live demonstration of the *Orthogonal* property:
+//!   a containment host parameterised by any order-code algebra;
+//! * [`matrix`] — the declared Figure 7 matrix (transcribed from the
+//!   paper) and the measured matrix, with rendering;
+//! * [`report`] — declared-vs-measured agreement reporting (the
+//!   reproduction's headline output).
+
+pub mod checkers;
+pub mod driver;
+pub mod matrix;
+pub mod orthogonal;
+pub mod report;
+pub mod verify;
+
+pub use checkers::{measure_scheme, Evidence, Measured};
+pub use matrix::{declared_figure7, measure_all, measure_figure7, EvaluationMatrix, MatrixRow};
+pub use report::Figure7Report;

@@ -1,0 +1,308 @@
+//! Binary-string codes and the ImprovedBinary *middle code* construction
+//! (Li & Ling, DASFAA 2005 — \[13\] in the paper).
+//!
+//! Codes are compared **lexicographically with prefix-smaller semantics**:
+//! `01 < 011` because a code is smaller than any of its extensions. The
+//! ImprovedBinary invariant — every assigned code ends in `1` — guarantees
+//! a strictly-between code always exists for the three insertion cases the
+//! paper describes (§3.1.2):
+//!
+//! * before the first sibling: the first code with its final `1` changed
+//!   to `01`;
+//! * after the last sibling: the last code with an extra `1` appended;
+//! * between two siblings: [`middle`], the `AssignMiddleSelfLabel`
+//!   construction.
+
+use crate::stats::SchemeStats;
+use std::fmt;
+
+/// A binary code: a sequence of bits compared lexicographically
+/// (prefix-smaller). Bits are stored one per byte for clarity; storage
+/// accounting ([`BitString::bit_len`]) is logical.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BitString {
+    bits: Vec<u8>,
+}
+
+impl BitString {
+    /// The empty code (the ImprovedBinary root label).
+    pub fn empty() -> Self {
+        BitString::default()
+    }
+
+    /// Build from an ASCII string of `0`/`1`, e.g. `"0101"`.
+    ///
+    /// # Panics
+    /// Panics on characters other than `0`/`1` (codes in this codebase are
+    /// compile-time constants or algorithm output).
+    pub fn from_bits(s: &str) -> Self {
+        BitString {
+            bits: s
+                .chars()
+                .map(|c| match c {
+                    '0' => 0,
+                    '1' => 1,
+                    _ => panic!("invalid bit character {c:?}"),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of bits.
+    pub fn bit_len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// True when no bits.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// The final bit, if any.
+    pub fn last(&self) -> Option<u8> {
+        self.bits.last().copied()
+    }
+
+    /// Append one bit.
+    pub fn push(&mut self, bit: u8) {
+        debug_assert!(bit <= 1);
+        self.bits.push(bit);
+    }
+
+    /// This code with `bit` appended.
+    pub fn appending(&self, bit: u8) -> Self {
+        let mut c = self.clone();
+        c.push(bit);
+        c
+    }
+
+    /// Is `self` a strict prefix of `other`?
+    pub fn is_strict_prefix_of(&self, other: &BitString) -> bool {
+        self.bits.len() < other.bits.len() && other.bits[..self.bits.len()] == self.bits[..]
+    }
+
+    /// Raw bit access.
+    pub fn bits(&self) -> &[u8] {
+        &self.bits
+    }
+
+    /// The ImprovedBinary *insert before first sibling* rule: the final
+    /// `1` becomes `01`.
+    ///
+    /// # Panics
+    /// Panics if the code does not end in `1` (the scheme invariant).
+    pub fn before(&self) -> BitString {
+        assert_eq!(self.last(), Some(1), "ImprovedBinary codes end in 1");
+        let mut bits = self.bits.clone();
+        bits.pop();
+        bits.push(0);
+        bits.push(1);
+        BitString { bits }
+    }
+
+    /// The ImprovedBinary *insert after last sibling* rule: append `1`.
+    pub fn after(&self) -> BitString {
+        self.appending(1)
+    }
+}
+
+impl fmt::Debug for BitString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"{self}\"")
+    }
+}
+
+impl fmt::Display for BitString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.bits.is_empty() {
+            return f.write_str("ε");
+        }
+        for &b in &self.bits {
+            write!(f, "{b}")?;
+        }
+        Ok(())
+    }
+}
+
+/// `AssignMiddleSelfLabel` (ImprovedBinary): a code strictly between
+/// `left` and `right` under lexicographic order, ending in `1`.
+///
+/// * `len(left) >= len(right)` → `left ⧺ 1`;
+/// * `len(left) <  len(right)` → `right` with its final `1` replaced by
+///   `01` (i.e. a `0` inserted before the final `1`).
+///
+/// Requires `left < right` and both ending in `1`.
+pub fn middle(left: &BitString, right: &BitString) -> BitString {
+    debug_assert!(left < right, "middle requires left < right");
+    if left.bit_len() >= right.bit_len() {
+        left.after()
+    } else {
+        right.before()
+    }
+}
+
+/// Strictly-between code for the general insertion interface: either bound
+/// may be absent (insert before first / after last / into an empty
+/// sibling list).
+pub fn between(left: Option<&BitString>, right: Option<&BitString>) -> BitString {
+    match (left, right) {
+        (None, None) => BitString::from_bits("01"),
+        (Some(l), None) => l.after(),
+        (None, Some(r)) => r.before(),
+        (Some(l), Some(r)) => middle(l, r),
+    }
+}
+
+/// The recursive ImprovedBinary bulk `Labelling` algorithm over `n`
+/// siblings: the leftmost gets `01`, the rightmost `011`, and the middle
+/// positions are filled by recursive [`middle`] calls at the `((1+n)/2)`-th
+/// position — the division and recursion the paper's framework penalises
+/// are counted into `stats`.
+pub fn bulk_binary(n: usize, stats: &mut SchemeStats) -> Vec<BitString> {
+    match n {
+        0 => return Vec::new(),
+        1 => return vec![BitString::from_bits("01")],
+        _ => {}
+    }
+    let mut codes: Vec<Option<BitString>> = vec![None; n];
+    codes[0] = Some(BitString::from_bits("01"));
+    codes[n - 1] = Some(BitString::from_bits("011"));
+    fill_middle(&mut codes, 0, n - 1, stats);
+    codes
+        .into_iter()
+        .map(|c| c.expect("every position filled"))
+        .collect()
+}
+
+fn fill_middle(codes: &mut [Option<BitString>], lo: usize, hi: usize, stats: &mut SchemeStats) {
+    if hi - lo <= 1 {
+        return;
+    }
+    stats.recursive_calls += 1;
+    stats.divisions += 1; // the ((1+n)/2)-th position computation
+    let mid = lo + (hi - lo) / 2;
+    let code = {
+        let l = codes[lo].as_ref().expect("lo filled");
+        let r = codes[hi].as_ref().expect("hi filled");
+        middle(l, r)
+    };
+    codes[mid] = Some(code);
+    fill_middle(codes, lo, mid, stats);
+    fill_middle(codes, mid, hi, stats);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> BitString {
+        BitString::from_bits(s)
+    }
+
+    #[test]
+    fn lexicographic_prefix_smaller_order() {
+        assert!(b("01") < b("011"));
+        assert!(b("0101") < b("011"));
+        assert!(b("01") < b("0101"));
+        assert!(b("001") < b("01"));
+        assert!(BitString::empty() < b("0"));
+    }
+
+    #[test]
+    fn figure6_initial_three_children() {
+        // Figure 6: the root's three children are 01, 0101, 011.
+        let mut stats = SchemeStats::default();
+        let codes = bulk_binary(3, &mut stats);
+        assert_eq!(
+            codes.iter().map(|c| c.to_string()).collect::<Vec<_>>(),
+            ["01", "0101", "011"]
+        );
+        assert!(stats.divisions > 0, "bulk labelling divides");
+        assert!(stats.recursive_calls > 0, "bulk labelling recurses");
+    }
+
+    #[test]
+    fn figure6_insertion_rules() {
+        // before first child 01  → 001   (last 1 changed to 01)
+        assert_eq!(b("01").before().to_string(), "001");
+        // after last child 01    → 011   (extra 1 concatenated)
+        assert_eq!(b("01").after().to_string(), "011");
+        // between 01 and 011     → 0101  (AssignMiddleSelfLabel)
+        assert_eq!(middle(&b("01"), &b("011")).to_string(), "0101");
+    }
+
+    #[test]
+    fn middle_is_strictly_between_and_ends_in_one() {
+        let cases = [
+            ("01", "011"),
+            ("01", "1"),
+            ("0101", "011"),
+            ("1", "11"),
+            ("011", "1"),
+            ("00001", "0001"),
+        ];
+        for (l, r) in cases {
+            let (l, r) = (b(l), b(r));
+            let m = middle(&l, &r);
+            assert!(l < m, "{l} < {m}");
+            assert!(m < r, "{m} < {r}");
+            assert_eq!(m.last(), Some(1), "{m} ends in 1");
+        }
+    }
+
+    #[test]
+    fn between_handles_open_bounds() {
+        assert_eq!(between(None, None).to_string(), "01");
+        assert_eq!(between(Some(&b("01")), None).to_string(), "011");
+        assert_eq!(between(None, Some(&b("01"))).to_string(), "001");
+    }
+
+    #[test]
+    fn bulk_is_sorted_unique_and_ends_in_one() {
+        let mut stats = SchemeStats::default();
+        for n in 0..40 {
+            let codes = bulk_binary(n, &mut stats);
+            assert_eq!(codes.len(), n);
+            for w in codes.windows(2) {
+                assert!(w[0] < w[1], "sorted: {} < {}", w[0], w[1]);
+            }
+            for c in &codes {
+                assert_eq!(c.last(), Some(1));
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_before_first_grows_one_bit_per_insert() {
+        // §3.1.2: "repeated insertions before the first sibling node ...
+        // has a bit-growth rate of 1 for each insertion".
+        let mut first = b("01");
+        let mut prev_len = first.bit_len();
+        for _ in 0..20 {
+            let new = first.before();
+            assert!(new < first);
+            assert_eq!(new.bit_len(), prev_len + 1);
+            prev_len = new.bit_len();
+            first = new;
+        }
+    }
+
+    #[test]
+    fn prefix_relation() {
+        assert!(b("01").is_strict_prefix_of(&b("011")));
+        assert!(!b("011").is_strict_prefix_of(&b("01")));
+        assert!(!b("01").is_strict_prefix_of(&b("01")));
+        assert!(BitString::empty().is_strict_prefix_of(&b("0")));
+    }
+
+    #[test]
+    #[should_panic(expected = "end in 1")]
+    fn before_requires_trailing_one() {
+        b("10").before();
+    }
+
+    #[test]
+    fn display_empty_is_epsilon() {
+        assert_eq!(BitString::empty().to_string(), "ε");
+    }
+}

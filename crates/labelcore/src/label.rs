@@ -1,0 +1,194 @@
+//! The [`Label`] trait and the [`Labeling`] side table mapping tree nodes
+//! to their labels.
+
+use std::fmt::Debug;
+use xupd_xmldom::{NodeId, XmlTree};
+
+/// A node label as assigned by a labelling scheme (Definition 1 of the
+/// paper: unique identifiers that facilitate node ordering).
+///
+/// `Ord` on a label type is **document order** for labels produced by the
+/// same scheme instance over the same document — every scheme's label type
+/// implements its own comparison algebra (lexicographic for prefix/QED
+/// codes, gradient comparison for vector codes, numeric for containment).
+pub trait Label: Clone + Eq + Ord + Debug {
+    /// Storage footprint of this label in bits, under the scheme's storage
+    /// model (e.g. 2 bits per quaternary symbol plus a 2-bit separator for
+    /// QED; UTF-8-style varints for vector components). This feeds the
+    /// *Compact Encoding* measurements.
+    fn size_bits(&self) -> u64;
+
+    /// Human-readable rendering matching the paper's figures where
+    /// applicable (e.g. `1.5.2.1` for ORDPATH, `0101.011` for
+    /// ImprovedBinary, `2ab.c` for LSDX).
+    fn display(&self) -> String;
+}
+
+/// A side table assigning a label to each (live) node of an [`XmlTree`].
+///
+/// Backed by a dense vector indexed by [`NodeId`], because node ids are
+/// never reused by the tree.
+#[derive(Debug, Clone)]
+pub struct Labeling<L> {
+    slots: Vec<Option<L>>,
+}
+
+impl<L: Label> Default for Labeling<L> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<L: Label> Labeling<L> {
+    /// An empty labelling.
+    pub fn new() -> Self {
+        Labeling { slots: Vec::new() }
+    }
+
+    /// Pre-size for a tree's id space.
+    pub fn with_capacity_for(tree: &XmlTree) -> Self {
+        let mut slots = Vec::new();
+        slots.resize_with(tree.id_bound(), || None);
+        Labeling { slots }
+    }
+
+    /// The label of `id`, if assigned.
+    pub fn get(&self, id: NodeId) -> Option<&L> {
+        self.slots.get(id.index()).and_then(|s| s.as_ref())
+    }
+
+    /// The label of `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` has no label — schemes guarantee every live node is
+    /// labelled, so this indicates a driver bug.
+    pub fn expect(&self, id: NodeId) -> &L {
+        self.get(id)
+            .unwrap_or_else(|| panic!("node {id} has no label"))
+    }
+
+    /// Assign (or replace) the label of `id`. Returns the previous label.
+    pub fn set(&mut self, id: NodeId, label: L) -> Option<L> {
+        if self.slots.len() <= id.index() {
+            self.slots.resize_with(id.index() + 1, || None);
+        }
+        self.slots[id.index()].replace(label)
+    }
+
+    /// Remove the label of `id` (on node deletion).
+    pub fn remove(&mut self, id: NodeId) -> Option<L> {
+        self.slots.get_mut(id.index()).and_then(|s| s.take())
+    }
+
+    /// Number of labelled nodes.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// True when no node is labelled.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(|s| s.is_none())
+    }
+
+    /// Iterate `(NodeId, &L)` over all labelled nodes in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &L)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|l| (NodeId::from_index(i), l)))
+    }
+
+    /// Total storage of all labels in bits (the *Compact Encoding* metric).
+    pub fn total_bits(&self) -> u64 {
+        self.iter().map(|(_, l)| l.size_bits()).sum()
+    }
+
+    /// Mean label size in bits (0.0 when empty).
+    pub fn mean_bits(&self) -> f64 {
+        let n = self.len();
+        if n == 0 {
+            0.0
+        } else {
+            self.total_bits() as f64 / n as f64
+        }
+    }
+
+    /// Largest label size in bits (0 when empty).
+    pub fn max_bits(&self) -> u64 {
+        self.iter().map(|(_, l)| l.size_bits()).max().unwrap_or(0)
+    }
+
+    /// Check label uniqueness — Definition 1 requires it, and LSDX-style
+    /// collision bugs violate it. Returns a violating pair if any.
+    pub fn find_duplicate(&self) -> Option<(NodeId, NodeId)> {
+        let mut seen: Vec<(&L, NodeId)> = self.iter().map(|(id, l)| (l, id)).collect();
+        seen.sort_by(|a, b| a.0.cmp(b.0));
+        for w in seen.windows(2) {
+            if w[0].0 == w[1].0 {
+                return Some((w[0].1, w[1].1));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial label for exercising the side table.
+    #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+    struct IntLabel(u64);
+
+    impl Label for IntLabel {
+        fn size_bits(&self) -> u64 {
+            64
+        }
+        fn display(&self) -> String {
+            self.0.to_string()
+        }
+    }
+
+    #[test]
+    fn set_get_remove() {
+        let mut l: Labeling<IntLabel> = Labeling::new();
+        let a = NodeId::from_index(3);
+        assert!(l.get(a).is_none());
+        assert!(l.set(a, IntLabel(7)).is_none());
+        assert_eq!(l.get(a), Some(&IntLabel(7)));
+        assert_eq!(l.set(a, IntLabel(9)), Some(IntLabel(7)));
+        assert_eq!(l.remove(a), Some(IntLabel(9)));
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn iter_and_metrics() {
+        let mut l: Labeling<IntLabel> = Labeling::new();
+        l.set(NodeId::from_index(0), IntLabel(1));
+        l.set(NodeId::from_index(5), IntLabel(2));
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.total_bits(), 128);
+        assert_eq!(l.mean_bits(), 64.0);
+        assert_eq!(l.max_bits(), 64);
+        let ids: Vec<_> = l.iter().map(|(id, _)| id.index()).collect();
+        assert_eq!(ids, vec![0, 5]);
+    }
+
+    #[test]
+    fn duplicate_detection() {
+        let mut l: Labeling<IntLabel> = Labeling::new();
+        l.set(NodeId::from_index(0), IntLabel(1));
+        l.set(NodeId::from_index(1), IntLabel(2));
+        assert!(l.find_duplicate().is_none());
+        l.set(NodeId::from_index(2), IntLabel(1));
+        let (a, b) = l.find_duplicate().unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "has no label")]
+    fn expect_panics_on_missing() {
+        let l: Labeling<IntLabel> = Labeling::new();
+        l.expect(NodeId::from_index(0));
+    }
+}

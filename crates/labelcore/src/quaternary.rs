@@ -1,0 +1,549 @@
+//! Quaternary QED codes (Li & Ling, CIKM 2005 — \[14\] in the paper) and the
+//! code algebra shared by QED and CDQS.
+//!
+//! A QED code is a sequence over the symbols `1`, `2`, `3`; each symbol is
+//! stored in two bits and the 2-bit pattern `00` (symbol `0`) is reserved
+//! as the **separator**, which is how QED sidesteps the overflow problem:
+//! code length is never stored in a fixed-width field, so no length field
+//! can ever overflow (§4).
+//!
+//! Codes are compared lexicographically with prefix-smaller semantics and
+//! obey one invariant: **every assigned code ends in `2` or `3`**. That is
+//! what guarantees a strictly-between code exists for any two neighbours —
+//! codes ending in `1` would create un-splittable gaps (there is no code
+//! strictly between `x` and `x⧺1`).
+
+use crate::stats::SchemeStats;
+use std::fmt;
+
+/// A quaternary code over `{1,2,3}`, lexicographically ordered
+/// (prefix-smaller).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct QCode {
+    digits: Vec<u8>,
+}
+
+impl QCode {
+    /// The empty code (used as the root's self-code in prefix
+    /// application).
+    pub fn empty() -> Self {
+        QCode::default()
+    }
+
+    /// Build from an ASCII string over `1`/`2`/`3`, e.g. `"212"`.
+    ///
+    /// # Panics
+    /// Panics on other characters.
+    pub fn from_digits(s: &str) -> Self {
+        QCode {
+            digits: s
+                .chars()
+                .map(|c| match c {
+                    '1' => 1,
+                    '2' => 2,
+                    '3' => 3,
+                    _ => panic!("invalid quaternary digit {c:?}"),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of quaternary symbols.
+    pub fn len(&self) -> usize {
+        self.digits.len()
+    }
+
+    /// True for the empty code.
+    pub fn is_empty(&self) -> bool {
+        self.digits.is_empty()
+    }
+
+    /// Storage size in bits under the QED model: two bits per symbol plus
+    /// the two-bit `00` separator that delimits the code in storage.
+    pub fn size_bits(&self) -> u64 {
+        2 * self.digits.len() as u64 + 2
+    }
+
+    /// The code's digits.
+    pub fn digits(&self) -> &[u8] {
+        &self.digits
+    }
+
+    /// Is this a valid *assigned* QED code (non-empty, ends in 2 or 3)?
+    pub fn is_valid_end(&self) -> bool {
+        matches!(self.digits.last(), Some(2 | 3))
+    }
+
+    /// Is `self` a strict prefix of `other`?
+    pub fn is_strict_prefix_of(&self, other: &QCode) -> bool {
+        self.digits.len() < other.digits.len()
+            && other.digits[..self.digits.len()] == self.digits[..]
+    }
+
+    fn push(&mut self, d: u8) {
+        debug_assert!((1..=3).contains(&d));
+        self.digits.push(d);
+    }
+
+    /// The smallest sensible first code.
+    pub fn initial() -> Self {
+        QCode::from_digits("2")
+    }
+
+    /// A code strictly **greater** than `self` with no upper bound
+    /// (insert after the last sibling): trailing `2` becomes `3`;
+    /// trailing `3` gains an appended `2`.
+    pub fn successor(&self) -> QCode {
+        let mut d = self.digits.clone();
+        match d.last().copied() {
+            Some(2) => {
+                *d.last_mut().expect("non-empty") = 3;
+            }
+            Some(3) | None => d.push(2),
+            Some(x) => unreachable!("assigned codes end in 2 or 3, found {x}"),
+        }
+        QCode { digits: d }
+    }
+
+    /// A code strictly **smaller** than `self` with no lower bound
+    /// (insert before the first sibling): trailing `3` becomes `2`;
+    /// trailing `2` becomes `12`.
+    pub fn predecessor(&self) -> QCode {
+        let mut d = self.digits.clone();
+        match d.last().copied() {
+            Some(3) => {
+                *d.last_mut().expect("non-empty") = 2;
+            }
+            Some(2) => {
+                d.pop();
+                d.push(1);
+                d.push(2);
+            }
+            other => unreachable!("assigned codes end in 2 or 3, found {other:?}"),
+        }
+        QCode { digits: d }
+    }
+}
+
+impl fmt::Debug for QCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q\"{self}\"")
+    }
+}
+
+impl fmt::Display for QCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.digits.is_empty() {
+            return f.write_str("ε");
+        }
+        for &d in &self.digits {
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A code strictly between `left` and `right` (`left < right`), ending in
+/// `2` or `3`. This is the pairwise core of QED's
+/// `GetOneThirdAndTwoThirdCode` and of every QED/CDQS insertion; because a
+/// between-code always exists, QED-family schemes never relabel — the
+/// *Persistent Labels* and *Overflow Problem* columns of Figure 7.
+pub fn qbetween(left: &QCode, right: &QCode) -> QCode {
+    debug_assert!(left < right, "qbetween requires left < right");
+    let l = &left.digits;
+    let r = &right.digits;
+    let mut out = QCode::empty();
+    let mut i = 0;
+    loop {
+        let a = l.get(i).copied();
+        let b = r.get(i).copied();
+        match (a, b) {
+            (Some(x), Some(y)) if x == y => {
+                out.push(x);
+                i += 1;
+            }
+            (Some(x), Some(y)) => {
+                debug_assert!(x < y, "left < right implies x < y at first difference");
+                if y - x >= 2 {
+                    // x=1, y=3: the symbol 2 fits strictly between.
+                    out.push(2);
+                    return out;
+                }
+                // y == x+1: keep x, then produce any code whose remainder
+                // exceeds the rest of `left`.
+                out.push(x);
+                return append_greater_than(out, &l[i + 1..]);
+            }
+            (None, Some(y)) => {
+                // `left` is a strict prefix of `right`.
+                match y {
+                    3 => {
+                        out.push(2);
+                        return out;
+                    }
+                    2 => {
+                        out.push(1);
+                        out.push(2);
+                        return out;
+                    }
+                    _ => {
+                        // y == 1: copy it and keep scanning right's suffix.
+                        out.push(1);
+                        i += 1;
+                    }
+                }
+            }
+            // right exhausted first (or both): impossible given left < right.
+            (Some(_), None) | (None, None) => {
+                unreachable!("left < right violated: right exhausted at position {i}")
+            }
+        }
+    }
+}
+
+/// Extend `prefix` into a code strictly greater than `prefix ⧺ rest`,
+/// ending in 2 or 3.
+fn append_greater_than(mut prefix: QCode, rest: &[u8]) -> QCode {
+    if rest.is_empty() {
+        prefix.push(2);
+        return prefix;
+    }
+    // `rest` is the tail of a valid assigned code, so it ends in 2 or 3.
+    match rest.last().copied() {
+        Some(2) => {
+            for &d in &rest[..rest.len() - 1] {
+                prefix.push(d);
+            }
+            prefix.push(3);
+        }
+        Some(3) => {
+            for &d in rest {
+                prefix.push(d);
+            }
+            prefix.push(2);
+        }
+        other => unreachable!("assigned code tail ends in 2 or 3, found {other:?}"),
+    }
+    prefix
+}
+
+/// General insertion interface with open bounds.
+pub fn qinsert(left: Option<&QCode>, right: Option<&QCode>) -> QCode {
+    match (left, right) {
+        (None, None) => QCode::initial(),
+        (Some(l), None) => l.successor(),
+        (None, Some(r)) => r.predecessor(),
+        (Some(l), Some(r)) => qbetween(l, r),
+    }
+}
+
+/// The recursive QED bulk `Labelling` algorithm over `n` siblings, built
+/// on `GetOneThirdAndTwoThirdCode`: codes for the (1/3)rd and (2/3)rd
+/// positions are computed, then the three gaps are filled recursively.
+/// The position arithmetic divides (counted) and the traversal is
+/// recursive (counted) — QED's `N` entries in the *Division Comp.* and
+/// *Recursion Alg.* columns of Figure 7.
+pub fn bulk_qed(n: usize, stats: &mut SchemeStats) -> Vec<QCode> {
+    let mut codes: Vec<Option<QCode>> = vec![None; n];
+    fill_thirds(&mut codes, 0, n, None, None, stats);
+    codes
+        .into_iter()
+        .map(|c| c.expect("every position filled"))
+        .collect()
+}
+
+fn fill_thirds(
+    codes: &mut [Option<QCode>],
+    lo: usize,
+    hi: usize,
+    left: Option<QCode>,
+    right: Option<QCode>,
+    stats: &mut SchemeStats,
+) {
+    let count = hi - lo;
+    if count == 0 {
+        return;
+    }
+    if count == 1 {
+        codes[lo] = Some(qinsert(left.as_ref(), right.as_ref()));
+        return;
+    }
+    stats.recursive_calls += 1;
+    stats.divisions += 2; // the (1/3)rd and (2/3)rd position computations
+    let mut i1 = lo + count / 3;
+    let mut i2 = lo + 2 * count / 3;
+    if i1 == i2 {
+        i2 = i1 + 1;
+    }
+    if i2 >= hi {
+        i2 = hi - 1;
+    }
+    if i1 >= i2 {
+        i1 = i2 - 1;
+    }
+    // GetOneThirdAndTwoThirdCode: two codes with
+    // left < c1 < c2 < right.
+    let c2 = qinsert(left.as_ref(), right.as_ref());
+    let c1 = qinsert(left.as_ref(), Some(&c2));
+    codes[i1] = Some(c1.clone());
+    codes[i2] = Some(c2.clone());
+    fill_thirds(codes, lo, i1, left, Some(c1.clone()), stats);
+    fill_thirds(codes, i1 + 1, i2, Some(c1), Some(c2.clone()), stats);
+    fill_thirds(codes, i2 + 1, hi, Some(c2), right, stats);
+}
+
+/// CDQS-style compact bulk assignment — this is what earns CDQS its `F`
+/// in the *Compact Enc.* column while keeping the QED algebra (and hence
+/// the `F`s in *Persistent*/*Overflow*).
+///
+/// Valid codes (ending in 2/3) of length ≤ L number `3^L − 1`, and a
+/// short code interleaves freely with longer ones under prefix-smaller
+/// lexicographic order. The minimal-size selection of `n` codes is
+/// therefore: **every** valid code of length < L (generated by a
+/// recursive trie walk — CDQS, like QED, is a recursive labelling
+/// algorithm, its `N` in Figure 7's Recursion column) plus `n − (3^(L−1)
+/// − 1)` evenly-spread codes of length exactly L (the spreading divides,
+/// keeping CDQS's `N` in the Division column measurable), merged in
+/// lexicographic order.
+pub fn bulk_cdqs(n: usize, stats: &mut SchemeStats) -> Vec<QCode> {
+    if n == 0 {
+        return Vec::new();
+    }
+    // Smallest L with 3^L − 1 ≥ n.
+    let mut len = 1usize;
+    let mut below: u128 = 0; // codes strictly shorter than `len`: 3^(len-1) − 1
+    let mut total: u128 = 2; // codes of length ≤ len: 3^len − 1
+    while total < n as u128 {
+        len += 1;
+        below = total;
+        total = total * 3 + 2;
+    }
+    let mut shorter = Vec::with_capacity(below as usize);
+    if len > 1 {
+        gen_codes_lex(&mut QCode::empty(), len - 1, &mut shorter, stats);
+        debug_assert_eq!(shorter.len() as u128, below);
+    }
+    let need = n - shorter.len();
+    let cap_l: u128 = 2 * 3u128.pow(len as u32 - 1);
+    let mut extras = Vec::with_capacity(need);
+    for j in 0..need {
+        stats.divisions += 1;
+        let rank = (j as u128 * cap_l) / need as u128;
+        extras.push(code_of_rank(rank, len));
+    }
+    // Merge the two lexicographically sorted runs.
+    let mut out = Vec::with_capacity(n);
+    let (mut i, mut j) = (0, 0);
+    while i < shorter.len() || j < extras.len() {
+        let take_short = match (shorter.get(i), extras.get(j)) {
+            (Some(a), Some(b)) => a < b,
+            (Some(_), None) => true,
+            _ => false,
+        };
+        if take_short {
+            out.push(shorter[i].clone());
+            i += 1;
+        } else {
+            out.push(extras[j].clone());
+            j += 1;
+        }
+    }
+    out
+}
+
+/// Recursively walk the `{1,2,3}` code trie to `depth`, emitting valid
+/// codes (those ending in 2 or 3) in lexicographic (prefix-smaller) order.
+fn gen_codes_lex(prefix: &mut QCode, depth: usize, out: &mut Vec<QCode>, stats: &mut SchemeStats) {
+    stats.recursive_calls += 1;
+    for d in 1..=3u8 {
+        prefix.push(d);
+        if d >= 2 {
+            out.push(prefix.clone());
+        }
+        if depth > 1 {
+            gen_codes_lex(prefix, depth - 1, out, stats);
+        }
+        prefix.digits.pop();
+    }
+}
+
+/// The `rank`-th (0-based) valid code of exactly `len` symbols, in
+/// lexicographic order over codes of that fixed length.
+fn code_of_rank(rank: u128, len: usize) -> QCode {
+    // First len-1 digits range over {1,2,3} (base 3), last digit over
+    // {2,3} (base 2); lexicographic order of the tuple equals ranked
+    // mixed-radix order.
+    let mut digits = vec![0u8; len];
+    let mut r = rank;
+    // last digit
+    let last = (r % 2) as u8 + 2;
+    r /= 2;
+    digits[len - 1] = last;
+    for pos in (0..len - 1).rev() {
+        digits[pos] = (r % 3) as u8 + 1;
+        r /= 3;
+    }
+    debug_assert_eq!(r, 0, "rank within capacity");
+    QCode { digits }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(s: &str) -> QCode {
+        QCode::from_digits(s)
+    }
+
+    #[test]
+    fn lexicographic_prefix_smaller_order() {
+        assert!(q("1") < q("2"));
+        assert!(q("2") < q("22"));
+        assert!(q("12") < q("2"));
+        assert!(q("22") < q("3"));
+        assert!(QCode::empty() < q("1"));
+    }
+
+    #[test]
+    fn successor_rules() {
+        assert_eq!(q("2").successor(), q("3"));
+        assert_eq!(q("3").successor(), q("32"));
+        assert_eq!(q("12").successor(), q("13"));
+        assert_eq!(q("223").successor(), q("2232"));
+    }
+
+    #[test]
+    fn predecessor_rules() {
+        assert_eq!(q("3").predecessor(), q("2"));
+        assert_eq!(q("2").predecessor(), q("12"));
+        assert_eq!(q("12").predecessor(), q("112"));
+        assert_eq!(q("23").predecessor(), q("22"));
+    }
+
+    #[test]
+    fn qbetween_cases() {
+        let cases = [
+            ("2", "3"),
+            ("2", "22"),
+            ("12", "2"),
+            ("2", "212"),
+            ("112", "12"),
+            ("13", "2"),
+            ("222", "223"),
+            ("2", "3333"),
+            ("1112", "1113"),
+        ];
+        for (l, r) in cases {
+            let (l, r) = (q(l), q(r));
+            let m = qbetween(&l, &r);
+            assert!(l < m, "{l} < {m}");
+            assert!(m < r, "{m} < {r}");
+            assert!(m.is_valid_end(), "{m} ends in 2/3");
+        }
+    }
+
+    #[test]
+    fn infinite_insertions_between_two_codes_never_fail() {
+        // The headline QED claim (§4): an infinite number of codes can be
+        // inserted between any two consecutive labels, so no relabelling
+        // is ever needed. Drive 200 repeated left-skewed insertions.
+        let mut lo = q("2");
+        let hi = q("3");
+        for _ in 0..200 {
+            let mid = qbetween(&lo, &hi);
+            assert!(lo < mid && mid < hi);
+            lo = mid;
+        }
+        // and 200 right-skewed
+        let lo2 = q("2");
+        let mut hi2 = q("3");
+        for _ in 0..200 {
+            let mid = qbetween(&lo2, &hi2);
+            assert!(lo2 < mid && mid < hi2);
+            hi2 = mid;
+        }
+    }
+
+    #[test]
+    fn separator_freedom() {
+        // Symbol 0 never appears: digits stay in 1..=3, so the 2-bit `00`
+        // separator can never occur inside a stored code.
+        let mut stats = SchemeStats::default();
+        for c in bulk_qed(50, &mut stats) {
+            assert!(c.digits().iter().all(|&d| (1..=3).contains(&d)));
+        }
+    }
+
+    #[test]
+    fn bulk_qed_sorted_unique_valid() {
+        let mut stats = SchemeStats::default();
+        for n in 0..60 {
+            let codes = bulk_qed(n, &mut stats);
+            assert_eq!(codes.len(), n);
+            for w in codes.windows(2) {
+                assert!(w[0] < w[1], "sorted: {} < {}", w[0], w[1]);
+            }
+            for c in &codes {
+                assert!(c.is_valid_end(), "{c}");
+            }
+        }
+        assert!(stats.divisions > 0);
+        assert!(stats.recursive_calls > 0);
+    }
+
+    #[test]
+    fn bulk_cdqs_sorted_unique_valid_and_compact() {
+        let mut stats = SchemeStats::default();
+        for n in [0usize, 1, 2, 3, 5, 10, 100, 1000] {
+            let codes = bulk_cdqs(n, &mut stats);
+            assert_eq!(codes.len(), n);
+            for w in codes.windows(2) {
+                assert!(w[0] < w[1], "sorted: {} < {}", w[0], w[1]);
+            }
+            for c in &codes {
+                assert!(c.is_valid_end());
+            }
+            if n > 0 {
+                // Compactness: no code exceeds the minimal feasible
+                // maximum length L (3^L − 1 ≥ n).
+                let max_len = {
+                    let mut len = 1usize;
+                    let mut total: u128 = 2;
+                    while total < n as u128 {
+                        len += 1;
+                        total = total * 3 + 2;
+                    }
+                    len
+                };
+                assert!(codes.iter().all(|c| c.len() <= max_len), "n={n}");
+                assert!(codes.iter().any(|c| c.len() == max_len), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn cdqs_is_more_compact_than_qed_bulk_at_scale() {
+        // The CDQS compactness advantage (VLDB Journal 2008) shows at
+        // realistic fanouts; tiny sibling lists can go either way.
+        let mut s1 = SchemeStats::default();
+        let mut s2 = SchemeStats::default();
+        for n in [100usize, 1000, 10000] {
+            let qed: u64 = bulk_qed(n, &mut s1).iter().map(|c| c.size_bits()).sum();
+            let cdqs: u64 = bulk_cdqs(n, &mut s2).iter().map(|c| c.size_bits()).sum();
+            assert!(cdqs <= qed, "n={n}: cdqs {cdqs} bits vs qed {qed} bits");
+        }
+    }
+
+    #[test]
+    fn size_bits_includes_separator() {
+        assert_eq!(q("2").size_bits(), 4);
+        assert_eq!(q("123").size_bits(), 8);
+    }
+
+    #[test]
+    fn qinsert_open_bounds() {
+        assert_eq!(qinsert(None, None), q("2"));
+        assert_eq!(qinsert(Some(&q("2")), None), q("3"));
+        assert_eq!(qinsert(None, Some(&q("2"))), q("12"));
+    }
+}

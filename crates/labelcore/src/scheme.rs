@@ -1,0 +1,288 @@
+//! The [`LabelingScheme`] trait — the contract every surveyed scheme
+//! implements, and the contract the framework's empirical checkers drive.
+
+use crate::label::{Label, Labeling};
+use crate::properties::SchemeDescriptor;
+use crate::stats::SchemeStats;
+use std::cmp::Ordering;
+use xupd_xmldom::{NodeId, XmlTree};
+
+/// What happened to existing labels when a node was inserted.
+#[derive(Debug, Clone, Default)]
+pub struct InsertReport {
+    /// Existing nodes whose labels had to change to accommodate the
+    /// insertion. Empty for persistent schemes.
+    pub relabeled: Vec<NodeId>,
+    /// True when the scheme hit an encoding-exhaustion event (§4 overflow)
+    /// while processing this insertion and had to fall back to
+    /// relabelling.
+    pub overflowed: bool,
+}
+
+impl InsertReport {
+    /// An insertion that touched nothing but the new node.
+    pub fn clean() -> Self {
+        InsertReport::default()
+    }
+}
+
+/// Structural relations evaluable from a pair of labels (the *XPath
+/// Evaluations* property distinguishes ancestor-descendant, parent-child
+/// and sibling support).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relation {
+    /// First label's node is an ancestor of the second's.
+    AncestorDescendant,
+    /// First label's node is the parent of the second's.
+    ParentChild,
+    /// The two labels' nodes share a parent.
+    Sibling,
+}
+
+/// A dynamic labelling scheme for XML (Definition 1 + the update behaviour
+/// of §3).
+///
+/// # Protocol
+///
+/// * [`label_tree`](LabelingScheme::label_tree) assigns labels to every
+///   live node of a tree in one call (initial bulk labelling).
+/// * On a structural **insert**, the driver first attaches the new node to
+///   the [`XmlTree`], then calls
+///   [`on_insert`](LabelingScheme::on_insert); the scheme reads the node's
+///   parent/sibling labels from the labelling, stores a label for the new
+///   node, and reports any relabels it was forced to perform.
+/// * On a structural **delete**, the driver calls
+///   [`on_delete`](LabelingScheme::on_delete) *before* detaching, so the
+///   scheme can observe the node's position; the scheme removes labels of
+///   the whole doomed subtree.
+/// * Relation queries ([`cmp_doc`](LabelingScheme::cmp_doc),
+///   [`relation`](LabelingScheme::relation),
+///   [`level`](LabelingScheme::level)) must answer from label values
+///   alone — no tree access — because that is precisely what the paper's
+///   *XPath Evaluations* and *Level Encoding* properties measure.
+///
+/// Implementations keep instrumentation in a [`SchemeStats`] block
+/// (divisions, recursive passes, relabels, overflows) which the framework
+/// checkers read.
+pub trait LabelingScheme {
+    /// The scheme's label type.
+    type Label: Label;
+
+    /// Scheme name as in Figure 7.
+    fn name(&self) -> &'static str;
+
+    /// Static self-description including the declared Figure 7 row.
+    fn descriptor(&self) -> SchemeDescriptor;
+
+    /// Bulk-label every live node of `tree` (including the document root).
+    fn label_tree(&mut self, tree: &XmlTree) -> Labeling<Self::Label>;
+
+    /// Assign a label to `node`, which has just been attached to `tree`.
+    /// Every other live node already has a label in `labeling`.
+    fn on_insert(
+        &mut self,
+        tree: &XmlTree,
+        labeling: &mut Labeling<Self::Label>,
+        node: NodeId,
+    ) -> InsertReport;
+
+    /// Remove labels for `node` and its entire subtree, which is about to
+    /// be deleted from `tree` (still attached when called).
+    fn on_delete(&mut self, tree: &XmlTree, labeling: &mut Labeling<Self::Label>, node: NodeId) {
+        let doomed: Vec<NodeId> = tree.preorder_from(node).collect();
+        for d in doomed {
+            labeling.remove(d);
+        }
+    }
+
+    /// Document-order comparison from labels alone.
+    fn cmp_doc(&self, a: &Self::Label, b: &Self::Label) -> Ordering;
+
+    /// Decide `rel(a, b)` from labels alone; `None` when the scheme cannot
+    /// answer that relation from labels.
+    fn relation(&self, rel: Relation, a: &Self::Label, b: &Self::Label) -> Option<bool>;
+
+    /// The node's nesting depth from its label alone (`None` when the
+    /// scheme does not encode level). Depth is counted as in
+    /// [`XmlTree::depth`]: document root = 0.
+    fn level(&self, a: &Self::Label) -> Option<u32>;
+
+    /// Instrumentation counters accumulated so far.
+    fn stats(&self) -> &SchemeStats;
+
+    /// Reset instrumentation counters.
+    fn reset_stats(&mut self);
+
+    /// A variant of this scheme with its encoding budget tightened so
+    /// that asymptotic overflow (§4) becomes reachable within a test-size
+    /// workload — e.g. ORDPATH's compressed-encoding magnitude table
+    /// shrunk, or ImprovedBinary's length field narrowed. `None` (the
+    /// default) means either the scheme's standard budget is already
+    /// reachable (DLN, CDBS, XRel gaps, QRS mantissa) or no finite budget
+    /// exists at all (QED, CDQS — the overflow-free schemes).
+    fn overflow_audit_instance(&self) -> Option<Self>
+    where
+        Self: Sized,
+    {
+        None
+    }
+}
+
+/// Visitor over the full scheme roster — the framework, benches and tests
+/// use this to run generic code against every scheme without erasing the
+/// heterogeneous label types.
+///
+/// Implemented by callers; `xupd-schemes` provides `visit_all_schemes`.
+pub trait SchemeVisitor {
+    /// Called once per scheme with a fresh instance.
+    fn visit<S: LabelingScheme>(&mut self, scheme: S);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::{Compliance, EncodingRep, OrderKind};
+
+    /// A minimal global-order scheme used to validate the trait protocol:
+    /// labels are f64 positions, midpoint insertion (so: divisions and
+    /// eventual precision exhaustion — handy to test the stats plumbing).
+    #[derive(Debug, Clone, PartialEq)]
+    struct Pos(f64);
+
+    impl Eq for Pos {}
+    #[allow(clippy::derive_ord_xor_partial_ord)]
+    impl Ord for Pos {
+        fn cmp(&self, other: &Self) -> Ordering {
+            self.0.partial_cmp(&other.0).expect("finite")
+        }
+    }
+    impl PartialOrd for Pos {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Label for Pos {
+        fn size_bits(&self) -> u64 {
+            64
+        }
+        fn display(&self) -> String {
+            format!("{}", self.0)
+        }
+    }
+
+    #[derive(Default)]
+    struct Midpoint {
+        stats: SchemeStats,
+    }
+
+    impl LabelingScheme for Midpoint {
+        type Label = Pos;
+
+        fn name(&self) -> &'static str {
+            "Midpoint(test)"
+        }
+
+        fn descriptor(&self) -> SchemeDescriptor {
+            SchemeDescriptor {
+                name: "Midpoint(test)",
+                citation: "[test]",
+                order: OrderKind::Global,
+                encoding: EncodingRep::Fixed,
+                declared: [Compliance::None; 8],
+                in_figure7: false,
+            }
+        }
+
+        fn label_tree(&mut self, tree: &XmlTree) -> Labeling<Pos> {
+            let mut l = Labeling::with_capacity_for(tree);
+            for (i, id) in tree.preorder().enumerate() {
+                l.set(id, Pos(i as f64));
+            }
+            l
+        }
+
+        fn on_insert(
+            &mut self,
+            tree: &XmlTree,
+            labeling: &mut Labeling<Pos>,
+            node: NodeId,
+        ) -> InsertReport {
+            // Position strictly between document-order neighbours.
+            let order = tree.ids_in_doc_order();
+            let idx = order.iter().position(|&n| n == node).expect("attached");
+            let before = if idx == 0 {
+                None
+            } else {
+                Some(labeling.expect(order[idx - 1]).0)
+            };
+            let after = order.get(idx + 1).map(|&n| labeling.expect(n).0);
+            self.stats.divisions += 1;
+            let pos = match (before, after) {
+                (Some(b), Some(a)) => (b + a) / 2.0,
+                (Some(b), None) => b + 1.0,
+                (None, Some(a)) => a - 1.0,
+                (None, None) => 0.0,
+            };
+            labeling.set(node, Pos(pos));
+            InsertReport::clean()
+        }
+
+        fn cmp_doc(&self, a: &Pos, b: &Pos) -> Ordering {
+            a.cmp(b)
+        }
+
+        fn relation(&self, _rel: Relation, _a: &Pos, _b: &Pos) -> Option<bool> {
+            None
+        }
+
+        fn level(&self, _a: &Pos) -> Option<u32> {
+            None
+        }
+
+        fn stats(&self) -> &SchemeStats {
+            &self.stats
+        }
+
+        fn reset_stats(&mut self) {
+            self.stats.reset();
+        }
+    }
+
+    #[test]
+    fn protocol_round_trip() {
+        use xupd_xmldom::NodeKind;
+        let mut tree = XmlTree::new();
+        let r = tree.root();
+        let a = tree.create(NodeKind::element("a"));
+        tree.append_child(r, a).unwrap();
+        let b = tree.create(NodeKind::element("b"));
+        tree.append_child(a, b).unwrap();
+
+        let mut scheme = Midpoint::default();
+        let mut labeling = scheme.label_tree(&tree);
+        assert_eq!(labeling.len(), 3);
+
+        // insert between a and b in document order (as first child of a)
+        let c = tree.create(NodeKind::element("c"));
+        tree.prepend_child(a, c).unwrap();
+        let report = scheme.on_insert(&tree, &mut labeling, c);
+        assert!(report.relabeled.is_empty());
+        assert_eq!(scheme.stats().divisions, 1);
+
+        // labels sort in document order
+        let order = tree.ids_in_doc_order();
+        for w in order.windows(2) {
+            assert_eq!(
+                scheme.cmp_doc(labeling.expect(w[0]), labeling.expect(w[1])),
+                Ordering::Less
+            );
+        }
+
+        // delete subtree removes labels
+        scheme.on_delete(&tree, &mut labeling, a);
+        tree.remove_subtree(a).unwrap();
+        assert_eq!(labeling.len(), 1);
+        scheme.reset_stats();
+        assert_eq!(scheme.stats().divisions, 0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Instrumentation counters read by the framework's empirical property
+//! checkers.
+//!
+//! The *Division Computation* and *Recursive Labelling Algorithm*
+//! properties of §5.1 are about what a scheme's algorithms *do*, not what
+//! their output looks like — so scheme implementations count those
+//! operations here, and the checkers read the counters after driving a
+//! workload.
+
+/// Counters accumulated by a [`crate::LabelingScheme`] implementation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SchemeStats {
+    /// Integer or floating-point division operations performed while
+    /// assigning labels (bulk or update). The paper's *Division
+    /// Computation* property is Full iff this stays zero.
+    pub divisions: u64,
+    /// Number of recursive labelling passes taken during bulk labelling.
+    /// Zero for single-pass (streaming) schemes; the *Recursive Labelling
+    /// Algorithm* property is Full iff this stays zero.
+    pub recursive_calls: u64,
+    /// Existing nodes whose label an update forced to change. The
+    /// *Persistent Labels* property is Full iff this stays zero across all
+    /// workloads.
+    pub relabeled_nodes: u64,
+    /// Overflow events: moments where the scheme's encoding was exhausted
+    /// (gap consumed, fixed width exceeded, float precision exhausted,
+    /// length-field saturated) and a relabelling pass was required. The
+    /// *Overflow Problem* property is Full (not subject) iff this stays
+    /// zero under every update scenario.
+    pub overflow_events: u64,
+    /// Total label storage emitted, in bits, across all labels currently
+    /// assigned. Maintained incrementally where cheap; checkers that need
+    /// exact figures recompute from the labelling.
+    pub label_bits: u64,
+}
+
+impl SchemeStats {
+    /// Reset all counters to zero.
+    pub fn reset(&mut self) {
+        *self = SchemeStats::default();
+    }
+
+    /// Merge another stats block into this one (used when a checker runs
+    /// several workloads against fresh scheme instances).
+    pub fn absorb(&mut self, other: &SchemeStats) {
+        self.divisions += other.divisions;
+        self.recursive_calls += other.recursive_calls;
+        self.relabeled_nodes += other.relabeled_nodes;
+        self.overflow_events += other.overflow_events;
+        self.label_bits += other.label_bits;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut s = SchemeStats {
+            divisions: 1,
+            recursive_calls: 2,
+            relabeled_nodes: 3,
+            overflow_events: 4,
+            label_bits: 5,
+        };
+        s.reset();
+        assert_eq!(s, SchemeStats::default());
+    }
+
+    #[test]
+    fn absorb_sums_fields() {
+        let mut a = SchemeStats {
+            divisions: 1,
+            ..Default::default()
+        };
+        let b = SchemeStats {
+            divisions: 2,
+            overflow_events: 7,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.divisions, 3);
+        assert_eq!(a.overflow_events, 7);
+    }
+}

@@ -1,0 +1,9 @@
+//! Containment (interval / region) labelling schemes (§3.1.1 of the
+//! paper): labels record begin/end traversal positions; `u` is an
+//! ancestor of `v` iff `u`'s interval contains `v`'s (Dietz's pre/post
+//! observation, \[6\]).
+
+pub mod accel;
+pub mod qrs;
+pub mod sector;
+pub mod xrel;

@@ -1,0 +1,273 @@
+//! QRS (Amagasa, Yoshikawa & Uemura, ICDE 2003 — \[2\] in the paper).
+//!
+//! "The use of real (floating point) numbers for label identifiers
+//! instead of integers to facilitate an arbitrary number of insertions
+//! between two labels. However, computers represent floating point
+//! numbers with a fixed number of bits and thus in practice the solution
+//! is similar to an integer representation with sparse allocation and
+//! consequently suffers from the same limitations" (§3.1.1).
+//!
+//! Labels are `(begin, end)` pairs of `f64`; insertion takes the midpoint
+//! of the free range, computed as `(a + b) * 0.5` — a multiplication, so
+//! the scheme keeps its Figure 7 `F` in *Division Comp.* — and the f64
+//! mantissa exhausts after ~50 halvings at one spot, at which point the
+//! document is renumbered: the paper's point, reproduced measurably.
+
+use std::cmp::Ordering;
+use xupd_labelcore::{
+    EncodingRep, InsertReport, Label, Labeling, LabelingScheme, OrderKind, Relation,
+    SchemeDescriptor, SchemeStats,
+};
+use xupd_xmldom::{NodeId, XmlTree};
+
+/// A floating-point interval label.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FloatLabel {
+    /// Interval begin.
+    pub begin: f64,
+    /// Interval end.
+    pub end: f64,
+}
+
+impl Eq for FloatLabel {}
+
+impl PartialOrd for FloatLabel {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for FloatLabel {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.begin
+            .partial_cmp(&other.begin)
+            .expect("labels are finite")
+            .then(other.end.partial_cmp(&self.end).expect("labels are finite"))
+    }
+}
+
+impl Label for FloatLabel {
+    fn size_bits(&self) -> u64 {
+        128
+    }
+
+    fn display(&self) -> String {
+        format!("({},{})", self.begin, self.end)
+    }
+}
+
+/// The QRS labelling scheme.
+#[derive(Debug, Clone, Default)]
+pub struct Qrs {
+    stats: SchemeStats,
+}
+
+impl Qrs {
+    /// A fresh QRS scheme.
+    pub fn new() -> Self {
+        Qrs::default()
+    }
+
+    fn compute(tree: &XmlTree) -> Labeling<FloatLabel> {
+        // Integer-valued floats from a single depth-first pass, with unit
+        // spacing (the fractional space between integers is the insertion
+        // head-room).
+        let mut labeling = Labeling::with_capacity_for(tree);
+        let mut cursor = 0.0f64;
+        Self::walk(tree, tree.root(), &mut cursor, &mut labeling);
+        labeling
+    }
+
+    fn walk(tree: &XmlTree, node: NodeId, cursor: &mut f64, labeling: &mut Labeling<FloatLabel>) {
+        let begin = *cursor;
+        *cursor += 1.0;
+        for child in tree.children(node) {
+            Self::walk(tree, child, cursor, labeling);
+        }
+        *cursor += 1.0;
+        labeling.set(
+            node,
+            FloatLabel {
+                begin,
+                end: *cursor,
+            },
+        );
+    }
+}
+
+impl LabelingScheme for Qrs {
+    type Label = FloatLabel;
+
+    fn name(&self) -> &'static str {
+        "QRS"
+    }
+
+    fn descriptor(&self) -> SchemeDescriptor {
+        SchemeDescriptor {
+            name: "QRS",
+            citation: "[2]",
+            order: OrderKind::Global,
+            encoding: EncodingRep::Fixed,
+            // Figure 7 row: Global Fixed N P N N N P F F
+            declared: SchemeDescriptor::declared_from_letters("NPNNNPFF"),
+            in_figure7: true,
+        }
+    }
+
+    fn label_tree(&mut self, tree: &XmlTree) -> Labeling<FloatLabel> {
+        Self::compute(tree)
+    }
+
+    fn on_insert(
+        &mut self,
+        tree: &XmlTree,
+        labeling: &mut Labeling<FloatLabel>,
+        node: NodeId,
+    ) -> InsertReport {
+        let parent = tree.parent(node).expect("attached");
+        // unlabelled neighbours belong to the same graft batch: absent
+        let lo = match tree.prev_sibling(node).and_then(|s| labeling.get(s)) {
+            Some(l) => l.end,
+            None => labeling.expect(parent).begin,
+        };
+        let hi = match tree.next_sibling(node).and_then(|s| labeling.get(s)) {
+            Some(l) => l.begin,
+            None => labeling.expect(parent).end,
+        };
+        // Split the free range into thirds by multiplication, giving the
+        // new node the middle third.
+        let third = (hi - lo) * (1.0 / 3.0);
+        let begin = lo + third;
+        let end = hi - third;
+        // f64 precision exhausted: the midpoint collides with a bound.
+        if !(begin > lo && end < hi && begin < end) {
+            self.stats.overflow_events += 1;
+            let fresh = Self::compute(tree);
+            let mut relabeled = Vec::new();
+            for (id, new_label) in fresh.iter() {
+                let changed = labeling.get(id).is_some_and(|old| old != new_label);
+                if changed && id != node {
+                    relabeled.push(id);
+                    self.stats.relabeled_nodes += 1;
+                }
+                labeling.set(id, *new_label);
+            }
+            return InsertReport {
+                relabeled,
+                overflowed: true,
+            };
+        }
+        labeling.set(node, FloatLabel { begin, end });
+        InsertReport::clean()
+    }
+
+    fn cmp_doc(&self, a: &FloatLabel, b: &FloatLabel) -> Ordering {
+        a.cmp(b)
+    }
+
+    fn relation(&self, rel: Relation, a: &FloatLabel, b: &FloatLabel) -> Option<bool> {
+        match rel {
+            Relation::AncestorDescendant => Some(a.begin < b.begin && b.end < a.end),
+            // No level in the label: parent-child undecidable.
+            Relation::ParentChild => None,
+            Relation::Sibling => None,
+        }
+    }
+
+    fn level(&self, _a: &FloatLabel) -> Option<u32> {
+        None
+    }
+
+    fn stats(&self) -> &SchemeStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xupd_xmldom::sample::figure1_document;
+    use xupd_xmldom::NodeKind;
+
+    #[test]
+    fn intervals_nest_and_order() {
+        let tree = figure1_document();
+        let mut scheme = Qrs::new();
+        let labeling = scheme.label_tree(&tree);
+        let all = tree.ids_in_doc_order();
+        for w in all.windows(2) {
+            assert_eq!(
+                scheme.cmp_doc(labeling.expect(w[0]), labeling.expect(w[1])),
+                Ordering::Less
+            );
+        }
+        for &u in &all {
+            for &v in &all {
+                if u == v {
+                    continue;
+                }
+                assert_eq!(
+                    scheme.relation(
+                        Relation::AncestorDescendant,
+                        labeling.expect(u),
+                        labeling.expect(v)
+                    ),
+                    Some(tree.is_ancestor(u, v))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn a_few_insertions_fit_in_fractional_space() {
+        let mut tree = figure1_document();
+        let mut scheme = Qrs::new();
+        let mut labeling = scheme.label_tree(&tree);
+        let book = tree.document_element().unwrap();
+        let first = tree.first_child(book).unwrap();
+        for _ in 0..10 {
+            let x = tree.create(NodeKind::element("x"));
+            tree.insert_before(first, x).unwrap();
+            let rep = scheme.on_insert(&tree, &mut labeling, x);
+            assert!(!rep.overflowed, "ten thirds fit comfortably in f64");
+        }
+        assert_eq!(scheme.stats().overflow_events, 0);
+    }
+
+    #[test]
+    fn float_precision_exhausts_under_skewed_insertion() {
+        // Each skewed insert shrinks the free range to a third: the f64
+        // mantissa (52 bits) exhausts after ~110 such insertions — "in
+        // practice the solution is similar to an integer representation
+        // with sparse allocation" (§3.1.1).
+        let mut tree = figure1_document();
+        let mut scheme = Qrs::new();
+        let mut labeling = scheme.label_tree(&tree);
+        let book = tree.document_element().unwrap();
+        let first = tree.first_child(book).unwrap();
+        let mut overflowed_at = None;
+        for i in 0..500 {
+            let x = tree.create(NodeKind::element("x"));
+            tree.insert_before(first, x).unwrap();
+            let rep = scheme.on_insert(&tree, &mut labeling, x);
+            if rep.overflowed {
+                overflowed_at = Some(i);
+                break;
+            }
+        }
+        let at = overflowed_at.expect("f64 precision must exhaust");
+        assert!(at > 20 && at < 200, "exhaustion after ~dozens, got {at}");
+        // renumbering restored order
+        let order = tree.ids_in_doc_order();
+        for w in order.windows(2) {
+            assert_eq!(
+                scheme.cmp_doc(labeling.expect(w[0]), labeling.expect(w[1])),
+                Ordering::Less
+            );
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Sector labelling (Thonangi, COMAD 2006 — \[23\] in the paper).
+//!
+//! "A hybrid ordering approach … whereby sectors are used instead of
+//! intervals and mathematical formulae are presented to determine
+//! ancestor-descendant and document-order relationships" (§3.1.1). Each
+//! node owns an angular sector nested inside its parent's sector; a
+//! child's sector is carved out of the parent's by successive halving
+//! (bit shifts — no division on label values), and an insertion claims
+//! half of the free arc between its neighbours. When an arc can no longer
+//! be halved (width < 4) the subtree's sectors are reallocated — the
+//! partial compactness and overflow susceptibility of the Figure 7 row.
+
+use std::cmp::Ordering;
+use xupd_labelcore::{
+    EncodingRep, InsertReport, Label, Labeling, LabelingScheme, OrderKind, Relation,
+    SchemeDescriptor, SchemeStats,
+};
+use xupd_xmldom::{NodeId, XmlTree};
+
+/// A sector label: the half-open arc `[lo, hi)` owned by the node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SectorLabel {
+    /// Arc start.
+    pub lo: u64,
+    /// Arc end (exclusive).
+    pub hi: u64,
+}
+
+impl Label for SectorLabel {
+    fn size_bits(&self) -> u64 {
+        128
+    }
+
+    fn display(&self) -> String {
+        format!("⟨{},{}⟩", self.lo, self.hi)
+    }
+}
+
+/// Full circle: the root's arc.
+const FULL: u64 = 1 << 62;
+
+/// The Sector labelling scheme.
+#[derive(Debug, Clone, Default)]
+pub struct Sector {
+    stats: SchemeStats,
+}
+
+impl Sector {
+    /// A fresh Sector scheme.
+    pub fn new() -> Self {
+        Sector::default()
+    }
+
+    /// Recursively allocate sectors for the children of `node` inside
+    /// `(lo, hi)`. Children split the parent arc into equal power-of-two
+    /// shares (shift arithmetic only), each keeping interior slack for
+    /// later insertions.
+    fn allocate(
+        &mut self,
+        tree: &XmlTree,
+        node: NodeId,
+        lo: u64,
+        hi: u64,
+        labeling: &mut Labeling<SectorLabel>,
+    ) {
+        self.stats.recursive_calls += 1;
+        labeling.set(node, SectorLabel { lo, hi });
+        let n = tree.child_count(node) as u64;
+        if n == 0 {
+            return;
+        }
+        // share = floor((hi-lo-2) / 2^k) via shifts, 2^k >= n
+        let usable = (hi - lo).saturating_sub(2);
+        let mut k = 0u32;
+        while (1u64 << k) < n {
+            k += 1;
+        }
+        let share = usable >> k;
+        let mut cursor = lo + 1;
+        for child in tree.children(node).collect::<Vec<_>>() {
+            let child_hi = (cursor + share.max(4)).min(hi - 1);
+            self.allocate(tree, child, cursor, child_hi, labeling);
+            cursor = child_hi;
+        }
+    }
+
+    fn reallocate_children(
+        &mut self,
+        tree: &XmlTree,
+        parent: NodeId,
+        labeling: &mut Labeling<SectorLabel>,
+        inserted: NodeId,
+    ) -> InsertReport {
+        self.stats.overflow_events += 1;
+        let parent_label = *labeling.expect(parent);
+        let before: Vec<(NodeId, Option<SectorLabel>)> = tree
+            .preorder_from(parent)
+            .map(|id| (id, labeling.get(id).copied()))
+            .collect();
+        self.allocate(tree, parent, parent_label.lo, parent_label.hi, labeling);
+        let mut relabeled = Vec::new();
+        for (id, old) in before {
+            if id == inserted || id == parent {
+                continue;
+            }
+            if old.as_ref() != labeling.get(id) {
+                relabeled.push(id);
+                self.stats.relabeled_nodes += 1;
+            }
+        }
+        InsertReport {
+            relabeled,
+            overflowed: true,
+        }
+    }
+}
+
+impl LabelingScheme for Sector {
+    type Label = SectorLabel;
+
+    fn name(&self) -> &'static str {
+        "Sector"
+    }
+
+    fn descriptor(&self) -> SchemeDescriptor {
+        SchemeDescriptor {
+            name: "Sector",
+            citation: "[23]",
+            order: OrderKind::Hybrid,
+            encoding: EncodingRep::Fixed,
+            // Figure 7 row: Hybrid Fixed N P N N N P F N
+            declared: SchemeDescriptor::declared_from_letters("NPNNNPFN"),
+            in_figure7: true,
+        }
+    }
+
+    fn label_tree(&mut self, tree: &XmlTree) -> Labeling<SectorLabel> {
+        let mut labeling = Labeling::with_capacity_for(tree);
+        self.allocate(tree, tree.root(), 0, FULL, &mut labeling);
+        labeling
+    }
+
+    fn on_insert(
+        &mut self,
+        tree: &XmlTree,
+        labeling: &mut Labeling<SectorLabel>,
+        node: NodeId,
+    ) -> InsertReport {
+        let parent = tree.parent(node).expect("attached");
+        let plabel = *labeling.expect(parent);
+        // unlabelled neighbours belong to the same graft batch: absent
+        let lo = match tree.prev_sibling(node).and_then(|s| labeling.get(s)) {
+            Some(l) => l.hi,
+            None => plabel.lo + 1,
+        };
+        let hi = match tree.next_sibling(node).and_then(|s| labeling.get(s)) {
+            Some(l) => l.lo,
+            None => plabel.hi - 1,
+        };
+        if hi > lo && hi - lo >= 4 {
+            // Claim the middle half of the free arc (shift arithmetic
+            // only), leaving slack on both sides for later insertions.
+            let q = (hi - lo) >> 2;
+            labeling.set(
+                node,
+                SectorLabel {
+                    lo: lo + q,
+                    hi: hi - q,
+                },
+            );
+            InsertReport::clean()
+        } else {
+            self.reallocate_children(tree, parent, labeling, node)
+        }
+    }
+
+    fn cmp_doc(&self, a: &SectorLabel, b: &SectorLabel) -> Ordering {
+        a.lo.cmp(&b.lo).then(b.hi.cmp(&a.hi))
+    }
+
+    fn relation(&self, rel: Relation, a: &SectorLabel, b: &SectorLabel) -> Option<bool> {
+        match rel {
+            Relation::AncestorDescendant => Some(a.lo <= b.lo && b.hi <= a.hi && *a != *b),
+            // No level information: parent-child undecidable (Level Enc. =
+            // N in Figure 7, hence XPath Eval. = P).
+            Relation::ParentChild => None,
+            Relation::Sibling => None,
+        }
+    }
+
+    fn level(&self, _a: &SectorLabel) -> Option<u32> {
+        None
+    }
+
+    fn stats(&self) -> &SchemeStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xupd_xmldom::sample::figure1_document;
+    use xupd_xmldom::NodeKind;
+
+    #[test]
+    fn sectors_nest_and_order() {
+        let tree = figure1_document();
+        let mut scheme = Sector::new();
+        let labeling = scheme.label_tree(&tree);
+        let all = tree.ids_in_doc_order();
+        for w in all.windows(2) {
+            assert_eq!(
+                scheme.cmp_doc(labeling.expect(w[0]), labeling.expect(w[1])),
+                Ordering::Less,
+                "{} vs {}",
+                labeling.expect(w[0]).display(),
+                labeling.expect(w[1]).display()
+            );
+        }
+        for &u in &all {
+            for &v in &all {
+                if u == v {
+                    continue;
+                }
+                assert_eq!(
+                    scheme.relation(
+                        Relation::AncestorDescendant,
+                        labeling.expect(u),
+                        labeling.expect(v)
+                    ),
+                    Some(tree.is_ancestor(u, v))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn insertion_claims_free_arc_without_relabelling() {
+        let mut tree = figure1_document();
+        let mut scheme = Sector::new();
+        let mut labeling = scheme.label_tree(&tree);
+        let book = tree.document_element().unwrap();
+        let x = tree.create(NodeKind::element("x"));
+        tree.append_child(book, x).unwrap();
+        let rep = scheme.on_insert(&tree, &mut labeling, x);
+        assert!(rep.relabeled.is_empty());
+        assert!(!rep.overflowed);
+    }
+
+    #[test]
+    fn exhausted_arc_reallocates_subtree() {
+        let mut tree = figure1_document();
+        let mut scheme = Sector::new();
+        let mut labeling = scheme.label_tree(&tree);
+        let book = tree.document_element().unwrap();
+        let first = tree.first_child(book).unwrap();
+        // Skewed prepend storm: the free arc before the first child
+        // shrinks below the minimum and forces a reallocation.
+        let mut overflowed = false;
+        for _ in 0..200 {
+            let x = tree.create(NodeKind::element("x"));
+            tree.insert_before(first, x).unwrap();
+            let rep = scheme.on_insert(&tree, &mut labeling, x);
+            if rep.overflowed {
+                overflowed = true;
+                break;
+            }
+        }
+        assert!(overflowed, "finite arcs must exhaust under skew");
+        let order = tree.ids_in_doc_order();
+        for w in order.windows(2) {
+            assert_eq!(
+                scheme.cmp_doc(labeling.expect(w[0]), labeling.expect(w[1])),
+                Ordering::Less
+            );
+        }
+    }
+
+    #[test]
+    fn level_and_parenthood_unsupported() {
+        let tree = figure1_document();
+        let mut scheme = Sector::new();
+        let labeling = scheme.label_tree(&tree);
+        let book = tree.document_element().unwrap();
+        let first = tree.first_child(book).unwrap();
+        assert_eq!(scheme.level(labeling.expect(book)), None);
+        assert_eq!(
+            scheme.relation(
+                Relation::ParentChild,
+                labeling.expect(book),
+                labeling.expect(first)
+            ),
+            None
+        );
+    }
+}

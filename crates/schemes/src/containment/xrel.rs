@@ -1,0 +1,296 @@
+//! XRel (Yoshikawa et al., TOIT 2001 — \[30\] in the paper).
+//!
+//! Region-coordinate containment: each node stores the `(start, end)`
+//! positions of its extent in the document (plus level). Because regions
+//! derive from byte-like positions, they naturally carry **gaps**, so a
+//! bounded number of insertions can be absorbed without touching existing
+//! labels — but once a gap is consumed the whole document must be
+//! renumbered: the sparse-allocation pattern §3.1.1 describes ("these
+//! solutions … only postpone the relabelling process until the interval
+//! gaps have been consumed").
+
+use std::cmp::Ordering;
+use xupd_labelcore::{
+    EncodingRep, InsertReport, Label, Labeling, LabelingScheme, OrderKind, Relation,
+    SchemeDescriptor, SchemeStats,
+};
+use xupd_xmldom::{NodeId, XmlTree};
+
+/// A region label: half-open extent `[start, end)` plus level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegionLabel {
+    /// Region start.
+    pub start: u64,
+    /// Region end (exclusive).
+    pub end: u64,
+    /// Nesting depth.
+    pub level: u32,
+}
+
+impl Label for RegionLabel {
+    fn size_bits(&self) -> u64 {
+        64 + 64 + 32
+    }
+
+    fn display(&self) -> String {
+        format!("[{},{})", self.start, self.end)
+    }
+}
+
+/// Gap factor: positions allocated per node edge at bulk-labelling time.
+const DEFAULT_GAP: u64 = 16;
+
+/// The XRel labelling scheme with sparse region allocation.
+#[derive(Debug, Clone)]
+pub struct XRel {
+    gap: u64,
+    stats: SchemeStats,
+}
+
+impl Default for XRel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl XRel {
+    /// A fresh XRel with the default gap factor.
+    pub fn new() -> Self {
+        XRel {
+            gap: DEFAULT_GAP,
+            stats: SchemeStats::default(),
+        }
+    }
+
+    /// A fresh XRel with a custom gap factor (failure-injection knob —
+    /// `gap = 1` makes the very first middle insertion overflow).
+    pub fn with_gap(gap: u64) -> Self {
+        XRel {
+            gap: gap.max(1),
+            stats: SchemeStats::default(),
+        }
+    }
+
+    fn compute(&self, tree: &XmlTree) -> Labeling<RegionLabel> {
+        // Allocate start/end positions by a single depth-first walk,
+        // advancing the cursor by `gap` at every tag edge.
+        let mut labeling = Labeling::with_capacity_for(tree);
+        let mut cursor: u64 = 0;
+        self.walk(tree, tree.root(), &mut cursor, &mut labeling, 0);
+        labeling
+    }
+
+    fn walk(
+        &self,
+        tree: &XmlTree,
+        node: NodeId,
+        cursor: &mut u64,
+        labeling: &mut Labeling<RegionLabel>,
+        level: u32,
+    ) {
+        // slack *before* the node keeps free positions between sibling
+        // regions — that inter-region space is what absorbs insertions
+        *cursor += self.gap;
+        let start = *cursor;
+        *cursor += self.gap;
+        for child in tree.children(node) {
+            self.walk(tree, child, cursor, labeling, level + 1);
+        }
+        *cursor += self.gap;
+        labeling.set(
+            node,
+            RegionLabel {
+                start,
+                end: *cursor,
+                level,
+            },
+        );
+    }
+}
+
+impl LabelingScheme for XRel {
+    type Label = RegionLabel;
+
+    fn name(&self) -> &'static str {
+        "XRel"
+    }
+
+    fn descriptor(&self) -> SchemeDescriptor {
+        SchemeDescriptor {
+            name: "XRel",
+            citation: "[30]",
+            order: OrderKind::Global,
+            encoding: EncodingRep::Fixed,
+            // Figure 7 row: Global Fixed N P F N N F F F
+            declared: SchemeDescriptor::declared_from_letters("NPFNNFFF"),
+            in_figure7: true,
+        }
+    }
+
+    fn label_tree(&mut self, tree: &XmlTree) -> Labeling<RegionLabel> {
+        // One depth-first pass (implemented recursively over the document
+        // structure, as region allocation inherently is — but it is a
+        // single pass, which is what the Recursion property penalises;
+        // XRel's declared value is F and the walk touches each node once).
+        self.compute(tree)
+    }
+
+    fn on_insert(
+        &mut self,
+        tree: &XmlTree,
+        labeling: &mut Labeling<RegionLabel>,
+        node: NodeId,
+    ) -> InsertReport {
+        // Fit the new node's region into the free positions between its
+        // neighbours' regions (inside the parent's region).
+        let parent = tree.parent(node).expect("attached");
+        // unlabelled neighbours belong to the same graft batch: absent
+        let lo = match tree.prev_sibling(node).and_then(|s| labeling.get(s)) {
+            Some(l) => l.end,
+            None => labeling.expect(parent).start + 1,
+        };
+        let hi = match tree.next_sibling(node).and_then(|s| labeling.get(s)) {
+            Some(l) => l.start,
+            None => labeling.expect(parent).end - 1,
+        };
+        let level = labeling.expect(parent).level + 1;
+        // A leaf needs two distinct positions. Claim them in the middle
+        // of the free range (midpoint by shift, no division) so both
+        // sides keep headroom for later insertions.
+        if hi > lo && hi - lo >= 2 {
+            let room = hi - lo;
+            let start = if room >= 4 { lo + (room >> 1) - 1 } else { lo };
+            let end = start + 2;
+            labeling.set(node, RegionLabel { start, end, level });
+            InsertReport::clean()
+        } else {
+            // Gap consumed: renumber the whole document (§3.1.1).
+            self.stats.overflow_events += 1;
+            let fresh = self.compute(tree);
+            let mut relabeled = Vec::new();
+            for (id, new_label) in fresh.iter() {
+                let changed = labeling.get(id).is_some_and(|old| old != new_label);
+                if changed && id != node {
+                    relabeled.push(id);
+                    self.stats.relabeled_nodes += 1;
+                }
+                labeling.set(id, *new_label);
+            }
+            InsertReport {
+                relabeled,
+                overflowed: true,
+            }
+        }
+    }
+
+    fn cmp_doc(&self, a: &RegionLabel, b: &RegionLabel) -> Ordering {
+        // Document order: by start; an ancestor's region starts before
+        // (and encloses) its descendants'.
+        a.start.cmp(&b.start).then(b.end.cmp(&a.end))
+    }
+
+    fn relation(&self, rel: Relation, a: &RegionLabel, b: &RegionLabel) -> Option<bool> {
+        match rel {
+            Relation::AncestorDescendant => Some(a.start < b.start && b.end < a.end),
+            Relation::ParentChild => {
+                Some(a.start < b.start && b.end < a.end && b.level == a.level + 1)
+            }
+            Relation::Sibling => None,
+        }
+    }
+
+    fn level(&self, a: &RegionLabel) -> Option<u32> {
+        Some(a.level)
+    }
+
+    fn stats(&self) -> &SchemeStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xupd_xmldom::sample::figure1_document;
+    use xupd_xmldom::NodeKind;
+
+    #[test]
+    fn regions_nest_like_the_tree() {
+        let tree = figure1_document();
+        let mut scheme = XRel::new();
+        let labeling = scheme.label_tree(&tree);
+        let all = tree.ids_in_doc_order();
+        for &u in &all {
+            for &v in &all {
+                if u == v {
+                    continue;
+                }
+                assert_eq!(
+                    scheme.relation(
+                        Relation::AncestorDescendant,
+                        labeling.expect(u),
+                        labeling.expect(v)
+                    ),
+                    Some(tree.is_ancestor(u, v)),
+                );
+            }
+        }
+        for w in all.windows(2) {
+            assert_eq!(
+                scheme.cmp_doc(labeling.expect(w[0]), labeling.expect(w[1])),
+                Ordering::Less
+            );
+        }
+    }
+
+    #[test]
+    fn gaps_absorb_a_few_insertions_then_overflow() {
+        let mut tree = figure1_document();
+        let mut scheme = XRel::with_gap(4);
+        let mut labeling = scheme.label_tree(&tree);
+        let book = tree.document_element().unwrap();
+        let first = tree.first_child(book).unwrap();
+        let mut clean = 0;
+        let mut overflowed = false;
+        for _ in 0..10 {
+            let x = tree.create(NodeKind::element("x"));
+            tree.insert_before(first, x).unwrap();
+            let rep = scheme.on_insert(&tree, &mut labeling, x);
+            if rep.overflowed {
+                overflowed = true;
+                break;
+            }
+            clean += 1;
+        }
+        assert!(clean >= 1, "the gap absorbs at least one insertion");
+        assert!(overflowed, "the gap is finite: relabelling only postponed");
+        assert!(scheme.stats().overflow_events > 0);
+        // renumbering restored order
+        let order = tree.ids_in_doc_order();
+        for w in order.windows(2) {
+            assert_eq!(
+                scheme.cmp_doc(labeling.expect(w[0]), labeling.expect(w[1])),
+                Ordering::Less
+            );
+        }
+    }
+
+    #[test]
+    fn append_at_end_uses_parent_slack() {
+        let mut tree = figure1_document();
+        let mut scheme = XRel::new();
+        let mut labeling = scheme.label_tree(&tree);
+        let book = tree.document_element().unwrap();
+        let x = tree.create(NodeKind::element("x"));
+        tree.append_child(book, x).unwrap();
+        let rep = scheme.on_insert(&tree, &mut labeling, x);
+        assert!(rep.relabeled.is_empty());
+        let lx = labeling.expect(x);
+        let lb = labeling.expect(book);
+        assert!(lb.start < lx.start && lx.end < lb.end, "region nested");
+    }
+}

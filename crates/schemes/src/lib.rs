@@ -1,0 +1,128 @@
+//! # xupd-schemes — the dynamic XML labelling schemes surveyed by the paper
+//!
+//! One module per scheme, every scheme implementing
+//! [`xupd_labelcore::LabelingScheme`]:
+//!
+//! | Figure 7 row | module | label shape |
+//! |---|---|---|
+//! | XPath Accelerator \[9\] | [`containment::accel`] | `(pre, post, level)` |
+//! | XRel \[30\] | [`containment::xrel`] | `(start, end, level)` regions with gaps |
+//! | Sector \[23\] | [`containment::sector`] | nested integer sectors |
+//! | QRS \[2\] | [`containment::qrs`] | floating-point intervals |
+//! | DeweyID \[22\] | [`prefix::dewey`] | `1.2.3` integer paths |
+//! | ORDPATH \[18\] | [`prefix::ordpath`] | odd/even careted paths `1.5.2.1` |
+//! | DLN \[3\] | [`prefix::dln`] | fixed-width components with sublevels |
+//! | LSDX \[7\] | [`prefix::lsdx`] | level + letter strings `2ab.b` |
+//! | ImprovedBinary \[13\] | [`prefix::improved_binary`] | binary-string paths `011.0101` |
+//! | QED \[14\] | [`prefix::qed`] | quaternary paths, separator-encoded |
+//! | CDQS \[16\] | [`prefix::cdqs`] | compact quaternary paths |
+//! | Vector \[27\] | [`vector`] | `(x, y)` gradient-ordered vectors |
+//!
+//! §6 extensions (not in Figure 7, implemented for the paper's announced
+//! follow-up evaluation): CDBS ([`prefix::cdbs`]), Com-D ([`prefix::comd`]),
+//! the Prime-number scheme ([`prime`]), DDE ([`dde`]) and the §4
+//! orthogonality composition QED∘Containment ([`qcontainment`]).
+//!
+//! [`visit_all_schemes`] drives a [`SchemeVisitor`] over fresh instances of
+//! every scheme; [`visit_figure7_schemes`] restricts the roster to the
+//! twelve Figure 7 rows.
+
+pub mod containment;
+pub mod dde;
+pub mod prefix;
+pub mod prime;
+pub mod qcontainment;
+pub mod vector;
+
+pub use xupd_labelcore::scheme::SchemeVisitor;
+
+/// Names of the twelve Figure 7 schemes in the paper's row order.
+pub const FIGURE7_ORDER: [&str; 12] = [
+    "XPath Accelerator",
+    "XRel",
+    "Sector",
+    "QRS",
+    "DeweyID",
+    "Ordpath",
+    "DLN",
+    "LSDX",
+    "ImprovedBinary",
+    "QED",
+    "CDQS",
+    "Vector",
+];
+
+/// Visit a fresh instance of every implemented scheme (Figure 7 roster
+/// plus the §6 extensions), in a stable order.
+pub fn visit_all_schemes<V: SchemeVisitor>(v: &mut V) {
+    visit_figure7_schemes(v);
+    v.visit(prefix::cdbs::Cdbs::new());
+    v.visit(prefix::comd::ComD::new());
+    v.visit(prime::Prime::new());
+    v.visit(dde::Dde::new());
+    v.visit(qcontainment::QedContainment::new());
+}
+
+/// Visit a fresh instance of each of the twelve Figure 7 schemes, in the
+/// paper's row order.
+pub fn visit_figure7_schemes<V: SchemeVisitor>(v: &mut V) {
+    v.visit(containment::accel::XPathAccelerator::new());
+    v.visit(containment::xrel::XRel::new());
+    v.visit(containment::sector::Sector::new());
+    v.visit(containment::qrs::Qrs::new());
+    v.visit(prefix::dewey::DeweyId::new());
+    v.visit(prefix::ordpath::OrdPath::new());
+    v.visit(prefix::dln::Dln::new());
+    v.visit(prefix::lsdx::Lsdx::new());
+    v.visit(prefix::improved_binary::ImprovedBinary::new());
+    v.visit(prefix::qed::Qed::new());
+    v.visit(prefix::cdqs::Cdqs::new());
+    v.visit(vector::VectorScheme::new());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xupd_labelcore::LabelingScheme;
+
+    struct NameCollector(Vec<&'static str>);
+
+    impl SchemeVisitor for NameCollector {
+        fn visit<S: LabelingScheme>(&mut self, scheme: S) {
+            self.0.push(scheme.name());
+        }
+    }
+
+    #[test]
+    fn figure7_roster_matches_paper_order() {
+        let mut c = NameCollector(Vec::new());
+        visit_figure7_schemes(&mut c);
+        assert_eq!(c.0, FIGURE7_ORDER);
+    }
+
+    #[test]
+    fn full_roster_extends_figure7() {
+        let mut c = NameCollector(Vec::new());
+        visit_all_schemes(&mut c);
+        assert_eq!(c.0.len(), 17);
+        assert_eq!(&c.0[..12], &FIGURE7_ORDER);
+        assert!(c.0.contains(&"CDBS"));
+        assert!(c.0.contains(&"Com-D"));
+        assert!(c.0.contains(&"Prime"));
+        assert!(c.0.contains(&"DDE"));
+        assert!(c.0.contains(&"QED∘Containment"));
+    }
+
+    #[test]
+    fn descriptors_are_self_consistent() {
+        struct Check;
+        impl SchemeVisitor for Check {
+            fn visit<S: LabelingScheme>(&mut self, scheme: S) {
+                let d = scheme.descriptor();
+                assert_eq!(d.name, scheme.name());
+                assert!(!d.citation.is_empty());
+            }
+        }
+        visit_all_schemes(&mut Check);
+    }
+}

@@ -1,0 +1,156 @@
+//! CDQS — Compact Dynamic Quaternary String (Li, Ling & Hu, VLDB Journal
+//! 2008 — \[16\] in the paper).
+//!
+//! The same quaternary algebra as QED (hence the same `F`s in
+//! *Persistent*, *Overflow*, *Orthogonal*) with a compact bulk assignment
+//! that chooses minimal-total-size code sets — the extra `F` in *Compact
+//! Enc.* that makes CDQS the §5.2 winner ("satisfies the greater number of
+//! properties").
+
+use super::path::{CodeOutcome, PrefixScheme, SiblingAlgebra};
+use xupd_labelcore::quaternary::{bulk_cdqs, qinsert, QCode};
+use xupd_labelcore::{EncodingRep, OrderKind, SchemeDescriptor, SchemeStats};
+
+/// The CDQS sibling algebra.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CdqsAlgebra;
+
+impl SiblingAlgebra for CdqsAlgebra {
+    type Code = QCode;
+
+    fn name(&self) -> &'static str {
+        "CDQS"
+    }
+
+    fn descriptor(&self) -> SchemeDescriptor {
+        SchemeDescriptor {
+            name: "CDQS",
+            citation: "[16]",
+            order: OrderKind::Hybrid,
+            encoding: EncodingRep::Variable,
+            // Figure 7 row: Hybrid Variable F F F F F F N N
+            declared: SchemeDescriptor::declared_from_letters("FFFFFFNN"),
+            in_figure7: true,
+        }
+    }
+
+    fn bulk(&mut self, n: usize, stats: &mut SchemeStats) -> Vec<QCode> {
+        bulk_cdqs(n, stats)
+    }
+
+    fn insert(
+        &mut self,
+        left: Option<&QCode>,
+        right: Option<&QCode>,
+        stats: &mut SchemeStats,
+    ) -> CodeOutcome<QCode> {
+        if left.is_some() && right.is_some() {
+            stats.divisions += 1;
+        }
+        CodeOutcome::Fresh(qinsert(left, right))
+    }
+
+    fn code_bits(code: &QCode) -> u64 {
+        code.size_bits()
+    }
+
+    fn code_display(code: &QCode) -> String {
+        code.to_string()
+    }
+}
+
+/// The CDQS labelling scheme.
+pub type Cdqs = PrefixScheme<CdqsAlgebra>;
+
+impl Cdqs {
+    /// A fresh CDQS scheme.
+    pub fn new() -> Self {
+        PrefixScheme::from_algebra(CdqsAlgebra)
+    }
+}
+
+impl Default for Cdqs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prefix::qed::Qed;
+    use xupd_labelcore::LabelingScheme;
+    use xupd_xmldom::{NodeKind, TreeBuilder, XmlTree};
+
+    fn wide_tree(fanout: usize) -> XmlTree {
+        let mut b = TreeBuilder::new().open("root");
+        for i in 0..fanout {
+            b = b.leaf(format!("c{i}"), "");
+        }
+        b.close().finish()
+    }
+
+    #[test]
+    fn bulk_is_more_compact_than_qed_on_wide_trees() {
+        let tree = wide_tree(500);
+        let mut cdqs = Cdqs::new();
+        let mut qed = Qed::new();
+        let lc = cdqs.label_tree(&tree);
+        let lq = qed.label_tree(&tree);
+        assert!(
+            lc.total_bits() < lq.total_bits(),
+            "cdqs {} bits vs qed {} bits",
+            lc.total_bits(),
+            lq.total_bits()
+        );
+    }
+
+    #[test]
+    fn never_relabels() {
+        let mut tree = wide_tree(20);
+        let mut scheme = Cdqs::new();
+        let mut labeling = scheme.label_tree(&tree);
+        let root_elem = tree.document_element().unwrap();
+        let kids: Vec<_> = tree.children(root_elem).collect();
+        for (i, &k) in kids.iter().enumerate() {
+            let x = tree.create(NodeKind::element("x"));
+            if i % 2 == 0 {
+                tree.insert_before(k, x).unwrap();
+            } else {
+                tree.insert_after(k, x).unwrap();
+            }
+            let rep = scheme.on_insert(&tree, &mut labeling, x);
+            assert!(rep.relabeled.is_empty());
+        }
+        assert_eq!(scheme.stats().relabeled_nodes, 0);
+        assert_eq!(scheme.stats().overflow_events, 0);
+        assert!(labeling.find_duplicate().is_none());
+    }
+
+    #[test]
+    fn order_preserved_after_mixed_updates() {
+        let mut tree = wide_tree(30);
+        let mut scheme = Cdqs::new();
+        let mut labeling = scheme.label_tree(&tree);
+        let root_elem = tree.document_element().unwrap();
+        let kids: Vec<_> = tree.children(root_elem).collect();
+        // delete a third, insert into gaps
+        for k in kids.iter().step_by(3) {
+            scheme.on_delete(&tree, &mut labeling, *k);
+            tree.remove_subtree(*k).unwrap();
+        }
+        let survivors: Vec<_> = tree.children(root_elem).collect();
+        for s in survivors.iter().step_by(2) {
+            let x = tree.create(NodeKind::element("y"));
+            tree.insert_after(*s, x).unwrap();
+            scheme.on_insert(&tree, &mut labeling, x);
+        }
+        let order = tree.ids_in_doc_order();
+        for w in order.windows(2) {
+            assert_eq!(
+                scheme.cmp_doc(labeling.expect(w[0]), labeling.expect(w[1])),
+                std::cmp::Ordering::Less
+            );
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Com-D — Compressed Dynamic Labelling Scheme (Duong & Zhang, OTM 2008 —
+//! \[8\] in the paper).
+//!
+//! LSDX's authors' own fix for its label-size growth: "compress
+//! reoccurring letters within a label by prefixing the repetitive
+//! letter(s) with an integer indicating the number of repetitions. For
+//! example, the positional identifier `aaaaabcbcbcdddde` would be
+//! rewritten as `5a3(bc)4de`" (§3.1.2). The generation algebra is LSDX's;
+//! only the storage model changes — so Com-D inherits LSDX's collision
+//! corner cases too.
+
+use super::lsdx::{lsdx_bulk, lsdx_insert, lsdx_path_display};
+use super::path::{CodeOutcome, PrefixScheme, SiblingAlgebra};
+use xupd_labelcore::{Compliance, EncodingRep, OrderKind, SchemeDescriptor, SchemeStats};
+
+/// Run-length compress a positional identifier the Com-D way: single
+/// letters and two-letter patterns are both candidates; a run shorter than
+/// 2 (or 3 for patterns, where `3(bc)` only pays off at three repeats) is
+/// left alone.
+pub fn compress(s: &str) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // try a two-letter pattern run first (e.g. bcbcbc → 3(bc))
+        if i + 1 < chars.len() && chars[i] != chars[i + 1] {
+            let (a, b) = (chars[i], chars[i + 1]);
+            let mut reps = 1;
+            let mut j = i + 2;
+            while j + 1 < chars.len() && chars[j] == a && chars[j + 1] == b {
+                reps += 1;
+                j += 2;
+            }
+            if reps >= 3 {
+                out.push_str(&format!("{reps}({a}{b})"));
+                i = j;
+                continue;
+            }
+        }
+        // single-letter run
+        let c = chars[i];
+        let mut reps = 1;
+        while i + reps < chars.len() && chars[i + reps] == c {
+            reps += 1;
+        }
+        if reps >= 2 {
+            out.push_str(&format!("{reps}{c}"));
+        } else {
+            out.push(c);
+        }
+        i += reps;
+    }
+    out
+}
+
+/// The Com-D sibling algebra: LSDX codes, compressed storage accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComDAlgebra {
+    /// Longest (uncompressed) positional identifier before renumbering.
+    pub max_chars: usize,
+}
+
+impl Default for ComDAlgebra {
+    fn default() -> Self {
+        ComDAlgebra { max_chars: 255 }
+    }
+}
+
+impl SiblingAlgebra for ComDAlgebra {
+    type Code = String;
+
+    fn name(&self) -> &'static str {
+        "Com-D"
+    }
+
+    fn descriptor(&self) -> SchemeDescriptor {
+        SchemeDescriptor {
+            name: "Com-D",
+            citation: "[8]",
+            order: OrderKind::Hybrid,
+            encoding: EncodingRep::Variable,
+            // Not a Figure 7 row. LSDX's row with Compact upgraded to P
+            // (compression constrains, but does not bound, growth).
+            declared: [
+                Compliance::None,    // Persistent (reassigned on delete)
+                Compliance::Full,    // XPath
+                Compliance::Full,    // Level
+                Compliance::None,    // Overflow
+                Compliance::None,    // Orthogonal
+                Compliance::Partial, // Compact (the compression)
+                Compliance::Full,    // Division
+                Compliance::Full,    // Recursion
+            ],
+            in_figure7: false,
+        }
+    }
+
+    fn bulk(&mut self, n: usize, _stats: &mut SchemeStats) -> Vec<String> {
+        lsdx_bulk(n)
+    }
+
+    fn insert(
+        &mut self,
+        left: Option<&String>,
+        right: Option<&String>,
+        _stats: &mut SchemeStats,
+    ) -> CodeOutcome<String> {
+        let code = lsdx_insert(left, right);
+        if code.len() > self.max_chars {
+            CodeOutcome::RenumberAll
+        } else {
+            CodeOutcome::Fresh(code)
+        }
+    }
+
+    fn code_bits(code: &String) -> u64 {
+        8 * compress(code).len() as u64
+    }
+
+    fn code_display(code: &String) -> String {
+        compress(code)
+    }
+
+    fn path_display(path: &[String]) -> String {
+        lsdx_path_display(path)
+    }
+}
+
+/// The Com-D labelling scheme.
+pub type ComD = PrefixScheme<ComDAlgebra>;
+
+impl ComD {
+    /// A fresh Com-D scheme.
+    pub fn new() -> Self {
+        PrefixScheme::from_algebra(ComDAlgebra::default())
+    }
+}
+
+impl Default for ComD {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prefix::lsdx::Lsdx;
+    use xupd_labelcore::LabelingScheme;
+    use xupd_xmldom::{NodeKind, TreeBuilder};
+
+    #[test]
+    fn papers_compression_example() {
+        assert_eq!(compress("aaaaabcbcbcdddde"), "5a3(bc)4de");
+    }
+
+    #[test]
+    fn compression_cases() {
+        assert_eq!(compress(""), "");
+        assert_eq!(compress("b"), "b");
+        assert_eq!(compress("bb"), "2b");
+        assert_eq!(compress("bcb"), "bcb");
+        assert_eq!(compress("bcbcbc"), "3(bc)");
+        assert_eq!(compress("zzzzzz"), "6z");
+        assert_eq!(compress("abab"), "abab", "two repeats don't pay off");
+    }
+
+    #[test]
+    fn comd_is_smaller_than_lsdx_under_skewed_prepends() {
+        // Repeated before-first insertion gives identifiers aa…ab, which
+        // compress to ka-style runs.
+        let mut tree = TreeBuilder::new().open("r").leaf("x", "").close().finish();
+        let root_elem = tree.document_element().unwrap();
+        let first = tree.children(root_elem).next().unwrap();
+        let mut lsdx = Lsdx::new();
+        let mut comd = ComD::new();
+        let mut ll = lsdx.label_tree(&tree);
+        let mut lc = comd.label_tree(&tree);
+        let mut front = first;
+        for _ in 0..50 {
+            let n = tree.create(NodeKind::element("n"));
+            tree.insert_before(front, n).unwrap();
+            lsdx.on_insert(&tree, &mut ll, n);
+            comd.on_insert(&tree, &mut lc, n);
+            front = n;
+        }
+        assert!(
+            lc.total_bits() < ll.total_bits(),
+            "com-d {} bits vs lsdx {} bits",
+            lc.total_bits(),
+            ll.total_bits()
+        );
+    }
+}

@@ -1,0 +1,192 @@
+//! DeweyID (Tatarinov et al., SIGMOD 2002 — \[22\] in the paper).
+//!
+//! The naive prefix scheme: the *n*-th child carries the integer *n*.
+//! Insertion anywhere but the end renumbers every following sibling (and
+//! hence relabels their entire subtrees), which is the cost §3.1.2 calls
+//! "significant" and the reason DeweyID's *Persistent Labels* column is
+//! `N` in Figure 7. Figure 3 of the paper is reproduced in
+//! `tests/figures.rs`.
+
+use super::path::{CodeOutcome, PrefixScheme, SiblingAlgebra};
+use xupd_labelcore::{EncodingRep, OrderKind, SchemeDescriptor, SchemeStats};
+
+/// The DeweyID sibling algebra: codes are 1-based ordinals.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DeweyAlgebra;
+
+impl SiblingAlgebra for DeweyAlgebra {
+    type Code = u64;
+
+    fn name(&self) -> &'static str {
+        "DeweyID"
+    }
+
+    fn descriptor(&self) -> SchemeDescriptor {
+        SchemeDescriptor {
+            name: "DeweyID",
+            citation: "[22]",
+            order: OrderKind::Hybrid,
+            encoding: EncodingRep::Variable,
+            // Figure 7 row: Hybrid Variable N F F N N N F F
+            declared: SchemeDescriptor::declared_from_letters("NFFNNNFF"),
+            in_figure7: true,
+        }
+    }
+
+    fn bulk(&mut self, n: usize, _stats: &mut SchemeStats) -> Vec<u64> {
+        // Single streaming pass, no division: DeweyID's two `F`s in the
+        // Division/Recursion columns.
+        (1..=n as u64).collect()
+    }
+
+    fn insert(
+        &mut self,
+        left: Option<&u64>,
+        right: Option<&u64>,
+        _stats: &mut SchemeStats,
+    ) -> CodeOutcome<u64> {
+        match (left, right) {
+            // Appending after the last sibling is free.
+            (l, None) => CodeOutcome::Fresh(l.copied().unwrap_or(0) + 1),
+            // Gaps can exist after deletions; reuse them when available.
+            (Some(&l), Some(&r)) if r > l + 1 => CodeOutcome::Fresh(l + 1),
+            (None, Some(&r)) if r > 1 => CodeOutcome::Fresh(r - 1),
+            // Otherwise every following sibling shifts by one.
+            _ => CodeOutcome::RenumberFollowing,
+        }
+    }
+
+    fn tail(&mut self, after: Option<&u64>, count: usize, _stats: &mut SchemeStats) -> Vec<u64> {
+        let start = after.copied().unwrap_or(0) + 1;
+        (start..start + count as u64).collect()
+    }
+
+    fn code_bits(code: &u64) -> u64 {
+        // UTF-8-style varint storage of each ordinal.
+        8 * u64::from(xupd_labelcore::varint::encoded_len(*code))
+    }
+
+    fn code_display(code: &u64) -> String {
+        code.to_string()
+    }
+}
+
+/// The DeweyID labelling scheme.
+pub type DeweyId = PrefixScheme<DeweyAlgebra>;
+
+impl DeweyId {
+    /// A fresh DeweyID scheme.
+    pub fn new() -> Self {
+        PrefixScheme::from_algebra(DeweyAlgebra)
+    }
+}
+
+impl Default for DeweyId {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xupd_labelcore::{Label, LabelingScheme};
+    use xupd_xmldom::sample::figure3_shape;
+    use xupd_xmldom::{NodeKind, XmlTree};
+
+    #[test]
+    fn figure3_dewey_labels() {
+        // Figure 3: 1 / 1.1 1.2 1.3 / 1.1.1 1.1.2 1.2.1 1.3.1 1.3.2 1.3.3
+        let (tree, nodes) = figure3_shape();
+        let mut scheme = DeweyId::new();
+        let labeling = scheme.label_tree(&tree);
+        let rendered: Vec<String> = nodes
+            .iter()
+            .map(|&n| labeling.expect(n).display())
+            .collect();
+        assert_eq!(
+            rendered,
+            ["1", "1.1", "1.1.1", "1.1.2", "1.2", "1.2.1", "1.3", "1.3.1", "1.3.2", "1.3.3"]
+        );
+    }
+
+    #[test]
+    fn append_is_persistent_but_middle_insert_renumbers() {
+        let mut tree = XmlTree::new();
+        let r = tree.root();
+        let p = tree.create(NodeKind::element("p"));
+        tree.append_child(r, p).unwrap();
+        let a = tree.create(NodeKind::element("a"));
+        let b = tree.create(NodeKind::element("b"));
+        tree.append_child(p, a).unwrap();
+        tree.append_child(p, b).unwrap();
+        let mut scheme = DeweyId::new();
+        let mut labeling = scheme.label_tree(&tree);
+
+        // append: no relabels
+        let c = tree.create(NodeKind::element("c"));
+        tree.append_child(p, c).unwrap();
+        let rep = scheme.on_insert(&tree, &mut labeling, c);
+        assert!(rep.relabeled.is_empty());
+        assert_eq!(labeling.expect(c).display(), "1.3");
+
+        // middle insert: b and c shift
+        let x = tree.create(NodeKind::element("x"));
+        tree.insert_before(b, x).unwrap();
+        let rep = scheme.on_insert(&tree, &mut labeling, x);
+        assert_eq!(rep.relabeled.len(), 2, "b and c renumbered");
+        assert_eq!(labeling.expect(x).display(), "1.2");
+        assert_eq!(labeling.expect(b).display(), "1.3");
+        assert_eq!(labeling.expect(c).display(), "1.4");
+        assert_eq!(scheme.stats().relabeled_nodes, 2);
+    }
+
+    #[test]
+    fn middle_insert_relabels_descendants_of_following_siblings() {
+        let mut tree = XmlTree::new();
+        let r = tree.root();
+        let p = tree.create(NodeKind::element("p"));
+        tree.append_child(r, p).unwrap();
+        let a = tree.create(NodeKind::element("a"));
+        let b = tree.create(NodeKind::element("b"));
+        let b1 = tree.create(NodeKind::element("b1"));
+        tree.append_child(p, a).unwrap();
+        tree.append_child(p, b).unwrap();
+        tree.append_child(b, b1).unwrap();
+        let mut scheme = DeweyId::new();
+        let mut labeling = scheme.label_tree(&tree);
+        assert_eq!(labeling.expect(b1).display(), "1.2.1");
+
+        let x = tree.create(NodeKind::element("x"));
+        tree.insert_before(b, x).unwrap();
+        let rep = scheme.on_insert(&tree, &mut labeling, x);
+        assert_eq!(rep.relabeled.len(), 2, "b and its child b1");
+        assert_eq!(labeling.expect(b1).display(), "1.3.1");
+    }
+
+    #[test]
+    fn deletion_gaps_are_reused_without_renumbering() {
+        let mut tree = XmlTree::new();
+        let r = tree.root();
+        let p = tree.create(NodeKind::element("p"));
+        tree.append_child(r, p).unwrap();
+        let kids: Vec<_> = (0..3)
+            .map(|i| {
+                let k = tree.create(NodeKind::element(format!("k{i}")));
+                tree.append_child(p, k).unwrap();
+                k
+            })
+            .collect();
+        let mut scheme = DeweyId::new();
+        let mut labeling = scheme.label_tree(&tree);
+        // delete the middle child (code 2)
+        scheme.on_delete(&tree, &mut labeling, kids[1]);
+        tree.remove_subtree(kids[1]).unwrap();
+        // insert between 1 and 3: the gap code 2 is reused
+        let x = tree.create(NodeKind::element("x"));
+        tree.insert_after(kids[0], x).unwrap();
+        let rep = scheme.on_insert(&tree, &mut labeling, x);
+        assert!(rep.relabeled.is_empty());
+        assert_eq!(labeling.expect(x).display(), "1.2");
+    }
+}

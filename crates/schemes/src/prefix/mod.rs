@@ -1,0 +1,17 @@
+//! Prefix labelling schemes (§3.1.2 of the paper): a node's label is its
+//! parent's label plus a positional sibling code; ancestor-descendant is a
+//! prefix test, document order is hybrid (local codes composed along the
+//! root path).
+
+pub mod cdbs;
+pub mod cdqs;
+pub mod comd;
+pub mod dewey;
+pub mod dln;
+pub mod improved_binary;
+pub mod lsdx;
+pub mod ordpath;
+pub mod path;
+pub mod qed;
+
+pub use path::{CodeOutcome, PathLabel, PrefixScheme, SiblingAlgebra};

@@ -1,0 +1,612 @@
+//! ORDPATH (O'Neil et al., SIGMOD 2004 — \[18\] in the paper).
+//!
+//! Initial labelling uses positive odd integers only (1, 3, 5, …); even
+//! and negative values are reserved for later insertion:
+//!
+//! * right of all children: rightmost positional identifier + 2
+//!   (Figure 4's `1.3.3`);
+//! * left of all children: leftmost − 2 (Figure 4's `1.1.-1`);
+//! * between two consecutive odd neighbours: *careting in* — the even
+//!   number between them, then a fresh odd component (Figure 4's
+//!   `1.5.2.1`).
+//!
+//! A label is a sequence of *groups*, each `even* odd`; the node's level
+//! is the number of odd components. Labels are stored in a compressed
+//! binary representation; we model its size with a prefix-free
+//! length-tag + zig-zag magnitude encoding.
+
+use std::cmp::Ordering;
+use xupd_labelcore::{
+    Compliance, EncodingRep, InsertReport, Label, Labeling, LabelingScheme, OrderKind, Relation,
+    SchemeDescriptor, SchemeStats,
+};
+use xupd_xmldom::{NodeId, XmlTree};
+
+/// An ORDPATH label: the flattened component sequence (groups of
+/// `even* odd` per level).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OrdPathLabel {
+    components: Vec<i64>,
+}
+
+impl OrdPathLabel {
+    /// The document root (empty component sequence).
+    pub fn root() -> Self {
+        OrdPathLabel {
+            components: Vec::new(),
+        }
+    }
+
+    /// The raw components.
+    pub fn components(&self) -> &[i64] {
+        &self.components
+    }
+
+    /// Number of levels below the root = number of odd components.
+    pub fn level(&self) -> u32 {
+        self.components
+            .iter()
+            .filter(|c| (**c).rem_euclid(2) == 1)
+            .count() as u32
+    }
+
+    /// The label of this node's parent: strip the trailing group (the
+    /// final odd component plus the run of even carets before it).
+    pub fn parent(&self) -> Option<OrdPathLabel> {
+        if self.components.is_empty() {
+            return None;
+        }
+        let mut end = self.components.len() - 1;
+        debug_assert!(
+            self.components[end].rem_euclid(2) == 1,
+            "labels end with an odd component"
+        );
+        // strip carets before the final odd
+        while end > 0 && self.components[end - 1].rem_euclid(2) == 0 {
+            end -= 1;
+        }
+        Some(OrdPathLabel {
+            components: self.components[..end].to_vec(),
+        })
+    }
+
+    /// Is `self` a strict prefix of `other`? Group alignment is automatic:
+    /// a complete label always ends in an odd component, which is also a
+    /// group terminator inside any extension.
+    pub fn is_strict_prefix_of(&self, other: &OrdPathLabel) -> bool {
+        self.components.len() < other.components.len()
+            && other.components[..self.components.len()] == self.components[..]
+    }
+
+    fn extend_group(&self, group: &[i64]) -> OrdPathLabel {
+        let mut components = self.components.clone();
+        components.extend_from_slice(group);
+        OrdPathLabel { components }
+    }
+
+    /// The trailing group (`even* odd`) — this node's positional
+    /// identifier relative to its parent.
+    fn own_group(&self) -> &[i64] {
+        if self.components.is_empty() {
+            return &[];
+        }
+        let mut start = self.components.len() - 1;
+        while start > 0 && self.components[start - 1].rem_euclid(2) == 0 {
+            start -= 1;
+        }
+        &self.components[start..]
+    }
+}
+
+impl Label for OrdPathLabel {
+    fn size_bits(&self) -> u64 {
+        // Compressed binary model: each component gets a 3-bit length tag
+        // plus the zig-zag magnitude bits (minimum 3).
+        self.components
+            .iter()
+            .map(|&c| {
+                let zz = ((c << 1) ^ (c >> 63)) as u64;
+                let mag = 64 - zz.leading_zeros() as u64;
+                3 + mag.max(3)
+            })
+            .sum()
+    }
+
+    fn display(&self) -> String {
+        if self.components.is_empty() {
+            return "∅".to_string();
+        }
+        self.components
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(".")
+    }
+}
+
+/// The ORDPATH labelling scheme.
+#[derive(Debug, Clone)]
+pub struct OrdPath {
+    stats: SchemeStats,
+    /// Largest component magnitude the compressed binary encoding's
+    /// prefix-free length-code table covers. The table published with
+    /// ORDPATH is finite, so component values past it require relabelling
+    /// every label in the document (the §4 overflow the paper notes
+    /// ORDPATH "cannot completely avoid"). Default 2⁴³, the published
+    /// table's reach.
+    component_limit: i64,
+}
+
+impl Default for OrdPath {
+    fn default() -> Self {
+        OrdPath {
+            stats: SchemeStats::default(),
+            component_limit: 1 << 43,
+        }
+    }
+}
+
+impl OrdPath {
+    /// A fresh ORDPATH scheme.
+    pub fn new() -> Self {
+        OrdPath::default()
+    }
+
+    /// A scheme whose encoding table covers only ±`limit` — the
+    /// failure-injection knob that makes the asymptotic overflow
+    /// reachable in test-size workloads.
+    pub fn with_component_limit(limit: i64) -> Self {
+        OrdPath {
+            stats: SchemeStats::default(),
+            component_limit: limit,
+        }
+    }
+
+    fn renumber_siblings(
+        &mut self,
+        tree: &XmlTree,
+        labeling: &mut Labeling<OrdPathLabel>,
+        parent: NodeId,
+        inserted: NodeId,
+    ) -> InsertReport {
+        self.stats.overflow_events += 1;
+        let parent_label = labeling.expect(parent).clone();
+        let mut relabeled = Vec::new();
+        let mut ordinal = 1i64;
+        for sib in tree.children(parent).collect::<Vec<_>>() {
+            let new_path = parent_label.extend_group(&[ordinal]);
+            ordinal += 2;
+            self.rebase(tree, labeling, sib, new_path, inserted, &mut relabeled);
+        }
+        InsertReport {
+            relabeled,
+            overflowed: true,
+        }
+    }
+
+    fn rebase(
+        &mut self,
+        tree: &XmlTree,
+        labeling: &mut Labeling<OrdPathLabel>,
+        node: NodeId,
+        new_path: OrdPathLabel,
+        skip: NodeId,
+        relabeled: &mut Vec<NodeId>,
+    ) {
+        let old = labeling.get(node).cloned();
+        if old.as_ref() != Some(&new_path) {
+            if node != skip && old.is_some() {
+                relabeled.push(node);
+                self.stats.relabeled_nodes += 1;
+            }
+            labeling.set(node, new_path.clone());
+        }
+        for child in tree.children(node).collect::<Vec<_>>() {
+            // unlabelled children belong to an in-flight graft batch
+            let Some(own) = labeling.get(child).map(|l| l.own_group().to_vec()) else {
+                continue;
+            };
+            self.rebase(
+                tree,
+                labeling,
+                child,
+                new_path.extend_group(&own),
+                skip,
+                relabeled,
+            );
+        }
+    }
+
+    /// A group for a node inserted after the last sibling whose group is
+    /// `left`.
+    fn group_after(left: &[i64]) -> Vec<i64> {
+        let first = left[0];
+        // odd first component → +2 keeps oddness; even (caret) → the next
+        // odd above it.
+        let next = if first.rem_euclid(2) == 1 {
+            first + 2
+        } else {
+            first + 1
+        };
+        vec![next]
+    }
+
+    /// A group for a node inserted before the first sibling whose group is
+    /// `right`.
+    fn group_before(right: &[i64]) -> Vec<i64> {
+        let first = right[0];
+        let prev = if first.rem_euclid(2) == 1 {
+            first - 2
+        } else {
+            first - 1
+        };
+        vec![prev]
+    }
+
+    /// A group strictly between two sibling groups (`l < r`
+    /// component-lexicographically). Carets in when no odd integer sits
+    /// between the first components.
+    fn group_between(l: &[i64], r: &[i64], stats: &mut SchemeStats) -> Vec<i64> {
+        let a = l[0];
+        let b = r[0];
+        if b - a >= 2 {
+            // The careting midpoint computation of the original scheme.
+            stats.divisions += 1;
+            let mid = a + (b - a) / 2;
+            let odd = if mid.rem_euclid(2) == 1 { mid } else { mid + 1 };
+            if odd > a && odd < b {
+                return vec![odd];
+            }
+            let even = if mid.rem_euclid(2) == 0 { mid } else { mid + 1 };
+            if even > a && even < b {
+                return vec![even, 1];
+            }
+        }
+        if a == b {
+            // identical first components: both groups continue (both
+            // even here — equal odd firsts would terminate both groups
+            // identically, i.e. equal labels).
+            debug_assert!(a.rem_euclid(2) == 0);
+            let mut g = vec![a];
+            g.extend(Self::group_between(&l[1..], &r[1..], stats));
+            return g;
+        }
+        // b == a + 1: one neighbour odd, one even.
+        if a.rem_euclid(2) == 1 {
+            // l = [a] (group ends at odd); r = [a+1, rest…]: slide under
+            // the caret a+1, before r's remainder.
+            let mut g = vec![a + 1];
+            g.extend(Self::group_before(&r[1..]));
+            g
+        } else {
+            // l = [a, rest…] (a even); r = [b] with b odd: extend l's
+            // caret after its remainder.
+            let mut g = vec![a];
+            g.extend(Self::group_after(&l[1..]));
+            g
+        }
+    }
+}
+
+impl LabelingScheme for OrdPath {
+    type Label = OrdPathLabel;
+
+    fn name(&self) -> &'static str {
+        "Ordpath"
+    }
+
+    fn descriptor(&self) -> SchemeDescriptor {
+        SchemeDescriptor {
+            name: "Ordpath",
+            citation: "[18]",
+            order: OrderKind::Hybrid,
+            encoding: EncodingRep::Variable,
+            // Figure 7 row: Hybrid Variable F F F N N N N F
+            declared: [
+                Compliance::Full, // Persistent labels
+                Compliance::Full, // XPath evaluations
+                Compliance::Full, // Level encoding
+                Compliance::None, // Overflow problem
+                Compliance::None, // Orthogonal
+                Compliance::None, // Compact encoding
+                Compliance::None, // Division computation
+                Compliance::Full, // Recursion (streaming odd counters)
+            ],
+            in_figure7: true,
+        }
+    }
+
+    fn label_tree(&mut self, tree: &XmlTree) -> Labeling<OrdPathLabel> {
+        // Single streaming preorder pass with per-parent odd counters: no
+        // recursion, no division (Figure 7's `F` in Recursion for
+        // ORDPATH). By the time a node is reached in preorder its parent
+        // is already labelled, so one flat loop assigning each node's
+        // children their ordinals covers the tree in one pass.
+        let mut labeling = Labeling::with_capacity_for(tree);
+        labeling.set(tree.root(), OrdPathLabel::root());
+        for node in tree.preorder() {
+            let parent_label = labeling.expect(node).clone();
+            let mut ordinal: i64 = 1;
+            for child in tree.children(node) {
+                labeling.set(child, parent_label.extend_group(&[ordinal]));
+                ordinal += 2;
+            }
+        }
+        labeling
+    }
+
+    fn on_insert(
+        &mut self,
+        tree: &XmlTree,
+        labeling: &mut Labeling<OrdPathLabel>,
+        node: NodeId,
+    ) -> InsertReport {
+        let parent = tree.parent(node).expect("attached");
+        let parent_label = labeling.expect(parent).clone();
+        // unlabelled neighbours belong to the same graft batch: absent
+        let left = tree
+            .prev_sibling(node)
+            .and_then(|s| labeling.get(s).cloned());
+        let right = tree
+            .next_sibling(node)
+            .and_then(|s| labeling.get(s).cloned());
+        let group = match (&left, &right) {
+            (None, None) => vec![1],
+            (Some(l), None) => Self::group_after(l.own_group()),
+            (None, Some(r)) => Self::group_before(r.own_group()),
+            (Some(l), Some(r)) => {
+                Self::group_between(l.own_group(), r.own_group(), &mut self.stats)
+            }
+        };
+        if group
+            .iter()
+            .any(|c| c.unsigned_abs() > self.component_limit.unsigned_abs())
+        {
+            return self.renumber_siblings(tree, labeling, parent, node);
+        }
+        labeling.set(node, parent_label.extend_group(&group));
+        InsertReport::clean()
+    }
+
+    fn cmp_doc(&self, a: &OrdPathLabel, b: &OrdPathLabel) -> Ordering {
+        a.components.cmp(&b.components)
+    }
+
+    fn relation(&self, rel: Relation, a: &OrdPathLabel, b: &OrdPathLabel) -> Option<bool> {
+        match rel {
+            Relation::AncestorDescendant => Some(a.is_strict_prefix_of(b)),
+            Relation::ParentChild => Some(b.parent().as_ref() == Some(a)),
+            Relation::Sibling => {
+                if a.components.is_empty() || b.components.is_empty() || a == b {
+                    return Some(false);
+                }
+                Some(a.parent() == b.parent())
+            }
+        }
+    }
+
+    fn level(&self, a: &OrdPathLabel) -> Option<u32> {
+        Some(a.level())
+    }
+
+    fn stats(&self) -> &SchemeStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    fn overflow_audit_instance(&self) -> Option<Self> {
+        Some(OrdPath::with_component_limit(1 << 9))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xupd_xmldom::sample::figure3_shape;
+    use xupd_xmldom::{NodeKind, XmlTree};
+
+    #[test]
+    fn initial_labels_are_positive_odds() {
+        // Figure 4 initial tree: 1 / 1.1 1.3 1.5 / 1.1.1 1.1.3 1.3.1 …
+        let (tree, nodes) = figure3_shape();
+        let mut scheme = OrdPath::new();
+        let labeling = scheme.label_tree(&tree);
+        let shown: Vec<String> = nodes
+            .iter()
+            .map(|&n| labeling.expect(n).display())
+            .collect();
+        assert_eq!(
+            shown,
+            ["1", "1.1", "1.1.1", "1.1.3", "1.3", "1.3.1", "1.5", "1.5.1", "1.5.3", "1.5.5"]
+        );
+    }
+
+    #[test]
+    fn figure4_insertions() {
+        // Reproduce the grey nodes of Figure 4 on the subtree rooted at
+        // 1.5 with children 1.5.1, 1.5.3 (the figure's third child has
+        // two children before insertion: 1.5.1 and 1.5.3).
+        let mut tree = XmlTree::new();
+        let r = tree.root();
+        let root = tree.create(NodeKind::element("root"));
+        tree.append_child(r, root).unwrap();
+        let c1 = tree.create(NodeKind::element("c1"));
+        let c2 = tree.create(NodeKind::element("c2"));
+        tree.append_child(root, c1).unwrap();
+        tree.append_child(root, c2).unwrap();
+        let mut scheme = OrdPath::new();
+        let mut labeling = scheme.label_tree(&tree);
+        assert_eq!(labeling.expect(c1).display(), "1.1");
+        assert_eq!(labeling.expect(c2).display(), "1.3");
+
+        // right of all children: 1.3 + 2 → 1.5… the paper's example adds
+        // two to the right-most positional identifier (1.3.3 from 1.3.1).
+        let after = tree.create(NodeKind::element("after"));
+        tree.append_child(root, after).unwrap();
+        scheme.on_insert(&tree, &mut labeling, after);
+        assert_eq!(labeling.expect(after).display(), "1.5");
+
+        // left of all children: 1.1 − 2 → 1.-1 (paper: 1.1.-1)
+        let before = tree.create(NodeKind::element("before"));
+        tree.prepend_child(root, before).unwrap();
+        scheme.on_insert(&tree, &mut labeling, before);
+        assert_eq!(labeling.expect(before).display(), "1.-1");
+
+        // between 1.1 and 1.3: caret in → 1.2.1 (paper: 1.5.2.1)
+        let mid = tree.create(NodeKind::element("mid"));
+        tree.insert_after(c1, mid).unwrap();
+        let rep = scheme.on_insert(&tree, &mut labeling, mid);
+        assert!(rep.relabeled.is_empty());
+        assert_eq!(labeling.expect(mid).display(), "1.2.1");
+        assert!(scheme.stats().divisions > 0, "careting divides");
+
+        // document order intact
+        let order = tree.ids_in_doc_order();
+        for w in order.windows(2) {
+            assert_eq!(
+                scheme.cmp_doc(labeling.expect(w[0]), labeling.expect(w[1])),
+                Ordering::Less
+            );
+        }
+    }
+
+    #[test]
+    fn careted_nodes_keep_level_and_relations() {
+        let mut tree = XmlTree::new();
+        let r = tree.root();
+        let root = tree.create(NodeKind::element("root"));
+        tree.append_child(r, root).unwrap();
+        let c1 = tree.create(NodeKind::element("c1"));
+        let c2 = tree.create(NodeKind::element("c2"));
+        tree.append_child(root, c1).unwrap();
+        tree.append_child(root, c2).unwrap();
+        let mut scheme = OrdPath::new();
+        let mut labeling = scheme.label_tree(&tree);
+        let mid = tree.create(NodeKind::element("mid"));
+        tree.insert_after(c1, mid).unwrap();
+        scheme.on_insert(&tree, &mut labeling, mid);
+        // careted label 1.2.1 has THREE components but level 2
+        let lm = labeling.expect(mid);
+        assert_eq!(lm.components().len(), 3);
+        assert_eq!(scheme.level(lm), Some(tree.depth(mid)));
+        // parent/sibling relations still evaluable from labels alone
+        let lroot = labeling.expect(root);
+        let lc1 = labeling.expect(c1);
+        assert_eq!(
+            scheme.relation(Relation::ParentChild, lroot, lm),
+            Some(true)
+        );
+        assert_eq!(scheme.relation(Relation::Sibling, lc1, lm), Some(true));
+        assert_eq!(
+            scheme.relation(Relation::AncestorDescendant, lc1, lm),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn repeated_careting_stays_ordered_and_unique() {
+        let mut tree = XmlTree::new();
+        let r = tree.root();
+        let root = tree.create(NodeKind::element("root"));
+        tree.append_child(r, root).unwrap();
+        let a = tree.create(NodeKind::element("a"));
+        let b = tree.create(NodeKind::element("b"));
+        tree.append_child(root, a).unwrap();
+        tree.append_child(root, b).unwrap();
+        let mut scheme = OrdPath::new();
+        let mut labeling = scheme.label_tree(&tree);
+        // always insert directly after `a` — a skewed careting storm
+        for _ in 0..100 {
+            let x = tree.create(NodeKind::element("x"));
+            tree.insert_after(a, x).unwrap();
+            let rep = scheme.on_insert(&tree, &mut labeling, x);
+            assert!(rep.relabeled.is_empty(), "ORDPATH never relabels");
+        }
+        assert!(labeling.find_duplicate().is_none());
+        let order = tree.ids_in_doc_order();
+        for w in order.windows(2) {
+            assert_eq!(
+                scheme.cmp_doc(labeling.expect(w[0]), labeling.expect(w[1])),
+                Ordering::Less,
+                "{} !< {}",
+                labeling.expect(w[0]).display(),
+                labeling.expect(w[1]).display()
+            );
+        }
+    }
+
+    #[test]
+    fn parent_of_careted_label_strips_whole_group() {
+        let l = OrdPathLabel {
+            components: vec![1, 5, 2, 1],
+        };
+        assert_eq!(l.parent().unwrap().components(), &[1, 5]);
+        assert_eq!(l.level(), 3);
+        let root_child = OrdPathLabel {
+            components: vec![1],
+        };
+        assert_eq!(root_child.parent().unwrap().components(), &[] as &[i64]);
+        assert_eq!(OrdPathLabel::root().parent(), None);
+    }
+
+    #[test]
+    fn component_limit_overflow_renumbers_and_recovers() {
+        // The §4 overflow ORDPATH "cannot completely avoid": a tight
+        // encoding-table budget makes it reachable in a small storm.
+        let mut tree = XmlTree::new();
+        let r = tree.root();
+        let root = tree.create(NodeKind::element("root"));
+        tree.append_child(r, root).unwrap();
+        let first = tree.create(NodeKind::element("a"));
+        tree.append_child(root, first).unwrap();
+        let mut scheme = OrdPath::with_component_limit(16);
+        let mut labeling = scheme.label_tree(&tree);
+        let mut overflowed = false;
+        let mut front = first;
+        for _ in 0..40 {
+            let x = tree.create(NodeKind::element("x"));
+            tree.insert_before(front, x).unwrap();
+            let rep = scheme.on_insert(&tree, &mut labeling, x);
+            front = x;
+            if rep.overflowed {
+                assert!(!rep.relabeled.is_empty(), "renumber touches siblings");
+                overflowed = true;
+                break;
+            }
+        }
+        assert!(overflowed, "−2-per-prepend growth must hit the budget");
+        assert!(scheme.stats().overflow_events > 0);
+        // renumbering restored order and uniqueness
+        assert!(labeling.find_duplicate().is_none());
+        let order = tree.ids_in_doc_order();
+        for w in order.windows(2) {
+            assert_eq!(
+                scheme.cmp_doc(labeling.expect(w[0]), labeling.expect(w[1])),
+                Ordering::Less
+            );
+        }
+    }
+
+    #[test]
+    fn audit_instance_has_tight_budget() {
+        use xupd_labelcore::LabelingScheme as _;
+        let scheme = OrdPath::new();
+        let audit = scheme.overflow_audit_instance().expect("ORDPATH audits");
+        assert_eq!(audit.component_limit, 1 << 9);
+        assert_eq!(scheme.component_limit, 1 << 43, "production default");
+    }
+
+    #[test]
+    fn negative_carets_sort_before_positive() {
+        let before = OrdPathLabel {
+            components: vec![1, -1],
+        };
+        let first = OrdPathLabel {
+            components: vec![1, 1],
+        };
+        assert!(before < first);
+    }
+}

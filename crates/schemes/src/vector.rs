@@ -1,0 +1,408 @@
+//! The Vector labelling scheme (Xu, Bao & Ling, DEXA 2007 — \[27\] in the
+//! paper).
+//!
+//! Order labels are `(x, y)` vectors compared by gradient via
+//! cross-multiplication (no division — Figure 7's `F` in *Division
+//! Comp.*); insertion takes the mediant of the neighbours, so no existing
+//! label ever changes and the growth rate under skewed insertion is far
+//! slower than QED's (the paper's §4 empirical note, reproduced by the P3
+//! growth benchmark).
+//!
+//! Applied here in its prefix form: a label is the vector path from the
+//! root, giving ancestor-descendant by prefix while each component keeps
+//! the vector algebra. The paper classifies Vector's *XPath Eval.* as `P`
+//! and *Level Enc.* as `N` — the pure order-label form it evaluates
+//! carries no structure — so this scheme deliberately reports
+//! sibling/level queries as unsupported even though the path form could
+//! answer them, keeping the measured matrix aligned with what the
+//! published scheme offers.
+//!
+//! Components exhausting 64 bits (Fibonacci-like zigzag insertion) are
+//! detected and renumbered with an overflow event — the paper's open
+//! question about Vector's UTF-8 delimiter handling beyond 2²¹ is
+//! surfaced by [`xupd_labelcore::VectorCode::exceeds_utf8`].
+
+use std::cmp::Ordering;
+use xupd_labelcore::vectorcode::bulk_vector;
+use xupd_labelcore::{
+    EncodingRep, InsertReport, Label, Labeling, LabelingScheme, OrderKind, Relation,
+    SchemeDescriptor, SchemeStats, VectorCode,
+};
+use xupd_xmldom::{NodeId, XmlTree};
+
+/// A vector-path label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VectorLabel {
+    components: Vec<VectorCode>,
+}
+
+impl VectorLabel {
+    fn root() -> Self {
+        VectorLabel {
+            components: Vec::new(),
+        }
+    }
+
+    fn child(&self, code: VectorCode) -> Self {
+        let mut components = self.components.clone();
+        components.push(code);
+        VectorLabel { components }
+    }
+
+    /// The raw vector components.
+    pub fn components(&self) -> &[VectorCode] {
+        &self.components
+    }
+
+    fn own(&self) -> Option<&VectorCode> {
+        self.components.last()
+    }
+
+    fn is_strict_prefix_of(&self, other: &VectorLabel) -> bool {
+        self.components.len() < other.components.len()
+            && other.components[..self.components.len()] == self.components[..]
+    }
+}
+
+impl PartialOrd for VectorLabel {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for VectorLabel {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for (a, b) in self.components.iter().zip(&other.components) {
+            match a.cmp_gradient(b) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        self.components.len().cmp(&other.components.len())
+    }
+}
+
+impl Label for VectorLabel {
+    fn size_bits(&self) -> u64 {
+        self.components.iter().map(|c| c.size_bits()).sum()
+    }
+
+    fn display(&self) -> String {
+        if self.components.is_empty() {
+            return "∅".to_string();
+        }
+        self.components
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(".")
+    }
+}
+
+/// The Vector labelling scheme.
+#[derive(Debug, Clone, Default)]
+pub struct VectorScheme {
+    stats: SchemeStats,
+}
+
+impl VectorScheme {
+    /// A fresh Vector scheme.
+    pub fn new() -> Self {
+        VectorScheme::default()
+    }
+
+    fn label_children(
+        &mut self,
+        tree: &XmlTree,
+        node: NodeId,
+        path: &VectorLabel,
+        labeling: &mut Labeling<VectorLabel>,
+    ) {
+        let children: Vec<NodeId> = tree.children(node).collect();
+        if children.is_empty() {
+            return;
+        }
+        let codes = bulk_vector(children.len(), &mut self.stats.recursive_calls);
+        for (child, code) in children.into_iter().zip(codes) {
+            let child_path = path.child(code);
+            labeling.set(child, child_path.clone());
+            self.label_children(tree, child, &child_path, labeling);
+        }
+    }
+}
+
+impl LabelingScheme for VectorScheme {
+    type Label = VectorLabel;
+
+    fn name(&self) -> &'static str {
+        "Vector"
+    }
+
+    fn descriptor(&self) -> SchemeDescriptor {
+        SchemeDescriptor {
+            name: "Vector",
+            citation: "[27]",
+            order: OrderKind::Hybrid,
+            encoding: EncodingRep::Variable,
+            // Figure 7 row: Hybrid Variable F P N F F F F N
+            declared: SchemeDescriptor::declared_from_letters("FPNFFFFN"),
+            in_figure7: true,
+        }
+    }
+
+    fn label_tree(&mut self, tree: &XmlTree) -> Labeling<VectorLabel> {
+        let mut labeling = Labeling::with_capacity_for(tree);
+        let root = VectorLabel::root();
+        labeling.set(tree.root(), root.clone());
+        self.label_children(tree, tree.root(), &root, &mut labeling);
+        labeling
+    }
+
+    fn on_insert(
+        &mut self,
+        tree: &XmlTree,
+        labeling: &mut Labeling<VectorLabel>,
+        node: NodeId,
+    ) -> InsertReport {
+        let parent = tree.parent(node).expect("attached");
+        let parent_path = labeling.expect(parent).clone();
+        // unlabelled neighbours belong to the same graft batch: absent
+        let left = tree
+            .prev_sibling(node)
+            .and_then(|s| labeling.get(s))
+            .and_then(|l| l.own().copied())
+            .unwrap_or(VectorCode::LOW);
+        let right = tree
+            .next_sibling(node)
+            .and_then(|s| labeling.get(s))
+            .and_then(|l| l.own().copied())
+            .unwrap_or(VectorCode::HIGH);
+        match left.mediant(&right) {
+            Some(code) => {
+                labeling.set(node, parent_path.child(code));
+                InsertReport::clean()
+            }
+            None => {
+                // 64-bit component exhaustion: renumber this sibling list.
+                self.stats.overflow_events += 1;
+                let siblings: Vec<NodeId> = tree.children(parent).collect();
+                let codes = bulk_vector(siblings.len(), &mut self.stats.recursive_calls);
+                let mut relabeled = Vec::new();
+                for (sib, code) in siblings.into_iter().zip(codes) {
+                    let new_path = parent_path.child(code);
+                    rebase(
+                        tree,
+                        labeling,
+                        sib,
+                        new_path,
+                        node,
+                        &mut relabeled,
+                        &mut self.stats,
+                    );
+                }
+                InsertReport {
+                    relabeled,
+                    overflowed: true,
+                }
+            }
+        }
+    }
+
+    fn cmp_doc(&self, a: &VectorLabel, b: &VectorLabel) -> Ordering {
+        a.cmp(b)
+    }
+
+    fn relation(&self, rel: Relation, a: &VectorLabel, b: &VectorLabel) -> Option<bool> {
+        match rel {
+            // The prefix application does give ancestor-descendant; the
+            // published order-label scheme stops there (XPath Eval. = P).
+            Relation::AncestorDescendant => Some(a.is_strict_prefix_of(b)),
+            Relation::ParentChild => None,
+            Relation::Sibling => None,
+        }
+    }
+
+    fn level(&self, _a: &VectorLabel) -> Option<u32> {
+        // Level Enc. = N: the evaluated scheme does not expose depth.
+        None
+    }
+
+    fn stats(&self) -> &SchemeStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+}
+
+fn rebase(
+    tree: &XmlTree,
+    labeling: &mut Labeling<VectorLabel>,
+    node: NodeId,
+    new_path: VectorLabel,
+    skip: NodeId,
+    relabeled: &mut Vec<NodeId>,
+    stats: &mut SchemeStats,
+) {
+    let old = labeling.get(node).cloned();
+    if old.as_ref() != Some(&new_path) {
+        if node != skip && old.is_some() {
+            relabeled.push(node);
+            stats.relabeled_nodes += 1;
+        }
+        labeling.set(node, new_path.clone());
+    }
+    let children: Vec<NodeId> = tree.children(node).collect();
+    for child in children {
+        // unlabelled children belong to an in-flight graft batch
+        let Some(own) = labeling.get(child).and_then(|l| l.own().copied()) else {
+            continue;
+        };
+        rebase(
+            tree,
+            labeling,
+            child,
+            new_path.child(own),
+            skip,
+            relabeled,
+            stats,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xupd_xmldom::sample::figure1_document;
+    use xupd_xmldom::{NodeKind, TreeBuilder};
+
+    #[test]
+    fn order_and_ancestry_on_figure1() {
+        let tree = figure1_document();
+        let mut scheme = VectorScheme::new();
+        let labeling = scheme.label_tree(&tree);
+        let all = tree.ids_in_doc_order();
+        for w in all.windows(2) {
+            assert_eq!(
+                scheme.cmp_doc(labeling.expect(w[0]), labeling.expect(w[1])),
+                Ordering::Less
+            );
+        }
+        for &u in &all {
+            for &v in &all {
+                if u == v {
+                    continue;
+                }
+                assert_eq!(
+                    scheme.relation(
+                        Relation::AncestorDescendant,
+                        labeling.expect(u),
+                        labeling.expect(v)
+                    ),
+                    Some(tree.is_ancestor(u, v))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mediant_insertions_never_relabel() {
+        let mut tree = figure1_document();
+        let mut scheme = VectorScheme::new();
+        let mut labeling = scheme.label_tree(&tree);
+        let book = tree.document_element().unwrap();
+        let first = tree.first_child(book).unwrap();
+        let mut front = first;
+        for _ in 0..1000 {
+            let x = tree.create(NodeKind::element("x"));
+            tree.insert_before(front, x).unwrap();
+            let rep = scheme.on_insert(&tree, &mut labeling, x);
+            assert!(rep.relabeled.is_empty());
+            assert!(!rep.overflowed);
+            front = x;
+        }
+        assert_eq!(scheme.stats().relabeled_nodes, 0);
+        assert!(labeling.find_duplicate().is_none());
+    }
+
+    #[test]
+    fn skewed_growth_is_much_slower_than_qed() {
+        // The paper (§4/§5): "under skewed insertions … the vector label
+        // growth rate is much slower than QED under similar conditions".
+        use crate::prefix::qed::Qed;
+        let build = || TreeBuilder::new().open("r").leaf("a", "").close().finish();
+        let mut tv = build();
+        let mut tq = build();
+        let mut vs = VectorScheme::new();
+        let mut qs = Qed::new();
+        let mut lv = vs.label_tree(&tv);
+        let mut lq = qs.label_tree(&tq);
+        let fv = {
+            let re = tv.document_element().unwrap();
+            tv.first_child(re).unwrap()
+        };
+        let fq = {
+            let re = tq.document_element().unwrap();
+            tq.first_child(re).unwrap()
+        };
+        let (mut frontv, mut frontq) = (fv, fq);
+        for _ in 0..300 {
+            let xv = tv.create(NodeKind::element("x"));
+            tv.insert_before(frontv, xv).unwrap();
+            vs.on_insert(&tv, &mut lv, xv);
+            frontv = xv;
+            let xq = tq.create(NodeKind::element("x"));
+            tq.insert_before(frontq, xq).unwrap();
+            qs.on_insert(&tq, &mut lq, xq);
+            frontq = xq;
+        }
+        let vbits = lv.expect(frontv).size_bits();
+        let qbits = lq.expect(frontq).size_bits();
+        assert!(
+            vbits * 4 < qbits,
+            "vector {vbits} bits should be ≪ qed {qbits} bits"
+        );
+    }
+
+    #[test]
+    fn zigzag_exhaustion_triggers_overflow_and_recovers() {
+        let mut tree = TreeBuilder::new()
+            .open("r")
+            .leaf("a", "")
+            .leaf("b", "")
+            .close()
+            .finish();
+        let mut scheme = VectorScheme::new();
+        let mut labeling = scheme.label_tree(&tree);
+        let re = tree.document_element().unwrap();
+        // Alternating nested insertion (always between the two newest
+        // nodes) grows components Fibonacci-fast.
+        let mut left = tree.first_child(re).unwrap();
+        let mut right = tree.next_sibling(left).unwrap();
+        let mut overflowed = false;
+        for i in 0..300 {
+            let x = tree.create(NodeKind::element("x"));
+            tree.insert_after(left, x).unwrap();
+            let rep = scheme.on_insert(&tree, &mut labeling, x);
+            if rep.overflowed {
+                overflowed = true;
+                break;
+            }
+            if i % 2 == 0 {
+                right = x;
+            } else {
+                left = x;
+            }
+            let _ = right;
+        }
+        assert!(overflowed, "u64 components must exhaust under zigzag");
+        let order = tree.ids_in_doc_order();
+        for w in order.windows(2) {
+            assert_eq!(
+                scheme.cmp_doc(labeling.expect(w[0]), labeling.expect(w[1])),
+                Ordering::Less
+            );
+        }
+    }
+}

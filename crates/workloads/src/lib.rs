@@ -1,0 +1,19 @@
+//! # xupd-workloads — deterministic documents and update scripts
+//!
+//! The paper's framework properties are judged "under various update
+//! scenarios … frequent random updates, frequent uniform updates and
+//! skewed frequent updates (frequent updates at a fixed position)"
+//! (§5.1, *Compact Encoding*). This crate supplies those scenarios:
+//!
+//! * [`docs`] — document generators (the paper's Figure 1 sample, wide /
+//!   deep / random-shaped trees, and an XMark-flavoured auction
+//!   document), all seed-deterministic;
+//! * [`script`] — update scripts: sequences of structural operations
+//!   ([`ScriptOp`]) addressed by document-order index so any driver can
+//!   replay them against any labelling scheme, plus generators for the
+//!   random / uniform / skewed / zigzag batteries.
+
+pub mod docs;
+pub mod script;
+
+pub use script::{Script, ScriptKind, ScriptOp};

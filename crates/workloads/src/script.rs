@@ -1,0 +1,209 @@
+//! Replayable update scripts.
+//!
+//! A script is a sequence of structural operations addressed by
+//! *document-order index into the current element pool*, so the same
+//! script replays identically against any labelling scheme and any
+//! driver. Index resolution happens at execution time (the pool evolves
+//! as the script runs), which keeps scripts compact and deterministic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One structural update. Indices address the element pool (all live
+/// element nodes in document order) at the moment the op executes; the
+/// driver resolves them modulo the pool size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScriptOp {
+    /// Insert a new element immediately before the indexed element (no-op
+    /// target when it has no parent, i.e. the pool slot is the document
+    /// element — drivers fall back to prepend-child of it).
+    InsertBefore(usize),
+    /// Insert a new element immediately after the indexed element (same
+    /// fallback: append-child).
+    InsertAfter(usize),
+    /// Insert a new element as the first child of the indexed element.
+    PrependChild(usize),
+    /// Insert a new element as the last child of the indexed element.
+    AppendChild(usize),
+    /// Delete the subtree rooted at the indexed element (skipped when the
+    /// pool would drop below two elements).
+    DeleteSubtree(usize),
+}
+
+/// The §5.1 update-scenario taxonomy plus the adversarial zigzag probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScriptKind {
+    /// Frequent random updates: random positions, random op mix.
+    Random,
+    /// Frequent uniform updates: appends spread evenly over the pool.
+    Uniform,
+    /// Skewed frequent updates: always at one fixed position
+    /// (insert-before the same element).
+    Skewed,
+    /// Append-only at the document element (log-style growth).
+    AppendOnly,
+    /// Prepend storm: always insert as the first child of one fixed
+    /// parent — the skew variant that exposes before-first growth rates
+    /// (LSDX's `a` prefixes, ImprovedBinary's one-bit-per-insert rule).
+    PrependStorm,
+    /// Alternating nested insertion — the adversarial pattern that
+    /// exhausts mediant/interval encodings fastest.
+    Zigzag,
+    /// Random insertions mixed with subtree deletions.
+    MixedDelete,
+}
+
+impl ScriptKind {
+    /// All kinds, for batteries.
+    pub const ALL: [ScriptKind; 7] = [
+        ScriptKind::Random,
+        ScriptKind::Uniform,
+        ScriptKind::Skewed,
+        ScriptKind::AppendOnly,
+        ScriptKind::PrependStorm,
+        ScriptKind::Zigzag,
+        ScriptKind::MixedDelete,
+    ];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScriptKind::Random => "random",
+            ScriptKind::Uniform => "uniform",
+            ScriptKind::Skewed => "skewed",
+            ScriptKind::AppendOnly => "append-only",
+            ScriptKind::PrependStorm => "prepend-storm",
+            ScriptKind::Zigzag => "zigzag",
+            ScriptKind::MixedDelete => "mixed-delete",
+        }
+    }
+}
+
+/// A replayable update script.
+#[derive(Debug, Clone)]
+pub struct Script {
+    /// Scenario this script encodes.
+    pub kind: ScriptKind,
+    /// The operations, in order.
+    pub ops: Vec<ScriptOp>,
+}
+
+impl Script {
+    /// Generate a script of `len` operations over a pool of roughly
+    /// `pool_hint` elements. Deterministic for a given seed.
+    pub fn generate(kind: ScriptKind, len: usize, pool_hint: usize, seed: u64) -> Script {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0000);
+        let hint = pool_hint.max(2);
+        let ops = match kind {
+            ScriptKind::Random => (0..len)
+                .map(|_| {
+                    let target = rng.gen_range(0..hint);
+                    match rng.gen_range(0..4u8) {
+                        0 => ScriptOp::InsertBefore(target),
+                        1 => ScriptOp::InsertAfter(target),
+                        2 => ScriptOp::PrependChild(target),
+                        _ => ScriptOp::AppendChild(target),
+                    }
+                })
+                .collect(),
+            ScriptKind::Uniform => {
+                // stride through the pool, appending one child everywhere
+                let stride = (hint / 7).max(1) | 1;
+                (0..len)
+                    .map(|i| ScriptOp::AppendChild((i * stride) % hint))
+                    .collect()
+            }
+            ScriptKind::Skewed => {
+                let site = hint / 2;
+                (0..len).map(|_| ScriptOp::InsertBefore(site)).collect()
+            }
+            ScriptKind::AppendOnly => (0..len).map(|_| ScriptOp::AppendChild(0)).collect(),
+            ScriptKind::PrependStorm => {
+                let site = hint / 3;
+                (0..len).map(|_| ScriptOp::PrependChild(site)).collect()
+            }
+            ScriptKind::Zigzag => {
+                // Always insert after the element created half a step ago:
+                // the driver interprets index usize::MAX as "the
+                // second-most-recently inserted element", producing the
+                // alternating nesting pattern.
+                (0..len)
+                    .map(|_| ScriptOp::InsertAfter(usize::MAX))
+                    .collect()
+            }
+            ScriptKind::MixedDelete => (0..len)
+                .map(|_| {
+                    let target = rng.gen_range(0..hint);
+                    match rng.gen_range(0..5u8) {
+                        0 => ScriptOp::DeleteSubtree(target),
+                        1 => ScriptOp::InsertBefore(target),
+                        2 => ScriptOp::InsertAfter(target),
+                        3 => ScriptOp::PrependChild(target),
+                        _ => ScriptOp::AppendChild(target),
+                    }
+                })
+                .collect(),
+        };
+        Script { kind, ops }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Script::generate(ScriptKind::Random, 100, 50, 9);
+        let b = Script::generate(ScriptKind::Random, 100, 50, 9);
+        assert_eq!(a.ops, b.ops);
+        let c = Script::generate(ScriptKind::Random, 100, 50, 10);
+        assert_ne!(a.ops, c.ops);
+    }
+
+    #[test]
+    fn skewed_targets_one_site() {
+        let s = Script::generate(ScriptKind::Skewed, 50, 100, 1);
+        assert!(s
+            .ops
+            .iter()
+            .all(|op| matches!(op, ScriptOp::InsertBefore(50))));
+    }
+
+    #[test]
+    fn uniform_spreads_appends() {
+        let s = Script::generate(ScriptKind::Uniform, 100, 70, 1);
+        let mut targets: Vec<usize> = s
+            .ops
+            .iter()
+            .map(|op| match op {
+                ScriptOp::AppendChild(t) => *t,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        targets.sort_unstable();
+        targets.dedup();
+        assert!(targets.len() > 30, "appends hit many distinct sites");
+    }
+
+    #[test]
+    fn mixed_contains_deletes_and_inserts() {
+        let s = Script::generate(ScriptKind::MixedDelete, 200, 50, 3);
+        assert!(s
+            .ops
+            .iter()
+            .any(|o| matches!(o, ScriptOp::DeleteSubtree(_))));
+        assert!(s
+            .ops
+            .iter()
+            .any(|o| !matches!(o, ScriptOp::DeleteSubtree(_))));
+    }
+
+    #[test]
+    fn all_kinds_generate_requested_length() {
+        for kind in ScriptKind::ALL {
+            let s = Script::generate(kind, 37, 20, 5);
+            assert_eq!(s.ops.len(), 37, "{}", kind.name());
+        }
+    }
+}

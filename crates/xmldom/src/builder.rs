@@ -1,0 +1,167 @@
+//! A fluent builder for constructing documents programmatically, used by
+//! workload generators and tests where going through the parser would be
+//! wasteful.
+
+use crate::node::{NodeId, NodeKind};
+use crate::tree::XmlTree;
+
+/// Builds an [`XmlTree`] with a cursor-based API.
+///
+/// ```
+/// use xupd_xmldom::{TreeBuilder, serialize_compact};
+///
+/// let tree = TreeBuilder::new()
+///     .open("book")
+///     .attr("isbn", "123")
+///     .open("title").text("Wayfarer").close()
+///     .close()
+///     .finish();
+/// assert_eq!(
+///     serialize_compact(&tree),
+///     "<book isbn=\"123\"><title>Wayfarer</title></book>"
+/// );
+/// ```
+pub struct TreeBuilder {
+    tree: XmlTree,
+    stack: Vec<NodeId>,
+}
+
+impl Default for TreeBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TreeBuilder {
+    /// Start a new document.
+    pub fn new() -> Self {
+        let tree = XmlTree::new();
+        let root = tree.root();
+        TreeBuilder {
+            tree,
+            stack: vec![root],
+        }
+    }
+
+    fn cursor(&self) -> NodeId {
+        *self.stack.last().expect("stack never empties below root")
+    }
+
+    /// Open a child element and move the cursor into it.
+    pub fn open(mut self, name: impl Into<String>) -> Self {
+        let e = self.tree.create(NodeKind::element(name));
+        self.tree
+            .append_child(self.cursor(), e)
+            .expect("cursor is live");
+        self.stack.push(e);
+        self
+    }
+
+    /// Close the current element, moving the cursor back to its parent.
+    ///
+    /// # Panics
+    /// Panics if no element is open.
+    pub fn close(mut self) -> Self {
+        assert!(self.stack.len() > 1, "close() with no open element");
+        self.stack.pop();
+        self
+    }
+
+    /// Add an attribute to the current element.
+    pub fn attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        let a = self.tree.create(NodeKind::attribute(name, value));
+        self.tree
+            .append_child(self.cursor(), a)
+            .expect("cursor is live");
+        self
+    }
+
+    /// Add a text child to the current element.
+    pub fn text(mut self, value: impl Into<String>) -> Self {
+        let t = self.tree.create(NodeKind::text(value));
+        self.tree
+            .append_child(self.cursor(), t)
+            .expect("cursor is live");
+        self
+    }
+
+    /// Add a comment child.
+    pub fn comment(mut self, value: impl Into<String>) -> Self {
+        let c = self.tree.create(NodeKind::comment(value));
+        self.tree
+            .append_child(self.cursor(), c)
+            .expect("cursor is live");
+        self
+    }
+
+    /// Add a processing-instruction child.
+    pub fn pi(mut self, target: impl Into<String>, data: impl Into<String>) -> Self {
+        let p = self.tree.create(NodeKind::pi(target, data));
+        self.tree
+            .append_child(self.cursor(), p)
+            .expect("cursor is live");
+        self
+    }
+
+    /// Shorthand: `open(name).text(value).close()`.
+    pub fn leaf(self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.open(name).text(value).close()
+    }
+
+    /// Finish building.
+    ///
+    /// # Panics
+    /// Panics if elements are still open.
+    pub fn finish(self) -> XmlTree {
+        assert!(
+            self.stack.len() == 1,
+            "finish() with {} unclosed element(s)",
+            self.stack.len() - 1
+        );
+        self.tree
+    }
+
+    /// Finish building even with open elements (auto-closing them), and
+    /// also return the id of the last node the cursor pointed at.
+    pub fn finish_lenient(self) -> XmlTree {
+        self.tree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serializer::serialize_compact;
+
+    #[test]
+    fn nested_structure() {
+        let t = TreeBuilder::new()
+            .open("a")
+            .open("b")
+            .leaf("c", "x")
+            .close()
+            .comment("done")
+            .close()
+            .finish();
+        assert_eq!(serialize_compact(&t), "<a><b><c>x</c></b><!--done--></a>");
+        t.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed")]
+    fn finish_panics_on_open_element() {
+        let _ = TreeBuilder::new().open("a").finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "no open element")]
+    fn close_panics_at_root() {
+        let _ = TreeBuilder::new().close();
+    }
+
+    #[test]
+    fn lenient_finish_allows_open_elements() {
+        let t = TreeBuilder::new().open("a").open("b").finish_lenient();
+        assert_eq!(t.len(), 3);
+    }
+}

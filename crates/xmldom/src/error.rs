@@ -1,0 +1,136 @@
+//! Error types for tree manipulation and XML parsing.
+
+use crate::node::NodeId;
+use std::fmt;
+
+/// Errors raised by structural operations on an [`crate::XmlTree`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// The node id refers to a deleted node.
+    DeadNode(NodeId),
+    /// Attempted to detach, delete or re-parent the document root.
+    RootImmutable,
+    /// Attempted to attach a node that is already attached somewhere.
+    AlreadyAttached(NodeId),
+    /// Attempted to attach a node under (or next to) itself or its own
+    /// descendant, which would create a cycle.
+    WouldCycle(NodeId),
+    /// The reference sibling has no parent (is detached), so there is no
+    /// position "before"/"after" it.
+    NoParent(NodeId),
+    /// A structural invariant check failed; carries a human-readable
+    /// description. Only produced by [`crate::XmlTree::validate`].
+    Invariant(String),
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::DeadNode(id) => write!(f, "node {id} has been deleted"),
+            TreeError::RootImmutable => write!(f, "the document root cannot be moved or deleted"),
+            TreeError::AlreadyAttached(id) => {
+                write!(f, "node {id} is already attached to a parent")
+            }
+            TreeError::WouldCycle(id) => {
+                write!(f, "attaching node {id} here would create a cycle")
+            }
+            TreeError::NoParent(id) => write!(f, "node {id} is detached; no sibling position"),
+            TreeError::Invariant(msg) => write!(f, "tree invariant violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// Errors raised by the XML parser, with byte offset and 1-based line/column
+/// of the offending input position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number (in bytes).
+    pub column: usize,
+}
+
+/// The specific parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Input ended in the middle of a construct.
+    UnexpectedEof(&'static str),
+    /// A tag, attribute or PI target name was empty or started with an
+    /// invalid character.
+    InvalidName,
+    /// Expected a specific token (e.g. `=` after an attribute name).
+    Expected(&'static str),
+    /// A closing tag did not match the innermost open element.
+    MismatchedClose {
+        /// Name the parser expected to be closed.
+        expected: String,
+        /// Name found in the closing tag.
+        found: String,
+    },
+    /// Text or markup found after the document element closed, or a closing
+    /// tag with no element open.
+    TrailingContent,
+    /// An entity reference was malformed or unknown (only the five
+    /// predefined entities and numeric character references are supported).
+    BadEntity(String),
+    /// The same attribute appears twice on one element.
+    DuplicateAttribute(String),
+    /// The document contained no element at all.
+    NoDocumentElement,
+    /// A numeric character reference does not denote a valid char.
+    BadCharRef(u32),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}: ", self.line, self.column)?;
+        match &self.kind {
+            ParseErrorKind::UnexpectedEof(ctx) => write!(f, "unexpected end of input in {ctx}"),
+            ParseErrorKind::InvalidName => write!(f, "invalid name"),
+            ParseErrorKind::Expected(tok) => write!(f, "expected {tok}"),
+            ParseErrorKind::MismatchedClose { expected, found } => {
+                write!(
+                    f,
+                    "mismatched closing tag: expected </{expected}>, found </{found}>"
+                )
+            }
+            ParseErrorKind::TrailingContent => write!(f, "content after document element"),
+            ParseErrorKind::BadEntity(e) => write!(f, "unknown or malformed entity '&{e};'"),
+            ParseErrorKind::DuplicateAttribute(a) => write!(f, "duplicate attribute '{a}'"),
+            ParseErrorKind::NoDocumentElement => write!(f, "document has no root element"),
+            ParseErrorKind::BadCharRef(v) => write!(f, "invalid character reference #{v}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = ParseError {
+            kind: ParseErrorKind::Expected(">"),
+            offset: 10,
+            line: 2,
+            column: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("line 2"), "{s}");
+        assert!(s.contains("expected >"), "{s}");
+    }
+
+    #[test]
+    fn tree_error_display() {
+        assert!(TreeError::RootImmutable.to_string().contains("root"));
+        assert!(TreeError::DeadNode(NodeId(3)).to_string().contains("n3"));
+    }
+}

@@ -1,0 +1,55 @@
+//! Quickstart: parse a document, label it with a dynamic scheme, update
+//! it without relabelling, and query it through the encoding.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use xml_update_props::encoding::{parse_xpath, EncodedDocument};
+use xml_update_props::labelcore::{Label, LabelingScheme};
+use xml_update_props::schemes::prefix::qed::Qed;
+use xml_update_props::xmldom::{parse, serialize_pretty, NodeKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Parse the paper's Figure 1 sample document.
+    let mut tree = parse(xml_update_props::xmldom::sample::FIGURE1_XML)?;
+    println!("Parsed {} nodes.\n", tree.len());
+
+    // 2. Label it with QED — a scheme that never relabels (§4).
+    let mut scheme = Qed::new();
+    let mut labeling = scheme.label_tree(&tree);
+    println!("QED labels (document order):");
+    for id in tree.ids_in_doc_order() {
+        if let Some(name) = tree.kind(id).name() {
+            println!("  {:<12} {}", name, labeling.expect(id).display());
+        }
+    }
+
+    // 3. Structural update: a new chapter element squeezed between title
+    //    and author. No existing label changes.
+    let book = tree.document_element().expect("document element");
+    let title = tree.first_child(book).expect("title");
+    let chapter = tree.create(NodeKind::element("chapter"));
+    tree.insert_after(title, chapter)?;
+    let report = scheme.on_insert(&tree, &mut labeling, chapter);
+    println!(
+        "\nInserted <chapter> with label {} — {} existing labels touched.",
+        labeling.expect(chapter).display(),
+        report.relabeled.len()
+    );
+    assert!(report.relabeled.is_empty());
+
+    // 4. Query through the encoding scheme (Definition 2).
+    let enc = EncodedDocument::encode(Qed::new(), &tree);
+    let hits = parse_xpath("/book/publisher/editor/name")?.evaluate(&enc);
+    for h in hits {
+        println!(
+            "XPath /book/publisher/editor/name → \"{}\"",
+            enc.string_value(h)
+        );
+    }
+
+    // 5. The document is still a well-formed XML text.
+    println!("\nSerialized:\n{}", serialize_pretty(&tree));
+    Ok(())
+}

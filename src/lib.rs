@@ -1,0 +1,27 @@
+//! # xml-update-props
+//!
+//! An executable reproduction of *Desirable Properties for XML Update
+//! Mechanisms* (O'Connor & Roantree, EDBT 2010 workshop "Updates in XML").
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`xmldom`] — the ordered XML tree substrate, parser and serializer;
+//! * [`labelcore`] — label algebra primitives and the [`labelcore::LabelingScheme`] trait;
+//! * [`schemes`] — the twelve surveyed dynamic labelling schemes plus the
+//!   paper's §6 future-work schemes (Prime, DDE) and compact variants;
+//! * [`framework`] — the paper's contribution: the ten desirable
+//!   properties, the Figure 7 evaluation matrix, and empirical checkers
+//!   that measure a scheme's compliance instead of trusting its claims;
+//! * [`encoding`] — the XML encoding scheme (Definition 2 / Figure 2) with
+//!   an XPath-subset evaluator and full document reconstruction;
+//! * [`workloads`] — deterministic document generators and update
+//!   workloads (random / uniform / skewed insertions).
+//!
+//! See `README.md` for a tour and `examples/` for runnable entry points.
+
+pub use xupd_encoding as encoding;
+pub use xupd_framework as framework;
+pub use xupd_labelcore as labelcore;
+pub use xupd_schemes as schemes;
+pub use xupd_workloads as workloads;
+pub use xupd_xmldom as xmldom;

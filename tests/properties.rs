@@ -1,0 +1,197 @@
+//! Property-based tests (proptest) over the whole stack: arbitrary
+//! documents and update scripts must preserve the Definition 1
+//! invariants for every scheme, and parse/serialize must round-trip.
+
+use proptest::prelude::*;
+use xml_update_props::framework::driver::run_script;
+use xml_update_props::framework::verify::verify;
+use xml_update_props::labelcore::LabelingScheme;
+use xml_update_props::workloads::{docs, Script, ScriptKind, ScriptOp};
+use xml_update_props::xmldom::{parse, serialize_compact, TreeBuilder, XmlTree};
+
+// ---------- arbitrary documents ------------------------------------
+
+/// A tree shape encoded as a sequence of builder moves: `true` opens a
+/// child, `false` closes (ignored at the root).
+fn arb_tree() -> impl Strategy<Value = XmlTree> {
+    proptest::collection::vec(any::<bool>(), 1..120).prop_map(|moves| {
+        let mut b = TreeBuilder::new().open("r");
+        let mut depth = 1usize;
+        for (i, open) in moves.into_iter().enumerate() {
+            if open && depth < 12 {
+                b = b.open(format!("e{i}"));
+                depth += 1;
+            } else if depth > 1 {
+                b = b.close();
+                depth -= 1;
+            }
+        }
+        b.finish_lenient()
+    })
+}
+
+/// Arbitrary update scripts as (kind, target) pairs.
+fn arb_script() -> impl Strategy<Value = Script> {
+    proptest::collection::vec((0u8..5, 0usize..64), 1..60).prop_map(|raw| Script {
+        kind: ScriptKind::Random,
+        ops: raw
+            .into_iter()
+            .map(|(k, t)| match k {
+                0 => ScriptOp::InsertBefore(t),
+                1 => ScriptOp::InsertAfter(t),
+                2 => ScriptOp::PrependChild(t),
+                3 => ScriptOp::AppendChild(t),
+                _ => ScriptOp::DeleteSubtree(t),
+            })
+            .collect(),
+    })
+}
+
+// ---------- parser/serializer round-trip ----------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn serialize_parse_round_trip(tree in arb_tree()) {
+        let text = serialize_compact(&tree);
+        let back = parse(&text).expect("serialized documents re-parse");
+        prop_assert_eq!(serialize_compact(&back), text);
+        prop_assert_eq!(back.len(), tree.len());
+    }
+
+    #[test]
+    fn text_and_attr_escaping_round_trips(
+        value in "[ -~]{0,40}",  // printable ASCII incl. <>&"'
+        attr in "[ -~]{0,40}",
+    ) {
+        let tree = TreeBuilder::new()
+            .open("e")
+            .attr("a", attr.clone())
+            .text(value.clone())
+            .close()
+            .finish();
+        let text = serialize_compact(&tree);
+        let back = parse(&text).expect("escaped output re-parses");
+        let e = back.document_element().unwrap();
+        prop_assert_eq!(back.attribute(e, "a").unwrap(), attr.as_str());
+        prop_assert_eq!(back.text_content(e), value);
+    }
+}
+
+// ---------- scheme invariants under arbitrary scripts ----------------
+
+macro_rules! scheme_invariant_props {
+    ($($test_name:ident => $make:expr),+ $(,)?) => {$(
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            #[test]
+            fn $test_name(tree in arb_tree(), script in arb_script()) {
+                let mut tree = tree;
+                let mut scheme = $make;
+                let mut labeling = scheme.label_tree(&tree);
+                run_script(&mut tree, &mut scheme, &mut labeling, &script);
+                tree.validate().expect("tree invariants");
+                prop_assert_eq!(labeling.len(), tree.len());
+                let v = verify(&tree, &scheme, &labeling, 120, 7);
+                prop_assert!(v.is_sound(), "{}: {:?}", scheme.name(), v);
+            }
+        }
+    )+};
+}
+
+scheme_invariant_props! {
+    accel_invariants => xml_update_props::schemes::containment::accel::XPathAccelerator::new(),
+    xrel_invariants => xml_update_props::schemes::containment::xrel::XRel::new(),
+    sector_invariants => xml_update_props::schemes::containment::sector::Sector::new(),
+    qrs_invariants => xml_update_props::schemes::containment::qrs::Qrs::new(),
+    dewey_invariants => xml_update_props::schemes::prefix::dewey::DeweyId::new(),
+    ordpath_invariants => xml_update_props::schemes::prefix::ordpath::OrdPath::new(),
+    dln_invariants => xml_update_props::schemes::prefix::dln::Dln::new(),
+    improved_binary_invariants => xml_update_props::schemes::prefix::improved_binary::ImprovedBinary::new(),
+    qed_invariants => xml_update_props::schemes::prefix::qed::Qed::new(),
+    cdbs_invariants => xml_update_props::schemes::prefix::cdbs::Cdbs::new(),
+    cdqs_invariants => xml_update_props::schemes::prefix::cdqs::Cdqs::new(),
+    vector_invariants => xml_update_props::schemes::vector::VectorScheme::new(),
+    prime_invariants => xml_update_props::schemes::prime::Prime::new(),
+    dde_invariants => xml_update_props::schemes::dde::Dde::new(),
+}
+
+// ---------- persistence property for the overflow-free family --------
+
+macro_rules! persistent_props {
+    ($($test_name:ident => $make:expr),+ $(,)?) => {$(
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            #[test]
+            fn $test_name(tree in arb_tree(), script in arb_script()) {
+                let mut tree = tree;
+                let mut scheme = $make;
+                let mut labeling = scheme.label_tree(&tree);
+                let stats = run_script(&mut tree, &mut scheme, &mut labeling, &script);
+                prop_assert_eq!(stats.relabeled, 0, "{} must never relabel", scheme.name());
+                prop_assert_eq!(stats.overflow_events, 0);
+            }
+        }
+    )+};
+}
+
+persistent_props! {
+    qed_never_relabels => xml_update_props::schemes::prefix::qed::Qed::new(),
+    cdqs_never_relabels => xml_update_props::schemes::prefix::cdqs::Cdqs::new(),
+    prime_never_relabels => xml_update_props::schemes::prime::Prime::new(),
+}
+
+// ---------- LSDX: collisions may happen, but order-of-live-uniques ----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Even when LSDX collides, it must never do so on append-only
+    /// scripts (its safe region).
+    #[test]
+    fn lsdx_append_only_is_collision_free(tree in arb_tree(), n in 1usize..50) {
+        let mut tree = tree;
+        let mut scheme = xml_update_props::schemes::prefix::lsdx::Lsdx::new();
+        let mut labeling = scheme.label_tree(&tree);
+        let script = Script {
+            kind: ScriptKind::AppendOnly,
+            ops: (0..n).map(ScriptOp::AppendChild).collect(),
+        };
+        run_script(&mut tree, &mut scheme, &mut labeling, &script);
+        prop_assert!(labeling.find_duplicate().is_none());
+    }
+}
+
+// ---------- deletion keeps labelling in sync --------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn deletion_sync(tree in arb_tree(), seeds in proptest::collection::vec(0usize..64, 1..20)) {
+        let mut tree = tree;
+        let mut scheme = xml_update_props::schemes::prefix::qed::Qed::new();
+        let mut labeling = scheme.label_tree(&tree);
+        let script = Script {
+            kind: ScriptKind::MixedDelete,
+            ops: seeds.into_iter().map(ScriptOp::DeleteSubtree).collect(),
+        };
+        run_script(&mut tree, &mut scheme, &mut labeling, &script);
+        // every live node labelled, no label for dead nodes
+        prop_assert_eq!(labeling.len(), tree.len());
+        for (id, _) in labeling.iter() {
+            prop_assert!(tree.is_alive(id));
+        }
+    }
+}
+
+// ---------- the sample document is untouched by any of this ----------
+
+#[test]
+fn sample_doc_assumptions() {
+    let tree = docs::book();
+    assert_eq!(tree.len(), 16); // 1 root + 8 elements + 2 attrs + 5 text
+}
