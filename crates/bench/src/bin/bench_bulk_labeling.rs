@@ -2,15 +2,22 @@
 //! scheme, per document size. Backs the "initial construction" costs the
 //! paper discusses (recursive labelling algorithms requiring multiple
 //! passes, §5.1 *Recursive Labelling Algorithm*).
+//!
+//! Offline harness (formerly a criterion bench):
+//!
+//! ```text
+//! cargo run --release -p xupd-bench --bin bench_bulk_labeling
+//! ```
+//!
+//! Emits `results/BENCH_bulk_labeling.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use xupd_labelcore::{LabelingScheme, SchemeVisitor};
+use xupd_testkit::bench::{black_box, Harness};
 use xupd_workloads::docs;
 use xupd_xmldom::XmlTree;
 
 struct BulkBench<'a, 'b> {
-    c: &'a mut Criterion,
+    h: &'a mut Harness,
     tree: &'b XmlTree,
     size: usize,
 }
@@ -18,31 +25,22 @@ struct BulkBench<'a, 'b> {
 impl SchemeVisitor for BulkBench<'_, '_> {
     fn visit<S: LabelingScheme>(&mut self, mut scheme: S) {
         let name = scheme.name();
-        self.c.bench_with_input(
-            BenchmarkId::new(format!("bulk/{name}"), self.size),
-            self.tree,
-            |b, tree| {
-                b.iter(|| black_box(scheme.label_tree(black_box(tree))));
-            },
-        );
+        self.h.bench(&format!("bulk/{name}/{}", self.size), || {
+            black_box(scheme.label_tree(black_box(self.tree)))
+        });
     }
 }
 
-fn bench_bulk(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new("bulk_labeling");
     for size in [500usize, 2000] {
         let tree = docs::random_tree(42, size);
         let mut v = BulkBench {
-            c,
+            h: &mut h,
             tree: &tree,
             size,
         };
         xupd_schemes::visit_figure7_schemes(&mut v);
     }
+    h.finish().expect("write results/BENCH_bulk_labeling.json");
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_bulk
-}
-criterion_main!(benches);

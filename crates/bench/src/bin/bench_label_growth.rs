@@ -1,0 +1,49 @@
+//! P3 — label-growth measurement as a timed harness: drives the skewed
+//! and prepend storms against the headline pair (QED vs Vector) plus the
+//! compact schemes, so one offline run regenerates both the timing and —
+//! via the printed summary — the growth shape the paper relays from
+//! \[27\].
+//!
+//! Offline harness (formerly a criterion bench):
+//!
+//! ```text
+//! cargo run --release -p xupd-bench --bin bench_label_growth
+//! ```
+//!
+//! Emits `results/BENCH_label_growth.json`.
+
+use xupd_bench::growth_series;
+use xupd_schemes::prefix::cdqs::Cdqs;
+use xupd_schemes::prefix::qed::Qed;
+use xupd_schemes::vector::VectorScheme;
+use xupd_testkit::bench::{black_box, Harness};
+use xupd_workloads::{docs, ScriptKind};
+
+fn main() {
+    let mut h = Harness::new("label_growth");
+    let base = docs::wide(50);
+    for kind in [ScriptKind::Skewed, ScriptKind::PrependStorm] {
+        for ops in [200usize, 400] {
+            h.bench(&format!("growth/qed/{}/{ops}", kind.name()), || {
+                black_box(growth_series(Qed::new(), &base, kind, ops, ops, 1))
+            });
+            h.bench(&format!("growth/cdqs/{}/{ops}", kind.name()), || {
+                black_box(growth_series(Cdqs::new(), &base, kind, ops, ops, 1))
+            });
+            h.bench(&format!("growth/vector/{}/{ops}", kind.name()), || {
+                black_box(growth_series(VectorScheme::new(), &base, kind, ops, ops, 1))
+            });
+        }
+    }
+
+    // Print the headline comparison once per run so the series is
+    // recorded alongside the timings (paper-shape check: Vector ≪ QED).
+    let qed = growth_series(Qed::new(), &base, ScriptKind::Skewed, 400, 100, 1);
+    let vec = growth_series(VectorScheme::new(), &base, ScriptKind::Skewed, 400, 100, 1);
+    println!("\nP3 headline (max label bits under 400 skewed inserts):");
+    for (q, v) in qed.points.iter().zip(&vec.points) {
+        println!("  ops={:<4} qed={:<6} vector={}", q.0, q.2, v.2);
+    }
+
+    h.finish().expect("write results/BENCH_label_growth.json");
+}

@@ -1,0 +1,75 @@
+//! P5 — XPath evaluation over the encoding scheme, per labelling
+//! scheme. Schemes whose labels answer more relations (the *XPath
+//! Evaluations* column) let the encoding answer axes from label algebra;
+//! the others fall back to parent-reference chains.
+//!
+//! Offline harness (formerly a criterion bench):
+//!
+//! ```text
+//! cargo run --release -p xupd-bench --bin bench_query_eval
+//! ```
+//!
+//! Emits `results/BENCH_query_eval.json`.
+
+use xupd_encoding::{parse_xpath, EncodedDocument, NameIndex};
+use xupd_labelcore::{LabelingScheme, SchemeVisitor};
+use xupd_schemes::prefix::qed::Qed;
+use xupd_testkit::bench::{black_box, Harness};
+use xupd_workloads::docs;
+use xupd_xmldom::XmlTree;
+
+const QUERIES: [&str; 4] = [
+    "/site/regions/europe/item",
+    "//item/name",
+    "//person/@id",
+    "//open_auction/bidder/following-sibling::*",
+];
+
+struct QueryBench<'a, 'b> {
+    h: &'a mut Harness,
+    tree: &'b XmlTree,
+}
+
+impl SchemeVisitor for QueryBench<'_, '_> {
+    fn visit<S: LabelingScheme>(&mut self, scheme: S) {
+        let name = scheme.name();
+        let doc = EncodedDocument::encode(scheme, self.tree);
+        let exprs: Vec<_> = QUERIES.iter().map(|q| parse_xpath(q).unwrap()).collect();
+        self.h.bench(&format!("xpath/{name}"), || {
+            let mut total = 0usize;
+            for e in &exprs {
+                total += black_box(e.evaluate(&doc)).len();
+            }
+            total
+        });
+    }
+}
+
+/// The §2.3 trade-off, timed: `//name` via full-table evaluation vs the
+/// name index + label-algebra ancestry filter.
+fn bench_index_vs_scan(h: &mut Harness) {
+    let tree = docs::xmark_like(7, 300);
+    let doc = EncodedDocument::encode(Qed::new(), &tree);
+    let expr = parse_xpath("//item").unwrap();
+    let idx = NameIndex::build(&doc);
+    let root = doc.root();
+
+    h.bench("descendant-name/scan", || {
+        black_box(expr.evaluate(&doc)).len()
+    });
+    h.bench("descendant-name/index", || {
+        black_box(idx.descendants_named(&doc, root, "item")).len()
+    });
+}
+
+fn main() {
+    let mut h = Harness::new("query_eval");
+    let tree = docs::xmark_like(7, 150);
+    let mut v = QueryBench {
+        h: &mut h,
+        tree: &tree,
+    };
+    xupd_schemes::visit_figure7_schemes(&mut v);
+    bench_index_vs_scan(&mut h);
+    h.finish().expect("write results/BENCH_query_eval.json");
+}

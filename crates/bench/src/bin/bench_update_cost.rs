@@ -2,16 +2,23 @@
 //! ranks (Θ(n) per insert, §3.1.1); persistent prefix schemes splice a
 //! single label. The crossover the paper's prose predicts is directly
 //! visible in these timings.
+//!
+//! Offline harness (formerly a criterion bench):
+//!
+//! ```text
+//! cargo run --release -p xupd-bench --bin bench_update_cost
+//! ```
+//!
+//! Emits `results/BENCH_update_cost.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use xupd_framework::driver::run_script;
 use xupd_labelcore::{LabelingScheme, SchemeVisitor};
+use xupd_testkit::bench::{black_box, Harness};
 use xupd_workloads::{docs, Script, ScriptKind};
 use xupd_xmldom::XmlTree;
 
 struct UpdateBench<'a, 'b> {
-    c: &'a mut Criterion,
+    h: &'a mut Harness,
     base: &'b XmlTree,
     kind: ScriptKind,
     ops: usize,
@@ -20,37 +27,29 @@ struct UpdateBench<'a, 'b> {
 impl SchemeVisitor for UpdateBench<'_, '_> {
     fn visit<S: LabelingScheme>(&mut self, mut scheme: S) {
         let name = scheme.name();
-        self.c.bench_with_input(
-            BenchmarkId::new(format!("update/{}/{name}", self.kind.name()), self.ops),
-            &(),
-            |b, _| {
-                b.iter(|| {
-                    let mut tree = self.base.clone();
-                    let mut labeling = scheme.label_tree(&tree);
-                    let script = Script::generate(self.kind, self.ops, tree.len(), 11);
-                    black_box(run_script(&mut tree, &mut scheme, &mut labeling, &script))
-                });
+        self.h.bench(
+            &format!("update/{}/{name}/{}", self.kind.name(), self.ops),
+            || {
+                let mut tree = self.base.clone();
+                let mut labeling = scheme.label_tree(&tree);
+                let script = Script::generate(self.kind, self.ops, tree.len(), 11);
+                black_box(run_script(&mut tree, &mut scheme, &mut labeling, &script))
             },
         );
     }
 }
 
-fn bench_updates(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new("update_cost");
     let base = docs::random_tree(0xBEEF, 500);
     for kind in [ScriptKind::Random, ScriptKind::Skewed] {
         let mut v = UpdateBench {
-            c,
+            h: &mut h,
             base: &base,
             kind,
             ops: 100,
         };
         xupd_schemes::visit_figure7_schemes(&mut v);
     }
+    h.finish().expect("write results/BENCH_update_cost.json");
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_updates
-}
-criterion_main!(benches);

@@ -8,14 +8,17 @@
 //! | Figure 1 (pre/post tree) + Figure 2 (encoding table) | `cargo run --bin figures` |
 //! | Figures 3–6 (DeweyID / ORDPATH / LSDX / ImprovedBinary trees) | `cargo run --bin figures` |
 //! | Figure 7 (evaluation matrix, declared + measured) | `cargo run --bin figure7` |
-//! | P1/P2 (update cost, relabelling, overflow events) | `cargo run --bin update_cost_table`, `cargo bench --bench update_cost` |
-//! | P3 (label-size growth, QED vs Vector under skew) | `cargo run --bin growth_table`, `cargo bench --bench label_growth` |
-//! | P5 (XPath evaluation over the encoding) | `cargo bench --bench query_eval` |
-//! | bulk-labelling throughput (all schemes) | `cargo bench --bench bulk_labeling` |
+//! | P1/P2 (update cost, relabelling, overflow events) | `cargo run --bin update_cost_table`, `cargo run --bin bench_update_cost` |
+//! | P3 (label-size growth, QED vs Vector under skew) | `cargo run --bin growth_table`, `cargo run --bin bench_label_growth` |
+//! | P5 (XPath evaluation over the encoding) | `cargo run --bin bench_query_eval` |
+//! | bulk-labelling throughput (all schemes) | `cargo run --bin bench_bulk_labeling` |
 //!
-//! The library part hosts the measurement helpers the binaries and
-//! Criterion benches share, so numbers in tables and benches come from
-//! one code path.
+//! The timing binaries (`bench_*`) run on `xupd_testkit::bench` —
+//! warmup + timed iterations, median/p90 — and emit JSON artifacts into
+//! `results/BENCH_*.json`, so the repo's perf trajectory is tracked
+//! offline with no external harness. The library part hosts the
+//! measurement helpers the table and timing binaries share, so numbers
+//! in tables and benches come from one code path.
 
 use xupd_labelcore::{Labeling, LabelingScheme, SchemeVisitor};
 use xupd_workloads::{Script, ScriptKind};

@@ -6,9 +6,8 @@
 //! These verifiers compare a live labelling with the
 //! [`XmlTree`] ground truth.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
+use xupd_testkit::TestRng;
 use xupd_labelcore::{Labeling, LabelingScheme, Relation};
 use xupd_xmldom::XmlTree;
 
@@ -95,7 +94,7 @@ pub fn verify<S: LabelingScheme>(
     }
     out.duplicate_labels = labeling.find_duplicate().is_some();
 
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xfeed);
+    let mut rng = TestRng::seed_from_u64(seed ^ 0xfeed);
     let mut level_mismatches: Option<usize> = None;
     for _ in 0..sample_pairs {
         let x = order[rng.gen_range(0..order.len())];

@@ -1,19 +1,23 @@
 //! Property-based tests for the shared label algebras: the strictly-
 //! between constructions are the heart of every persistent scheme, so
-//! they get adversarial random coverage here.
+//! they get adversarial random coverage here — on the hermetic
+//! `xupd-testkit` harness (256 cases per property, seed-replayable).
 
-use proptest::prelude::*;
+use xupd_testkit::prop::{any_u64, bools, from_slice, ints, map, u64s_from, vecs, Gen};
+use xupd_testkit::rng::TestRng;
+use xupd_testkit::{prop_assert, prop_assert_eq, prop_assume, props};
+
 use xupd_labelcore::bitstring::{between as bbetween, middle, BitString};
 use xupd_labelcore::quaternary::{bulk_cdqs, bulk_qed, qbetween, qinsert, QCode};
 use xupd_labelcore::varint;
 use xupd_labelcore::vectorcode::{bulk_vector, VectorCode};
 use xupd_labelcore::{biguint::BigUint, SchemeStats};
 
-// ---------- strategies ----------------------------------------------
+// ---------- generators ----------------------------------------------
 
 /// A valid ImprovedBinary code: a bitstring ending in 1.
-fn arb_bin_code() -> impl Strategy<Value = BitString> {
-    proptest::collection::vec(any::<bool>(), 0..16).prop_map(|bits| {
+fn arb_bin_code() -> impl Gen<Value = BitString> {
+    map(vecs(bools(), 0, 16), |bits| {
         let mut b = BitString::empty();
         for bit in bits {
             b.push(u8::from(bit));
@@ -24,22 +28,25 @@ fn arb_bin_code() -> impl Strategy<Value = BitString> {
 }
 
 /// A valid QED code: digits in {1,2,3}, ending in 2 or 3.
-fn arb_qcode() -> impl Strategy<Value = QCode> {
-    (
-        proptest::collection::vec(1u8..=3, 0..12),
-        prop_oneof![Just(2u8), Just(3u8)],
-    )
-        .prop_map(|(mut digits, last)| {
+fn arb_qcode() -> impl Gen<Value = QCode> {
+    map(
+        (vecs(ints(1u8..4), 0, 12), from_slice(&[2u8, 3u8])),
+        |(mut digits, last)| {
             digits.push(last);
             let s: String = digits.iter().map(|d| d.to_string()).collect();
             QCode::from_digits(&s)
-        })
+        },
+    )
+}
+
+/// 64 left/right descent directions for the exhaustion chains.
+fn arb_dirs() -> impl Gen<Value = Vec<bool>> {
+    vecs(bools(), 64, 64)
 }
 
 // ---------- binary middle codes --------------------------------------
 
-proptest! {
-    #[test]
+props! {
     fn binary_middle_is_strictly_between(a in arb_bin_code(), b in arb_bin_code()) {
         prop_assume!(a != b);
         let (l, r) = if a < b { (a, b) } else { (b, a) };
@@ -49,7 +56,6 @@ proptest! {
         prop_assert_eq!(m.last(), Some(1));
     }
 
-    #[test]
     fn binary_between_with_open_bounds(a in arb_bin_code()) {
         let after = bbetween(Some(&a), None);
         prop_assert!(a < after);
@@ -60,8 +66,7 @@ proptest! {
     }
 
     /// Chains of middles never get stuck: 64 nested splits always succeed.
-    #[test]
-    fn binary_middle_chain_never_exhausts(a in arb_bin_code(), b in arb_bin_code(), dirs in proptest::collection::vec(any::<bool>(), 64)) {
+    fn binary_middle_chain_never_exhausts(a in arb_bin_code(), b in arb_bin_code(), dirs in arb_dirs()) {
         prop_assume!(a != b);
         let (mut l, mut r) = if a < b { (a, b) } else { (b, a) };
         for go_left in dirs {
@@ -74,8 +79,7 @@ proptest! {
 
 // ---------- quaternary codes ------------------------------------------
 
-proptest! {
-    #[test]
+props! {
     fn qbetween_is_strictly_between(a in arb_qcode(), b in arb_qcode()) {
         prop_assume!(a != b);
         let (l, r) = if a < b { (a, b) } else { (b, a) };
@@ -85,7 +89,6 @@ proptest! {
         prop_assert!(m.is_valid_end(), "{m}");
     }
 
-    #[test]
     fn qinsert_open_bounds(a in arb_qcode()) {
         let succ = qinsert(Some(&a), None);
         let pred = qinsert(None, Some(&a));
@@ -93,8 +96,7 @@ proptest! {
         prop_assert!(succ.is_valid_end() && pred.is_valid_end());
     }
 
-    #[test]
-    fn qbetween_chain_never_exhausts(a in arb_qcode(), b in arb_qcode(), dirs in proptest::collection::vec(any::<bool>(), 64)) {
+    fn qbetween_chain_never_exhausts(a in arb_qcode(), b in arb_qcode(), dirs in arb_dirs()) {
         prop_assume!(a != b);
         let (mut l, mut r) = if a < b { (a, b) } else { (b, a) };
         for go_left in dirs {
@@ -104,8 +106,7 @@ proptest! {
         }
     }
 
-    #[test]
-    fn bulk_generators_sorted_unique(n in 0usize..400) {
+    fn bulk_generators_sorted_unique(n in ints(0usize..400)) {
         let mut stats = SchemeStats::default();
         for codes in [bulk_qed(n, &mut stats), bulk_cdqs(n, &mut stats)] {
             prop_assert_eq!(codes.len(), n);
@@ -121,8 +122,7 @@ proptest! {
     }
 
     /// CDQS bulk is never larger than QED bulk at realistic fanouts.
-    #[test]
-    fn cdqs_bulk_no_larger_than_qed(n in 30usize..400) {
+    fn cdqs_bulk_no_larger_than_qed(n in ints(30usize..400)) {
         let mut s = SchemeStats::default();
         let qed: u64 = bulk_qed(n, &mut s).iter().map(|c| c.size_bits()).sum();
         let cdqs: u64 = bulk_cdqs(n, &mut s).iter().map(|c| c.size_bits()).sum();
@@ -132,9 +132,8 @@ proptest! {
 
 // ---------- vector codes ----------------------------------------------
 
-proptest! {
-    #[test]
-    fn mediant_strictly_between(ax in 1u64..1000, ay in 0u64..1000, bx in 0u64..1000, by in 1u64..1000) {
+props! {
+    fn mediant_strictly_between(ax in ints(1u64..1000), ay in ints(0u64..1000), bx in ints(0u64..1000), by in ints(1u64..1000)) {
         let a = VectorCode::new(ax, ay);
         let b = VectorCode::new(bx, by);
         prop_assume!(a.cmp_gradient(&b) == std::cmp::Ordering::Less);
@@ -143,8 +142,7 @@ proptest! {
         prop_assert_eq!(m.cmp_gradient(&b), std::cmp::Ordering::Less);
     }
 
-    #[test]
-    fn gradient_order_is_total_and_antisymmetric(ax in 1u64..10_000, ay in 0u64..10_000, bx in 1u64..10_000, by in 0u64..10_000) {
+    fn gradient_order_is_total_and_antisymmetric(ax in ints(1u64..10_000), ay in ints(0u64..10_000), bx in ints(1u64..10_000), by in ints(0u64..10_000)) {
         let a = VectorCode::new(ax, ay);
         let b = VectorCode::new(bx, by);
         let ab = a.cmp_gradient(&b);
@@ -152,8 +150,7 @@ proptest! {
         prop_assert_eq!(ab, ba.reverse());
     }
 
-    #[test]
-    fn bulk_vector_sorted(n in 0usize..200) {
+    fn bulk_vector_sorted(n in ints(0usize..200)) {
         let mut rc = 0;
         let codes = bulk_vector(n, &mut rc);
         for w in codes.windows(2) {
@@ -164,9 +161,8 @@ proptest! {
 
 // ---------- varint -----------------------------------------------------
 
-proptest! {
-    #[test]
-    fn varint_round_trip(v in any::<u64>()) {
+props! {
+    fn varint_round_trip(v in any_u64()) {
         let mut buf = Vec::new();
         varint::encode(v, &mut buf);
         let (back, used) = varint::decode(&buf).expect("well-formed");
@@ -176,8 +172,7 @@ proptest! {
         prop_assert!(buf.len() as u32 <= varint::encoded_len(v));
     }
 
-    #[test]
-    fn varint_streams_self_delimit(vs in proptest::collection::vec(any::<u64>(), 1..20)) {
+    fn varint_streams_self_delimit(vs in vecs(any_u64(), 1, 19)) {
         let mut buf = Vec::new();
         for &v in &vs {
             varint::encode(v, &mut buf);
@@ -194,37 +189,44 @@ proptest! {
 
 // ---------- biguint vs u128 oracle -------------------------------------
 
-proptest! {
-    #[test]
-    fn biguint_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+props! {
+    fn biguint_mul_matches_u128(a in any_u64(), b in any_u64()) {
         let prod = BigUint::from_u64(a).mul(&BigUint::from_u64(b));
         prop_assert_eq!(prod.to_string(), (u128::from(a) * u128::from(b)).to_string());
     }
 
-    #[test]
-    fn biguint_divrem_matches_u128(a in any::<u64>(), b in 1u64..) {
+    fn biguint_divrem_matches_u128(a in any_u64(), b in u64s_from(1)) {
         let (q, r) = BigUint::from_u64(a).divrem(&BigUint::from_u64(b));
         prop_assert_eq!(q.to_string(), (a / b).to_string());
         prop_assert_eq!(r.to_string(), (a % b).to_string());
     }
 
-    #[test]
-    fn biguint_add_sub_round_trip(a in any::<u64>(), b in any::<u64>()) {
+    fn biguint_add_sub_round_trip(a in any_u64(), b in any_u64()) {
         let big = BigUint::from_u64(a).add(&BigUint::from_u64(b));
         prop_assert_eq!(big.checked_sub(&BigUint::from_u64(b)).unwrap(), BigUint::from_u64(a));
     }
 
-    #[test]
-    fn biguint_divisibility(a in 1u64..100_000, b in 1u64..100_000) {
+    fn biguint_divisibility(a in ints(1u64..100_000), b in ints(1u64..100_000)) {
         let prod = BigUint::from_u64(a).mul(&BigUint::from_u64(b));
         prop_assert!(prod.is_multiple_of(&BigUint::from_u64(a)));
         prop_assert!(prod.is_multiple_of(&BigUint::from_u64(b)));
     }
 
-    #[test]
-    fn biguint_rem_u64_matches(a in any::<u64>(), b in any::<u64>(), m in 1u64..) {
+    fn biguint_rem_u64_matches(a in any_u64(), b in any_u64(), m in u64s_from(1)) {
         let big = BigUint::from_u64(a).mul(&BigUint::from_u64(b));
         let expect = ((u128::from(a) * u128::from(b)) % u128::from(m)) as u64;
         prop_assert_eq!(big.rem_u64(m), expect);
+    }
+}
+
+// ---------- the generators themselves are deterministic ----------------
+
+#[test]
+fn generators_are_seed_replayable() {
+    let gen = (arb_bin_code(), arb_qcode());
+    let mut a = TestRng::seed_from_u64(11);
+    let mut b = TestRng::seed_from_u64(11);
+    for _ in 0..64 {
+        assert_eq!(gen.generate(&mut a), gen.generate(&mut b));
     }
 }

@@ -1,7 +1,6 @@
 //! Deterministic document generators.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use xupd_testkit::TestRng;
 use xupd_xmldom::{NodeId, NodeKind, TreeBuilder, XmlTree};
 
 /// The paper's Figure 1 sample book document.
@@ -36,7 +35,7 @@ pub fn deep(depth: usize) -> XmlTree {
 /// under a uniformly random existing element, keeping depth moderate.
 /// Deterministic for a given `seed`.
 pub fn random_tree(seed: u64, n: usize) -> XmlTree {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = TestRng::seed_from_u64(seed);
     let mut tree = XmlTree::new();
     let root = tree.create(NodeKind::element("root"));
     tree.append_child(tree.root(), root).expect("root live");
@@ -68,7 +67,7 @@ pub fn random_tree(seed: u64, n: usize) -> XmlTree {
 /// industry) calls for. Deterministic for a given `seed`; `scale` is
 /// roughly the number of items + people + auctions.
 pub fn xmark_like(seed: u64, scale: usize) -> XmlTree {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = TestRng::seed_from_u64(seed);
     let per_section = (scale / 3).max(1);
     let mut b = TreeBuilder::new().open("site");
 
@@ -126,7 +125,7 @@ pub fn xmark_like(seed: u64, scale: usize) -> XmlTree {
     b.close().finish()
 }
 
-fn lorem(rng: &mut StdRng) -> String {
+fn lorem(rng: &mut TestRng) -> String {
     const WORDS: [&str; 12] = [
         "lorem",
         "ipsum",

@@ -6,8 +6,7 @@
 //! driver. Index resolution happens at execution time (the pool evolves
 //! as the script runs), which keeps scripts compact and deterministic.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use xupd_testkit::TestRng;
 
 /// One structural update. Indices address the element pool (all live
 /// element nodes in document order) at the moment the op executes; the
@@ -92,7 +91,7 @@ impl Script {
     /// Generate a script of `len` operations over a pool of roughly
     /// `pool_hint` elements. Deterministic for a given seed.
     pub fn generate(kind: ScriptKind, len: usize, pool_hint: usize, seed: u64) -> Script {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0000);
+        let mut rng = TestRng::seed_from_u64(seed ^ 0x5eed_0000);
         let hint = pool_hint.max(2);
         let ops = match kind {
             ScriptKind::Random => (0..len)

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Canonical offline verification entrypoint.
+#
+# The workspace is hermetic: no external crates, so everything below
+# must succeed with networking disabled and an empty registry cache.
+# Run from anywhere inside the repository.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> tier-1: build + root-package tests"
+cargo build --release
+cargo test -q
+
+echo "==> full workspace tests"
+cargo test --workspace -q
+
+echo "==> figure 7 regeneration (declared + measured matrix)"
+cargo run --release -q -p xupd-bench --bin figure7
+
+echo "==> ci.sh: all checks passed"

@@ -71,9 +71,16 @@ fn measured_matrix_agreement_contract() {
         }
     }
 
-    // XPath Evaluations and Level Encoding also agree perfectly
+    // XPath Evaluations and Level Encoding also agree perfectly — for
+    // every *sound* scheme. LSDX is exempt: its label collisions make
+    // relation answers on collided pairs wrong, so its measured XPath
+    // grade depends on which pairs the verifier samples (under the
+    // hermetic testkit RNG it samples a collided pair and grades P).
     for (d, m) in report.results() {
         for p in [Property::XPathEvaluations, Property::LevelEncoding] {
+            if d.name == "LSDX" && p == Property::XPathEvaluations {
+                continue;
+            }
             assert_eq!(
                 d.declared_for(p),
                 m.cell(p),
@@ -93,6 +100,12 @@ fn measured_matrix_agreement_contract() {
             // N reflects deletion-reassignment semantics)…
             ("LSDX", Property::PersistentLabels) => {
                 assert_eq!(div.measured, Compliance::Full);
+            }
+            // …its collided labels give wrong relation answers when the
+            // verifier samples a collided pair (the flip side of the
+            // soundness finding that disqualifies it)…
+            ("LSDX", Property::XPathEvaluations) => {
+                assert_eq!(div.measured, Compliance::Partial);
             }
             // …and the zigzag probe vindicates the paper's §4 doubt
             // about Vector's overflow claim.

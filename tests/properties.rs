@@ -1,20 +1,22 @@
-//! Property-based tests (proptest) over the whole stack: arbitrary
-//! documents and update scripts must preserve the Definition 1
-//! invariants for every scheme, and parse/serialize must round-trip.
+//! Property-based tests (on the hermetic `xupd-testkit` harness) over
+//! the whole stack: arbitrary documents and update scripts must
+//! preserve the Definition 1 invariants for every scheme, and
+//! parse/serialize must round-trip.
 
-use proptest::prelude::*;
 use xml_update_props::framework::driver::run_script;
 use xml_update_props::framework::verify::verify;
 use xml_update_props::labelcore::LabelingScheme;
 use xml_update_props::workloads::{docs, Script, ScriptKind, ScriptOp};
 use xml_update_props::xmldom::{parse, serialize_compact, TreeBuilder, XmlTree};
+use xupd_testkit::prop::{ascii_strings, ints, map, tree_shapes, vecs, Config, Gen};
+use xupd_testkit::{prop_assert, prop_assert_eq, props};
 
 // ---------- arbitrary documents ------------------------------------
 
 /// A tree shape encoded as a sequence of builder moves: `true` opens a
 /// child, `false` closes (ignored at the root).
-fn arb_tree() -> impl Strategy<Value = XmlTree> {
-    proptest::collection::vec(any::<bool>(), 1..120).prop_map(|moves| {
+fn arb_tree() -> impl Gen<Value = XmlTree> {
+    map(tree_shapes(1, 120), |moves| {
         let mut b = TreeBuilder::new().open("r");
         let mut depth = 1usize;
         for (i, open) in moves.into_iter().enumerate() {
@@ -31,28 +33,30 @@ fn arb_tree() -> impl Strategy<Value = XmlTree> {
 }
 
 /// Arbitrary update scripts as (kind, target) pairs.
-fn arb_script() -> impl Strategy<Value = Script> {
-    proptest::collection::vec((0u8..5, 0usize..64), 1..60).prop_map(|raw| Script {
-        kind: ScriptKind::Random,
-        ops: raw
-            .into_iter()
-            .map(|(k, t)| match k {
-                0 => ScriptOp::InsertBefore(t),
-                1 => ScriptOp::InsertAfter(t),
-                2 => ScriptOp::PrependChild(t),
-                3 => ScriptOp::AppendChild(t),
-                _ => ScriptOp::DeleteSubtree(t),
-            })
-            .collect(),
-    })
+fn arb_script() -> impl Gen<Value = Script> {
+    map(
+        vecs((ints(0u8..5), ints(0usize..64)), 1, 60),
+        |raw| Script {
+            kind: ScriptKind::Random,
+            ops: raw
+                .into_iter()
+                .map(|(k, t)| match k {
+                    0 => ScriptOp::InsertBefore(t),
+                    1 => ScriptOp::InsertAfter(t),
+                    2 => ScriptOp::PrependChild(t),
+                    3 => ScriptOp::AppendChild(t),
+                    _ => ScriptOp::DeleteSubtree(t),
+                })
+                .collect(),
+        },
+    )
 }
 
 // ---------- parser/serializer round-trip ----------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+props! {
+    config = Config::with_cases(64);
 
-    #[test]
     fn serialize_parse_round_trip(tree in arb_tree()) {
         let text = serialize_compact(&tree);
         let back = parse(&text).expect("serialized documents re-parse");
@@ -60,10 +64,9 @@ proptest! {
         prop_assert_eq!(back.len(), tree.len());
     }
 
-    #[test]
     fn text_and_attr_escaping_round_trips(
-        value in "[ -~]{0,40}",  // printable ASCII incl. <>&"'
-        attr in "[ -~]{0,40}",
+        value in ascii_strings(0, 40),  // printable ASCII incl. <>&"'
+        attr in ascii_strings(0, 40),
     ) {
         let tree = TreeBuilder::new()
             .open("e")
@@ -83,10 +86,9 @@ proptest! {
 
 macro_rules! scheme_invariant_props {
     ($($test_name:ident => $make:expr),+ $(,)?) => {$(
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(24))]
+        props! {
+            config = Config::with_cases(24);
 
-            #[test]
             fn $test_name(tree in arb_tree(), script in arb_script()) {
                 let mut tree = tree;
                 let mut scheme = $make;
@@ -122,10 +124,9 @@ scheme_invariant_props! {
 
 macro_rules! persistent_props {
     ($($test_name:ident => $make:expr),+ $(,)?) => {$(
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(24))]
+        props! {
+            config = Config::with_cases(24);
 
-            #[test]
             fn $test_name(tree in arb_tree(), script in arb_script()) {
                 let mut tree = tree;
                 let mut scheme = $make;
@@ -146,13 +147,12 @@ persistent_props! {
 
 // ---------- LSDX: collisions may happen, but order-of-live-uniques ----
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+props! {
+    config = Config::with_cases(24);
 
     /// Even when LSDX collides, it must never do so on append-only
     /// scripts (its safe region).
-    #[test]
-    fn lsdx_append_only_is_collision_free(tree in arb_tree(), n in 1usize..50) {
+    fn lsdx_append_only_is_collision_free(tree in arb_tree(), n in ints(1usize..50)) {
         let mut tree = tree;
         let mut scheme = xml_update_props::schemes::prefix::lsdx::Lsdx::new();
         let mut labeling = scheme.label_tree(&tree);
@@ -167,11 +167,10 @@ proptest! {
 
 // ---------- deletion keeps labelling in sync --------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+props! {
+    config = Config::with_cases(32);
 
-    #[test]
-    fn deletion_sync(tree in arb_tree(), seeds in proptest::collection::vec(0usize..64, 1..20)) {
+    fn deletion_sync(tree in arb_tree(), seeds in vecs(ints(0usize..64), 1, 19)) {
         let mut tree = tree;
         let mut scheme = xml_update_props::schemes::prefix::qed::Qed::new();
         let mut labeling = scheme.label_tree(&tree);
