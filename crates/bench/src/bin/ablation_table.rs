@@ -31,9 +31,9 @@ struct Outcome {
 
 fn run<S: LabelingScheme>(mut scheme: S, base: &XmlTree, ops: usize, knob: String) -> Outcome {
     let mut tree = base.clone();
-    let mut labeling = scheme.label_tree(&tree);
+    let mut labeling = scheme.label_tree(&tree).unwrap();
     let script = Script::generate(ScriptKind::Skewed, ops, tree.len(), 5);
-    let stats = run_script(&mut tree, &mut scheme, &mut labeling, &script);
+    let stats = run_script(&mut tree, &mut scheme, &mut labeling, &script).unwrap();
     Outcome {
         knob,
         relabels: stats.relabeled,

@@ -33,7 +33,7 @@ struct QueryBench<'a, 'b> {
 impl SchemeVisitor for QueryBench<'_, '_> {
     fn visit<S: LabelingScheme>(&mut self, scheme: S) {
         let name = scheme.name();
-        let doc = EncodedDocument::encode(scheme, self.tree);
+        let doc = EncodedDocument::encode(scheme, self.tree).unwrap();
         let exprs: Vec<_> = QUERIES.iter().map(|q| parse_xpath(q).unwrap()).collect();
         self.h.bench(&format!("xpath/{name}"), || {
             let mut total = 0usize;
@@ -49,7 +49,7 @@ impl SchemeVisitor for QueryBench<'_, '_> {
 /// name index + label-algebra ancestry filter.
 fn bench_index_vs_scan(h: &mut Harness) {
     let tree = docs::xmark_like(7, 300);
-    let doc = EncodedDocument::encode(Qed::new(), &tree);
+    let doc = EncodedDocument::encode(Qed::new(), &tree).unwrap();
     let expr = parse_xpath("//item").unwrap();
     let idx = NameIndex::build(&doc);
     let root = doc.root();

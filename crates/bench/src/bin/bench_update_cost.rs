@@ -31,9 +31,9 @@ impl SchemeVisitor for UpdateBench<'_, '_> {
             &format!("update/{}/{name}/{}", self.kind.name(), self.ops),
             || {
                 let mut tree = self.base.clone();
-                let mut labeling = scheme.label_tree(&tree);
+                let mut labeling = scheme.label_tree(&tree).unwrap();
                 let script = Script::generate(self.kind, self.ops, tree.len(), 11);
-                black_box(run_script(&mut tree, &mut scheme, &mut labeling, &script))
+                black_box(run_script(&mut tree, &mut scheme, &mut labeling, &script).unwrap())
             },
         );
     }

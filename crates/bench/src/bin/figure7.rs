@@ -18,7 +18,8 @@ fn main() {
         measure_all()
     } else {
         measure_figure7()
-    };
+    }
+    .expect("checker battery drives live trees");
     let report = Figure7Report::new(results);
     println!("{}", report.render());
 }

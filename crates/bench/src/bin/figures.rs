@@ -58,7 +58,7 @@ fn print_labelled_tree<S: LabelingScheme>(
             "  {}{:<24} {}",
             indent(tree, n),
             what,
-            labeling.expect(n).display()
+            labeling.req(n).unwrap().display()
         );
     }
 }
@@ -106,7 +106,7 @@ fn shape() -> XmlTree {
 fn figure3() {
     let tree = shape();
     let mut scheme = DeweyId::new();
-    let labeling = scheme.label_tree(&tree);
+    let labeling = scheme.label_tree(&tree).unwrap();
     print_labelled_tree(
         "Figure 3 — DeweyID labelled XML tree",
         &tree,
@@ -118,24 +118,24 @@ fn figure3() {
 fn figure4() {
     let mut tree = shape();
     let mut scheme = OrdPath::new();
-    let mut labeling = scheme.label_tree(&tree);
+    let mut labeling = scheme.label_tree(&tree).unwrap();
     // the paper's grey nodes: after-last (1.3.3-style), before-first
     // (1.1.-1-style), careted-in (1.5.2.1-style)
     let root_elem = tree.document_element().expect("shape has a root element");
     let third = tree.last_child(root_elem).expect("three children");
     let right = tree.create(NodeKind::element("new-right"));
     tree.append_child(third, right).expect("live");
-    scheme.on_insert(&tree, &mut labeling, right);
+    scheme.on_insert(&tree, &mut labeling, right).unwrap();
 
     let first = tree.first_child(root_elem).expect("three children");
     let left = tree.create(NodeKind::element("new-left"));
     tree.prepend_child(first, left).expect("live");
-    scheme.on_insert(&tree, &mut labeling, left);
+    scheme.on_insert(&tree, &mut labeling, left).unwrap();
 
     let third_first = tree.first_child(third).expect("has children");
     let mid = tree.create(NodeKind::element("new-mid"));
     tree.insert_after(third_first, mid).expect("live");
-    scheme.on_insert(&tree, &mut labeling, mid);
+    scheme.on_insert(&tree, &mut labeling, mid).unwrap();
 
     print_labelled_tree(
         "Figure 4 — ORDPATH labelled XML tree (grey nodes inserted)",
@@ -148,25 +148,25 @@ fn figure4() {
 fn figure5() {
     let mut tree = shape();
     let mut scheme = Lsdx::new();
-    let mut labeling = scheme.label_tree(&tree);
+    let mut labeling = scheme.label_tree(&tree).unwrap();
     let root_elem = tree.document_element().expect("root element");
     let first = tree.first_child(root_elem).expect("children");
     // before-first under the first child (2ab.ab in the paper)
     let ff = tree.first_child(first).expect("grandchild");
     let n1 = tree.create(NodeKind::element("new-before"));
     tree.insert_before(ff, n1).expect("live");
-    scheme.on_insert(&tree, &mut labeling, n1);
+    scheme.on_insert(&tree, &mut labeling, n1).unwrap();
     // after-last under the second child (2ac.c)
     let second = tree.next_sibling(first).expect("three children");
     let n2 = tree.create(NodeKind::element("new-after"));
     tree.append_child(second, n2).expect("live");
-    scheme.on_insert(&tree, &mut labeling, n2);
+    scheme.on_insert(&tree, &mut labeling, n2).unwrap();
     // between under the third child (2ad.bb)
     let third = tree.next_sibling(second).expect("three children");
     let tfirst = tree.first_child(third).expect("children");
     let n3 = tree.create(NodeKind::element("new-between"));
     tree.insert_after(tfirst, n3).expect("live");
-    scheme.on_insert(&tree, &mut labeling, n3);
+    scheme.on_insert(&tree, &mut labeling, n3).unwrap();
 
     print_labelled_tree(
         "Figure 5 — LSDX labelled XML tree (grey nodes inserted)",
@@ -179,7 +179,7 @@ fn figure5() {
 fn figure6() {
     let mut tree = shape();
     let mut scheme = ImprovedBinary::new();
-    let mut labeling = scheme.label_tree(&tree);
+    let mut labeling = scheme.label_tree(&tree).unwrap();
     let root_elem = tree.document_element().expect("root element");
     let second = {
         let first = tree.first_child(root_elem).expect("children");
@@ -190,16 +190,16 @@ fn figure6() {
     let sfirst = tree.first_child(second).expect("child");
     let n1 = tree.create(NodeKind::element("new-before"));
     tree.insert_before(sfirst, n1).expect("live");
-    scheme.on_insert(&tree, &mut labeling, n1);
+    scheme.on_insert(&tree, &mut labeling, n1).unwrap();
     let n2 = tree.create(NodeKind::element("new-after"));
     tree.append_child(second, n2).expect("live");
-    scheme.on_insert(&tree, &mut labeling, n2);
+    scheme.on_insert(&tree, &mut labeling, n2).unwrap();
     // and 011.0101 (between) under the third child
     let third = tree.next_sibling(second).expect("three children");
     let tfirst = tree.first_child(third).expect("children");
     let n3 = tree.create(NodeKind::element("new-between"));
     tree.insert_after(tfirst, n3).expect("live");
-    scheme.on_insert(&tree, &mut labeling, n3);
+    scheme.on_insert(&tree, &mut labeling, n3).unwrap();
 
     print_labelled_tree(
         "Figure 6 — ImprovedBinary labelled XML tree (grey nodes inserted)",

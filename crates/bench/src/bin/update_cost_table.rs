@@ -30,9 +30,9 @@ struct CostVisitor<'a> {
 impl SchemeVisitor for CostVisitor<'_> {
     fn visit<S: LabelingScheme>(&mut self, mut scheme: S) {
         let mut tree = self.base.clone();
-        let mut labeling = scheme.label_tree(&tree);
+        let mut labeling = scheme.label_tree(&tree).unwrap();
         let script = Script::generate(self.kind, self.ops, tree.len(), 7);
-        let stats = run_script(&mut tree, &mut scheme, &mut labeling, &script);
+        let stats = run_script(&mut tree, &mut scheme, &mut labeling, &script).unwrap();
         self.rows.push(CostRow {
             scheme: scheme.name(),
             relabels: stats.relabeled,

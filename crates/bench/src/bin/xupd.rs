@@ -60,7 +60,7 @@ impl SchemeVisitor for Run<'_> {
             _ if scheme.name() != self.wanted => {}
             Cmd::Labels => {
                 self.matched = true;
-                let labeling = scheme.label_tree(self.tree);
+                let labeling = scheme.label_tree(self.tree).unwrap();
                 for n in self.tree.ids_in_doc_order() {
                     let what = match self.tree.kind(n) {
                         NodeKind::Document => "#document".to_string(),
@@ -74,7 +74,7 @@ impl SchemeVisitor for Run<'_> {
                         "{}{:<24} {}",
                         "  ".repeat(self.tree.depth(n) as usize),
                         what,
-                        labeling.expect(n).display()
+                        labeling.req(n).unwrap().display()
                     );
                 }
             }
@@ -87,7 +87,7 @@ impl SchemeVisitor for Run<'_> {
                         return;
                     }
                 };
-                let doc = EncodedDocument::encode(scheme, self.tree);
+                let doc = EncodedDocument::encode(scheme, self.tree).unwrap();
                 let hits = expr.evaluate(&doc);
                 println!("{} hit(s)", hits.len());
                 for h in hits {

@@ -52,7 +52,7 @@ pub fn growth_series<S: LabelingScheme>(
 ) -> GrowthSeries {
     let name = scheme.name();
     let mut tree = base.clone();
-    let mut labeling: Labeling<S::Label> = scheme.label_tree(&tree);
+    let mut labeling: Labeling<S::Label> = scheme.label_tree(&tree).expect("bulk labelling");
     let mut points = vec![(0usize, labeling.total_bits(), labeling.max_bits())];
     let mut relabels = 0u64;
     let mut overflows = 0u64;
@@ -61,7 +61,8 @@ pub fn growth_series<S: LabelingScheme>(
         let chunk = step.min(ops - applied);
         let script = Script::generate(kind, chunk, tree.len(), seed ^ applied as u64);
         let stats =
-            xupd_framework::driver::run_script(&mut tree, &mut scheme, &mut labeling, &script);
+            xupd_framework::driver::run_script(&mut tree, &mut scheme, &mut labeling, &script)
+                .expect("benchmark scripts drive live trees");
         relabels += stats.relabeled;
         overflows += stats.overflow_events;
         applied += chunk;

@@ -41,8 +41,17 @@ pub fn figure2_table(tree: &XmlTree) -> Vec<Figure2Row> {
         k.is_element() || k.is_attribute()
     };
     let post_seq: Vec<NodeId> = tree.postorder().filter(|&n| is_labelled(n)).collect();
-    let pre_of = |n: NodeId| labelled.iter().position(|&x| x == n).unwrap() as u64;
-    let post_of = |n: NodeId| post_seq.iter().position(|&x| x == n).unwrap() as u64;
+    // Dense rank tables (every labelled node appears in both sequences).
+    let mut pre_rank = vec![0u64; tree.id_bound()];
+    for (i, &id) in labelled.iter().enumerate() {
+        pre_rank[id.index()] = i as u64;
+    }
+    let mut post_rank = vec![0u64; tree.id_bound()];
+    for (i, &id) in post_seq.iter().enumerate() {
+        post_rank[id.index()] = i as u64;
+    }
+    let pre_of = |n: NodeId| pre_rank[n.index()];
+    let post_of = |n: NodeId| post_rank[n.index()];
 
     labelled
         .iter()

@@ -11,15 +11,18 @@
 //! about; the benchmarks quantify the other side of the trade.
 
 use crate::table::EncodedDocument;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use xupd_labelcore::LabelingScheme;
 
 /// Element and attribute name index: name → row indices in document
 /// order.
+/// `BTreeMap` rather than `HashMap` so that iteration over the index is
+/// deterministic (lint rule R2) — anything feeding golden outputs must
+/// not depend on hash order.
 #[derive(Debug, Clone, Default)]
 pub struct NameIndex {
-    elements: HashMap<String, Vec<usize>>,
-    attributes: HashMap<String, Vec<usize>>,
+    elements: BTreeMap<String, Vec<usize>>,
+    attributes: BTreeMap<String, Vec<usize>>,
 }
 
 impl NameIndex {
@@ -69,6 +72,13 @@ impl NameIndex {
     pub fn distinct_element_names(&self) -> usize {
         self.elements.len()
     }
+
+    /// Every indexed element name with its occurrence count, in the
+    /// index's iteration order — lexicographic, because the backing map
+    /// is a `BTreeMap` (pinned by a golden test; lint rule R2).
+    pub fn element_names(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.elements.iter().map(|(k, v)| (k.as_str(), v.len()))
+    }
 }
 
 #[cfg(test)]
@@ -82,7 +92,7 @@ mod tests {
     #[test]
     fn index_matches_scan() {
         let tree = docs::xmark_like(11, 60);
-        let doc = EncodedDocument::encode(Qed::new(), &tree);
+        let doc = EncodedDocument::encode(Qed::new(), &tree).unwrap();
         let idx = NameIndex::build(&doc);
         // indexed //item == evaluator //item
         let via_index = idx.descendants_named(&doc, doc.root(), "item");
@@ -94,7 +104,7 @@ mod tests {
     #[test]
     fn scoped_lookup_filters_by_ancestry() {
         let tree = docs::xmark_like(11, 60);
-        let doc = EncodedDocument::encode(Qed::new(), &tree);
+        let doc = EncodedDocument::encode(Qed::new(), &tree).unwrap();
         let idx = NameIndex::build(&doc);
         // names exist under both /site/regions items and /site/people
         let all_names = idx.elements("name").len();
@@ -108,9 +118,33 @@ mod tests {
     }
 
     #[test]
+    fn iteration_order_golden() {
+        // The index iterates in BTreeMap (lexicographic) order — never
+        // hash order. Pin the exact sequence for the Figure 1 document so
+        // any regression to an order-unspecified map fails loudly.
+        let tree = docs::book();
+        let doc = EncodedDocument::encode(Qed::new(), &tree).unwrap();
+        let idx = NameIndex::build(&doc);
+        let names: Vec<(&str, usize)> = idx.element_names().collect();
+        assert_eq!(
+            names,
+            vec![
+                ("address", 1),
+                ("author", 1),
+                ("book", 1),
+                ("edition", 1),
+                ("editor", 1),
+                ("name", 1),
+                ("publisher", 1),
+                ("title", 1),
+            ]
+        );
+    }
+
+    #[test]
     fn attribute_lookup() {
         let tree = docs::book();
-        let doc = EncodedDocument::encode(Qed::new(), &tree);
+        let doc = EncodedDocument::encode(Qed::new(), &tree).unwrap();
         let idx = NameIndex::build(&doc);
         assert_eq!(idx.attributes("genre").len(), 1);
         assert_eq!(idx.attributes("year").len(), 1);

@@ -4,13 +4,17 @@
 
 use crate::table::EncodedDocument;
 use xupd_labelcore::LabelingScheme;
-use xupd_xmldom::{NodeId, XmlTree};
+use xupd_xmldom::{NodeId, TreeError, XmlTree};
 
 /// Rebuild an [`XmlTree`] from the node table. Rows are in document
 /// order, so a single forward pass with parent references reproduces the
 /// exact tree; combined with [`xupd_xmldom::serialize_compact`] this
 /// yields the textual document.
-pub fn reconstruct<S: LabelingScheme>(enc: &EncodedDocument<S>) -> XmlTree {
+///
+/// Errors only on a corrupt table (a parent reference that does not
+/// precede its child); any table produced by
+/// [`EncodedDocument::encode`] reconstructs cleanly.
+pub fn reconstruct<S: LabelingScheme>(enc: &EncodedDocument<S>) -> Result<XmlTree, TreeError> {
     let mut tree = XmlTree::new();
     let mut id_of: Vec<NodeId> = Vec::with_capacity(enc.len());
     for i in 0..enc.len() {
@@ -22,13 +26,12 @@ pub fn reconstruct<S: LabelingScheme>(enc: &EncodedDocument<S>) -> XmlTree {
             }
             Some(p) => {
                 let node = tree.create(row.kind.clone());
-                tree.append_child(id_of[p], node)
-                    .expect("parent precedes child in document order");
+                tree.append_child(id_of[p], node)?;
                 id_of.push(node);
             }
         }
     }
-    tree
+    Ok(tree)
 }
 
 #[cfg(test)]
@@ -44,8 +47,8 @@ mod tests {
     fn figure1_round_trip() {
         let tree = docs::book();
         let original = serialize_compact(&tree);
-        let enc = EncodedDocument::encode(Qed::new(), &tree);
-        let back = reconstruct(&enc);
+        let enc = EncodedDocument::encode(Qed::new(), &tree).unwrap();
+        let back = reconstruct(&enc).unwrap();
         assert_eq!(serialize_compact(&back), original);
         back.validate().unwrap();
     }
@@ -54,8 +57,8 @@ mod tests {
     fn textual_parse_encode_reconstruct_round_trip() {
         let src = "<a x=\"1\"><b>text &amp; more</b><!--c--><d><e y='2'/></d></a>";
         let tree = parse(src).unwrap();
-        let enc = EncodedDocument::encode(OrdPath::new(), &tree);
-        let back = reconstruct(&enc);
+        let enc = EncodedDocument::encode(OrdPath::new(), &tree).unwrap();
+        let back = reconstruct(&enc).unwrap();
         let out = serialize_compact(&back);
         assert_eq!(parse(&out).unwrap().len(), tree.len());
         assert_eq!(out, serialize_compact(&tree));
@@ -64,8 +67,8 @@ mod tests {
     #[test]
     fn xmark_round_trip() {
         let tree = docs::xmark_like(3, 60);
-        let enc = EncodedDocument::encode(Qed::new(), &tree);
-        let back = reconstruct(&enc);
+        let enc = EncodedDocument::encode(Qed::new(), &tree).unwrap();
+        let back = reconstruct(&enc).unwrap();
         assert_eq!(serialize_compact(&back), serialize_compact(&tree));
     }
 }

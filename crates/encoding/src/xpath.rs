@@ -354,7 +354,7 @@ mod tests {
     use xupd_workloads::docs;
 
     fn book() -> EncodedDocument<DeweyId> {
-        EncodedDocument::encode(DeweyId::new(), &docs::book())
+        EncodedDocument::encode(DeweyId::new(), &docs::book()).unwrap()
     }
 
     fn names<S: LabelingScheme>(doc: &EncodedDocument<S>, rows: &[usize]) -> Vec<String> {

@@ -22,7 +22,7 @@ use crate::orthogonal::has_order_code_algebra;
 use crate::verify::{verify, VerifyOutcome};
 use xupd_labelcore::{Compliance, LabelingScheme, Property, SchemeStats};
 use xupd_workloads::{docs, Script, ScriptKind};
-use xupd_xmldom::XmlTree;
+use xupd_xmldom::{TreeError, XmlTree};
 
 /// Raw evidence backing a measured row.
 #[derive(Debug, Clone, Default)]
@@ -63,8 +63,10 @@ pub struct Measured {
 impl Measured {
     /// Measured compliance for one property.
     pub fn cell(&self, p: Property) -> Compliance {
-        let idx = Property::ALL.iter().position(|&q| q == p).expect("known");
-        self.cells[idx]
+        // `Property::ALL` lists the variants in declaration order, so the
+        // discriminant is the column index (asserted by the labelcore
+        // `property_all_has_stable_order` test).
+        self.cells[p as usize]
     }
 }
 
@@ -85,19 +87,19 @@ fn drive<S: LabelingScheme>(
     ops: usize,
     seed: u64,
     verification: &mut VerifyOutcome,
-) -> (DriveStats, SchemeStats) {
+) -> Result<(DriveStats, SchemeStats), TreeError> {
     scheme.reset_stats();
     let mut tree = base.clone();
-    let mut labeling = scheme.label_tree(&tree);
+    let mut labeling = scheme.label_tree(&tree)?;
     let script = Script::generate(kind, ops, tree.len(), seed);
-    let stats = run_script(&mut tree, scheme, &mut labeling, &script);
-    verification.absorb(&verify(&tree, scheme, &labeling, 300, seed ^ 0xabc));
-    (stats, scheme.stats().clone())
+    let stats = run_script(&mut tree, scheme, &mut labeling, &script)?;
+    verification.absorb(&verify(&tree, scheme, &labeling, 300, seed ^ 0xabc)?);
+    Ok((stats, scheme.stats().clone()))
 }
 
 /// Run the full checker battery against `scheme` and grade the eight
 /// properties.
-pub fn measure_scheme<S: LabelingScheme>(mut scheme: S) -> Measured {
+pub fn measure_scheme<S: LabelingScheme>(mut scheme: S) -> Result<Measured, TreeError> {
     let name = scheme.name();
     let mut ev = Evidence::default();
     let mut notes = Vec::new();
@@ -120,7 +122,7 @@ pub fn measure_scheme<S: LabelingScheme>(mut scheme: S) -> Measured {
             STANDARD_OPS,
             100 + i as u64,
             &mut ev.verification,
-        );
+        )?;
         ev.standard_relabels += ds.relabeled;
         ev.divisions += ss.divisions;
         ev.recursive_calls += ss.recursive_calls;
@@ -130,7 +132,7 @@ pub fn measure_scheme<S: LabelingScheme>(mut scheme: S) -> Measured {
     {
         scheme.reset_stats();
         let bulk_doc = docs::random_tree(0xB16, 2000);
-        let labeling = scheme.label_tree(&bulk_doc);
+        let labeling = scheme.label_tree(&bulk_doc)?;
         ev.bulk_mean_bits = labeling.mean_bits();
         ev.divisions += scheme.stats().divisions;
         ev.recursive_calls += scheme.stats().recursive_calls;
@@ -139,10 +141,10 @@ pub fn measure_scheme<S: LabelingScheme>(mut scheme: S) -> Measured {
     for kind in [ScriptKind::Skewed, ScriptKind::PrependStorm] {
         scheme.reset_stats();
         let mut tree = docs::wide(40);
-        let mut labeling = scheme.label_tree(&tree);
+        let mut labeling = scheme.label_tree(&tree)?;
         let before_max = labeling.max_bits();
         let script = Script::generate(kind, 300, tree.len(), 7);
-        let ds = run_script(&mut tree, &mut scheme, &mut labeling, &script);
+        let ds = run_script(&mut tree, &mut scheme, &mut labeling, &script)?;
         ev.divisions += scheme.stats().divisions;
         ev.peak_bits = ev.peak_bits.max(ds.peak_label_bits);
         let growth =
@@ -162,7 +164,7 @@ pub fn measure_scheme<S: LabelingScheme>(mut scheme: S) -> Measured {
             (ScriptKind::Zigzag, ADVERSARIAL_ZIGZAG_OPS, 202),
             (ScriptKind::AppendOnly, ADVERSARIAL_APPEND_OPS, 203),
         ] {
-            let (ds, _) = drive(target, &small, kind, ops, seed, &mut sink);
+            let (ds, _) = drive(target, &small, kind, ops, seed, &mut sink)?;
             ev.adversarial_overflows += ds.overflow_events;
             ev.adversarial_relabels += ds.relabeled;
         }
@@ -212,14 +214,14 @@ pub fn measure_scheme<S: LabelingScheme>(mut scheme: S) -> Measured {
     let division = grade_bool(ev.divisions == 0);
     let recursion = grade_bool(ev.recursive_calls == 0);
 
-    Measured {
+    Ok(Measured {
         name,
         cells: [
             persistent, xpath, level, overflow, orthogonal, compact, division, recursion,
         ],
         evidence: ev,
         notes,
-    }
+    })
 }
 
 fn grade_bool(full: bool) -> Compliance {
@@ -239,7 +241,7 @@ mod tests {
 
     #[test]
     fn qed_measures_like_its_figure7_row() {
-        let m = measure_scheme(Qed::new());
+        let m = measure_scheme(Qed::new()).unwrap();
         assert_eq!(m.cell(Property::PersistentLabels), Compliance::Full);
         assert_eq!(m.cell(Property::XPathEvaluations), Compliance::Full);
         assert_eq!(m.cell(Property::LevelEncoding), Compliance::Full);
@@ -253,7 +255,7 @@ mod tests {
 
     #[test]
     fn dewey_measures_like_its_figure7_row() {
-        let m = measure_scheme(DeweyId::new());
+        let m = measure_scheme(DeweyId::new()).unwrap();
         assert_eq!(m.cell(Property::PersistentLabels), Compliance::None);
         assert_eq!(m.cell(Property::XPathEvaluations), Compliance::Full);
         assert_eq!(m.cell(Property::LevelEncoding), Compliance::Full);
@@ -267,7 +269,7 @@ mod tests {
     fn vector_overflow_divergence_is_measured() {
         // The paper (§4) doubts Vector's overflow-freedom; the zigzag
         // probe vindicates the doubt.
-        let m = measure_scheme(VectorScheme::new());
+        let m = measure_scheme(VectorScheme::new()).unwrap();
         assert_eq!(m.cell(Property::OverflowFree), Compliance::None);
         assert_eq!(m.cell(Property::PersistentLabels), Compliance::Full);
         assert_eq!(m.cell(Property::NoDivision), Compliance::Full);

@@ -3,7 +3,7 @@
 
 use xupd_labelcore::{Labeling, LabelingScheme};
 use xupd_workloads::{Script, ScriptOp};
-use xupd_xmldom::{NodeId, NodeKind, XmlTree};
+use xupd_xmldom::{NodeId, NodeKind, TreeError, XmlTree};
 
 /// Evidence accumulated while driving one script.
 #[derive(Debug, Clone, Default)]
@@ -41,7 +41,7 @@ pub fn run_script<S: LabelingScheme>(
     scheme: &mut S,
     labeling: &mut Labeling<S::Label>,
     script: &Script,
-) -> DriveStats {
+) -> Result<DriveStats, TreeError> {
     let mut stats = DriveStats::default();
     let mut zig: Option<(NodeId, NodeId)> = None;
     let mut zig_step = 0usize;
@@ -60,11 +60,11 @@ pub fn run_script<S: LabelingScheme>(
                 let target = resolve(i);
                 let node = tree.create(NodeKind::element("u"));
                 if tree.parent(target) == Some(tree.root()) || tree.parent(target).is_none() {
-                    tree.prepend_child(target, node).expect("live target");
+                    tree.prepend_child(target, node)?;
                 } else {
-                    tree.insert_before(target, node).expect("live target");
+                    tree.insert_before(target, node)?;
                 }
-                apply_insert(tree, scheme, labeling, node, &mut stats);
+                apply_insert(tree, scheme, labeling, node, &mut stats)?;
             }
             ScriptOp::InsertAfter(i) if i == usize::MAX => {
                 // zigzag: insert between an adjacent pair, alternately
@@ -80,17 +80,17 @@ pub fn run_script<S: LabelingScheme>(
                     _ => {
                         let base = resolve(pool.len() / 2);
                         let c1 = tree.create(NodeKind::element("u"));
-                        tree.append_child(base, c1).expect("live base");
-                        apply_insert(tree, scheme, labeling, c1, &mut stats);
+                        tree.append_child(base, c1)?;
+                        apply_insert(tree, scheme, labeling, c1, &mut stats)?;
                         let c2 = tree.create(NodeKind::element("u"));
-                        tree.append_child(base, c2).expect("live base");
-                        apply_insert(tree, scheme, labeling, c2, &mut stats);
+                        tree.append_child(base, c2)?;
+                        apply_insert(tree, scheme, labeling, c2, &mut stats)?;
                         (c1, c2)
                     }
                 };
                 let node = tree.create(NodeKind::element("u"));
-                tree.insert_after(a, node).expect("live anchor");
-                apply_insert(tree, scheme, labeling, node, &mut stats);
+                tree.insert_after(a, node)?;
+                apply_insert(tree, scheme, labeling, node, &mut stats)?;
                 zig = Some(if zig_step % 2 == 0 {
                     (a, node)
                 } else {
@@ -102,23 +102,23 @@ pub fn run_script<S: LabelingScheme>(
                 let target = resolve(i);
                 let node = tree.create(NodeKind::element("u"));
                 if tree.parent(target) == Some(tree.root()) || tree.parent(target).is_none() {
-                    tree.append_child(target, node).expect("live target");
+                    tree.append_child(target, node)?;
                 } else {
-                    tree.insert_after(target, node).expect("live target");
+                    tree.insert_after(target, node)?;
                 }
-                apply_insert(tree, scheme, labeling, node, &mut stats);
+                apply_insert(tree, scheme, labeling, node, &mut stats)?;
             }
             ScriptOp::PrependChild(i) => {
                 let target = resolve(i);
                 let node = tree.create(NodeKind::element("u"));
-                tree.prepend_child(target, node).expect("live target");
-                apply_insert(tree, scheme, labeling, node, &mut stats);
+                tree.prepend_child(target, node)?;
+                apply_insert(tree, scheme, labeling, node, &mut stats)?;
             }
             ScriptOp::AppendChild(i) => {
                 let target = resolve(i);
                 let node = tree.create(NodeKind::element("u"));
-                tree.append_child(target, node).expect("live target");
-                apply_insert(tree, scheme, labeling, node, &mut stats);
+                tree.append_child(target, node)?;
+                apply_insert(tree, scheme, labeling, node, &mut stats)?;
             }
             ScriptOp::DeleteSubtree(i) => {
                 let target = resolve(i);
@@ -126,7 +126,7 @@ pub fn run_script<S: LabelingScheme>(
                     continue;
                 }
                 scheme.on_delete(tree, labeling, target);
-                tree.remove_subtree(target).expect("live target");
+                tree.remove_subtree(target)?;
                 stats.deletes += 1;
             }
         }
@@ -137,7 +137,7 @@ pub fn run_script<S: LabelingScheme>(
     stats.peak_label_bits = stats.peak_label_bits.max(labeling.max_bits());
     stats.end_mean_bits = labeling.mean_bits();
     stats.end_max_bits = labeling.max_bits();
-    stats
+    Ok(stats)
 }
 
 /// Label a freshly grafted **subtree** (the paper's third structural
@@ -151,15 +151,15 @@ pub fn graft_subtree<S: LabelingScheme>(
     scheme: &mut S,
     labeling: &mut Labeling<S::Label>,
     root: NodeId,
-) -> DriveStats {
+) -> Result<DriveStats, TreeError> {
     let mut stats = DriveStats::default();
     for node in tree.preorder_from(root).collect::<Vec<_>>() {
-        apply_insert(tree, scheme, labeling, node, &mut stats);
+        apply_insert(tree, scheme, labeling, node, &mut stats)?;
     }
     stats.peak_label_bits = labeling.max_bits();
     stats.end_mean_bits = labeling.mean_bits();
     stats.end_max_bits = labeling.max_bits();
-    stats
+    Ok(stats)
 }
 
 /// Move a subtree: detach `root` from its current position, re-attach it
@@ -174,9 +174,9 @@ pub fn move_subtree<S: LabelingScheme>(
     labeling: &mut Labeling<S::Label>,
     root: NodeId,
     attach: impl FnOnce(&mut XmlTree, NodeId),
-) -> DriveStats {
+) -> Result<DriveStats, TreeError> {
     scheme.on_delete(tree, labeling, root);
-    tree.detach(root).expect("movable subtree root");
+    tree.detach(root)?;
     attach(tree, root);
     graft_subtree(tree, scheme, labeling, root)
 }
@@ -187,13 +187,14 @@ fn apply_insert<S: LabelingScheme>(
     labeling: &mut Labeling<S::Label>,
     node: NodeId,
     stats: &mut DriveStats,
-) {
-    let report = scheme.on_insert(tree, labeling, node);
+) -> Result<(), TreeError> {
+    let report = scheme.on_insert(tree, labeling, node)?;
     stats.inserts += 1;
     stats.relabeled += report.relabeled.len() as u64;
     if report.overflowed {
         stats.overflow_events += 1;
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -207,9 +208,9 @@ mod tests {
     fn random_script_drives_cleanly_for_qed() {
         let mut tree = docs::random_tree(1, 100);
         let mut scheme = Qed::new();
-        let mut labeling = scheme.label_tree(&tree);
+        let mut labeling = scheme.label_tree(&tree).unwrap();
         let script = Script::generate(ScriptKind::Random, 150, 100, 2);
-        let stats = run_script(&mut tree, &mut scheme, &mut labeling, &script);
+        let stats = run_script(&mut tree, &mut scheme, &mut labeling, &script).unwrap();
         assert_eq!(stats.inserts, 150);
         assert_eq!(stats.relabeled, 0);
         assert_eq!(stats.overflow_events, 0);
@@ -221,9 +222,9 @@ mod tests {
     fn skewed_script_relabels_for_dewey() {
         let mut tree = docs::wide(20);
         let mut scheme = DeweyId::new();
-        let mut labeling = scheme.label_tree(&tree);
+        let mut labeling = scheme.label_tree(&tree).unwrap();
         let script = Script::generate(ScriptKind::Skewed, 50, 20, 3);
-        let stats = run_script(&mut tree, &mut scheme, &mut labeling, &script);
+        let stats = run_script(&mut tree, &mut scheme, &mut labeling, &script).unwrap();
         assert!(stats.relabeled > 0, "skewed inserts renumber for DeweyID");
     }
 
@@ -231,9 +232,9 @@ mod tests {
     fn mixed_delete_keeps_labeling_in_sync() {
         let mut tree = docs::random_tree(4, 120);
         let mut scheme = Qed::new();
-        let mut labeling = scheme.label_tree(&tree);
+        let mut labeling = scheme.label_tree(&tree).unwrap();
         let script = Script::generate(ScriptKind::MixedDelete, 200, 120, 5);
-        let stats = run_script(&mut tree, &mut scheme, &mut labeling, &script);
+        let stats = run_script(&mut tree, &mut scheme, &mut labeling, &script).unwrap();
         assert!(stats.deletes > 0);
         tree.validate().unwrap();
         assert_eq!(labeling.len(), tree.len(), "one label per live node");
@@ -243,9 +244,9 @@ mod tests {
     fn zigzag_initialises_and_runs() {
         let mut tree = docs::wide(10);
         let mut scheme = Qed::new();
-        let mut labeling = scheme.label_tree(&tree);
+        let mut labeling = scheme.label_tree(&tree).unwrap();
         let script = Script::generate(ScriptKind::Zigzag, 60, 10, 6);
-        let stats = run_script(&mut tree, &mut scheme, &mut labeling, &script);
+        let stats = run_script(&mut tree, &mut scheme, &mut labeling, &script).unwrap();
         assert!(stats.inserts >= 60);
         assert_eq!(labeling.len(), tree.len());
     }
@@ -255,7 +256,7 @@ mod tests {
         use xupd_xmldom::TreeBuilder;
         let mut tree = docs::book();
         let mut scheme = Qed::new();
-        let mut labeling = scheme.label_tree(&tree);
+        let mut labeling = scheme.label_tree(&tree).unwrap();
 
         // build a detached appendix subtree, then graft it under <book>
         let sub = TreeBuilder::new()
@@ -271,14 +272,14 @@ mod tests {
         let appendix = clone_into(&sub, sub_root_src, &mut tree);
         tree.append_child(book, appendix).unwrap();
 
-        let stats = graft_subtree(&tree, &mut scheme, &mut labeling, appendix);
+        let stats = graft_subtree(&tree, &mut scheme, &mut labeling, appendix).unwrap();
         assert_eq!(stats.inserts, sub.subtree_size(sub_root_src));
         assert_eq!(stats.relabeled, 0, "QED grafts persist too");
         assert_eq!(labeling.len(), tree.len());
         let order = tree.ids_in_doc_order();
         for w in order.windows(2) {
             assert_eq!(
-                scheme.cmp_doc(labeling.expect(w[0]), labeling.expect(w[1])),
+                scheme.cmp_doc(labeling.req(w[0]).unwrap(), labeling.req(w[1]).unwrap()),
                 std::cmp::Ordering::Less
             );
         }
@@ -297,7 +298,7 @@ mod tests {
     fn move_subtree_keeps_other_labels_for_persistent_schemes() {
         let mut tree = docs::book();
         let mut scheme = Qed::new();
-        let mut labeling = scheme.label_tree(&tree);
+        let mut labeling = scheme.label_tree(&tree).unwrap();
         let publisher = tree
             .preorder()
             .find(|&n| tree.kind(n).name() == Some("publisher"))
@@ -310,16 +311,16 @@ mod tests {
             .ids_in_doc_order()
             .into_iter()
             .filter(|&n| !tree.is_ancestor(publisher, n) && n != publisher)
-            .map(|n| (n, labeling.expect(n).clone()))
+            .map(|n| (n, labeling.req(n).unwrap().clone()))
             .collect();
         // move <publisher> to sit before <title>
         let stats = move_subtree(&mut tree, &mut scheme, &mut labeling, publisher, |t, r| {
             t.insert_before(title, r).expect("live anchor");
-        });
+        }).unwrap();
         assert_eq!(stats.inserts, tree.subtree_size(publisher));
         assert_eq!(stats.relabeled, 0, "no bystander relabels");
         for (n, old) in untouched {
-            assert_eq!(labeling.expect(n), &old, "bystander label changed");
+            assert_eq!(labeling.req(n).unwrap(), &old, "bystander label changed");
         }
         // order + structure intact
         tree.validate().unwrap();
@@ -327,7 +328,7 @@ mod tests {
         let order = tree.ids_in_doc_order();
         for w in order.windows(2) {
             assert_eq!(
-                scheme.cmp_doc(labeling.expect(w[0]), labeling.expect(w[1])),
+                scheme.cmp_doc(labeling.req(w[0]).unwrap(), labeling.req(w[1]).unwrap()),
                 std::cmp::Ordering::Less
             );
         }
@@ -341,7 +342,7 @@ mod tests {
         use xupd_xmldom::NodeKind;
         let mut tree = docs::wide(5);
         let mut scheme = DeweyId::new();
-        let mut labeling = scheme.label_tree(&tree);
+        let mut labeling = scheme.label_tree(&tree).unwrap();
         let root_elem = tree.document_element().unwrap();
         let first = tree.first_child(root_elem).unwrap();
         // graft a two-node subtree before the first child
@@ -349,7 +350,7 @@ mod tests {
         let sub_leaf = tree.create(NodeKind::element("gl"));
         tree.append_child(sub_root, sub_leaf).unwrap();
         tree.insert_before(first, sub_root).unwrap();
-        let stats = graft_subtree(&tree, &mut scheme, &mut labeling, sub_root);
+        let stats = graft_subtree(&tree, &mut scheme, &mut labeling, sub_root).unwrap();
         assert_eq!(stats.inserts, 2);
         assert!(stats.relabeled > 0, "following siblings renumbered");
     }
@@ -359,9 +360,9 @@ mod tests {
         use xupd_schemes::prefix::improved_binary::ImprovedBinary;
         let mut tree = docs::wide(5);
         let mut scheme = ImprovedBinary::with_max_code_bits(64);
-        let mut labeling = scheme.label_tree(&tree);
+        let mut labeling = scheme.label_tree(&tree).unwrap();
         let script = Script::generate(ScriptKind::Skewed, 200, 5, 7);
-        let stats = run_script(&mut tree, &mut scheme, &mut labeling, &script);
+        let stats = run_script(&mut tree, &mut scheme, &mut labeling, &script).unwrap();
         assert!(stats.overflow_events > 0);
         assert!(
             stats.peak_label_bits > stats.end_max_bits / 2,

@@ -4,6 +4,7 @@
 use crate::checkers::{measure_scheme, Measured};
 use xupd_labelcore::{Compliance, LabelingScheme, SchemeDescriptor, SchemeVisitor};
 use xupd_schemes::{visit_all_schemes, visit_figure7_schemes};
+use xupd_xmldom::TreeError;
 
 /// One matrix row: descriptive columns plus eight graded cells.
 #[derive(Debug, Clone)]
@@ -138,28 +139,53 @@ pub fn declared_all() -> EvaluationMatrix {
     }
 }
 
-struct MeasureCollector(Vec<(SchemeDescriptor, Measured)>);
+/// Collects checker results; the visitor interface is infallible, so the
+/// first error is parked and surfaced when the battery returns.
+struct MeasureCollector {
+    results: Vec<(SchemeDescriptor, Measured)>,
+    error: Option<TreeError>,
+}
 
 impl SchemeVisitor for MeasureCollector {
     fn visit<S: LabelingScheme>(&mut self, scheme: S) {
+        if self.error.is_some() {
+            return;
+        }
         let descriptor = scheme.descriptor();
-        let measured = measure_scheme(scheme);
-        self.0.push((descriptor, measured));
+        match measure_scheme(scheme) {
+            Ok(measured) => self.results.push((descriptor, measured)),
+            Err(e) => self.error = Some(e),
+        }
+    }
+}
+
+impl MeasureCollector {
+    fn finish(self) -> Result<Vec<(SchemeDescriptor, Measured)>, TreeError> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(self.results),
+        }
     }
 }
 
 /// Run the checker battery over the twelve Figure 7 schemes.
-pub fn measure_figure7() -> Vec<(SchemeDescriptor, Measured)> {
-    let mut c = MeasureCollector(Vec::new());
+pub fn measure_figure7() -> Result<Vec<(SchemeDescriptor, Measured)>, TreeError> {
+    let mut c = MeasureCollector {
+        results: Vec::new(),
+        error: None,
+    };
     visit_figure7_schemes(&mut c);
-    c.0
+    c.finish()
 }
 
 /// Run the checker battery over the full roster.
-pub fn measure_all() -> Vec<(SchemeDescriptor, Measured)> {
-    let mut c = MeasureCollector(Vec::new());
+pub fn measure_all() -> Result<Vec<(SchemeDescriptor, Measured)>, TreeError> {
+    let mut c = MeasureCollector {
+        results: Vec::new(),
+        error: None,
+    };
     visit_all_schemes(&mut c);
-    c.0
+    c.finish()
 }
 
 /// Build the measured matrix from checker results.

@@ -21,7 +21,7 @@
 use std::cmp::Ordering;
 use xupd_labelcore::quaternary::{qinsert, QCode};
 use xupd_labelcore::VectorCode;
-use xupd_xmldom::{NodeId, XmlTree};
+use xupd_xmldom::{NodeId, TreeError, XmlTree};
 
 /// A host-independent, totally ordered, infinitely splittable position
 /// code — the algebra a scheme must expose to be *orthogonal*.
@@ -34,16 +34,17 @@ pub trait OrderCode: Clone + Eq + std::fmt::Debug {
     /// Total order of positions.
     fn cmp_code(&self, other: &Self) -> Ordering;
 
-    /// `n` fresh positions in ascending order for bulk labelling. The
-    /// default chains [`OrderCode::between`]; algebras with compact bulk
+    /// `n` fresh positions in ascending order for bulk labelling, or
+    /// `None` when the algebra's encoding space is exhausted. The default
+    /// chains [`OrderCode::between`]; algebras with compact bulk
     /// generators override it.
-    fn bulk(n: usize) -> Vec<Self> {
+    fn bulk(n: usize) -> Option<Vec<Self>> {
         let mut out: Vec<Self> = Vec::with_capacity(n);
         for _ in 0..n {
-            let next = Self::between(out.last(), None).expect("open-ended split succeeds");
+            let next = Self::between(out.last(), None)?;
             out.push(next);
         }
-        out
+        Some(out)
     }
 }
 
@@ -56,9 +57,9 @@ impl OrderCode for QCode {
         self.cmp(other)
     }
 
-    fn bulk(n: usize) -> Vec<QCode> {
+    fn bulk(n: usize) -> Option<Vec<QCode>> {
         let mut stats = xupd_labelcore::SchemeStats::default();
-        xupd_labelcore::quaternary::bulk_cdqs(n, &mut stats)
+        Some(xupd_labelcore::quaternary::bulk_cdqs(n, &mut stats))
     }
 }
 
@@ -73,9 +74,9 @@ impl OrderCode for VectorCode {
         self.cmp_gradient(other)
     }
 
-    fn bulk(n: usize) -> Vec<VectorCode> {
+    fn bulk(n: usize) -> Option<Vec<VectorCode>> {
         // gradients 1, 2, …, n
-        (1..=n as u64).map(|k| VectorCode::new(1, k)).collect()
+        Some((1..=n as u64).map(|k| VectorCode::new(1, k)).collect())
     }
 }
 
@@ -91,14 +92,17 @@ pub struct CodedContainment<C: OrderCode> {
 impl<C: OrderCode> CodedContainment<C> {
     /// Label every node of `tree` with `(begin, end)` order codes by one
     /// depth-first pass, drawing positions from the algebra's bulk
-    /// generator (2 positions per node: its begin and end).
-    pub fn label(tree: &XmlTree) -> Self {
+    /// generator (2 positions per node: its begin and end). Errors when
+    /// the algebra cannot produce enough positions.
+    pub fn label(tree: &XmlTree) -> Result<Self, TreeError> {
         let mut labels: Vec<Option<(C, C)>> = vec![None; tree.id_bound()];
-        let mut positions = C::bulk(2 * tree.len()).into_iter();
+        let mut positions = C::bulk(2 * tree.len())
+            .ok_or_else(|| TreeError::Invariant("order-code algebra exhausted in bulk".into()))?
+            .into_iter();
         let mut begins: Vec<(NodeId, C)> = Vec::new();
-        Self::walk(tree, tree.root(), &mut positions, &mut begins, &mut labels);
+        Self::walk(tree, tree.root(), &mut positions, &mut begins, &mut labels)?;
         debug_assert!(begins.is_empty());
-        CodedContainment { labels }
+        Ok(CodedContainment { labels })
     }
 
     fn walk(
@@ -107,16 +111,23 @@ impl<C: OrderCode> CodedContainment<C> {
         positions: &mut impl Iterator<Item = C>,
         begins: &mut Vec<(NodeId, C)>,
         labels: &mut Vec<Option<(C, C)>>,
-    ) {
-        let begin = positions.next().expect("2·n positions generated");
+    ) -> Result<(), TreeError> {
+        let begin = positions
+            .next()
+            .ok_or_else(|| TreeError::Invariant("position stream exhausted".into()))?;
         begins.push((node, begin));
         for child in tree.children(node) {
-            Self::walk(tree, child, positions, begins, labels);
+            Self::walk(tree, child, positions, begins, labels)?;
         }
-        let (id, begin) = begins.pop().expect("balanced begin/end");
+        let (id, begin) = begins
+            .pop()
+            .ok_or_else(|| TreeError::Invariant("unbalanced begin/end walk".into()))?;
         debug_assert_eq!(id, node);
-        let end = positions.next().expect("2·n positions generated");
+        let end = positions
+            .next()
+            .ok_or_else(|| TreeError::Invariant("position stream exhausted".into()))?;
         labels[node.index()] = Some((begin, end));
+        Ok(())
     }
 
     /// The `(begin, end)` codes of `node`.
@@ -145,23 +156,30 @@ impl<C: OrderCode> CodedContainment<C> {
     /// Splice `(begin, end)` codes for a node newly attached to `tree` —
     /// between its neighbours' codes, with **no relabelling**: the
     /// composition inherits the order-code algebra's persistence, which
-    /// is the practical payoff of orthogonality.
-    pub fn insert(&mut self, tree: &XmlTree, node: NodeId) {
-        let parent = tree.parent(node).expect("attached");
+    /// is the practical payoff of orthogonality. Errors when the node is
+    /// detached, a neighbour is unlabelled, or the algebra's encoding
+    /// space is exhausted.
+    pub fn insert(&mut self, tree: &XmlTree, node: NodeId) -> Result<(), TreeError> {
+        let parent = tree.parent(node).ok_or(TreeError::MissingParent(node))?;
+        let req = |labels: &Self, n: NodeId| {
+            labels.get(n).cloned().ok_or(TreeError::Unlabeled(n))
+        };
         let left = match tree.prev_sibling(node) {
-            Some(s) => self.get(s).expect("labelled").1.clone(),
-            None => self.get(parent).expect("labelled").0.clone(),
+            Some(s) => req(self, s)?.1,
+            None => req(self, parent)?.0,
         };
         let right = match tree.next_sibling(node) {
-            Some(s) => Some(self.get(s).expect("labelled").0.clone()),
-            None => Some(self.get(parent).expect("labelled").1.clone()),
+            Some(s) => Some(req(self, s)?.0),
+            None => Some(req(self, parent)?.1),
         };
-        let begin = C::between(Some(&left), right.as_ref()).expect("overflow-free algebra splits");
-        let end = C::between(Some(&begin), right.as_ref()).expect("overflow-free algebra splits");
+        let exhausted = || TreeError::Invariant("order-code algebra exhausted".into());
+        let begin = C::between(Some(&left), right.as_ref()).ok_or_else(exhausted)?;
+        let end = C::between(Some(&begin), right.as_ref()).ok_or_else(exhausted)?;
         if self.labels.len() <= node.index() {
             self.labels.resize(node.index() + 1, None);
         }
         self.labels[node.index()] = Some((begin, end));
+        Ok(())
     }
 }
 
@@ -181,7 +199,7 @@ mod tests {
 
     fn check_host<C: OrderCode>() {
         let mut tree = docs::random_tree(5, 150);
-        let mut host: CodedContainment<C> = CodedContainment::label(&tree);
+        let mut host: CodedContainment<C> = CodedContainment::label(&tree).unwrap();
         // containment semantics match tree ground truth
         let all = tree.ids_in_doc_order();
         for &u in &all {
@@ -200,7 +218,7 @@ mod tests {
             } else {
                 tree.append_child(target, node).unwrap();
             }
-            host.insert(&tree, node);
+            host.insert(&tree, node).unwrap();
         }
         let order = tree.ids_in_doc_order();
         for w in order.windows(2) {

@@ -102,7 +102,7 @@ impl Figure7Report {
         out.push('\n');
 
         let (agree, total) = self.agreement();
-        writeln!(out, "Agreement: {agree}/{total} graded cells").expect("write to String");
+        let _ = writeln!(out, "Agreement: {agree}/{total} graded cells");
 
         let divs = self.divergences();
         if divs.is_empty() {
@@ -110,15 +110,14 @@ impl Figure7Report {
         } else {
             out.push_str("Divergences (declared → measured):\n");
             for d in &divs {
-                writeln!(
+                let _ = writeln!(
                     out,
                     "  {:<18} {:<20} {} → {}",
                     d.scheme,
                     d.property.column_header(),
                     d.declared,
                     d.measured
-                )
-                .expect("write to String");
+                );
             }
         }
 
@@ -132,13 +131,12 @@ impl Figure7Report {
             .collect();
         for (name, score) in self.measured().ranking() {
             if unsound.contains(&name) {
-                writeln!(
+                let _ = writeln!(
                     out,
                     "   -  {name} (disqualified: uniqueness/order violations)"
-                )
-                .expect("write to String");
+                );
             } else {
-                writeln!(out, "  {score:>2}  {name}").expect("write to String");
+                let _ = writeln!(out, "  {score:>2}  {name}");
             }
         }
 
@@ -147,7 +145,7 @@ impl Figure7Report {
             out.push_str("\nSoundness findings:\n");
             for (name, notes) in findings {
                 for n in notes {
-                    writeln!(out, "  {name}: {n}").expect("write to String");
+                    let _ = writeln!(out, "  {name}: {n}");
                 }
             }
         }
@@ -168,11 +166,11 @@ mod tests {
         let results = vec![
             (
                 xupd_labelcore::LabelingScheme::descriptor(&qed),
-                measure_scheme(qed),
+                measure_scheme(qed).unwrap(),
             ),
             (
                 xupd_labelcore::LabelingScheme::descriptor(&cdqs),
-                measure_scheme(cdqs),
+                measure_scheme(cdqs).unwrap(),
             ),
         ];
         Figure7Report::new(results)

@@ -9,7 +9,7 @@
 use std::cmp::Ordering;
 use xupd_testkit::TestRng;
 use xupd_labelcore::{Labeling, LabelingScheme, Relation};
-use xupd_xmldom::XmlTree;
+use xupd_xmldom::{TreeError, XmlTree};
 
 /// Per-relation verification outcome.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -76,18 +76,22 @@ impl VerifyOutcome {
 
 /// Verify a labelling: full document-order scan, duplicate detection, and
 /// `sample_pairs` random node pairs for each relation plus level checks.
+///
+/// Errors with [`TreeError::Unlabeled`] when a live node has no label —
+/// a broken labelling that the soundness counters cannot meaningfully
+/// grade.
 pub fn verify<S: LabelingScheme>(
     tree: &XmlTree,
     scheme: &S,
     labeling: &Labeling<S::Label>,
     sample_pairs: usize,
     seed: u64,
-) -> VerifyOutcome {
+) -> Result<VerifyOutcome, TreeError> {
     let mut out = VerifyOutcome::default();
     let order = tree.ids_in_doc_order();
 
     for w in order.windows(2) {
-        let (a, b) = (labeling.expect(w[0]), labeling.expect(w[1]));
+        let (a, b) = (labeling.req(w[0])?, labeling.req(w[1])?);
         if scheme.cmp_doc(a, b) != Ordering::Less {
             out.order_violations += 1;
         }
@@ -102,7 +106,7 @@ pub fn verify<S: LabelingScheme>(
         if x == y {
             continue;
         }
-        let (lx, ly) = (labeling.expect(x), labeling.expect(y));
+        let (lx, ly) = (labeling.req(x)?, labeling.req(y)?);
         let truths = [
             (Relation::AncestorDescendant, tree.is_ancestor(x, y)),
             (Relation::ParentChild, tree.parent(y) == Some(x)),
@@ -133,7 +137,7 @@ pub fn verify<S: LabelingScheme>(
         }
     }
     out.level = level_mismatches;
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -147,8 +151,8 @@ mod tests {
     fn dewey_verifies_fully_sound() {
         let tree = docs::random_tree(2, 200);
         let mut scheme = DeweyId::new();
-        let labeling = scheme.label_tree(&tree);
-        let v = verify(&tree, &scheme, &labeling, 400, 1);
+        let labeling = scheme.label_tree(&tree).unwrap();
+        let v = verify(&tree, &scheme, &labeling, 400, 1).unwrap();
         assert!(v.is_sound(), "{v:?}");
         assert!(v.ancestor.supported && v.parent.supported && v.sibling.supported);
         assert_eq!(v.level, Some(0));
@@ -158,8 +162,8 @@ mod tests {
     fn sector_reports_partial_support() {
         let tree = docs::random_tree(3, 200);
         let mut scheme = Sector::new();
-        let labeling = scheme.label_tree(&tree);
-        let v = verify(&tree, &scheme, &labeling, 400, 2);
+        let labeling = scheme.label_tree(&tree).unwrap();
+        let v = verify(&tree, &scheme, &labeling, 400, 2).unwrap();
         assert!(v.is_sound(), "{v:?}");
         assert!(v.ancestor.supported);
         assert!(!v.parent.supported);

@@ -42,6 +42,7 @@ impl BitString {
                 .map(|c| match c {
                     '0' => 0,
                     '1' => 1,
+                    // lint:allow(R1): documented panic contract; inputs are compile-time constant bit strings
                     _ => panic!("invalid bit character {c:?}"),
                 })
                 .collect(),
@@ -164,29 +165,25 @@ pub fn bulk_binary(n: usize, stats: &mut SchemeStats) -> Vec<BitString> {
         1 => return vec![BitString::from_bits("01")],
         _ => {}
     }
-    let mut codes: Vec<Option<BitString>> = vec![None; n];
-    codes[0] = Some(BitString::from_bits("01"));
-    codes[n - 1] = Some(BitString::from_bits("011"));
+    // The empty code is never assigned (all assigned codes end in 1), so
+    // it doubles as the not-yet-filled sentinel; `fill_middle` visits every
+    // interior position exactly once.
+    let mut codes: Vec<BitString> = vec![BitString::empty(); n];
+    codes[0] = BitString::from_bits("01");
+    codes[n - 1] = BitString::from_bits("011");
     fill_middle(&mut codes, 0, n - 1, stats);
+    debug_assert!(codes.iter().all(|c| c.last() == Some(1)));
     codes
-        .into_iter()
-        .map(|c| c.expect("every position filled"))
-        .collect()
 }
 
-fn fill_middle(codes: &mut [Option<BitString>], lo: usize, hi: usize, stats: &mut SchemeStats) {
+fn fill_middle(codes: &mut [BitString], lo: usize, hi: usize, stats: &mut SchemeStats) {
     if hi - lo <= 1 {
         return;
     }
     stats.recursive_calls += 1;
     stats.divisions += 1; // the ((1+n)/2)-th position computation
     let mid = lo + (hi - lo) / 2;
-    let code = {
-        let l = codes[lo].as_ref().expect("lo filled");
-        let r = codes[hi].as_ref().expect("hi filled");
-        middle(l, r)
-    };
-    codes[mid] = Some(code);
+    codes[mid] = middle(&codes[lo], &codes[hi]);
     fill_middle(codes, lo, mid, stats);
     fill_middle(codes, mid, hi, stats);
 }

@@ -2,7 +2,7 @@
 //! to their labels.
 
 use std::fmt::Debug;
-use xupd_xmldom::{NodeId, XmlTree};
+use xupd_xmldom::{NodeId, TreeError, XmlTree};
 
 /// A node label as assigned by a labelling scheme (Definition 1 of the
 /// paper: unique identifiers that facilitate node ordering).
@@ -57,14 +57,13 @@ impl<L: Label> Labeling<L> {
         self.slots.get(id.index()).and_then(|s| s.as_ref())
     }
 
-    /// The label of `id`.
+    /// The label of `id`, required to exist.
     ///
-    /// # Panics
-    /// Panics if `id` has no label — schemes guarantee every live node is
-    /// labelled, so this indicates a driver bug.
-    pub fn expect(&self, id: NodeId) -> &L {
-        self.get(id)
-            .unwrap_or_else(|| panic!("node {id} has no label"))
+    /// Schemes guarantee every live node is labelled, so a miss indicates
+    /// a driver bug — surfaced as [`TreeError::Unlabeled`] rather than a
+    /// panic, per the workspace panic policy (R1).
+    pub fn req(&self, id: NodeId) -> Result<&L, TreeError> {
+        self.get(id).ok_or(TreeError::Unlabeled(id))
     }
 
     /// Assign (or replace) the label of `id`. Returns the previous label.
@@ -186,9 +185,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "has no label")]
-    fn expect_panics_on_missing() {
+    fn req_errors_on_missing() {
         let l: Labeling<IntLabel> = Labeling::new();
-        l.expect(NodeId::from_index(0));
+        let id = NodeId::from_index(0);
+        assert_eq!(l.req(id), Err(TreeError::Unlabeled(id)));
+        let mut l = l;
+        l.set(id, IntLabel(1));
+        assert_eq!(l.req(id), Ok(&IntLabel(1)));
     }
 }

@@ -185,26 +185,30 @@ pub struct SchemeDescriptor {
 impl SchemeDescriptor {
     /// Declared compliance for one property.
     pub fn declared_for(&self, p: Property) -> Compliance {
-        let idx = Property::ALL
-            .iter()
-            .position(|&q| q == p)
-            .expect("property is in ALL");
-        self.declared[idx]
+        // `Property::ALL` lists the variants in declaration order, so the
+        // discriminant is the column index.
+        self.declared[p as usize]
     }
 
     /// Build the declared row from the paper's letter string, e.g.
     /// `"FFFFFNNN"` for QED.
     ///
-    /// # Panics
-    /// Panics if the string is not exactly eight of `F`/`P`/`N` — the
-    /// descriptor tables are compile-time constants, so this is a
-    /// programming error, not input validation.
+    /// The descriptor tables are compile-time constants, so a malformed
+    /// row is a programming error: it trips the debug assertion under
+    /// `cargo test`, and in release builds any unparsable letter falls
+    /// back to `N` (which the Figure 7 golden tests would then catch).
     pub fn declared_from_letters(s: &str) -> [Compliance; 8] {
-        let v: Vec<Compliance> = s
-            .chars()
-            .map(|c| Compliance::from_letter(c).expect("letter is F, P or N"))
-            .collect();
-        v.try_into().expect("exactly eight letters")
+        debug_assert!(
+            s.len() == 8 && s.chars().all(|c| Compliance::from_letter(c).is_some()),
+            "declared row must be exactly eight of F/P/N: {s:?}"
+        );
+        let mut out = [Compliance::None; 8];
+        for (slot, c) in out.iter_mut().zip(s.chars()) {
+            if let Some(grade) = Compliance::from_letter(c) {
+                *slot = grade;
+            }
+        }
+        out
     }
 
     /// The §5.2 ranking score: the sum of compliance scores across the
@@ -240,7 +244,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "letter")]
+    #[should_panic(expected = "eight of F/P/N")]
     fn declared_from_letters_rejects_bad_letter() {
         SchemeDescriptor::declared_from_letters("FFFFFNNX");
     }
@@ -250,6 +254,11 @@ mod tests {
         assert_eq!(Property::ALL.len(), 8);
         assert_eq!(Property::ALL[0], Property::PersistentLabels);
         assert_eq!(Property::ALL[7], Property::NonRecursive);
+        // declared_for indexes by discriminant, which must match the
+        // column order of ALL.
+        for (i, p) in Property::ALL.iter().enumerate() {
+            assert_eq!(*p as usize, i);
+        }
     }
 
     #[test]

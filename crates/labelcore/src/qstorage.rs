@@ -33,8 +33,8 @@ impl SymbolStream {
         let bit_off = (self.symbols * 2) % 8;
         if bit_off == 0 {
             self.bytes.push(sym << 6);
-        } else {
-            let last = self.bytes.last_mut().expect("started");
+        } else if let Some(last) = self.bytes.last_mut() {
+            // A non-zero bit offset means a partially filled byte exists.
             *last |= sym << (6 - bit_off);
         }
         self.symbols += 1;

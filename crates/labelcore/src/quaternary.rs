@@ -42,6 +42,7 @@ impl QCode {
                     '1' => 1,
                     '2' => 2,
                     '3' => 3,
+                    // lint:allow(R1): documented panic contract; inputs are compile-time constant digit strings
                     _ => panic!("invalid quaternary digit {c:?}"),
                 })
                 .collect(),
@@ -95,12 +96,11 @@ impl QCode {
     /// trailing `3` gains an appended `2`.
     pub fn successor(&self) -> QCode {
         let mut d = self.digits.clone();
-        match d.last().copied() {
-            Some(2) => {
-                *d.last_mut().expect("non-empty") = 3;
-            }
-            Some(3) | None => d.push(2),
-            Some(x) => unreachable!("assigned codes end in 2 or 3, found {x}"),
+        match d.last_mut() {
+            Some(last) if *last == 2 => *last = 3,
+            // Trailing 3, trailing 1 or empty: appending 2 is strictly
+            // greater under prefix-smaller order and ends validly.
+            _ => d.push(2),
         }
         QCode { digits: d }
     }
@@ -108,18 +108,17 @@ impl QCode {
     /// A code strictly **smaller** than `self` with no lower bound
     /// (insert before the first sibling): trailing `3` becomes `2`;
     /// trailing `2` becomes `12`.
+    /// Only meaningful for valid assigned codes (ending in `2` or `3`).
     pub fn predecessor(&self) -> QCode {
         let mut d = self.digits.clone();
-        match d.last().copied() {
-            Some(3) => {
-                *d.last_mut().expect("non-empty") = 2;
-            }
-            Some(2) => {
+        match d.last_mut() {
+            Some(last) if *last == 3 => *last = 2,
+            // Trailing 2 — the only other assigned-code ending: 2 → 12.
+            _ => {
                 d.pop();
                 d.push(1);
                 d.push(2);
             }
-            other => unreachable!("assigned codes end in 2 or 3, found {other:?}"),
         }
         QCode { digits: d }
     }
@@ -195,6 +194,7 @@ pub fn qbetween(left: &QCode, right: &QCode) -> QCode {
             }
             // right exhausted first (or both): impossible given left < right.
             (Some(_), None) | (None, None) => {
+                // lint:allow(R1): unreachable under the left < right precondition asserted above
                 unreachable!("left < right violated: right exhausted at position {i}")
             }
         }
@@ -208,7 +208,10 @@ fn append_greater_than(mut prefix: QCode, rest: &[u8]) -> QCode {
         prefix.push(2);
         return prefix;
     }
-    // `rest` is the tail of a valid assigned code, so it ends in 2 or 3.
+    // `rest` is the tail of a valid assigned code, so it ends in 2 or 3;
+    // a trailing 2 can be bumped to 3 in place, anything else (3) takes
+    // the general route of extending the whole tail, which is strictly
+    // greater under prefix-smaller order for any tail.
     match rest.last().copied() {
         Some(2) => {
             for &d in &rest[..rest.len() - 1] {
@@ -216,13 +219,12 @@ fn append_greater_than(mut prefix: QCode, rest: &[u8]) -> QCode {
             }
             prefix.push(3);
         }
-        Some(3) => {
+        _ => {
             for &d in rest {
                 prefix.push(d);
             }
             prefix.push(2);
         }
-        other => unreachable!("assigned code tail ends in 2 or 3, found {other:?}"),
     }
     prefix
 }
@@ -244,16 +246,17 @@ pub fn qinsert(left: Option<&QCode>, right: Option<&QCode>) -> QCode {
 /// recursive (counted) — QED's `N` entries in the *Division Comp.* and
 /// *Recursion Alg.* columns of Figure 7.
 pub fn bulk_qed(n: usize, stats: &mut SchemeStats) -> Vec<QCode> {
-    let mut codes: Vec<Option<QCode>> = vec![None; n];
+    // The empty code is never assigned (assigned codes end in 2 or 3), so
+    // it doubles as the not-yet-filled sentinel; `fill_thirds` covers
+    // every position of `[0, n)` exactly once.
+    let mut codes: Vec<QCode> = vec![QCode::empty(); n];
     fill_thirds(&mut codes, 0, n, None, None, stats);
+    debug_assert!(codes.iter().all(|c| c.is_valid_end()));
     codes
-        .into_iter()
-        .map(|c| c.expect("every position filled"))
-        .collect()
 }
 
 fn fill_thirds(
-    codes: &mut [Option<QCode>],
+    codes: &mut [QCode],
     lo: usize,
     hi: usize,
     left: Option<QCode>,
@@ -265,7 +268,7 @@ fn fill_thirds(
         return;
     }
     if count == 1 {
-        codes[lo] = Some(qinsert(left.as_ref(), right.as_ref()));
+        codes[lo] = qinsert(left.as_ref(), right.as_ref());
         return;
     }
     stats.recursive_calls += 1;
@@ -285,8 +288,8 @@ fn fill_thirds(
     // left < c1 < c2 < right.
     let c2 = qinsert(left.as_ref(), right.as_ref());
     let c1 = qinsert(left.as_ref(), Some(&c2));
-    codes[i1] = Some(c1.clone());
-    codes[i2] = Some(c2.clone());
+    codes[i1] = c1.clone();
+    codes[i2] = c2.clone();
     fill_thirds(codes, lo, i1, left, Some(c1.clone()), stats);
     fill_thirds(codes, i1 + 1, i2, Some(c1), Some(c2.clone()), stats);
     fill_thirds(codes, i2 + 1, hi, Some(c2), right, stats);

@@ -5,7 +5,7 @@ use crate::label::{Label, Labeling};
 use crate::properties::SchemeDescriptor;
 use crate::stats::SchemeStats;
 use std::cmp::Ordering;
-use xupd_xmldom::{NodeId, XmlTree};
+use xupd_xmldom::{NodeId, TreeError, XmlTree};
 
 /// What happened to existing labels when a node was inserted.
 #[derive(Debug, Clone, Default)]
@@ -75,16 +75,25 @@ pub trait LabelingScheme {
     fn descriptor(&self) -> SchemeDescriptor;
 
     /// Bulk-label every live node of `tree` (including the document root).
-    fn label_tree(&mut self, tree: &XmlTree) -> Labeling<Self::Label>;
+    ///
+    /// Errors surface driver bugs (a node with no parent mid-walk, an
+    /// unlabeled node a scheme expected to be labelled) as
+    /// [`TreeError`] values instead of panicking — the workspace panic
+    /// policy (lint rule R1) forbids panic paths in scheme code.
+    fn label_tree(&mut self, tree: &XmlTree) -> Result<Labeling<Self::Label>, TreeError>;
 
     /// Assign a label to `node`, which has just been attached to `tree`.
     /// Every other live node already has a label in `labeling`.
+    ///
+    /// Errors indicate protocol violations by the driver (e.g. `node` not
+    /// actually attached), never ordinary overflow — overflow is reported
+    /// in-band via [`InsertReport::overflowed`].
     fn on_insert(
         &mut self,
         tree: &XmlTree,
         labeling: &mut Labeling<Self::Label>,
         node: NodeId,
-    ) -> InsertReport;
+    ) -> Result<InsertReport, TreeError>;
 
     /// Remove labels for `node` and its entire subtree, which is about to
     /// be deleted from `tree` (still attached when called).
@@ -193,12 +202,12 @@ mod tests {
             }
         }
 
-        fn label_tree(&mut self, tree: &XmlTree) -> Labeling<Pos> {
+        fn label_tree(&mut self, tree: &XmlTree) -> Result<Labeling<Pos>, TreeError> {
             let mut l = Labeling::with_capacity_for(tree);
             for (i, id) in tree.preorder().enumerate() {
                 l.set(id, Pos(i as f64));
             }
-            l
+            Ok(l)
         }
 
         fn on_insert(
@@ -206,16 +215,22 @@ mod tests {
             tree: &XmlTree,
             labeling: &mut Labeling<Pos>,
             node: NodeId,
-        ) -> InsertReport {
+        ) -> Result<InsertReport, TreeError> {
             // Position strictly between document-order neighbours.
             let order = tree.ids_in_doc_order();
-            let idx = order.iter().position(|&n| n == node).expect("attached");
+            let idx = order
+                .iter()
+                .position(|&n| n == node)
+                .ok_or(TreeError::DanglingNodeId(node))?;
             let before = if idx == 0 {
                 None
             } else {
-                Some(labeling.expect(order[idx - 1]).0)
+                Some(labeling.req(order[idx - 1])?.0)
             };
-            let after = order.get(idx + 1).map(|&n| labeling.expect(n).0);
+            let after = match order.get(idx + 1) {
+                Some(&n) => Some(labeling.req(n)?.0),
+                None => None,
+            };
             self.stats.divisions += 1;
             let pos = match (before, after) {
                 (Some(b), Some(a)) => (b + a) / 2.0,
@@ -224,7 +239,7 @@ mod tests {
                 (None, None) => 0.0,
             };
             labeling.set(node, Pos(pos));
-            InsertReport::clean()
+            Ok(InsertReport::clean())
         }
 
         fn cmp_doc(&self, a: &Pos, b: &Pos) -> Ordering {
@@ -259,13 +274,13 @@ mod tests {
         tree.append_child(a, b).unwrap();
 
         let mut scheme = Midpoint::default();
-        let mut labeling = scheme.label_tree(&tree);
+        let mut labeling = scheme.label_tree(&tree).unwrap();
         assert_eq!(labeling.len(), 3);
 
         // insert between a and b in document order (as first child of a)
         let c = tree.create(NodeKind::element("c"));
         tree.prepend_child(a, c).unwrap();
-        let report = scheme.on_insert(&tree, &mut labeling, c);
+        let report = scheme.on_insert(&tree, &mut labeling, c).unwrap();
         assert!(report.relabeled.is_empty());
         assert_eq!(scheme.stats().divisions, 1);
 
@@ -273,7 +288,7 @@ mod tests {
         let order = tree.ids_in_doc_order();
         for w in order.windows(2) {
             assert_eq!(
-                scheme.cmp_doc(labeling.expect(w[0]), labeling.expect(w[1])),
+                scheme.cmp_doc(labeling.req(w[0]).unwrap(), labeling.req(w[1]).unwrap()),
                 Ordering::Less
             );
         }

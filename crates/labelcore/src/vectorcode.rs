@@ -110,9 +110,13 @@ fn split(
     }
     *recursive_calls += 1;
     let mid_idx = lo + (hi - lo) / 2;
-    let mid = left
-        .mediant(&right)
-        .expect("bulk labelling depth cannot exhaust u64 components");
+    // Bulk splitting between the virtual bounds keeps every component
+    // ≤ n + 1, far below u64 range for any allocatable n, so saturation
+    // never actually engages — it just keeps the routine total.
+    let mid = VectorCode {
+        x: left.x.saturating_add(right.x),
+        y: left.y.saturating_add(right.y),
+    };
     out[mid_idx] = mid;
     split(out, lo, mid_idx, left, mid, recursive_calls);
     split(out, mid_idx + 1, hi, mid, right, recursive_calls);

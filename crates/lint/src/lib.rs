@@ -1,0 +1,40 @@
+//! `xupd-lint` — in-repo static analysis for the xml-update-props
+//! workspace.
+//!
+//! The reproduction's currency is exact, seed-deterministic agreement
+//! with the paper's matrix and figures. This crate *statically* enforces
+//! the invariants that make that possible, in the spirit of Flux-style
+//! static checking of XML updates (Cheney 2008): rather than observing
+//! nondeterminism or panics at runtime, the tree is scanned for the
+//! constructs that could introduce them.
+//!
+//! Five rules (see [`rules`] for the table): no panic paths in library
+//! code (R1), no hash-ordered collections in result-producing crates
+//! (R2), no ambient clocks or entropy outside `testkit::bench` (R3), no
+//! incomplete `LabelingScheme` impls (R4), and no `unsafe` anywhere (R5).
+//!
+//! A finding can be acknowledged in place with a justified suppression:
+//!
+//! ```text
+//! // lint:allow(R1): length checked two lines above
+//! ```
+//!
+//! The suppression must name the rule and give a justification; it covers
+//! its own line and the next. The tool counts and prints every
+//! suppression, and warns about stale ones.
+//!
+//! Run it over the whole workspace with:
+//!
+//! ```text
+//! cargo run -p xupd-lint -- --workspace
+//! ```
+//!
+//! which also writes a machine-readable summary to `results/LINT.json`
+//! and exits non-zero if any unsuppressed finding remains.
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use report::{check_workspace, find_workspace_root, WorkspaceReport};
+pub use rules::{check_source, FileCtx, Finding};

@@ -1,0 +1,99 @@
+//! CLI for `xupd-lint`.
+//!
+//! ```text
+//! xupd-lint --workspace             lint every .rs file in the workspace,
+//!                                   write results/LINT.json, exit 1 on
+//!                                   any unsuppressed finding
+//! xupd-lint [--json PATH] FILES...  lint specific files
+//! ```
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use xupd_lint::report::{check_file_source, check_workspace, find_workspace_root, WorkspaceReport};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut workspace = false;
+    let mut json_path: Option<PathBuf> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => workspace = true,
+            "--json" => match it.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --json requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: xupd-lint --workspace | xupd-lint [--json PATH] FILES...");
+                return ExitCode::SUCCESS;
+            }
+            _ if a.starts_with('-') => {
+                eprintln!("error: unknown flag {a}");
+                return ExitCode::from(2);
+            }
+            _ => files.push(PathBuf::from(a)),
+        }
+    }
+
+    let report = if workspace {
+        let cwd = match env::current_dir() {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("error: cannot determine current directory: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let Some(root) = find_workspace_root(&cwd) else {
+            eprintln!("error: no [workspace] Cargo.toml above {}", cwd.display());
+            return ExitCode::from(2);
+        };
+        match check_workspace(&root) {
+            Ok(rep) => {
+                if json_path.is_none() {
+                    json_path = Some(root.join("results").join("LINT.json"));
+                }
+                rep
+            }
+            Err(e) => {
+                eprintln!("error: workspace scan failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else if files.is_empty() {
+        eprintln!("usage: xupd-lint --workspace | xupd-lint [--json PATH] FILES...");
+        return ExitCode::from(2);
+    } else {
+        let mut rep = WorkspaceReport::default();
+        for f in &files {
+            let src = match std::fs::read_to_string(f) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot read {}: {e}", f.display());
+                    return ExitCode::from(2);
+                }
+            };
+            check_file_source(&src, &f.to_string_lossy().replace('\\', "/"), &mut rep);
+        }
+        rep
+    };
+
+    print!("{}", report.render_text());
+    if let Some(p) = json_path {
+        if let Err(e) = std::fs::write(&p, report.render_json()) {
+            eprintln!("error: cannot write {}: {e}", p.display());
+            return ExitCode::from(2);
+        }
+        println!("wrote {}", p.display());
+    }
+
+    if report.unsuppressed_count() == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

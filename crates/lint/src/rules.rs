@@ -1,0 +1,504 @@
+//! The rule engine: walks a token stream produced by [`crate::lexer`] and
+//! reports findings for the workspace's five static invariants.
+//!
+//! | id | name                       | invariant |
+//! |----|----------------------------|-----------|
+//! | R1 | no-panic-paths             | no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` in library code of the result-producing crates |
+//! | R2 | deterministic-collections  | no `HashMap`/`HashSet` in crates that feed `results/*` (iteration order is unspecified) |
+//! | R3 | no-ambient-entropy         | no `Instant::now`/`SystemTime`/`thread_rng`-style ambient clocks or RNGs outside `testkit::bench` |
+//! | R4 | scheme-completeness        | no `todo!`/`unimplemented!` inside a `LabelingScheme` impl in `xupd-schemes` |
+//! | R5 | forbid-unsafe              | no `unsafe` anywhere in the workspace |
+
+use crate::lexer::{scan, Suppression, TokKind, Token};
+
+/// Crates whose library code must be panic-free (R1): everything on the
+/// path from a parsed document to a `results/*` byte.
+pub const R1_CRATES: &[&str] = &["xmldom", "labelcore", "schemes", "encoding", "framework"];
+
+/// Crates whose code must iterate deterministically (R2): the R1 set plus
+/// the workload generators and the bench/report drivers that serialize
+/// `results/*`.
+pub const R2_CRATES: &[&str] = &[
+    "xmldom",
+    "labelcore",
+    "schemes",
+    "encoding",
+    "framework",
+    "workloads",
+    "bench",
+    "xml-update-props",
+];
+
+/// All rule ids, in report order.
+pub const ALL_RULES: &[&str] = &["R1", "R2", "R3", "R4", "R5"];
+
+/// Human name for a rule id.
+pub fn rule_name(id: &str) -> &'static str {
+    match id {
+        "R1" => "no-panic-paths",
+        "R2" => "deterministic-collections",
+        "R3" => "no-ambient-entropy",
+        "R4" => "scheme-completeness",
+        "R5" => "forbid-unsafe",
+        _ => "unknown-rule",
+    }
+}
+
+/// Where a file sits in the workspace — drives which rules apply.
+#[derive(Debug, Clone)]
+pub struct FileCtx {
+    /// Workspace-relative path, `/`-separated (used in reports).
+    pub path: String,
+    /// Owning crate (`xmldom`, `schemes`, ... or `xml-update-props` for
+    /// the root package). Empty when outside any crate.
+    pub crate_name: String,
+    /// True for test/bench/bin/example code, where R1 and R2 do not
+    /// apply: `tests/`, `benches/`, `examples/`, `src/bin/`, `src/main.rs`
+    /// and `build.rs` paths.
+    pub is_test_code: bool,
+    /// True only for `crates/testkit/src/bench.rs`, the single module
+    /// allowed to read the wall clock (R3).
+    pub is_bench_harness: bool,
+}
+
+impl FileCtx {
+    /// Classify a workspace-relative path.
+    pub fn classify(rel_path: &str) -> FileCtx {
+        let path = rel_path.replace('\\', "/");
+        let parts: Vec<&str> = path.split('/').collect();
+        let crate_name = match parts.as_slice() {
+            ["crates", name, ..] => (*name).to_string(),
+            ["src", ..] | ["tests", ..] | ["examples", ..] => "xml-update-props".to_string(),
+            _ => String::new(),
+        };
+        let in_dir = |d: &str| parts.iter().any(|p| *p == d);
+        let is_test_code = in_dir("tests")
+            || in_dir("benches")
+            || in_dir("examples")
+            || path.contains("src/bin/")
+            || path.ends_with("src/main.rs")
+            || path.ends_with("build.rs");
+        FileCtx {
+            is_bench_harness: path == "crates/testkit/src/bench.rs",
+            path,
+            crate_name,
+            is_test_code,
+        }
+    }
+}
+
+/// One rule violation (before suppression matching).
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule id (`R1` ... `R5`).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+    /// What was found, e.g. `.unwrap() call in library code`.
+    pub message: String,
+    /// Justification text when a `lint:allow` covered this finding.
+    pub suppressed_by: Option<String>,
+}
+
+impl Finding {
+    /// True when no suppression covered this finding.
+    pub fn is_unsuppressed(&self) -> bool {
+        self.suppressed_by.is_none()
+    }
+}
+
+/// Scan one file's source and return all findings (suppressed ones
+/// included, marked). Also returns the suppressions that matched nothing,
+/// so the caller can report stale `lint:allow` comments.
+pub fn check_source(src: &str, ctx: &FileCtx) -> (Vec<Finding>, Vec<Suppression>) {
+    let scanned = scan(src);
+    let toks = &scanned.tokens;
+    let in_cfg_test = cfg_test_mask(toks, src);
+    let in_scheme_impl = labeling_scheme_impl_mask(toks, src);
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let r1_applies =
+        !ctx.is_test_code && R1_CRATES.iter().any(|c| *c == ctx.crate_name.as_str());
+    let r2_applies =
+        !ctx.is_test_code && R2_CRATES.iter().any(|c| *c == ctx.crate_name.as_str());
+    let r3_applies = !ctx.is_bench_harness;
+    let r4_applies = ctx.crate_name == "schemes";
+
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let text = t.text(src);
+        let lib_code = !in_cfg_test[i];
+
+        // R1 — panic paths in library code.
+        if r1_applies && lib_code {
+            match text {
+                "unwrap" | "expect" => {
+                    let method_call = i > 0
+                        && toks[i - 1].kind == TokKind::Punct
+                        && toks[i - 1].text(src) == "."
+                        && next_is(toks, src, i, "(");
+                    if method_call {
+                        push(&mut findings, "R1", ctx, t, format!(".{text}() call"));
+                    }
+                }
+                "panic" | "unreachable" | "todo" | "unimplemented" => {
+                    if next_is(toks, src, i, "!") {
+                        push(&mut findings, "R1", ctx, t, format!("{text}! macro"));
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // R2 — nondeterministic hash collections.
+        if r2_applies && lib_code && (text == "HashMap" || text == "HashSet") {
+            push(
+                &mut findings,
+                "R2",
+                ctx,
+                t,
+                format!("{text} has unspecified iteration order; use BTree{}", &text[4..]),
+            );
+        }
+
+        // R3 — ambient clocks / entropy (applies to test code too: the
+        // suite must be reproducible end to end).
+        if r3_applies
+            && matches!(
+                text,
+                "Instant" | "SystemTime" | "thread_rng" | "ThreadRng" | "from_entropy"
+            )
+        {
+            push(
+                &mut findings,
+                "R3",
+                ctx,
+                t,
+                format!("ambient clock/entropy source `{text}`"),
+            );
+        }
+
+        // R4 — incomplete LabelingScheme impls.
+        if r4_applies
+            && in_scheme_impl[i]
+            && matches!(text, "todo" | "unimplemented")
+            && next_is(toks, src, i, "!")
+        {
+            push(
+                &mut findings,
+                "R4",
+                ctx,
+                t,
+                format!("{text}! inside a LabelingScheme impl"),
+            );
+        }
+
+        // R5 — unsafe, everywhere, no exemptions for test code.
+        if text == "unsafe" {
+            push(&mut findings, "R5", ctx, t, "unsafe block or fn".to_string());
+        }
+    }
+
+    let unused = apply_suppressions(&mut findings, scanned.suppressions);
+    (findings, unused)
+}
+
+fn push(out: &mut Vec<Finding>, rule: &'static str, ctx: &FileCtx, t: &Token, what: String) {
+    out.push(Finding {
+        rule,
+        path: ctx.path.clone(),
+        line: t.line,
+        col: t.col,
+        message: what,
+        suppressed_by: None,
+    });
+}
+
+fn next_is(toks: &[Token], src: &str, i: usize, punct: &str) -> bool {
+    toks.get(i + 1)
+        .is_some_and(|t| t.kind == TokKind::Punct && t.text(src) == punct)
+}
+
+/// Match findings against `// lint:allow(<rule>): ...` comments. A
+/// suppression covers findings of its rule on its own line and the next
+/// source line. Returns the suppressions that covered nothing.
+fn apply_suppressions(findings: &mut [Finding], sups: Vec<Suppression>) -> Vec<Suppression> {
+    let mut used = vec![false; sups.len()];
+    for f in findings.iter_mut() {
+        for (si, s) in sups.iter().enumerate() {
+            if s.rule == f.rule && (f.line == s.line || f.line == s.line + 1) {
+                f.suppressed_by = Some(s.justification.clone());
+                used[si] = true;
+                break;
+            }
+        }
+    }
+    sups.into_iter()
+        .zip(used)
+        .filter_map(|(s, u)| (!u).then_some(s))
+        .collect()
+}
+
+/// Mask of tokens that sit inside a `#[cfg(test)]`-gated item (the
+/// attribute itself included). The scanner skips such regions for R1/R2:
+/// test-only code may panic and may hash.
+fn cfg_test_mask(toks: &[Token], src: &str) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if let Some(attr_end) = match_cfg_test_attr(toks, src, i) {
+            // Absorb any further attributes on the same item.
+            let mut j = attr_end;
+            while let Some(e) = match_any_attr(toks, src, j + 1) {
+                j = e;
+            }
+            // Skip the gated item: to the matching `}` of its first brace,
+            // or to a `;` for brace-less items (`use`, `mod x;`).
+            let mut k = j + 1;
+            let mut end = toks.len().saturating_sub(1);
+            while k < toks.len() {
+                let tt = toks[k].text(src);
+                if toks[k].kind == TokKind::Punct && tt == "{" {
+                    end = match_close(toks, src, k, "{", "}");
+                    break;
+                }
+                if toks[k].kind == TokKind::Punct && tt == ";" {
+                    end = k;
+                    break;
+                }
+                k += 1;
+            }
+            for m in mask.iter_mut().take(end + 1).skip(i) {
+                *m = true;
+            }
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// If the tokens at `i` begin a `#[cfg(...test...)]` attribute (and it is
+/// not `cfg(not(...))`), return the index of its closing `]`.
+fn match_cfg_test_attr(toks: &[Token], src: &str, i: usize) -> Option<usize> {
+    if !(toks[i].kind == TokKind::Punct && toks[i].text(src) == "#") {
+        return None;
+    }
+    let open = toks.get(i + 1)?;
+    if !(open.kind == TokKind::Punct && open.text(src) == "[") {
+        return None;
+    }
+    let close = match_close(toks, src, i + 1, "[", "]");
+    let span = &toks[i + 2..close];
+    let has = |name: &str| {
+        span.iter()
+            .any(|t| t.kind == TokKind::Ident && t.text(src) == name)
+    };
+    if has("cfg") && has("test") && !has("not") {
+        Some(close)
+    } else {
+        None
+    }
+}
+
+/// If the tokens at `i` begin any `#[...]` attribute, return the index of
+/// its closing `]`.
+fn match_any_attr(toks: &[Token], src: &str, i: usize) -> Option<usize> {
+    let hash = toks.get(i)?;
+    let open = toks.get(i + 1)?;
+    if hash.kind == TokKind::Punct
+        && hash.text(src) == "#"
+        && open.kind == TokKind::Punct
+        && open.text(src) == "["
+    {
+        Some(match_close(toks, src, i + 1, "[", "]"))
+    } else {
+        None
+    }
+}
+
+/// Index of the bracket matching the opener at `open_idx` (returns the
+/// last token when unbalanced — the region then runs to end of file,
+/// which is the conservative choice for a skip mask).
+fn match_close(toks: &[Token], src: &str, open_idx: usize, open: &str, close: &str) -> usize {
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open_idx) {
+        if t.kind == TokKind::Punct {
+            let tt = t.text(src);
+            if tt == open {
+                depth += 1;
+            } else if tt == close {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Mask of tokens inside `impl ... LabelingScheme for ... { ... }` bodies.
+fn labeling_scheme_impl_mask(toks: &[Token], src: &str) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Ident && toks[i].text(src) == "impl" {
+            // Look at the header: tokens up to the body `{`.
+            let mut saw_trait = false;
+            let mut saw_for = false;
+            let mut j = i + 1;
+            while j < toks.len() {
+                let t = &toks[j];
+                let tt = t.text(src);
+                if t.kind == TokKind::Punct && tt == "{" {
+                    break;
+                }
+                if t.kind == TokKind::Ident && tt == "LabelingScheme" {
+                    saw_trait = true;
+                }
+                if t.kind == TokKind::Ident && tt == "for" && saw_trait {
+                    saw_for = true;
+                }
+                j += 1;
+            }
+            if saw_trait && saw_for && j < toks.len() {
+                let end = match_close(toks, src, j, "{", "}");
+                for m in mask.iter_mut().take(end + 1).skip(j) {
+                    *m = true;
+                }
+                i = end + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib_ctx(path: &str) -> FileCtx {
+        FileCtx::classify(path)
+    }
+
+    fn unsuppressed(src: &str, path: &str) -> Vec<Finding> {
+        let (f, _) = check_source(src, &lib_ctx(path));
+        f.into_iter().filter(|f| f.is_unsuppressed()).collect()
+    }
+
+    #[test]
+    fn classify_paths() {
+        let c = FileCtx::classify("crates/xmldom/src/tree.rs");
+        assert_eq!(c.crate_name, "xmldom");
+        assert!(!c.is_test_code);
+        assert!(FileCtx::classify("crates/xmldom/tests/t.rs").is_test_code);
+        assert!(FileCtx::classify("crates/bench/src/bin/figure7.rs").is_test_code);
+        assert!(FileCtx::classify("tests/matrix.rs").is_test_code);
+        assert!(FileCtx::classify("examples/quickstart.rs").is_test_code);
+        assert!(FileCtx::classify("crates/testkit/src/bench.rs").is_bench_harness);
+        assert_eq!(FileCtx::classify("src/lib.rs").crate_name, "xml-update-props");
+    }
+
+    #[test]
+    fn r1_flags_panics_in_library_code_only() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        assert_eq!(unsuppressed(src, "crates/xmldom/src/a.rs").len(), 1);
+        // not an R1 crate
+        assert!(unsuppressed(src, "crates/testkit/src/a.rs").is_empty());
+        // test path
+        assert!(unsuppressed(src, "crates/xmldom/tests/a.rs").is_empty());
+    }
+
+    #[test]
+    fn r1_ignores_cfg_test_blocks() {
+        let src = r#"
+            pub fn ok() {}
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { Some(1).unwrap(); panic!("boom"); }
+            }
+        "#;
+        assert!(unsuppressed(src, "crates/schemes/src/a.rs").is_empty());
+    }
+
+    #[test]
+    fn r1_unwrap_or_else_is_fine() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap_or_else(|| 0) }";
+        assert!(unsuppressed(src, "crates/xmldom/src/a.rs").is_empty());
+    }
+
+    #[test]
+    fn r2_flags_hash_collections() {
+        let src = "use std::collections::HashMap; pub struct S { m: HashMap<u8, u8> }";
+        let f = unsuppressed(src, "crates/encoding/src/a.rs");
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|f| f.rule == "R2"));
+        // BTreeMap is the endorsed replacement
+        let ok = "use std::collections::BTreeMap; pub struct S { m: BTreeMap<u8, u8> }";
+        assert!(unsuppressed(ok, "crates/encoding/src/a.rs").is_empty());
+    }
+
+    #[test]
+    fn r3_flags_clocks_everywhere_but_bench_harness() {
+        let src = "fn f() { let t = std::time::Instant::now(); }";
+        assert_eq!(unsuppressed(src, "crates/framework/src/a.rs").len(), 1);
+        assert_eq!(unsuppressed(src, "tests/a.rs").len(), 1, "tests too");
+        assert!(unsuppressed(src, "crates/testkit/src/bench.rs").is_empty());
+    }
+
+    #[test]
+    fn r4_flags_todo_in_scheme_impls() {
+        let src = r#"
+            impl LabelingScheme for Foo {
+                fn level(&self, _a: &L) -> Option<u32> { todo!() }
+            }
+        "#;
+        let f = unsuppressed(src, "crates/schemes/src/foo.rs");
+        // R1 fires on todo! in library code, and R4 on todo! in the impl.
+        assert!(f.iter().any(|f| f.rule == "R4"), "{f:?}");
+        // outside a LabelingScheme impl no R4
+        let other = "fn f() { todo!() }";
+        let f = unsuppressed(other, "crates/schemes/src/foo.rs");
+        assert!(f.iter().all(|f| f.rule != "R4"));
+    }
+
+    #[test]
+    fn r5_flags_unsafe_even_in_tests() {
+        let src = "fn f() { unsafe { std::hint::unreachable_unchecked() } }";
+        assert_eq!(
+            unsuppressed(src, "crates/testkit/tests/a.rs")
+                .iter()
+                .filter(|f| f.rule == "R5")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn suppression_covers_next_line_and_is_counted() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    // lint:allow(R1): caller checked is_some\n    x.unwrap()\n}";
+        let (f, unused) = check_source(src, &lib_ctx("crates/xmldom/src/a.rs"));
+        assert_eq!(f.len(), 1);
+        assert!(!f[0].is_unsuppressed());
+        assert!(unused.is_empty());
+    }
+
+    #[test]
+    fn wrong_rule_suppression_does_not_cover() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    // lint:allow(R2): wrong rule\n    x.unwrap()\n}";
+        let (f, unused) = check_source(src, &lib_ctx("crates/xmldom/src/a.rs"));
+        assert!(f[0].is_unsuppressed());
+        assert_eq!(unused.len(), 1);
+    }
+}

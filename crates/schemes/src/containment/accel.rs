@@ -16,7 +16,7 @@ use xupd_labelcore::{
     EncodingRep, InsertReport, Label, Labeling, LabelingScheme, OrderKind, Relation,
     SchemeDescriptor, SchemeStats,
 };
-use xupd_xmldom::{NodeId, XmlTree};
+use xupd_xmldom::{NodeId, TreeError, XmlTree};
 
 /// A pre/post/level label.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -90,9 +90,9 @@ impl LabelingScheme for XPathAccelerator {
         }
     }
 
-    fn label_tree(&mut self, tree: &XmlTree) -> Labeling<PrePostLabel> {
+    fn label_tree(&mut self, tree: &XmlTree) -> Result<Labeling<PrePostLabel>, TreeError> {
         // Two streaming traversals; no recursion, no division.
-        Self::compute(tree)
+        Ok(Self::compute(tree))
     }
 
     fn on_insert(
@@ -100,7 +100,7 @@ impl LabelingScheme for XPathAccelerator {
         tree: &XmlTree,
         labeling: &mut Labeling<PrePostLabel>,
         node: NodeId,
-    ) -> InsertReport {
+    ) -> Result<InsertReport, TreeError> {
         // Gap-free global ranks: recompute, report every changed label.
         let fresh = Self::compute(tree);
         let mut relabeled = Vec::new();
@@ -112,10 +112,10 @@ impl LabelingScheme for XPathAccelerator {
             }
             labeling.set(id, *new_label);
         }
-        InsertReport {
+        Ok(InsertReport {
             relabeled,
             overflowed: false,
-        }
+        })
     }
 
     fn on_delete(&mut self, tree: &XmlTree, labeling: &mut Labeling<PrePostLabel>, node: NodeId) {
@@ -168,13 +168,13 @@ mod tests {
         // compare after normalising out the root and text leaves.
         let tree = figure1_document();
         let mut scheme = XPathAccelerator::new();
-        let labeling = scheme.label_tree(&tree);
+        let labeling = scheme.label_tree(&tree).unwrap();
         let nodes = figure1_labelled_nodes(&tree);
         // rank the labelled nodes among themselves by (pre, post)
         let mut by_pre: Vec<NodeId> = nodes.clone();
-        by_pre.sort_by_key(|&n| labeling.expect(n).pre);
+        by_pre.sort_by_key(|&n| labeling.req(n).unwrap().pre);
         let mut by_post: Vec<NodeId> = nodes.clone();
-        by_post.sort_by_key(|&n| labeling.expect(n).post);
+        by_post.sort_by_key(|&n| labeling.req(n).unwrap().post);
         for (i, &n) in nodes.iter().enumerate() {
             let pre = by_pre.iter().position(|&x| x == n).unwrap() as u64;
             let post = by_post.iter().position(|&x| x == n).unwrap() as u64;
@@ -186,7 +186,7 @@ mod tests {
     fn dietz_ancestor_test_from_labels() {
         let tree = figure1_document();
         let mut scheme = XPathAccelerator::new();
-        let labeling = scheme.label_tree(&tree);
+        let labeling = scheme.label_tree(&tree).unwrap();
         let all = tree.ids_in_doc_order();
         for &u in &all {
             for &v in &all {
@@ -196,16 +196,16 @@ mod tests {
                 assert_eq!(
                     scheme.relation(
                         Relation::AncestorDescendant,
-                        labeling.expect(u),
-                        labeling.expect(v)
+                        labeling.req(u).unwrap(),
+                        labeling.req(v).unwrap()
                     ),
                     Some(tree.is_ancestor(u, v))
                 );
                 assert_eq!(
                     scheme.relation(
                         Relation::ParentChild,
-                        labeling.expect(u),
-                        labeling.expect(v)
+                        labeling.req(u).unwrap(),
+                        labeling.req(v).unwrap()
                     ),
                     Some(tree.parent(v) == Some(u))
                 );
@@ -217,12 +217,12 @@ mod tests {
     fn every_insertion_relabels_many_nodes() {
         let mut tree = figure1_document();
         let mut scheme = XPathAccelerator::new();
-        let mut labeling = scheme.label_tree(&tree);
+        let mut labeling = scheme.label_tree(&tree).unwrap();
         let book = tree.document_element().unwrap();
         let first = tree.first_child(book).unwrap();
         let x = tree.create(NodeKind::element("x"));
         tree.insert_before(first, x).unwrap();
-        let rep = scheme.on_insert(&tree, &mut labeling, x);
+        let rep = scheme.on_insert(&tree, &mut labeling, x).unwrap();
         assert!(
             rep.relabeled.len() >= 10,
             "a front insertion shifts nearly every node, got {}",
@@ -232,7 +232,7 @@ mod tests {
         let order = tree.ids_in_doc_order();
         for w in order.windows(2) {
             assert_eq!(
-                scheme.cmp_doc(labeling.expect(w[0]), labeling.expect(w[1])),
+                scheme.cmp_doc(labeling.req(w[0]).unwrap(), labeling.req(w[1]).unwrap()),
                 Ordering::Less
             );
         }
@@ -242,12 +242,12 @@ mod tests {
     fn sibling_relation_unsupported() {
         let tree = figure1_document();
         let mut scheme = XPathAccelerator::new();
-        let labeling = scheme.label_tree(&tree);
+        let labeling = scheme.label_tree(&tree).unwrap();
         let book = tree.document_element().unwrap();
         let a = tree.first_child(book).unwrap();
         let b = tree.next_sibling(a).unwrap();
         assert_eq!(
-            scheme.relation(Relation::Sibling, labeling.expect(a), labeling.expect(b)),
+            scheme.relation(Relation::Sibling, labeling.req(a).unwrap(), labeling.req(b).unwrap()),
             None
         );
     }

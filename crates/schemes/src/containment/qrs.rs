@@ -18,7 +18,7 @@ use xupd_labelcore::{
     EncodingRep, InsertReport, Label, Labeling, LabelingScheme, OrderKind, Relation,
     SchemeDescriptor, SchemeStats,
 };
-use xupd_xmldom::{NodeId, XmlTree};
+use xupd_xmldom::{NodeId, TreeError, XmlTree};
 
 /// A floating-point interval label.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,10 +39,11 @@ impl PartialOrd for FloatLabel {
 
 impl Ord for FloatLabel {
     fn cmp(&self, other: &Self) -> Ordering {
+        // Labels are finite by construction; total_cmp agrees with the
+        // partial order on finite values and keeps `cmp` total.
         self.begin
-            .partial_cmp(&other.begin)
-            .expect("labels are finite")
-            .then(other.end.partial_cmp(&self.end).expect("labels are finite"))
+            .total_cmp(&other.begin)
+            .then(other.end.total_cmp(&self.end))
     }
 }
 
@@ -114,8 +115,8 @@ impl LabelingScheme for Qrs {
         }
     }
 
-    fn label_tree(&mut self, tree: &XmlTree) -> Labeling<FloatLabel> {
-        Self::compute(tree)
+    fn label_tree(&mut self, tree: &XmlTree) -> Result<Labeling<FloatLabel>, TreeError> {
+        Ok(Self::compute(tree))
     }
 
     fn on_insert(
@@ -123,16 +124,16 @@ impl LabelingScheme for Qrs {
         tree: &XmlTree,
         labeling: &mut Labeling<FloatLabel>,
         node: NodeId,
-    ) -> InsertReport {
-        let parent = tree.parent(node).expect("attached");
+    ) -> Result<InsertReport, TreeError> {
+        let parent = tree.parent(node).ok_or(TreeError::MissingParent(node))?;
         // unlabelled neighbours belong to the same graft batch: absent
         let lo = match tree.prev_sibling(node).and_then(|s| labeling.get(s)) {
             Some(l) => l.end,
-            None => labeling.expect(parent).begin,
+            None => labeling.req(parent)?.begin,
         };
         let hi = match tree.next_sibling(node).and_then(|s| labeling.get(s)) {
             Some(l) => l.begin,
-            None => labeling.expect(parent).end,
+            None => labeling.req(parent)?.end,
         };
         // Split the free range into thirds by multiplication, giving the
         // new node the middle third.
@@ -152,13 +153,13 @@ impl LabelingScheme for Qrs {
                 }
                 labeling.set(id, *new_label);
             }
-            return InsertReport {
+            return Ok(InsertReport {
                 relabeled,
                 overflowed: true,
-            };
+            });
         }
         labeling.set(node, FloatLabel { begin, end });
-        InsertReport::clean()
+        Ok(InsertReport::clean())
     }
 
     fn cmp_doc(&self, a: &FloatLabel, b: &FloatLabel) -> Ordering {
@@ -197,11 +198,11 @@ mod tests {
     fn intervals_nest_and_order() {
         let tree = figure1_document();
         let mut scheme = Qrs::new();
-        let labeling = scheme.label_tree(&tree);
+        let labeling = scheme.label_tree(&tree).unwrap();
         let all = tree.ids_in_doc_order();
         for w in all.windows(2) {
             assert_eq!(
-                scheme.cmp_doc(labeling.expect(w[0]), labeling.expect(w[1])),
+                scheme.cmp_doc(labeling.req(w[0]).unwrap(), labeling.req(w[1]).unwrap()),
                 Ordering::Less
             );
         }
@@ -213,8 +214,8 @@ mod tests {
                 assert_eq!(
                     scheme.relation(
                         Relation::AncestorDescendant,
-                        labeling.expect(u),
-                        labeling.expect(v)
+                        labeling.req(u).unwrap(),
+                        labeling.req(v).unwrap()
                     ),
                     Some(tree.is_ancestor(u, v))
                 );
@@ -226,13 +227,13 @@ mod tests {
     fn a_few_insertions_fit_in_fractional_space() {
         let mut tree = figure1_document();
         let mut scheme = Qrs::new();
-        let mut labeling = scheme.label_tree(&tree);
+        let mut labeling = scheme.label_tree(&tree).unwrap();
         let book = tree.document_element().unwrap();
         let first = tree.first_child(book).unwrap();
         for _ in 0..10 {
             let x = tree.create(NodeKind::element("x"));
             tree.insert_before(first, x).unwrap();
-            let rep = scheme.on_insert(&tree, &mut labeling, x);
+            let rep = scheme.on_insert(&tree, &mut labeling, x).unwrap();
             assert!(!rep.overflowed, "ten thirds fit comfortably in f64");
         }
         assert_eq!(scheme.stats().overflow_events, 0);
@@ -246,14 +247,14 @@ mod tests {
         // with sparse allocation" (§3.1.1).
         let mut tree = figure1_document();
         let mut scheme = Qrs::new();
-        let mut labeling = scheme.label_tree(&tree);
+        let mut labeling = scheme.label_tree(&tree).unwrap();
         let book = tree.document_element().unwrap();
         let first = tree.first_child(book).unwrap();
         let mut overflowed_at = None;
         for i in 0..500 {
             let x = tree.create(NodeKind::element("x"));
             tree.insert_before(first, x).unwrap();
-            let rep = scheme.on_insert(&tree, &mut labeling, x);
+            let rep = scheme.on_insert(&tree, &mut labeling, x).unwrap();
             if rep.overflowed {
                 overflowed_at = Some(i);
                 break;
@@ -265,7 +266,7 @@ mod tests {
         let order = tree.ids_in_doc_order();
         for w in order.windows(2) {
             assert_eq!(
-                scheme.cmp_doc(labeling.expect(w[0]), labeling.expect(w[1])),
+                scheme.cmp_doc(labeling.req(w[0]).unwrap(), labeling.req(w[1]).unwrap()),
                 Ordering::Less
             );
         }

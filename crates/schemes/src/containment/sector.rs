@@ -15,7 +15,7 @@ use xupd_labelcore::{
     EncodingRep, InsertReport, Label, Labeling, LabelingScheme, OrderKind, Relation,
     SchemeDescriptor, SchemeStats,
 };
-use xupd_xmldom::{NodeId, XmlTree};
+use xupd_xmldom::{NodeId, TreeError, XmlTree};
 
 /// A sector label: the half-open arc `[lo, hi)` owned by the node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -90,9 +90,9 @@ impl Sector {
         parent: NodeId,
         labeling: &mut Labeling<SectorLabel>,
         inserted: NodeId,
-    ) -> InsertReport {
+    ) -> Result<InsertReport, TreeError> {
         self.stats.overflow_events += 1;
-        let parent_label = *labeling.expect(parent);
+        let parent_label = *labeling.req(parent)?;
         let before: Vec<(NodeId, Option<SectorLabel>)> = tree
             .preorder_from(parent)
             .map(|id| (id, labeling.get(id).copied()))
@@ -108,10 +108,10 @@ impl Sector {
                 self.stats.relabeled_nodes += 1;
             }
         }
-        InsertReport {
+        Ok(InsertReport {
             relabeled,
             overflowed: true,
-        }
+        })
     }
 }
 
@@ -134,10 +134,10 @@ impl LabelingScheme for Sector {
         }
     }
 
-    fn label_tree(&mut self, tree: &XmlTree) -> Labeling<SectorLabel> {
+    fn label_tree(&mut self, tree: &XmlTree) -> Result<Labeling<SectorLabel>, TreeError> {
         let mut labeling = Labeling::with_capacity_for(tree);
         self.allocate(tree, tree.root(), 0, FULL, &mut labeling);
-        labeling
+        Ok(labeling)
     }
 
     fn on_insert(
@@ -145,9 +145,9 @@ impl LabelingScheme for Sector {
         tree: &XmlTree,
         labeling: &mut Labeling<SectorLabel>,
         node: NodeId,
-    ) -> InsertReport {
-        let parent = tree.parent(node).expect("attached");
-        let plabel = *labeling.expect(parent);
+    ) -> Result<InsertReport, TreeError> {
+        let parent = tree.parent(node).ok_or(TreeError::MissingParent(node))?;
+        let plabel = *labeling.req(parent)?;
         // unlabelled neighbours belong to the same graft batch: absent
         let lo = match tree.prev_sibling(node).and_then(|s| labeling.get(s)) {
             Some(l) => l.hi,
@@ -168,7 +168,7 @@ impl LabelingScheme for Sector {
                     hi: hi - q,
                 },
             );
-            InsertReport::clean()
+            Ok(InsertReport::clean())
         } else {
             self.reallocate_children(tree, parent, labeling, node)
         }
@@ -211,15 +211,15 @@ mod tests {
     fn sectors_nest_and_order() {
         let tree = figure1_document();
         let mut scheme = Sector::new();
-        let labeling = scheme.label_tree(&tree);
+        let labeling = scheme.label_tree(&tree).unwrap();
         let all = tree.ids_in_doc_order();
         for w in all.windows(2) {
             assert_eq!(
-                scheme.cmp_doc(labeling.expect(w[0]), labeling.expect(w[1])),
+                scheme.cmp_doc(labeling.req(w[0]).unwrap(), labeling.req(w[1]).unwrap()),
                 Ordering::Less,
                 "{} vs {}",
-                labeling.expect(w[0]).display(),
-                labeling.expect(w[1]).display()
+                labeling.req(w[0]).unwrap().display(),
+                labeling.req(w[1]).unwrap().display()
             );
         }
         for &u in &all {
@@ -230,8 +230,8 @@ mod tests {
                 assert_eq!(
                     scheme.relation(
                         Relation::AncestorDescendant,
-                        labeling.expect(u),
-                        labeling.expect(v)
+                        labeling.req(u).unwrap(),
+                        labeling.req(v).unwrap()
                     ),
                     Some(tree.is_ancestor(u, v))
                 );
@@ -243,11 +243,11 @@ mod tests {
     fn insertion_claims_free_arc_without_relabelling() {
         let mut tree = figure1_document();
         let mut scheme = Sector::new();
-        let mut labeling = scheme.label_tree(&tree);
+        let mut labeling = scheme.label_tree(&tree).unwrap();
         let book = tree.document_element().unwrap();
         let x = tree.create(NodeKind::element("x"));
         tree.append_child(book, x).unwrap();
-        let rep = scheme.on_insert(&tree, &mut labeling, x);
+        let rep = scheme.on_insert(&tree, &mut labeling, x).unwrap();
         assert!(rep.relabeled.is_empty());
         assert!(!rep.overflowed);
     }
@@ -256,7 +256,7 @@ mod tests {
     fn exhausted_arc_reallocates_subtree() {
         let mut tree = figure1_document();
         let mut scheme = Sector::new();
-        let mut labeling = scheme.label_tree(&tree);
+        let mut labeling = scheme.label_tree(&tree).unwrap();
         let book = tree.document_element().unwrap();
         let first = tree.first_child(book).unwrap();
         // Skewed prepend storm: the free arc before the first child
@@ -265,7 +265,7 @@ mod tests {
         for _ in 0..200 {
             let x = tree.create(NodeKind::element("x"));
             tree.insert_before(first, x).unwrap();
-            let rep = scheme.on_insert(&tree, &mut labeling, x);
+            let rep = scheme.on_insert(&tree, &mut labeling, x).unwrap();
             if rep.overflowed {
                 overflowed = true;
                 break;
@@ -275,7 +275,7 @@ mod tests {
         let order = tree.ids_in_doc_order();
         for w in order.windows(2) {
             assert_eq!(
-                scheme.cmp_doc(labeling.expect(w[0]), labeling.expect(w[1])),
+                scheme.cmp_doc(labeling.req(w[0]).unwrap(), labeling.req(w[1]).unwrap()),
                 Ordering::Less
             );
         }
@@ -285,15 +285,15 @@ mod tests {
     fn level_and_parenthood_unsupported() {
         let tree = figure1_document();
         let mut scheme = Sector::new();
-        let labeling = scheme.label_tree(&tree);
+        let labeling = scheme.label_tree(&tree).unwrap();
         let book = tree.document_element().unwrap();
         let first = tree.first_child(book).unwrap();
-        assert_eq!(scheme.level(labeling.expect(book)), None);
+        assert_eq!(scheme.level(labeling.req(book).unwrap()), None);
         assert_eq!(
             scheme.relation(
                 Relation::ParentChild,
-                labeling.expect(book),
-                labeling.expect(first)
+                labeling.req(book).unwrap(),
+                labeling.req(first).unwrap()
             ),
             None
         );

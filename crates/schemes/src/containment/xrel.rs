@@ -14,7 +14,7 @@ use xupd_labelcore::{
     EncodingRep, InsertReport, Label, Labeling, LabelingScheme, OrderKind, Relation,
     SchemeDescriptor, SchemeStats,
 };
-use xupd_xmldom::{NodeId, XmlTree};
+use xupd_xmldom::{NodeId, TreeError, XmlTree};
 
 /// A region label: half-open extent `[start, end)` plus level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -127,12 +127,12 @@ impl LabelingScheme for XRel {
         }
     }
 
-    fn label_tree(&mut self, tree: &XmlTree) -> Labeling<RegionLabel> {
+    fn label_tree(&mut self, tree: &XmlTree) -> Result<Labeling<RegionLabel>, TreeError> {
         // One depth-first pass (implemented recursively over the document
         // structure, as region allocation inherently is — but it is a
         // single pass, which is what the Recursion property penalises;
         // XRel's declared value is F and the walk touches each node once).
-        self.compute(tree)
+        Ok(self.compute(tree))
     }
 
     fn on_insert(
@@ -140,20 +140,20 @@ impl LabelingScheme for XRel {
         tree: &XmlTree,
         labeling: &mut Labeling<RegionLabel>,
         node: NodeId,
-    ) -> InsertReport {
+    ) -> Result<InsertReport, TreeError> {
         // Fit the new node's region into the free positions between its
         // neighbours' regions (inside the parent's region).
-        let parent = tree.parent(node).expect("attached");
+        let parent = tree.parent(node).ok_or(TreeError::MissingParent(node))?;
         // unlabelled neighbours belong to the same graft batch: absent
         let lo = match tree.prev_sibling(node).and_then(|s| labeling.get(s)) {
             Some(l) => l.end,
-            None => labeling.expect(parent).start + 1,
+            None => labeling.req(parent)?.start + 1,
         };
         let hi = match tree.next_sibling(node).and_then(|s| labeling.get(s)) {
             Some(l) => l.start,
-            None => labeling.expect(parent).end - 1,
+            None => labeling.req(parent)?.end - 1,
         };
-        let level = labeling.expect(parent).level + 1;
+        let level = labeling.req(parent)?.level + 1;
         // A leaf needs two distinct positions. Claim them in the middle
         // of the free range (midpoint by shift, no division) so both
         // sides keep headroom for later insertions.
@@ -162,7 +162,7 @@ impl LabelingScheme for XRel {
             let start = if room >= 4 { lo + (room >> 1) - 1 } else { lo };
             let end = start + 2;
             labeling.set(node, RegionLabel { start, end, level });
-            InsertReport::clean()
+            Ok(InsertReport::clean())
         } else {
             // Gap consumed: renumber the whole document (§3.1.1).
             self.stats.overflow_events += 1;
@@ -176,10 +176,10 @@ impl LabelingScheme for XRel {
                 }
                 labeling.set(id, *new_label);
             }
-            InsertReport {
+            Ok(InsertReport {
                 relabeled,
                 overflowed: true,
-            }
+            })
         }
     }
 
@@ -222,7 +222,7 @@ mod tests {
     fn regions_nest_like_the_tree() {
         let tree = figure1_document();
         let mut scheme = XRel::new();
-        let labeling = scheme.label_tree(&tree);
+        let labeling = scheme.label_tree(&tree).unwrap();
         let all = tree.ids_in_doc_order();
         for &u in &all {
             for &v in &all {
@@ -232,8 +232,8 @@ mod tests {
                 assert_eq!(
                     scheme.relation(
                         Relation::AncestorDescendant,
-                        labeling.expect(u),
-                        labeling.expect(v)
+                        labeling.req(u).unwrap(),
+                        labeling.req(v).unwrap()
                     ),
                     Some(tree.is_ancestor(u, v)),
                 );
@@ -241,7 +241,7 @@ mod tests {
         }
         for w in all.windows(2) {
             assert_eq!(
-                scheme.cmp_doc(labeling.expect(w[0]), labeling.expect(w[1])),
+                scheme.cmp_doc(labeling.req(w[0]).unwrap(), labeling.req(w[1]).unwrap()),
                 Ordering::Less
             );
         }
@@ -251,7 +251,7 @@ mod tests {
     fn gaps_absorb_a_few_insertions_then_overflow() {
         let mut tree = figure1_document();
         let mut scheme = XRel::with_gap(4);
-        let mut labeling = scheme.label_tree(&tree);
+        let mut labeling = scheme.label_tree(&tree).unwrap();
         let book = tree.document_element().unwrap();
         let first = tree.first_child(book).unwrap();
         let mut clean = 0;
@@ -259,7 +259,7 @@ mod tests {
         for _ in 0..10 {
             let x = tree.create(NodeKind::element("x"));
             tree.insert_before(first, x).unwrap();
-            let rep = scheme.on_insert(&tree, &mut labeling, x);
+            let rep = scheme.on_insert(&tree, &mut labeling, x).unwrap();
             if rep.overflowed {
                 overflowed = true;
                 break;
@@ -273,7 +273,7 @@ mod tests {
         let order = tree.ids_in_doc_order();
         for w in order.windows(2) {
             assert_eq!(
-                scheme.cmp_doc(labeling.expect(w[0]), labeling.expect(w[1])),
+                scheme.cmp_doc(labeling.req(w[0]).unwrap(), labeling.req(w[1]).unwrap()),
                 Ordering::Less
             );
         }
@@ -283,14 +283,14 @@ mod tests {
     fn append_at_end_uses_parent_slack() {
         let mut tree = figure1_document();
         let mut scheme = XRel::new();
-        let mut labeling = scheme.label_tree(&tree);
+        let mut labeling = scheme.label_tree(&tree).unwrap();
         let book = tree.document_element().unwrap();
         let x = tree.create(NodeKind::element("x"));
         tree.append_child(book, x).unwrap();
-        let rep = scheme.on_insert(&tree, &mut labeling, x);
+        let rep = scheme.on_insert(&tree, &mut labeling, x).unwrap();
         assert!(rep.relabeled.is_empty());
-        let lx = labeling.expect(x);
-        let lb = labeling.expect(book);
+        let lx = labeling.req(x).unwrap();
+        let lb = labeling.req(book).unwrap();
         assert!(lb.start < lx.start && lx.end < lb.end, "region nested");
     }
 }

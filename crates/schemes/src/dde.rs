@@ -131,10 +131,10 @@ mod tests {
     fn initial_labels_print_exactly_like_dewey() {
         let (tree, nodes) = figure3_shape();
         let mut scheme = Dde::new();
-        let labeling = scheme.label_tree(&tree);
+        let labeling = scheme.label_tree(&tree).unwrap();
         let shown: Vec<String> = nodes
             .iter()
-            .map(|&n| labeling.expect(n).display())
+            .map(|&n| labeling.req(n).unwrap().display())
             .collect();
         assert_eq!(
             shown,
@@ -146,10 +146,10 @@ mod tests {
     fn insertions_are_persistent_and_ordered() {
         let (mut tree, nodes) = figure3_shape();
         let mut scheme = Dde::new();
-        let mut labeling = scheme.label_tree(&tree);
+        let mut labeling = scheme.label_tree(&tree).unwrap();
         let snapshot: Vec<_> = nodes
             .iter()
-            .map(|&n| (n, labeling.expect(n).clone()))
+            .map(|&n| (n, labeling.req(n).unwrap().clone()))
             .collect();
         for (i, &n) in nodes.iter().enumerate().take(6) {
             let x = tree.create(NodeKind::element("x"));
@@ -158,16 +158,16 @@ mod tests {
             } else {
                 tree.insert_after(n, x).unwrap();
             }
-            let rep = scheme.on_insert(&tree, &mut labeling, x);
+            let rep = scheme.on_insert(&tree, &mut labeling, x).unwrap();
             assert!(rep.relabeled.is_empty());
         }
         for (n, old) in snapshot {
-            assert_eq!(labeling.expect(n), &old);
+            assert_eq!(labeling.req(n).unwrap(), &old);
         }
         let order = tree.ids_in_doc_order();
         for w in order.windows(2) {
             assert_eq!(
-                scheme.cmp_doc(labeling.expect(w[0]), labeling.expect(w[1])),
+                scheme.cmp_doc(labeling.req(w[0]).unwrap(), labeling.req(w[1]).unwrap()),
                 Ordering::Less
             );
         }
@@ -177,14 +177,14 @@ mod tests {
     fn full_xpath_relations_like_dewey() {
         let (tree, _) = figure3_shape();
         let mut scheme = Dde::new();
-        let labeling = scheme.label_tree(&tree);
+        let labeling = scheme.label_tree(&tree).unwrap();
         let all = tree.ids_in_doc_order();
         for &x in &all {
             for &y in &all {
                 if x == y {
                     continue;
                 }
-                let (lx, ly) = (labeling.expect(x), labeling.expect(y));
+                let (lx, ly) = (labeling.req(x).unwrap(), labeling.req(y).unwrap());
                 assert_eq!(
                     scheme.relation(Relation::AncestorDescendant, lx, ly),
                     Some(tree.is_ancestor(x, y))
@@ -196,7 +196,7 @@ mod tests {
             }
         }
         for &x in &all {
-            assert_eq!(scheme.level(labeling.expect(x)), Some(tree.depth(x)));
+            assert_eq!(scheme.level(labeling.req(x).unwrap()), Some(tree.depth(x)));
         }
     }
 
@@ -211,11 +211,11 @@ mod tests {
         tree.append_child(p, a).unwrap();
         tree.append_child(p, b).unwrap();
         let mut scheme = Dde::new();
-        let mut labeling = scheme.label_tree(&tree);
+        let mut labeling = scheme.label_tree(&tree).unwrap();
         let x = tree.create(NodeKind::element("x"));
         tree.insert_after(a, x).unwrap();
-        scheme.on_insert(&tree, &mut labeling, x);
+        scheme.on_insert(&tree, &mut labeling, x).unwrap();
         // mediant of 1/1 and 2/1 is 3/2
-        assert_eq!(labeling.expect(x).display(), "1.3/2");
+        assert_eq!(labeling.req(x).unwrap().display(), "1.3/2");
     }
 }

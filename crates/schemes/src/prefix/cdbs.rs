@@ -166,7 +166,7 @@ mod tests {
     fn overflow_fires_when_cell_exhausted() {
         let mut tree = TreeBuilder::new().open("r").leaf("a", "").close().finish();
         let mut scheme = Cdbs::with_cell_bits(10);
-        let mut labeling = scheme.label_tree(&tree);
+        let mut labeling = scheme.label_tree(&tree).unwrap();
         let root_elem = tree.document_element().unwrap();
         let first = tree.children(root_elem).next().unwrap();
         let mut front = first;
@@ -174,7 +174,7 @@ mod tests {
         for _ in 0..30 {
             let x = tree.create(NodeKind::element("x"));
             tree.insert_before(front, x).unwrap();
-            let rep = scheme.on_insert(&tree, &mut labeling, x);
+            let rep = scheme.on_insert(&tree, &mut labeling, x).unwrap();
             front = x;
             if rep.overflowed {
                 overflowed = true;
@@ -192,7 +192,7 @@ mod tests {
         }
         let tree = b.close().finish();
         let mut scheme = Cdbs::new();
-        let labeling = scheme.label_tree(&tree);
+        let labeling = scheme.label_tree(&tree).unwrap();
         // every label is a whole number of fixed 32-bit cells
         for (_, l) in labeling.iter() {
             assert_eq!(xupd_labelcore::Label::size_bits(l) % 32, 0);

@@ -95,8 +95,8 @@ mod tests {
         let tree = wide_tree(500);
         let mut cdqs = Cdqs::new();
         let mut qed = Qed::new();
-        let lc = cdqs.label_tree(&tree);
-        let lq = qed.label_tree(&tree);
+        let lc = cdqs.label_tree(&tree).unwrap();
+        let lq = qed.label_tree(&tree).unwrap();
         assert!(
             lc.total_bits() < lq.total_bits(),
             "cdqs {} bits vs qed {} bits",
@@ -109,7 +109,7 @@ mod tests {
     fn never_relabels() {
         let mut tree = wide_tree(20);
         let mut scheme = Cdqs::new();
-        let mut labeling = scheme.label_tree(&tree);
+        let mut labeling = scheme.label_tree(&tree).unwrap();
         let root_elem = tree.document_element().unwrap();
         let kids: Vec<_> = tree.children(root_elem).collect();
         for (i, &k) in kids.iter().enumerate() {
@@ -119,7 +119,7 @@ mod tests {
             } else {
                 tree.insert_after(k, x).unwrap();
             }
-            let rep = scheme.on_insert(&tree, &mut labeling, x);
+            let rep = scheme.on_insert(&tree, &mut labeling, x).unwrap();
             assert!(rep.relabeled.is_empty());
         }
         assert_eq!(scheme.stats().relabeled_nodes, 0);
@@ -131,7 +131,7 @@ mod tests {
     fn order_preserved_after_mixed_updates() {
         let mut tree = wide_tree(30);
         let mut scheme = Cdqs::new();
-        let mut labeling = scheme.label_tree(&tree);
+        let mut labeling = scheme.label_tree(&tree).unwrap();
         let root_elem = tree.document_element().unwrap();
         let kids: Vec<_> = tree.children(root_elem).collect();
         // delete a third, insert into gaps
@@ -143,12 +143,12 @@ mod tests {
         for s in survivors.iter().step_by(2) {
             let x = tree.create(NodeKind::element("y"));
             tree.insert_after(*s, x).unwrap();
-            scheme.on_insert(&tree, &mut labeling, x);
+            scheme.on_insert(&tree, &mut labeling, x).unwrap();
         }
         let order = tree.ids_in_doc_order();
         for w in order.windows(2) {
             assert_eq!(
-                scheme.cmp_doc(labeling.expect(w[0]), labeling.expect(w[1])),
+                scheme.cmp_doc(labeling.req(w[0]).unwrap(), labeling.req(w[1]).unwrap()),
                 std::cmp::Ordering::Less
             );
         }

@@ -174,14 +174,14 @@ mod tests {
         let first = tree.children(root_elem).next().unwrap();
         let mut lsdx = Lsdx::new();
         let mut comd = ComD::new();
-        let mut ll = lsdx.label_tree(&tree);
-        let mut lc = comd.label_tree(&tree);
+        let mut ll = lsdx.label_tree(&tree).unwrap();
+        let mut lc = comd.label_tree(&tree).unwrap();
         let mut front = first;
         for _ in 0..50 {
             let n = tree.create(NodeKind::element("n"));
             tree.insert_before(front, n).unwrap();
-            lsdx.on_insert(&tree, &mut ll, n);
-            comd.on_insert(&tree, &mut lc, n);
+            lsdx.on_insert(&tree, &mut ll, n).unwrap();
+            comd.on_insert(&tree, &mut lc, n).unwrap();
             front = n;
         }
         assert!(

@@ -99,10 +99,10 @@ mod tests {
         // Figure 3: 1 / 1.1 1.2 1.3 / 1.1.1 1.1.2 1.2.1 1.3.1 1.3.2 1.3.3
         let (tree, nodes) = figure3_shape();
         let mut scheme = DeweyId::new();
-        let labeling = scheme.label_tree(&tree);
+        let labeling = scheme.label_tree(&tree).unwrap();
         let rendered: Vec<String> = nodes
             .iter()
-            .map(|&n| labeling.expect(n).display())
+            .map(|&n| labeling.req(n).unwrap().display())
             .collect();
         assert_eq!(
             rendered,
@@ -121,23 +121,23 @@ mod tests {
         tree.append_child(p, a).unwrap();
         tree.append_child(p, b).unwrap();
         let mut scheme = DeweyId::new();
-        let mut labeling = scheme.label_tree(&tree);
+        let mut labeling = scheme.label_tree(&tree).unwrap();
 
         // append: no relabels
         let c = tree.create(NodeKind::element("c"));
         tree.append_child(p, c).unwrap();
-        let rep = scheme.on_insert(&tree, &mut labeling, c);
+        let rep = scheme.on_insert(&tree, &mut labeling, c).unwrap();
         assert!(rep.relabeled.is_empty());
-        assert_eq!(labeling.expect(c).display(), "1.3");
+        assert_eq!(labeling.req(c).unwrap().display(), "1.3");
 
         // middle insert: b and c shift
         let x = tree.create(NodeKind::element("x"));
         tree.insert_before(b, x).unwrap();
-        let rep = scheme.on_insert(&tree, &mut labeling, x);
+        let rep = scheme.on_insert(&tree, &mut labeling, x).unwrap();
         assert_eq!(rep.relabeled.len(), 2, "b and c renumbered");
-        assert_eq!(labeling.expect(x).display(), "1.2");
-        assert_eq!(labeling.expect(b).display(), "1.3");
-        assert_eq!(labeling.expect(c).display(), "1.4");
+        assert_eq!(labeling.req(x).unwrap().display(), "1.2");
+        assert_eq!(labeling.req(b).unwrap().display(), "1.3");
+        assert_eq!(labeling.req(c).unwrap().display(), "1.4");
         assert_eq!(scheme.stats().relabeled_nodes, 2);
     }
 
@@ -154,14 +154,14 @@ mod tests {
         tree.append_child(p, b).unwrap();
         tree.append_child(b, b1).unwrap();
         let mut scheme = DeweyId::new();
-        let mut labeling = scheme.label_tree(&tree);
-        assert_eq!(labeling.expect(b1).display(), "1.2.1");
+        let mut labeling = scheme.label_tree(&tree).unwrap();
+        assert_eq!(labeling.req(b1).unwrap().display(), "1.2.1");
 
         let x = tree.create(NodeKind::element("x"));
         tree.insert_before(b, x).unwrap();
-        let rep = scheme.on_insert(&tree, &mut labeling, x);
+        let rep = scheme.on_insert(&tree, &mut labeling, x).unwrap();
         assert_eq!(rep.relabeled.len(), 2, "b and its child b1");
-        assert_eq!(labeling.expect(b1).display(), "1.3.1");
+        assert_eq!(labeling.req(b1).unwrap().display(), "1.3.1");
     }
 
     #[test]
@@ -178,15 +178,15 @@ mod tests {
             })
             .collect();
         let mut scheme = DeweyId::new();
-        let mut labeling = scheme.label_tree(&tree);
+        let mut labeling = scheme.label_tree(&tree).unwrap();
         // delete the middle child (code 2)
         scheme.on_delete(&tree, &mut labeling, kids[1]);
         tree.remove_subtree(kids[1]).unwrap();
         // insert between 1 and 3: the gap code 2 is reused
         let x = tree.create(NodeKind::element("x"));
         tree.insert_after(kids[0], x).unwrap();
-        let rep = scheme.on_insert(&tree, &mut labeling, x);
+        let rep = scheme.on_insert(&tree, &mut labeling, x).unwrap();
         assert!(rep.relabeled.is_empty());
-        assert_eq!(labeling.expect(x).display(), "1.2");
+        assert_eq!(labeling.req(x).unwrap().display(), "1.2");
     }
 }

@@ -63,13 +63,15 @@ impl DlnAlgebra {
     /// offers no room (the DLN weakness).
     fn mid(&self, l: &DlnCode, r: &DlnCode) -> Option<DlnCode> {
         debug_assert!(l < r);
-        // 1) increment the last sub-id of l
+        // 1) increment the last sub-id of l (sub-id lists are non-empty
+        // by construction)
         let mut cand = l.clone();
-        let last = cand.subs.last_mut().expect("non-empty");
-        if *last < self.max_sub_id {
-            *last += 1;
-            if &cand < r {
-                return Some(cand);
+        if let Some(last) = cand.subs.last_mut() {
+            if *last < self.max_sub_id {
+                *last += 1;
+                if &cand < r {
+                    return Some(cand);
+                }
             }
         }
         // 2) open a sublevel under l
@@ -142,7 +144,7 @@ impl SiblingAlgebra for DlnAlgebra {
                     CodeOutcome::Fresh(DlnCode::single(first + 1))
                 } else {
                     let mut subs = l.subs.clone();
-                    if *subs.last().expect("non-empty") < self.max_sub_id {
+                    if subs.last().is_some_and(|&x| x < self.max_sub_id) {
                         let m = subs.len() - 1;
                         subs[m] += 1;
                         CodeOutcome::Fresh(DlnCode { subs })
@@ -243,7 +245,7 @@ mod tests {
             .close()
             .finish();
         let mut scheme = Dln::new();
-        let mut labeling = scheme.label_tree(&tree);
+        let mut labeling = scheme.label_tree(&tree).unwrap();
         let root_elem = tree.document_element().unwrap();
         let a = tree.children(root_elem).next().unwrap();
         // repeatedly insert right after `a`: 1, 2 → 1/1, then between 1
@@ -252,7 +254,7 @@ mod tests {
         for _ in 0..5 {
             let x = tree.create(NodeKind::element("x"));
             tree.insert_after(a, x).unwrap();
-            let rep = scheme.on_insert(&tree, &mut labeling, x);
+            let rep = scheme.on_insert(&tree, &mut labeling, x).unwrap();
             if rep.overflowed {
                 overflowed = true;
                 break;
@@ -264,7 +266,7 @@ mod tests {
         let order = tree.ids_in_doc_order();
         for w in order.windows(2) {
             assert_eq!(
-                scheme.cmp_doc(labeling.expect(w[0]), labeling.expect(w[1])),
+                scheme.cmp_doc(labeling.req(w[0]).unwrap(), labeling.req(w[1]).unwrap()),
                 std::cmp::Ordering::Less
             );
         }
@@ -295,10 +297,10 @@ mod tests {
             .close()
             .finish();
         let mut scheme = Dln::new();
-        let labeling = scheme.label_tree(&tree);
+        let labeling = scheme.label_tree(&tree).unwrap();
         let root_elem = tree.document_element().unwrap();
         let a = tree.children(root_elem).next().unwrap();
         let b = tree.children(a).next().unwrap();
-        assert_eq!(labeling.expect(b).display(), "1.1.1");
+        assert_eq!(labeling.req(b).unwrap().display(), "1.1.1");
     }
 }

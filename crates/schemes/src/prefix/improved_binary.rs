@@ -123,11 +123,11 @@ mod tests {
         // Figure 6's root has children 01, 0101, 011.
         let (tree, nodes) = figure3_shape();
         let mut scheme = ImprovedBinary::new();
-        let labeling = scheme.label_tree(&tree);
+        let labeling = scheme.label_tree(&tree).unwrap();
         let root_elem = nodes[0];
         let kids: Vec<String> = tree
             .children(root_elem)
-            .map(|c| labeling.expect(c).path.own_code().unwrap().to_string())
+            .map(|c| labeling.req(c).unwrap().path.own_code().unwrap().to_string())
             .collect();
         assert_eq!(kids, ["01", "0101", "011"]);
     }
@@ -143,18 +143,18 @@ mod tests {
         tree.append_child(p, a).unwrap();
         tree.append_child(p, b).unwrap();
         let mut scheme = ImprovedBinary::new();
-        let mut labeling = scheme.label_tree(&tree);
-        let before_a = labeling.expect(a).clone();
-        let before_b = labeling.expect(b).clone();
+        let mut labeling = scheme.label_tree(&tree).unwrap();
+        let before_a = labeling.req(a).unwrap().clone();
+        let before_b = labeling.req(b).unwrap().clone();
         for _ in 0..10 {
             let x = tree.create(NodeKind::element("x"));
             tree.insert_after(a, x).unwrap();
-            let rep = scheme.on_insert(&tree, &mut labeling, x);
+            let rep = scheme.on_insert(&tree, &mut labeling, x).unwrap();
             assert!(rep.relabeled.is_empty());
             assert!(!rep.overflowed);
         }
-        assert_eq!(labeling.expect(a), &before_a);
-        assert_eq!(labeling.expect(b), &before_b);
+        assert_eq!(labeling.req(a).unwrap(), &before_a);
+        assert_eq!(labeling.req(b).unwrap(), &before_b);
         assert_eq!(scheme.stats().relabeled_nodes, 0);
     }
 
@@ -169,13 +169,13 @@ mod tests {
         let first = tree.create(NodeKind::element("a"));
         tree.append_child(p, first).unwrap();
         let mut scheme = ImprovedBinary::with_max_code_bits(12);
-        let mut labeling = scheme.label_tree(&tree);
+        let mut labeling = scheme.label_tree(&tree).unwrap();
         let mut overflowed = false;
         let mut front = first;
         for _ in 0..40 {
             let x = tree.create(NodeKind::element("x"));
             tree.insert_before(front, x).unwrap();
-            let rep = scheme.on_insert(&tree, &mut labeling, x);
+            let rep = scheme.on_insert(&tree, &mut labeling, x).unwrap();
             front = x;
             if rep.overflowed {
                 overflowed = true;
@@ -198,7 +198,7 @@ mod tests {
     fn labels_sorted_and_unique_after_random_script() {
         let (mut tree, nodes) = figure3_shape();
         let mut scheme = ImprovedBinary::new();
-        let mut labeling = scheme.label_tree(&tree);
+        let mut labeling = scheme.label_tree(&tree).unwrap();
         // Deterministic little script: insert around each original node.
         for (i, &n) in nodes.iter().enumerate() {
             let x = tree.create(NodeKind::element("x"));
@@ -209,17 +209,17 @@ mod tests {
             } else {
                 tree.prepend_child(n, x).unwrap();
             }
-            scheme.on_insert(&tree, &mut labeling, x);
+            scheme.on_insert(&tree, &mut labeling, x).unwrap();
         }
         assert!(labeling.find_duplicate().is_none());
         let order = tree.ids_in_doc_order();
         for w in order.windows(2) {
             assert!(
-                scheme.cmp_doc(labeling.expect(w[0]), labeling.expect(w[1]))
+                scheme.cmp_doc(labeling.req(w[0]).unwrap(), labeling.req(w[1]).unwrap())
                     == std::cmp::Ordering::Less,
                 "{} !< {}",
-                labeling.expect(w[0]).display(),
-                labeling.expect(w[1]).display()
+                labeling.req(w[0]).unwrap().display(),
+                labeling.req(w[1]).unwrap().display()
             );
         }
     }

@@ -204,12 +204,12 @@ mod tests {
         // Figure 5's initial tree: root 0a, children 1a.b / 1a.c / 1a.d.
         let (tree, nodes) = figure3_shape();
         let mut scheme = Lsdx::new();
-        let labeling = scheme.label_tree(&tree);
+        let labeling = scheme.label_tree(&tree).unwrap();
         // the element root is the document root's only child: id "b"
         let root_elem = nodes[0];
         let kids: Vec<String> = tree
             .children(root_elem)
-            .map(|c| labeling.expect(c).path.own_code().unwrap().clone())
+            .map(|c| labeling.req(c).unwrap().path.own_code().unwrap().clone())
             .collect();
         assert_eq!(kids, ["b", "c", "d"]);
     }
@@ -228,16 +228,16 @@ mod tests {
         tree.append_child(p, a).unwrap();
         tree.append_child(p, b).unwrap();
         let mut scheme = Lsdx::new();
-        let mut labeling = scheme.label_tree(&tree);
+        let mut labeling = scheme.label_tree(&tree).unwrap();
         let x = tree.create(NodeKind::element("x"));
         tree.insert_after(a, x).unwrap();
-        scheme.on_insert(&tree, &mut labeling, x);
-        assert_eq!(labeling.expect(x).path.own_code().unwrap(), "bb");
+        scheme.on_insert(&tree, &mut labeling, x).unwrap();
+        assert_eq!(labeling.req(x).unwrap().path.own_code().unwrap(), "bb");
         let y = tree.create(NodeKind::element("y"));
         tree.insert_after(a, y).unwrap();
-        scheme.on_insert(&tree, &mut labeling, y);
+        scheme.on_insert(&tree, &mut labeling, y).unwrap();
         assert_eq!(
-            labeling.expect(y).path.own_code().unwrap(),
+            labeling.req(y).unwrap().path.own_code().unwrap(),
             "bb",
             "naive rules reproduce the published collision"
         );
@@ -251,23 +251,23 @@ mod tests {
     fn paper_style_display() {
         let (tree, nodes) = figure3_shape();
         let mut scheme = Lsdx::new();
-        let labeling = scheme.label_tree(&tree);
+        let labeling = scheme.label_tree(&tree).unwrap();
         // grandchild display uses level + ancestor ids + dot + own id
         let root_elem = nodes[0];
         let first_child = tree.children(root_elem).next().unwrap();
         let grandchild = tree.children(first_child).next().unwrap();
-        let display = labeling.expect(grandchild).display();
+        let display = labeling.req(grandchild).unwrap().display();
         assert_eq!(display, "3abb.b");
-        assert_eq!(labeling.expect(root_elem).display(), "1a.b");
+        assert_eq!(labeling.req(root_elem).unwrap().display(), "1a.b");
     }
 
     #[test]
     fn level_matches_depth() {
         let (tree, _) = figure3_shape();
         let mut scheme = Lsdx::new();
-        let labeling = scheme.label_tree(&tree);
+        let labeling = scheme.label_tree(&tree).unwrap();
         for id in tree.ids_in_doc_order() {
-            assert_eq!(scheme.level(labeling.expect(id)), Some(tree.depth(id)));
+            assert_eq!(scheme.level(labeling.req(id).unwrap()), Some(tree.depth(id)));
         }
     }
 }

@@ -20,7 +20,7 @@ use xupd_labelcore::{
     Compliance, EncodingRep, InsertReport, Label, Labeling, LabelingScheme, OrderKind, Relation,
     SchemeDescriptor, SchemeStats,
 };
-use xupd_xmldom::{NodeId, XmlTree};
+use xupd_xmldom::{NodeId, TreeError, XmlTree};
 
 /// An ORDPATH label: the flattened component sequence (groups of
 /// `even* odd` per level).
@@ -168,9 +168,9 @@ impl OrdPath {
         labeling: &mut Labeling<OrdPathLabel>,
         parent: NodeId,
         inserted: NodeId,
-    ) -> InsertReport {
+    ) -> Result<InsertReport, TreeError> {
         self.stats.overflow_events += 1;
-        let parent_label = labeling.expect(parent).clone();
+        let parent_label = labeling.req(parent)?.clone();
         let mut relabeled = Vec::new();
         let mut ordinal = 1i64;
         for sib in tree.children(parent).collect::<Vec<_>>() {
@@ -178,10 +178,10 @@ impl OrdPath {
             ordinal += 2;
             self.rebase(tree, labeling, sib, new_path, inserted, &mut relabeled);
         }
-        InsertReport {
+        Ok(InsertReport {
             relabeled,
             overflowed: true,
-        }
+        })
     }
 
     fn rebase(
@@ -316,7 +316,7 @@ impl LabelingScheme for OrdPath {
         }
     }
 
-    fn label_tree(&mut self, tree: &XmlTree) -> Labeling<OrdPathLabel> {
+    fn label_tree(&mut self, tree: &XmlTree) -> Result<Labeling<OrdPathLabel>, TreeError> {
         // Single streaming preorder pass with per-parent odd counters: no
         // recursion, no division (Figure 7's `F` in Recursion for
         // ORDPATH). By the time a node is reached in preorder its parent
@@ -325,14 +325,14 @@ impl LabelingScheme for OrdPath {
         let mut labeling = Labeling::with_capacity_for(tree);
         labeling.set(tree.root(), OrdPathLabel::root());
         for node in tree.preorder() {
-            let parent_label = labeling.expect(node).clone();
+            let parent_label = labeling.req(node)?.clone();
             let mut ordinal: i64 = 1;
             for child in tree.children(node) {
                 labeling.set(child, parent_label.extend_group(&[ordinal]));
                 ordinal += 2;
             }
         }
-        labeling
+        Ok(labeling)
     }
 
     fn on_insert(
@@ -340,9 +340,9 @@ impl LabelingScheme for OrdPath {
         tree: &XmlTree,
         labeling: &mut Labeling<OrdPathLabel>,
         node: NodeId,
-    ) -> InsertReport {
-        let parent = tree.parent(node).expect("attached");
-        let parent_label = labeling.expect(parent).clone();
+    ) -> Result<InsertReport, TreeError> {
+        let parent = tree.parent(node).ok_or(TreeError::MissingParent(node))?;
+        let parent_label = labeling.req(parent)?.clone();
         // unlabelled neighbours belong to the same graft batch: absent
         let left = tree
             .prev_sibling(node)
@@ -365,7 +365,7 @@ impl LabelingScheme for OrdPath {
             return self.renumber_siblings(tree, labeling, parent, node);
         }
         labeling.set(node, parent_label.extend_group(&group));
-        InsertReport::clean()
+        Ok(InsertReport::clean())
     }
 
     fn cmp_doc(&self, a: &OrdPathLabel, b: &OrdPathLabel) -> Ordering {
@@ -413,10 +413,10 @@ mod tests {
         // Figure 4 initial tree: 1 / 1.1 1.3 1.5 / 1.1.1 1.1.3 1.3.1 …
         let (tree, nodes) = figure3_shape();
         let mut scheme = OrdPath::new();
-        let labeling = scheme.label_tree(&tree);
+        let labeling = scheme.label_tree(&tree).unwrap();
         let shown: Vec<String> = nodes
             .iter()
-            .map(|&n| labeling.expect(n).display())
+            .map(|&n| labeling.req(n).unwrap().display())
             .collect();
         assert_eq!(
             shown,
@@ -438,36 +438,36 @@ mod tests {
         tree.append_child(root, c1).unwrap();
         tree.append_child(root, c2).unwrap();
         let mut scheme = OrdPath::new();
-        let mut labeling = scheme.label_tree(&tree);
-        assert_eq!(labeling.expect(c1).display(), "1.1");
-        assert_eq!(labeling.expect(c2).display(), "1.3");
+        let mut labeling = scheme.label_tree(&tree).unwrap();
+        assert_eq!(labeling.req(c1).unwrap().display(), "1.1");
+        assert_eq!(labeling.req(c2).unwrap().display(), "1.3");
 
         // right of all children: 1.3 + 2 → 1.5… the paper's example adds
         // two to the right-most positional identifier (1.3.3 from 1.3.1).
         let after = tree.create(NodeKind::element("after"));
         tree.append_child(root, after).unwrap();
-        scheme.on_insert(&tree, &mut labeling, after);
-        assert_eq!(labeling.expect(after).display(), "1.5");
+        scheme.on_insert(&tree, &mut labeling, after).unwrap();
+        assert_eq!(labeling.req(after).unwrap().display(), "1.5");
 
         // left of all children: 1.1 − 2 → 1.-1 (paper: 1.1.-1)
         let before = tree.create(NodeKind::element("before"));
         tree.prepend_child(root, before).unwrap();
-        scheme.on_insert(&tree, &mut labeling, before);
-        assert_eq!(labeling.expect(before).display(), "1.-1");
+        scheme.on_insert(&tree, &mut labeling, before).unwrap();
+        assert_eq!(labeling.req(before).unwrap().display(), "1.-1");
 
         // between 1.1 and 1.3: caret in → 1.2.1 (paper: 1.5.2.1)
         let mid = tree.create(NodeKind::element("mid"));
         tree.insert_after(c1, mid).unwrap();
-        let rep = scheme.on_insert(&tree, &mut labeling, mid);
+        let rep = scheme.on_insert(&tree, &mut labeling, mid).unwrap();
         assert!(rep.relabeled.is_empty());
-        assert_eq!(labeling.expect(mid).display(), "1.2.1");
+        assert_eq!(labeling.req(mid).unwrap().display(), "1.2.1");
         assert!(scheme.stats().divisions > 0, "careting divides");
 
         // document order intact
         let order = tree.ids_in_doc_order();
         for w in order.windows(2) {
             assert_eq!(
-                scheme.cmp_doc(labeling.expect(w[0]), labeling.expect(w[1])),
+                scheme.cmp_doc(labeling.req(w[0]).unwrap(), labeling.req(w[1]).unwrap()),
                 Ordering::Less
             );
         }
@@ -484,17 +484,17 @@ mod tests {
         tree.append_child(root, c1).unwrap();
         tree.append_child(root, c2).unwrap();
         let mut scheme = OrdPath::new();
-        let mut labeling = scheme.label_tree(&tree);
+        let mut labeling = scheme.label_tree(&tree).unwrap();
         let mid = tree.create(NodeKind::element("mid"));
         tree.insert_after(c1, mid).unwrap();
-        scheme.on_insert(&tree, &mut labeling, mid);
+        scheme.on_insert(&tree, &mut labeling, mid).unwrap();
         // careted label 1.2.1 has THREE components but level 2
-        let lm = labeling.expect(mid);
+        let lm = labeling.req(mid).unwrap();
         assert_eq!(lm.components().len(), 3);
         assert_eq!(scheme.level(lm), Some(tree.depth(mid)));
         // parent/sibling relations still evaluable from labels alone
-        let lroot = labeling.expect(root);
-        let lc1 = labeling.expect(c1);
+        let lroot = labeling.req(root).unwrap();
+        let lc1 = labeling.req(c1).unwrap();
         assert_eq!(
             scheme.relation(Relation::ParentChild, lroot, lm),
             Some(true)
@@ -517,23 +517,23 @@ mod tests {
         tree.append_child(root, a).unwrap();
         tree.append_child(root, b).unwrap();
         let mut scheme = OrdPath::new();
-        let mut labeling = scheme.label_tree(&tree);
+        let mut labeling = scheme.label_tree(&tree).unwrap();
         // always insert directly after `a` — a skewed careting storm
         for _ in 0..100 {
             let x = tree.create(NodeKind::element("x"));
             tree.insert_after(a, x).unwrap();
-            let rep = scheme.on_insert(&tree, &mut labeling, x);
+            let rep = scheme.on_insert(&tree, &mut labeling, x).unwrap();
             assert!(rep.relabeled.is_empty(), "ORDPATH never relabels");
         }
         assert!(labeling.find_duplicate().is_none());
         let order = tree.ids_in_doc_order();
         for w in order.windows(2) {
             assert_eq!(
-                scheme.cmp_doc(labeling.expect(w[0]), labeling.expect(w[1])),
+                scheme.cmp_doc(labeling.req(w[0]).unwrap(), labeling.req(w[1]).unwrap()),
                 Ordering::Less,
                 "{} !< {}",
-                labeling.expect(w[0]).display(),
-                labeling.expect(w[1]).display()
+                labeling.req(w[0]).unwrap().display(),
+                labeling.req(w[1]).unwrap().display()
             );
         }
     }
@@ -563,13 +563,13 @@ mod tests {
         let first = tree.create(NodeKind::element("a"));
         tree.append_child(root, first).unwrap();
         let mut scheme = OrdPath::with_component_limit(16);
-        let mut labeling = scheme.label_tree(&tree);
+        let mut labeling = scheme.label_tree(&tree).unwrap();
         let mut overflowed = false;
         let mut front = first;
         for _ in 0..40 {
             let x = tree.create(NodeKind::element("x"));
             tree.insert_before(front, x).unwrap();
-            let rep = scheme.on_insert(&tree, &mut labeling, x);
+            let rep = scheme.on_insert(&tree, &mut labeling, x).unwrap();
             front = x;
             if rep.overflowed {
                 assert!(!rep.relabeled.is_empty(), "renumber touches siblings");
@@ -584,7 +584,7 @@ mod tests {
         let order = tree.ids_in_doc_order();
         for w in order.windows(2) {
             assert_eq!(
-                scheme.cmp_doc(labeling.expect(w[0]), labeling.expect(w[1])),
+                scheme.cmp_doc(labeling.req(w[0]).unwrap(), labeling.req(w[1]).unwrap()),
                 Ordering::Less
             );
         }

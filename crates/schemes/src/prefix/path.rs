@@ -17,7 +17,7 @@ use std::fmt::Debug;
 use xupd_labelcore::{
     InsertReport, Label, Labeling, LabelingScheme, Relation, SchemeDescriptor, SchemeStats,
 };
-use xupd_xmldom::{NodeId, XmlTree};
+use xupd_xmldom::{NodeId, TreeError, XmlTree};
 
 /// Outcome of asking an algebra for an insertion code.
 #[derive(Debug, Clone)]
@@ -73,7 +73,10 @@ pub trait SiblingAlgebra {
                     prev = Some(c.clone());
                     out.push(c);
                 }
-                _ => unreachable!("end-insertion always has room"),
+                _ => {
+                    debug_assert!(false, "end-insertion always has room");
+                    break;
+                }
             }
         }
         out
@@ -293,7 +296,7 @@ impl<A: SiblingAlgebra> LabelingScheme for PrefixScheme<A> {
         self.algebra.descriptor()
     }
 
-    fn label_tree(&mut self, tree: &XmlTree) -> Labeling<AlgPath<A>> {
+    fn label_tree(&mut self, tree: &XmlTree) -> Result<Labeling<AlgPath<A>>, TreeError> {
         let mut labeling = Labeling::with_capacity_for(tree);
         let root_path = PathLabel::root();
         labeling.set(
@@ -303,7 +306,7 @@ impl<A: SiblingAlgebra> LabelingScheme for PrefixScheme<A> {
             },
         );
         self.label_children(tree, tree.root(), &root_path, &mut labeling);
-        labeling
+        Ok(labeling)
     }
 
     fn on_insert(
@@ -311,9 +314,9 @@ impl<A: SiblingAlgebra> LabelingScheme for PrefixScheme<A> {
         tree: &XmlTree,
         labeling: &mut Labeling<AlgPath<A>>,
         node: NodeId,
-    ) -> InsertReport {
-        let parent = tree.parent(node).expect("inserted node is attached");
-        let parent_path = labeling.expect(parent).path.clone();
+    ) -> Result<InsertReport, TreeError> {
+        let parent = tree.parent(node).ok_or(TreeError::MissingParent(node))?;
+        let parent_path = labeling.req(parent)?.path.clone();
         // An unlabelled neighbour is a node of the same graft batch that
         // has not been "inserted" yet (subtree insertion serialises nodes
         // one at a time, §3.1.2) — treat it as absent.
@@ -336,7 +339,7 @@ impl<A: SiblingAlgebra> LabelingScheme for PrefixScheme<A> {
                         path: parent_path.child(code),
                     },
                 );
-                InsertReport::clean()
+                Ok(InsertReport::clean())
             }
             CodeOutcome::RenumberFollowing => {
                 // The inserted node and everything after it get fresh tail
@@ -355,10 +358,10 @@ impl<A: SiblingAlgebra> LabelingScheme for PrefixScheme<A> {
                     let path = parent_path.child(code);
                     self.rebase_subtree(tree, labeling, sib, path, node, &mut changed);
                 }
-                InsertReport {
+                Ok(InsertReport {
                     relabeled: changed,
                     overflowed: false,
-                }
+                })
             }
             CodeOutcome::RenumberAll => {
                 self.stats.overflow_events += 1;
@@ -369,10 +372,10 @@ impl<A: SiblingAlgebra> LabelingScheme for PrefixScheme<A> {
                     let path = parent_path.child(code);
                     self.rebase_subtree(tree, labeling, sib, path, node, &mut changed);
                 }
-                InsertReport {
+                Ok(InsertReport {
                     relabeled: changed,
                     overflowed: true,
-                }
+                })
             }
         }
     }
@@ -445,12 +448,12 @@ mod tests {
     fn generic_scheme_labels_fig1_in_doc_order() {
         let tree = figure1_document();
         let mut scheme = DeweyId::new();
-        let labeling = scheme.label_tree(&tree);
+        let labeling = scheme.label_tree(&tree).unwrap();
         assert_eq!(labeling.len(), tree.len());
         let order = tree.ids_in_doc_order();
         for w in order.windows(2) {
             assert_eq!(
-                scheme.cmp_doc(labeling.expect(w[0]), labeling.expect(w[1])),
+                scheme.cmp_doc(labeling.req(w[0]).unwrap(), labeling.req(w[1]).unwrap()),
                 Ordering::Less
             );
         }
@@ -461,14 +464,14 @@ mod tests {
     fn generic_relations_match_tree_ground_truth() {
         let tree = figure1_document();
         let mut scheme = DeweyId::new();
-        let labeling = scheme.label_tree(&tree);
+        let labeling = scheme.label_tree(&tree).unwrap();
         let all = tree.ids_in_doc_order();
         for &x in &all {
             for &y in &all {
                 if x == y {
                     continue;
                 }
-                let (lx, ly) = (labeling.expect(x), labeling.expect(y));
+                let (lx, ly) = (labeling.req(x).unwrap(), labeling.req(y).unwrap());
                 assert_eq!(
                     scheme.relation(Relation::AncestorDescendant, lx, ly),
                     Some(tree.is_ancestor(x, y))
@@ -487,9 +490,9 @@ mod tests {
     fn generic_level_matches_depth() {
         let tree = figure1_document();
         let mut scheme = DeweyId::new();
-        let labeling = scheme.label_tree(&tree);
+        let labeling = scheme.label_tree(&tree).unwrap();
         for id in tree.ids_in_doc_order() {
-            assert_eq!(scheme.level(labeling.expect(id)), Some(tree.depth(id)));
+            assert_eq!(scheme.level(labeling.req(id).unwrap()), Some(tree.depth(id)));
         }
     }
 }

@@ -92,10 +92,10 @@ mod tests {
     fn never_relabels_under_any_insertion_pattern() {
         let (mut tree, nodes) = figure3_shape();
         let mut scheme = Qed::new();
-        let mut labeling = scheme.label_tree(&tree);
+        let mut labeling = scheme.label_tree(&tree).unwrap();
         let originals: Vec<_> = nodes
             .iter()
-            .map(|&n| (n, labeling.expect(n).clone()))
+            .map(|&n| (n, labeling.req(n).unwrap().clone()))
             .collect();
         // before-first, after-last, between, deep — 200 mixed insertions
         let mut target = nodes[1];
@@ -107,7 +107,7 @@ mod tests {
                 2 => tree.prepend_child(target, x).unwrap(),
                 _ => tree.append_child(target, x).unwrap(),
             }
-            let rep = scheme.on_insert(&tree, &mut labeling, x);
+            let rep = scheme.on_insert(&tree, &mut labeling, x).unwrap();
             assert!(rep.relabeled.is_empty());
             assert!(!rep.overflowed);
             if i % 7 == 0 {
@@ -115,7 +115,7 @@ mod tests {
             }
         }
         for (n, old) in originals {
-            assert_eq!(labeling.expect(n), &old, "label of {n} must persist");
+            assert_eq!(labeling.req(n).unwrap(), &old, "label of {n} must persist");
         }
         assert_eq!(scheme.stats().overflow_events, 0);
         assert_eq!(scheme.stats().relabeled_nodes, 0);
@@ -126,11 +126,11 @@ mod tests {
     fn order_and_relations_on_figure1() {
         let tree = figure1_document();
         let mut scheme = Qed::new();
-        let labeling = scheme.label_tree(&tree);
+        let labeling = scheme.label_tree(&tree).unwrap();
         let all = tree.ids_in_doc_order();
         for w in all.windows(2) {
             assert_eq!(
-                scheme.cmp_doc(labeling.expect(w[0]), labeling.expect(w[1])),
+                scheme.cmp_doc(labeling.req(w[0]).unwrap(), labeling.req(w[1]).unwrap()),
                 Ordering::Less
             );
         }
@@ -142,8 +142,8 @@ mod tests {
                 assert_eq!(
                     scheme.relation(
                         Relation::AncestorDescendant,
-                        labeling.expect(x),
-                        labeling.expect(y)
+                        labeling.req(x).unwrap(),
+                        labeling.req(y).unwrap()
                     ),
                     Some(tree.is_ancestor(x, y))
                 );
@@ -162,15 +162,15 @@ mod tests {
         let first = tree.create(NodeKind::element("a"));
         tree.append_child(p, first).unwrap();
         let mut scheme = Qed::new();
-        let mut labeling = scheme.label_tree(&tree);
+        let mut labeling = scheme.label_tree(&tree).unwrap();
         let mut front = first;
         for _ in 0..100 {
             let x = tree.create(NodeKind::element("x"));
             tree.insert_before(front, x).unwrap();
-            scheme.on_insert(&tree, &mut labeling, x);
+            scheme.on_insert(&tree, &mut labeling, x).unwrap();
             front = x;
         }
-        let bits = labeling.expect(front).size_bits();
+        let bits = labeling.req(front).unwrap().size_bits();
         assert!(
             bits >= 100,
             "after 100 skewed inserts the front label is large, got {bits} bits"
@@ -181,9 +181,9 @@ mod tests {
     fn level_is_path_length() {
         let tree = figure1_document();
         let mut scheme = Qed::new();
-        let labeling = scheme.label_tree(&tree);
+        let labeling = scheme.label_tree(&tree).unwrap();
         for id in tree.ids_in_doc_order() {
-            assert_eq!(scheme.level(labeling.expect(id)), Some(tree.depth(id)));
+            assert_eq!(scheme.level(labeling.req(id).unwrap()), Some(tree.depth(id)));
         }
     }
 }

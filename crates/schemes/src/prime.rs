@@ -23,13 +23,13 @@
 //! [`BigUint`] substrate.
 
 use std::cmp::Ordering;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use xupd_labelcore::biguint::BigUint;
 use xupd_labelcore::{
     Compliance, EncodingRep, InsertReport, Label, Labeling, LabelingScheme, OrderKind, Relation,
     SchemeDescriptor, SchemeStats,
 };
-use xupd_xmldom::{NodeId, XmlTree};
+use xupd_xmldom::{NodeId, TreeError, XmlTree};
 
 /// A prime-scheme label: the node's own prime and the root-path product.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,8 +72,9 @@ pub struct Prime {
     stats: SchemeStats,
     next_candidate: u64,
     /// order(v) = SC mod p(v) in the published scheme; modelled as the
-    /// per-prime order table the congruence encodes.
-    sc_order: HashMap<u64, u64>,
+    /// per-prime order table the congruence encodes. A `BTreeMap` keeps
+    /// iteration deterministic (lint rule R2).
+    sc_order: BTreeMap<u64, u64>,
 }
 
 impl Default for Prime {
@@ -88,7 +89,7 @@ impl Prime {
         Prime {
             stats: SchemeStats::default(),
             next_candidate: 2,
-            sc_order: HashMap::new(),
+            sc_order: BTreeMap::new(),
         }
     }
 
@@ -164,7 +165,7 @@ impl LabelingScheme for Prime {
         }
     }
 
-    fn label_tree(&mut self, tree: &XmlTree) -> Labeling<PrimeLabel> {
+    fn label_tree(&mut self, tree: &XmlTree) -> Result<Labeling<PrimeLabel>, TreeError> {
         let mut labeling = Labeling::with_capacity_for(tree);
         labeling.set(
             tree.root(),
@@ -177,8 +178,8 @@ impl LabelingScheme for Prime {
             if node == tree.root() {
                 continue;
             }
-            let parent = tree.parent(node).expect("non-root");
-            let parent_product = labeling.expect(parent).product.clone();
+            let parent = tree.parent(node).ok_or(TreeError::MissingParent(node))?;
+            let parent_product = labeling.req(parent)?.product.clone();
             let p = self.next_prime();
             labeling.set(
                 node,
@@ -189,7 +190,7 @@ impl LabelingScheme for Prime {
             );
         }
         self.recompute_sc(tree, &labeling);
-        labeling
+        Ok(labeling)
     }
 
     fn on_insert(
@@ -197,9 +198,9 @@ impl LabelingScheme for Prime {
         tree: &XmlTree,
         labeling: &mut Labeling<PrimeLabel>,
         node: NodeId,
-    ) -> InsertReport {
-        let parent = tree.parent(node).expect("attached");
-        let parent_product = labeling.expect(parent).product.clone();
+    ) -> Result<InsertReport, TreeError> {
+        let parent = tree.parent(node).ok_or(TreeError::MissingParent(node))?;
+        let parent_product = labeling.req(parent)?.product.clone();
         let p = self.next_prime();
         labeling.set(
             node,
@@ -210,7 +211,7 @@ impl LabelingScheme for Prime {
         );
         // Labels untouched; only the simultaneous congruence is rebuilt.
         self.recompute_sc(tree, labeling);
-        InsertReport::clean()
+        Ok(InsertReport::clean())
     }
 
     fn on_delete(&mut self, tree: &XmlTree, labeling: &mut Labeling<PrimeLabel>, node: NodeId) {
@@ -270,14 +271,14 @@ mod tests {
     fn divisibility_gives_ancestry() {
         let tree = figure1_document();
         let mut scheme = Prime::new();
-        let labeling = scheme.label_tree(&tree);
+        let labeling = scheme.label_tree(&tree).unwrap();
         let all = tree.ids_in_doc_order();
         for &u in &all {
             for &v in &all {
                 if u == v {
                     continue;
                 }
-                let (lu, lv) = (labeling.expect(u), labeling.expect(v));
+                let (lu, lv) = (labeling.req(u).unwrap(), labeling.req(v).unwrap());
                 assert_eq!(
                     scheme.relation(Relation::AncestorDescendant, lu, lv),
                     Some(tree.is_ancestor(u, v)),
@@ -297,31 +298,65 @@ mod tests {
     fn labels_persist_under_insertion_order_follows_sc() {
         let mut tree = figure1_document();
         let mut scheme = Prime::new();
-        let mut labeling = scheme.label_tree(&tree);
+        let mut labeling = scheme.label_tree(&tree).unwrap();
         let snapshot: Vec<_> = tree
             .ids_in_doc_order()
             .into_iter()
-            .map(|n| (n, labeling.expect(n).clone()))
+            .map(|n| (n, labeling.req(n).unwrap().clone()))
             .collect();
         let book = tree.document_element().unwrap();
         let first = tree.first_child(book).unwrap();
         for _ in 0..5 {
             let x = tree.create(NodeKind::element("x"));
             tree.insert_before(first, x).unwrap();
-            let rep = scheme.on_insert(&tree, &mut labeling, x);
+            let rep = scheme.on_insert(&tree, &mut labeling, x).unwrap();
             assert!(rep.relabeled.is_empty(), "labels never change");
         }
         for (n, old) in snapshot {
-            assert_eq!(labeling.expect(n), &old);
+            assert_eq!(labeling.req(n).unwrap(), &old);
         }
         // order reflects the rebuilt congruence
         let order = tree.ids_in_doc_order();
         for w in order.windows(2) {
             assert_eq!(
-                scheme.cmp_doc(labeling.expect(w[0]), labeling.expect(w[1])),
+                scheme.cmp_doc(labeling.req(w[0]).unwrap(), labeling.req(w[1]).unwrap()),
                 Ordering::Less
             );
         }
+    }
+
+    #[test]
+    fn sc_order_table_golden() {
+        // The congruence table is a BTreeMap so its iteration order is the
+        // ascending prime sequence, independent of insertion order or any
+        // hasher. Pin the full table for Figure 1: primes are handed out
+        // in preorder (root keeps 1), orders are preorder ranks over all
+        // sixteen nodes (document root, ten labelled nodes, five texts).
+        let tree = figure1_document();
+        let mut scheme = Prime::new();
+        let _labeling = scheme.label_tree(&tree).unwrap();
+        let table: Vec<(u64, u64)> = scheme.sc_order.iter().map(|(&p, &o)| (p, o)).collect();
+        assert_eq!(
+            table,
+            vec![
+                (1, 0),
+                (2, 1),
+                (3, 2),
+                (5, 3),
+                (7, 4),
+                (11, 5),
+                (13, 6),
+                (17, 7),
+                (19, 8),
+                (23, 9),
+                (29, 10),
+                (31, 11),
+                (37, 12),
+                (41, 13),
+                (43, 14),
+                (47, 15),
+            ]
+        );
     }
 
     #[test]
@@ -334,9 +369,9 @@ mod tests {
             cur = n;
         }
         let mut scheme = Prime::new();
-        let labeling = scheme.label_tree(&tree);
+        let labeling = scheme.label_tree(&tree).unwrap();
         assert!(
-            labeling.expect(cur).product.bit_len() > 64,
+            labeling.req(cur).unwrap().product.bit_len() > 64,
             "deep products need the BigUint substrate"
         );
     }

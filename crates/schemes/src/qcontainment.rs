@@ -19,7 +19,7 @@ use xupd_labelcore::{
     Compliance, EncodingRep, InsertReport, Label, Labeling, LabelingScheme, OrderKind, Relation,
     SchemeDescriptor, SchemeStats,
 };
-use xupd_xmldom::{NodeId, XmlTree};
+use xupd_xmldom::{NodeId, TreeError, XmlTree};
 
 /// A containment label whose begin/end positions are QED codes.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -84,7 +84,7 @@ impl LabelingScheme for QedContainment {
         }
     }
 
-    fn label_tree(&mut self, tree: &XmlTree) -> Labeling<QRegion> {
+    fn label_tree(&mut self, tree: &XmlTree) -> Result<Labeling<QRegion>, TreeError> {
         // 2 positions per node, drawn from the compact bulk generator in
         // one depth-first pass.
         let mut labeling = Labeling::with_capacity_for(tree);
@@ -99,7 +99,9 @@ impl LabelingScheme for QedContainment {
         while let Some(ev) = events.pop() {
             match ev {
                 Ev::Open(n) => {
-                    let begin = positions.next().expect("2n positions");
+                    let begin = positions
+                        .next()
+                        .ok_or_else(|| TreeError::Invariant("position stream exhausted".into()))?;
                     stack.push((n, begin));
                     events.push(Ev::Close(n));
                     let children: Vec<NodeId> = tree.children(n).collect();
@@ -108,9 +110,13 @@ impl LabelingScheme for QedContainment {
                     }
                 }
                 Ev::Close(n) => {
-                    let (id, begin) = stack.pop().expect("balanced");
+                    let (id, begin) = stack
+                        .pop()
+                        .ok_or_else(|| TreeError::Invariant("unbalanced close event".into()))?;
                     debug_assert_eq!(id, n);
-                    let end = positions.next().expect("2n positions");
+                    let end = positions
+                        .next()
+                        .ok_or_else(|| TreeError::Invariant("position stream exhausted".into()))?;
                     labeling.set(
                         n,
                         QRegion {
@@ -122,7 +128,7 @@ impl LabelingScheme for QedContainment {
                 }
             }
         }
-        labeling
+        Ok(labeling)
     }
 
     fn on_insert(
@@ -130,22 +136,22 @@ impl LabelingScheme for QedContainment {
         tree: &XmlTree,
         labeling: &mut Labeling<QRegion>,
         node: NodeId,
-    ) -> InsertReport {
-        let parent = tree.parent(node).expect("attached");
+    ) -> Result<InsertReport, TreeError> {
+        let parent = tree.parent(node).ok_or(TreeError::MissingParent(node))?;
         // unlabelled neighbours belong to the same graft batch: absent
         let left = match tree.prev_sibling(node).and_then(|s| labeling.get(s)) {
             Some(l) => l.end.clone(),
-            None => labeling.expect(parent).begin.clone(),
+            None => labeling.req(parent)?.begin.clone(),
         };
         let right = match tree.next_sibling(node).and_then(|s| labeling.get(s)) {
             Some(l) => Some(l.begin.clone()),
-            None => Some(labeling.expect(parent).end.clone()),
+            None => Some(labeling.req(parent)?.end.clone()),
         };
         let begin = qinsert(Some(&left), right.as_ref());
         let end = qinsert(Some(&begin), right.as_ref());
-        let level = labeling.expect(parent).level + 1;
+        let level = labeling.req(parent)?.level + 1;
         labeling.set(node, QRegion { begin, end, level });
-        InsertReport::clean()
+        Ok(InsertReport::clean())
     }
 
     fn cmp_doc(&self, a: &QRegion, b: &QRegion) -> Ordering {
@@ -185,11 +191,11 @@ mod tests {
     fn containment_algebra_matches_ground_truth() {
         let tree = figure1_document();
         let mut scheme = QedContainment::new();
-        let labeling = scheme.label_tree(&tree);
+        let labeling = scheme.label_tree(&tree).unwrap();
         let all = tree.ids_in_doc_order();
         for w in all.windows(2) {
             assert_eq!(
-                scheme.cmp_doc(labeling.expect(w[0]), labeling.expect(w[1])),
+                scheme.cmp_doc(labeling.req(w[0]).unwrap(), labeling.req(w[1]).unwrap()),
                 Ordering::Less
             );
         }
@@ -198,7 +204,7 @@ mod tests {
                 if u == v {
                     continue;
                 }
-                let (lu, lv) = (labeling.expect(u), labeling.expect(v));
+                let (lu, lv) = (labeling.req(u).unwrap(), labeling.req(v).unwrap());
                 assert_eq!(
                     scheme.relation(Relation::AncestorDescendant, lu, lv),
                     Some(tree.is_ancestor(u, v))
@@ -217,31 +223,31 @@ mod tests {
         // §3.1.1 killer workload untouched.
         let mut tree = figure1_document();
         let mut scheme = QedContainment::new();
-        let mut labeling = scheme.label_tree(&tree);
+        let mut labeling = scheme.label_tree(&tree).unwrap();
         let book = tree.document_element().unwrap();
         let first = tree.first_child(book).unwrap();
         let snapshot: Vec<_> = tree
             .ids_in_doc_order()
             .into_iter()
-            .map(|n| (n, labeling.expect(n).clone()))
+            .map(|n| (n, labeling.req(n).unwrap().clone()))
             .collect();
         let mut front = first;
         for _ in 0..500 {
             let x = tree.create(NodeKind::element("x"));
             tree.insert_before(front, x).unwrap();
-            let rep = scheme.on_insert(&tree, &mut labeling, x);
+            let rep = scheme.on_insert(&tree, &mut labeling, x).unwrap();
             assert!(rep.relabeled.is_empty());
             assert!(!rep.overflowed);
             front = x;
         }
         for (n, old) in snapshot {
-            assert_eq!(labeling.expect(n), &old);
+            assert_eq!(labeling.req(n).unwrap(), &old);
         }
         assert!(labeling.find_duplicate().is_none());
         let order = tree.ids_in_doc_order();
         for w in order.windows(2) {
             assert_eq!(
-                scheme.cmp_doc(labeling.expect(w[0]), labeling.expect(w[1])),
+                scheme.cmp_doc(labeling.req(w[0]).unwrap(), labeling.req(w[1]).unwrap()),
                 Ordering::Less
             );
         }
@@ -251,9 +257,9 @@ mod tests {
     fn level_tracks_depth() {
         let tree = figure1_document();
         let mut scheme = QedContainment::new();
-        let labeling = scheme.label_tree(&tree);
+        let labeling = scheme.label_tree(&tree).unwrap();
         for n in tree.ids_in_doc_order() {
-            assert_eq!(scheme.level(labeling.expect(n)), Some(tree.depth(n)));
+            assert_eq!(scheme.level(labeling.req(n).unwrap()), Some(tree.depth(n)));
         }
     }
 }

@@ -28,7 +28,7 @@ use xupd_labelcore::{
     EncodingRep, InsertReport, Label, Labeling, LabelingScheme, OrderKind, Relation,
     SchemeDescriptor, SchemeStats, VectorCode,
 };
-use xupd_xmldom::{NodeId, XmlTree};
+use xupd_xmldom::{NodeId, TreeError, XmlTree};
 
 /// A vector-path label.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -150,12 +150,12 @@ impl LabelingScheme for VectorScheme {
         }
     }
 
-    fn label_tree(&mut self, tree: &XmlTree) -> Labeling<VectorLabel> {
+    fn label_tree(&mut self, tree: &XmlTree) -> Result<Labeling<VectorLabel>, TreeError> {
         let mut labeling = Labeling::with_capacity_for(tree);
         let root = VectorLabel::root();
         labeling.set(tree.root(), root.clone());
         self.label_children(tree, tree.root(), &root, &mut labeling);
-        labeling
+        Ok(labeling)
     }
 
     fn on_insert(
@@ -163,9 +163,9 @@ impl LabelingScheme for VectorScheme {
         tree: &XmlTree,
         labeling: &mut Labeling<VectorLabel>,
         node: NodeId,
-    ) -> InsertReport {
-        let parent = tree.parent(node).expect("attached");
-        let parent_path = labeling.expect(parent).clone();
+    ) -> Result<InsertReport, TreeError> {
+        let parent = tree.parent(node).ok_or(TreeError::MissingParent(node))?;
+        let parent_path = labeling.req(parent)?.clone();
         // unlabelled neighbours belong to the same graft batch: absent
         let left = tree
             .prev_sibling(node)
@@ -180,7 +180,7 @@ impl LabelingScheme for VectorScheme {
         match left.mediant(&right) {
             Some(code) => {
                 labeling.set(node, parent_path.child(code));
-                InsertReport::clean()
+                Ok(InsertReport::clean())
             }
             None => {
                 // 64-bit component exhaustion: renumber this sibling list.
@@ -200,10 +200,10 @@ impl LabelingScheme for VectorScheme {
                         &mut self.stats,
                     );
                 }
-                InsertReport {
+                Ok(InsertReport {
                     relabeled,
                     overflowed: true,
-                }
+                })
             }
         }
     }
@@ -281,11 +281,11 @@ mod tests {
     fn order_and_ancestry_on_figure1() {
         let tree = figure1_document();
         let mut scheme = VectorScheme::new();
-        let labeling = scheme.label_tree(&tree);
+        let labeling = scheme.label_tree(&tree).unwrap();
         let all = tree.ids_in_doc_order();
         for w in all.windows(2) {
             assert_eq!(
-                scheme.cmp_doc(labeling.expect(w[0]), labeling.expect(w[1])),
+                scheme.cmp_doc(labeling.req(w[0]).unwrap(), labeling.req(w[1]).unwrap()),
                 Ordering::Less
             );
         }
@@ -297,8 +297,8 @@ mod tests {
                 assert_eq!(
                     scheme.relation(
                         Relation::AncestorDescendant,
-                        labeling.expect(u),
-                        labeling.expect(v)
+                        labeling.req(u).unwrap(),
+                        labeling.req(v).unwrap()
                     ),
                     Some(tree.is_ancestor(u, v))
                 );
@@ -310,14 +310,14 @@ mod tests {
     fn mediant_insertions_never_relabel() {
         let mut tree = figure1_document();
         let mut scheme = VectorScheme::new();
-        let mut labeling = scheme.label_tree(&tree);
+        let mut labeling = scheme.label_tree(&tree).unwrap();
         let book = tree.document_element().unwrap();
         let first = tree.first_child(book).unwrap();
         let mut front = first;
         for _ in 0..1000 {
             let x = tree.create(NodeKind::element("x"));
             tree.insert_before(front, x).unwrap();
-            let rep = scheme.on_insert(&tree, &mut labeling, x);
+            let rep = scheme.on_insert(&tree, &mut labeling, x).unwrap();
             assert!(rep.relabeled.is_empty());
             assert!(!rep.overflowed);
             front = x;
@@ -336,8 +336,8 @@ mod tests {
         let mut tq = build();
         let mut vs = VectorScheme::new();
         let mut qs = Qed::new();
-        let mut lv = vs.label_tree(&tv);
-        let mut lq = qs.label_tree(&tq);
+        let mut lv = vs.label_tree(&tv).unwrap();
+        let mut lq = qs.label_tree(&tq).unwrap();
         let fv = {
             let re = tv.document_element().unwrap();
             tv.first_child(re).unwrap()
@@ -350,15 +350,15 @@ mod tests {
         for _ in 0..300 {
             let xv = tv.create(NodeKind::element("x"));
             tv.insert_before(frontv, xv).unwrap();
-            vs.on_insert(&tv, &mut lv, xv);
+            vs.on_insert(&tv, &mut lv, xv).unwrap();
             frontv = xv;
             let xq = tq.create(NodeKind::element("x"));
             tq.insert_before(frontq, xq).unwrap();
-            qs.on_insert(&tq, &mut lq, xq);
+            qs.on_insert(&tq, &mut lq, xq).unwrap();
             frontq = xq;
         }
-        let vbits = lv.expect(frontv).size_bits();
-        let qbits = lq.expect(frontq).size_bits();
+        let vbits = lv.req(frontv).unwrap().size_bits();
+        let qbits = lq.req(frontq).unwrap().size_bits();
         assert!(
             vbits * 4 < qbits,
             "vector {vbits} bits should be ≪ qed {qbits} bits"
@@ -374,7 +374,7 @@ mod tests {
             .close()
             .finish();
         let mut scheme = VectorScheme::new();
-        let mut labeling = scheme.label_tree(&tree);
+        let mut labeling = scheme.label_tree(&tree).unwrap();
         let re = tree.document_element().unwrap();
         // Alternating nested insertion (always between the two newest
         // nodes) grows components Fibonacci-fast.
@@ -384,7 +384,7 @@ mod tests {
         for i in 0..300 {
             let x = tree.create(NodeKind::element("x"));
             tree.insert_after(left, x).unwrap();
-            let rep = scheme.on_insert(&tree, &mut labeling, x);
+            let rep = scheme.on_insert(&tree, &mut labeling, x).unwrap();
             if rep.overflowed {
                 overflowed = true;
                 break;
@@ -400,7 +400,7 @@ mod tests {
         let order = tree.ids_in_doc_order();
         for w in order.windows(2) {
             assert_eq!(
-                scheme.cmp_doc(labeling.expect(w[0]), labeling.expect(w[1])),
+                scheme.cmp_doc(labeling.req(w[0]).unwrap(), labeling.req(w[1]).unwrap()),
                 Ordering::Less
             );
         }

@@ -44,15 +44,25 @@ impl TreeBuilder {
     }
 
     fn cursor(&self) -> NodeId {
-        *self.stack.last().expect("stack never empties below root")
+        // The stack is seeded with the root and close() never pops the
+        // last entry, so the fallback is unreachable; the root is the
+        // safe degenerate cursor.
+        self.stack.last().copied().unwrap_or_else(|| self.tree.root())
+    }
+
+    /// Create a node of `kind` and attach it under the cursor. The
+    /// attach is infallible by construction (fresh detached node, live
+    /// anchor): checked in debug builds rather than panicking in release.
+    fn append(&mut self, kind: NodeKind) -> NodeId {
+        let n = self.tree.create(kind);
+        let attached = self.tree.append_child(self.cursor(), n);
+        debug_assert!(attached.is_ok(), "fresh node attaches under live cursor");
+        n
     }
 
     /// Open a child element and move the cursor into it.
     pub fn open(mut self, name: impl Into<String>) -> Self {
-        let e = self.tree.create(NodeKind::element(name));
-        self.tree
-            .append_child(self.cursor(), e)
-            .expect("cursor is live");
+        let e = self.append(NodeKind::element(name));
         self.stack.push(e);
         self
     }
@@ -69,37 +79,25 @@ impl TreeBuilder {
 
     /// Add an attribute to the current element.
     pub fn attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
-        let a = self.tree.create(NodeKind::attribute(name, value));
-        self.tree
-            .append_child(self.cursor(), a)
-            .expect("cursor is live");
+        self.append(NodeKind::attribute(name, value));
         self
     }
 
     /// Add a text child to the current element.
     pub fn text(mut self, value: impl Into<String>) -> Self {
-        let t = self.tree.create(NodeKind::text(value));
-        self.tree
-            .append_child(self.cursor(), t)
-            .expect("cursor is live");
+        self.append(NodeKind::text(value));
         self
     }
 
     /// Add a comment child.
     pub fn comment(mut self, value: impl Into<String>) -> Self {
-        let c = self.tree.create(NodeKind::comment(value));
-        self.tree
-            .append_child(self.cursor(), c)
-            .expect("cursor is live");
+        self.append(NodeKind::comment(value));
         self
     }
 
     /// Add a processing-instruction child.
     pub fn pi(mut self, target: impl Into<String>, data: impl Into<String>) -> Self {
-        let p = self.tree.create(NodeKind::pi(target, data));
-        self.tree
-            .append_child(self.cursor(), p)
-            .expect("cursor is live");
+        self.append(NodeKind::pi(target, data));
         self
     }
 

@@ -21,6 +21,16 @@ pub enum TreeError {
     /// A structural invariant check failed; carries a human-readable
     /// description. Only produced by [`crate::XmlTree::validate`].
     Invariant(String),
+    /// A node that the caller's invariants require to have a parent is
+    /// detached (e.g. a freshly inserted node handed to a labelling
+    /// scheme before being attached).
+    MissingParent(NodeId),
+    /// A node id that does not denote a live node was handed to an API
+    /// that requires one (out of the arena's id space, or retired).
+    DanglingNodeId(NodeId),
+    /// A live node unexpectedly has no label in a labelling side table
+    /// that is supposed to cover every live node.
+    Unlabeled(NodeId),
 }
 
 impl fmt::Display for TreeError {
@@ -36,6 +46,9 @@ impl fmt::Display for TreeError {
             }
             TreeError::NoParent(id) => write!(f, "node {id} is detached; no sibling position"),
             TreeError::Invariant(msg) => write!(f, "tree invariant violated: {msg}"),
+            TreeError::MissingParent(id) => write!(f, "node {id} unexpectedly has no parent"),
+            TreeError::DanglingNodeId(id) => write!(f, "node id {id} is dangling (dead or out of range)"),
+            TreeError::Unlabeled(id) => write!(f, "node {id} has no label"),
         }
     }
 }
@@ -85,6 +98,11 @@ pub enum ParseErrorKind {
     NoDocumentElement,
     /// A numeric character reference does not denote a valid char.
     BadCharRef(u32),
+    /// An internal parser invariant failed (a tree attach or UTF-8
+    /// re-slice that is unreachable for well-formed parser state). Never
+    /// produced by malformed *input*; surfacing it as an error instead of
+    /// panicking keeps the parser total.
+    Internal(&'static str),
 }
 
 impl fmt::Display for ParseError {
@@ -105,6 +123,7 @@ impl fmt::Display for ParseError {
             ParseErrorKind::DuplicateAttribute(a) => write!(f, "duplicate attribute '{a}'"),
             ParseErrorKind::NoDocumentElement => write!(f, "document has no root element"),
             ParseErrorKind::BadCharRef(v) => write!(f, "invalid character reference #{v}"),
+            ParseErrorKind::Internal(msg) => write!(f, "internal parser invariant violated: {msg}"),
         }
     }
 }
@@ -128,9 +147,72 @@ mod tests {
         assert!(s.contains("expected >"), "{s}");
     }
 
+    /// Every `TreeError` variant has a distinct, non-empty rendering.
     #[test]
-    fn tree_error_display() {
-        assert!(TreeError::RootImmutable.to_string().contains("root"));
-        assert!(TreeError::DeadNode(NodeId(3)).to_string().contains("n3"));
+    fn tree_error_display_all_variants() {
+        let id = NodeId(3);
+        let cases: Vec<(TreeError, &str)> = vec![
+            (TreeError::DeadNode(id), "deleted"),
+            (TreeError::RootImmutable, "root"),
+            (TreeError::AlreadyAttached(id), "already attached"),
+            (TreeError::WouldCycle(id), "cycle"),
+            (TreeError::NoParent(id), "no sibling position"),
+            (TreeError::Invariant("x".into()), "invariant"),
+            (TreeError::MissingParent(id), "no parent"),
+            (TreeError::DanglingNodeId(id), "dangling"),
+            (TreeError::Unlabeled(id), "no label"),
+        ];
+        let mut renderings = Vec::new();
+        for (e, needle) in cases {
+            let s = e.to_string();
+            assert!(s.contains(needle), "{e:?} → {s}");
+            renderings.push(s);
+        }
+        renderings.sort();
+        renderings.dedup();
+        assert_eq!(renderings.len(), 9, "renderings are distinct");
+        // id-carrying variants name the node
+        assert!(TreeError::DeadNode(id).to_string().contains("n3"));
+        assert!(TreeError::MissingParent(id).to_string().contains("n3"));
+        assert!(TreeError::DanglingNodeId(id).to_string().contains("n3"));
+        assert!(TreeError::Unlabeled(id).to_string().contains("n3"));
+    }
+
+    /// Every `ParseErrorKind` variant has a distinct, non-empty rendering.
+    #[test]
+    fn parse_error_display_all_variants() {
+        let kinds: Vec<(ParseErrorKind, &str)> = vec![
+            (ParseErrorKind::UnexpectedEof("comment"), "end of input"),
+            (ParseErrorKind::InvalidName, "invalid name"),
+            (ParseErrorKind::Expected(">"), "expected >"),
+            (
+                ParseErrorKind::MismatchedClose {
+                    expected: "a".into(),
+                    found: "b".into(),
+                },
+                "</a>",
+            ),
+            (ParseErrorKind::TrailingContent, "after document element"),
+            (ParseErrorKind::BadEntity("nope".into()), "&nope;"),
+            (ParseErrorKind::DuplicateAttribute("x".into()), "'x'"),
+            (ParseErrorKind::NoDocumentElement, "no root element"),
+            (ParseErrorKind::BadCharRef(0xD800), "#55296"),
+            (ParseErrorKind::Internal("attach"), "internal"),
+        ];
+        let mut renderings = Vec::new();
+        for (kind, needle) in kinds {
+            let s = ParseError {
+                kind,
+                offset: 0,
+                line: 1,
+                column: 1,
+            }
+            .to_string();
+            assert!(s.contains(needle), "{s}");
+            renderings.push(s);
+        }
+        renderings.sort();
+        renderings.dedup();
+        assert_eq!(renderings.len(), 10, "renderings are distinct");
     }
 }

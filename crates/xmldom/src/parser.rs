@@ -105,13 +105,32 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, s: &'static str) -> Result<(), ParseError> {
+    fn require(&mut self, s: &'static str) -> Result<(), ParseError> {
         if self.starts_with(s) {
             self.bump(s.len());
             Ok(())
         } else {
             Err(self.err(ParseErrorKind::Expected(s)))
         }
+    }
+
+    /// Re-slice parser input as UTF-8. The input arrived as `&str`, so
+    /// slices on match boundaries are always valid; a failure is an
+    /// internal bug surfaced as [`ParseErrorKind::Internal`], not a panic.
+    fn utf8(&self, bytes: &'a [u8]) -> Result<&'a str, ParseError> {
+        std::str::from_utf8(bytes)
+            .map_err(|_| self.err(ParseErrorKind::Internal("input slice was valid UTF-8")))
+    }
+
+    /// Attach a freshly created node under a parent that is live by
+    /// construction; a failure is an internal bug surfaced as
+    /// [`ParseErrorKind::Internal`], not a panic.
+    fn attach(&self, tree: &mut XmlTree, parent: NodeId, child: NodeId) -> Result<(), ParseError> {
+        tree.append_child(parent, child).map_err(|_| {
+            self.err(ParseErrorKind::Internal(
+                "fresh node attaches under a live parent",
+            ))
+        })
     }
 
     /// Consume up to and including `end`, returning the content before it.
@@ -121,9 +140,7 @@ impl<'a> Parser<'a> {
         let mut i = 0;
         while i + needle.len() <= hay.len() {
             if &hay[i..i + needle.len()] == needle {
-                // Input is &str originally, so slices on found boundaries
-                // are valid UTF-8.
-                let s = std::str::from_utf8(&hay[..i]).expect("input was valid UTF-8");
+                let s = self.utf8(&hay[..i])?;
                 self.pos += i + needle.len();
                 return Ok(s);
             }
@@ -153,7 +170,7 @@ impl<'a> Parser<'a> {
                 break;
             }
         }
-        Ok(std::str::from_utf8(&self.input[start..self.pos]).expect("valid UTF-8"))
+        self.utf8(&self.input[start..self.pos])
     }
 
     fn decode_entities(&self, raw: &str, base: usize) -> Result<String, ParseError> {
@@ -239,7 +256,7 @@ impl<'a> Parser<'a> {
                             let decoded =
                                 self.decode_entities(&pending_text, pending_text_start)?;
                             let n = $tree.create(NodeKind::Text { value: decoded });
-                            $tree.append_child(parent, n).expect("parent is live");
+                            self.attach(&mut $tree, parent, n)?;
                         }
                     }
                     pending_text.clear();
@@ -262,7 +279,7 @@ impl<'a> Parser<'a> {
                         target,
                         data: data.trim_end().to_string(),
                     });
-                    tree.append_child(parent, n).expect("parent is live");
+                    self.attach(&mut tree, parent, n)?;
                 }
             } else if self.starts_with("<!--") {
                 flush_text!(tree, stack);
@@ -271,22 +288,21 @@ impl<'a> Parser<'a> {
                 if self.opts.keep_comments {
                     let parent = stack.last().map(|&(p, _)| p).unwrap_or(root);
                     let n = tree.create(NodeKind::Comment { value: body });
-                    tree.append_child(parent, n).expect("parent is live");
+                    self.attach(&mut tree, parent, n)?;
                 }
             } else if self.starts_with("<![CDATA[") {
                 self.bump(9);
                 let start = self.pos;
                 let body = self.take_until("]]>", "CDATA section")?;
                 // CDATA is literal text — but entity decoding must NOT apply.
-                if stack.is_empty() {
+                let Some(&(parent, _)) = stack.last() else {
                     return Err(self.err_at(ParseErrorKind::TrailingContent, start));
-                }
+                };
                 flush_text!(tree, stack);
-                let parent = stack.last().map(|&(p, _)| p).expect("checked non-empty");
                 let n = tree.create(NodeKind::Text {
                     value: body.to_string(),
                 });
-                tree.append_child(parent, n).expect("parent is live");
+                self.attach(&mut tree, parent, n)?;
             } else if self.starts_with("<!DOCTYPE") || self.starts_with("<!doctype") {
                 flush_text!(tree, stack);
                 // Skip to the matching '>' accounting for an internal subset
@@ -316,7 +332,7 @@ impl<'a> Parser<'a> {
                 self.bump(2);
                 let name = self.name()?;
                 self.skip_ws();
-                self.expect(">")?;
+                self.require(">")?;
                 match stack.pop() {
                     Some((_, open)) if open == name => {}
                     Some((_, open)) => {
@@ -337,7 +353,7 @@ impl<'a> Parser<'a> {
                     None => return Err(self.err(ParseErrorKind::TrailingContent)),
                 };
                 let elem = tree.create(NodeKind::Element { name: name.clone() });
-                tree.append_child(parent, elem).expect("parent is live");
+                self.attach(&mut tree, parent, elem)?;
                 if stack.is_empty() {
                     saw_document_element = true;
                 }
@@ -352,7 +368,7 @@ impl<'a> Parser<'a> {
                             break;
                         }
                         Some(b'/') => {
-                            self.expect("/>")?;
+                            self.require("/>")?;
                             break; // self-closing: do not push
                         }
                         Some(b) if Parser::is_name_start(b) => {
@@ -364,7 +380,7 @@ impl<'a> Parser<'a> {
                                 );
                             }
                             self.skip_ws();
-                            self.expect("=")?;
+                            self.require("=")?;
                             self.skip_ws();
                             let quote = match self.peek() {
                                 Some(q @ (b'"' | b'\'')) => {
@@ -384,7 +400,7 @@ impl<'a> Parser<'a> {
                                 name: aname.clone(),
                                 value,
                             });
-                            tree.append_child(elem, a).expect("elem is live");
+                            self.attach(&mut tree, elem, a)?;
                             attr_names.push(aname);
                         }
                         Some(_) => {
@@ -405,8 +421,8 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
-                pending_text
-                    .push_str(std::str::from_utf8(&self.input[start..self.pos]).expect("UTF-8"));
+                let chunk = self.utf8(&self.input[start..self.pos])?;
+                pending_text.push_str(chunk);
             }
         }
         flush_text!(tree, stack);

@@ -51,7 +51,8 @@ fn write_node(tree: &XmlTree, id: NodeId, out: &mut String, indent: Option<&str>
             out.push_str(name);
             for a in attrs {
                 if let NodeKind::Attribute { name, value } = tree.kind(a) {
-                    write!(out, " {name}=\"{}\"", escape_attr(value)).expect("write to String");
+                    // fmt::Write to String is infallible
+                    let _ = write!(out, " {name}=\"{}\"", escape_attr(value));
                 }
             }
             if children.is_empty() {

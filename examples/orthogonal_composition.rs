@@ -20,7 +20,7 @@ use xml_update_props::xmldom::NodeKind;
 fn main() {
     // A containment labelling whose positions are QED codes.
     let mut tree = docs::book();
-    let mut host: CodedContainment<QCode> = CodedContainment::label(&tree);
+    let mut host: CodedContainment<QCode> = CodedContainment::label(&tree).expect("labelled");
 
     println!("QED ∘ containment — begin/end codes of the sample document:\n");
     for n in tree.ids_in_doc_order() {
@@ -38,7 +38,7 @@ fn main() {
     for _ in 0..1000 {
         let n = tree.create(NodeKind::element("x"));
         tree.insert_before(anchor, n).expect("live");
-        host.insert(&tree, n);
+        host.insert(&tree, n).expect("splice");
     }
     // verify order + containment survived
     let order = tree.ids_in_doc_order();

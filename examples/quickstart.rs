@@ -17,11 +17,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Label it with QED — a scheme that never relabels (§4).
     let mut scheme = Qed::new();
-    let mut labeling = scheme.label_tree(&tree);
+    let mut labeling = scheme.label_tree(&tree)?;
     println!("QED labels (document order):");
     for id in tree.ids_in_doc_order() {
         if let Some(name) = tree.kind(id).name() {
-            println!("  {:<12} {}", name, labeling.expect(id).display());
+            println!("  {:<12} {}", name, labeling.req(id)?.display());
         }
     }
 
@@ -31,16 +31,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let title = tree.first_child(book).expect("title");
     let chapter = tree.create(NodeKind::element("chapter"));
     tree.insert_after(title, chapter)?;
-    let report = scheme.on_insert(&tree, &mut labeling, chapter);
+    let report = scheme.on_insert(&tree, &mut labeling, chapter)?;
     println!(
         "\nInserted <chapter> with label {} — {} existing labels touched.",
-        labeling.expect(chapter).display(),
+        labeling.req(chapter)?.display(),
         report.relabeled.len()
     );
     assert!(report.relabeled.is_empty());
 
     // 4. Query through the encoding scheme (Definition 2).
-    let enc = EncodedDocument::encode(Qed::new(), &tree);
+    let enc = EncodedDocument::encode(Qed::new(), &tree)?;
     let hits = parse_xpath("/book/publisher/editor/name")?.evaluate(&enc);
     for h in hits {
         println!(

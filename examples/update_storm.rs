@@ -29,9 +29,10 @@ struct Storm<'a> {
 impl SchemeVisitor for Storm<'_> {
     fn visit<S: LabelingScheme>(&mut self, mut scheme: S) {
         let mut tree = self.base.clone();
-        let mut labeling = scheme.label_tree(&tree);
+        let mut labeling = scheme.label_tree(&tree).expect("initial labelling");
         let script = Script::generate(ScriptKind::Skewed, self.ops, tree.len(), 99);
-        let stats = run_script(&mut tree, &mut scheme, &mut labeling, &script);
+        let stats =
+            run_script(&mut tree, &mut scheme, &mut labeling, &script).expect("storm drives");
         self.rows.push(StormRow {
             scheme: scheme.name(),
             end_max_bits: stats.end_max_bits,

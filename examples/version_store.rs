@@ -23,14 +23,14 @@ use xml_update_props::xmldom::{NodeId, NodeKind, XmlTree};
 /// the same node. Returns (bookmark survived, relabels seen).
 fn scenario<S: LabelingScheme>(mut scheme: S) -> (bool, u64) {
     let mut tree = docs::book();
-    let mut labeling = scheme.label_tree(&tree);
+    let mut labeling = scheme.label_tree(&tree).expect("initial labelling");
 
     // v1: bookmark the <author> element by its label.
     let author = tree
         .preorder()
         .find(|&n| tree.kind(n).name() == Some("author"))
         .expect("author element");
-    let bookmark = labeling.expect(author).clone();
+    let bookmark = labeling.req(author).expect("labelled").clone();
     println!(
         "  v1: bookmarked <author> as {} under {}",
         bookmark.display(),
@@ -45,7 +45,11 @@ fn scenario<S: LabelingScheme>(mut scheme: S) -> (bool, u64) {
         let n = tree.create(NodeKind::element(format!("frontmatter{i}")));
         let first = tree.first_child(book).expect("children");
         tree.insert_before(first, n).expect("live");
-        relabels += scheme.on_insert(&tree, &mut labeling, n).relabeled.len() as u64;
+        relabels += scheme
+            .on_insert(&tree, &mut labeling, n)
+            .expect("insert")
+            .relabeled
+            .len() as u64;
     }
 
     // Resolve the bookmark: which node carries that label now?

@@ -30,7 +30,7 @@ struct QueryRunner<'a> {
 impl SchemeVisitor for QueryRunner<'_> {
     fn visit<S: LabelingScheme>(&mut self, scheme: S) {
         let name = scheme.name();
-        let enc = EncodedDocument::encode(scheme, self.tree);
+        let enc = EncodedDocument::encode(scheme, self.tree).expect("encodable document");
         let per_query: Vec<Vec<String>> = QUERIES
             .iter()
             .map(|q| {

@@ -17,6 +17,9 @@ cargo test -q
 echo "==> full workspace tests"
 cargo test --workspace -q
 
+echo "==> static invariants (xupd-lint: fails on any unsuppressed finding)"
+cargo run --release -q -p xupd-lint -- --workspace
+
 echo "==> figure 7 regeneration (declared + measured matrix)"
 cargo run --release -q -p xupd-bench --bin figure7
 

@@ -26,10 +26,10 @@ fn all_schemes_sound_across_workloads() {
                 (ScriptKind::AppendOnly, 14),
             ] {
                 let mut tree = docs::random_tree(77, 150);
-                let mut labeling = scheme.label_tree(&tree);
+                let mut labeling = scheme.label_tree(&tree).unwrap();
                 let script = Script::generate(kind, 120, tree.len(), seed);
-                run_script(&mut tree, &mut scheme, &mut labeling, &script);
-                let v = verify(&tree, &scheme, &labeling, 200, seed);
+                run_script(&mut tree, &mut scheme, &mut labeling, &script).unwrap();
+                let v = verify(&tree, &scheme, &labeling, 200, seed).unwrap();
                 if name == "LSDX" || name == "Com-D" {
                     continue; // collisions possible; asserted below
                 }
@@ -48,10 +48,10 @@ fn lsdx_collisions_are_the_documented_failure() {
     // append-only workloads never hit the between-collision corner
     let mut tree = docs::random_tree(5, 100);
     let mut scheme = Lsdx::new();
-    let mut labeling = scheme.label_tree(&tree);
+    let mut labeling = scheme.label_tree(&tree).unwrap();
     let script = Script::generate(ScriptKind::AppendOnly, 150, tree.len(), 3);
-    run_script(&mut tree, &mut scheme, &mut labeling, &script);
-    let v = verify(&tree, &scheme, &labeling, 200, 9);
+    run_script(&mut tree, &mut scheme, &mut labeling, &script).unwrap();
+    let v = verify(&tree, &scheme, &labeling, 200, 9).unwrap();
     assert!(v.is_sound(), "append-only LSDX is collision-free: {v:?}");
 }
 
@@ -76,7 +76,7 @@ fn xpath_answers_identical_across_schemes() {
     impl SchemeVisitor for Collect<'_> {
         fn visit<S: LabelingScheme>(&mut self, scheme: S) {
             let name = scheme.name().to_string();
-            let enc = EncodedDocument::encode(scheme, self.tree);
+            let enc = EncodedDocument::encode(scheme, self.tree).unwrap();
             let res = self
                 .queries
                 .iter()
@@ -120,8 +120,8 @@ fn reconstruction_round_trip_every_scheme() {
     impl SchemeVisitor for RoundTrip<'_> {
         fn visit<S: LabelingScheme>(&mut self, scheme: S) {
             let name = scheme.name();
-            let enc = EncodedDocument::encode(scheme, self.tree);
-            let back = xml_update_props::encoding::reconstruct::reconstruct(&enc);
+            let enc = EncodedDocument::encode(scheme, self.tree).unwrap();
+            let back = xml_update_props::encoding::reconstruct::reconstruct(&enc).unwrap();
             assert_eq!(serialize_compact(&back), self.original, "{name}");
         }
     }
@@ -139,9 +139,9 @@ fn deep_document_all_schemes() {
     impl SchemeVisitor for Deep {
         fn visit<S: LabelingScheme>(&mut self, mut scheme: S) {
             let tree = docs::deep(40);
-            let labeling = scheme.label_tree(&tree);
+            let labeling = scheme.label_tree(&tree).unwrap();
             assert_eq!(labeling.len(), tree.len(), "{}", scheme.name());
-            let v = verify(&tree, &scheme, &labeling, 100, 1);
+            let v = verify(&tree, &scheme, &labeling, 100, 1).unwrap();
             assert!(v.is_sound(), "{}: {v:?}", scheme.name());
         }
     }
@@ -155,8 +155,8 @@ fn wide_document_all_schemes() {
     impl SchemeVisitor for Wide {
         fn visit<S: LabelingScheme>(&mut self, mut scheme: S) {
             let tree = docs::wide(500);
-            let labeling = scheme.label_tree(&tree);
-            let v = verify(&tree, &scheme, &labeling, 200, 2);
+            let labeling = scheme.label_tree(&tree).unwrap();
+            let v = verify(&tree, &scheme, &labeling, 200, 2).unwrap();
             assert!(v.is_sound(), "{}: {v:?}", scheme.name());
         }
     }
@@ -185,7 +185,7 @@ fn subtree_grafting_all_schemes() {
         fn visit<S: LabelingScheme>(&mut self, mut scheme: S) {
             let name = scheme.name();
             let mut tree = docs::book();
-            let mut labeling = scheme.label_tree(&tree);
+            let mut labeling = scheme.label_tree(&tree).unwrap();
             let donor = docs::xmark_like(4, 12);
             let donor_root = donor.document_element().unwrap();
 
@@ -193,20 +193,20 @@ fn subtree_grafting_all_schemes() {
             let book = tree.document_element().unwrap();
             let g1 = clone_into(&donor, donor_root, &mut tree);
             tree.append_child(book, g1).unwrap();
-            graft_subtree(&tree, &mut scheme, &mut labeling, g1);
+            graft_subtree(&tree, &mut scheme, &mut labeling, g1).unwrap();
 
             let first = tree.first_child(book).unwrap();
             let g2 = clone_into(&donor, donor_root, &mut tree);
             tree.insert_before(first, g2).unwrap();
-            graft_subtree(&tree, &mut scheme, &mut labeling, g2);
+            graft_subtree(&tree, &mut scheme, &mut labeling, g2).unwrap();
 
             let second = tree.next_sibling(g2).unwrap();
             let g3 = clone_into(&donor, donor_root, &mut tree);
             tree.insert_after(second, g3).unwrap();
-            graft_subtree(&tree, &mut scheme, &mut labeling, g3);
+            graft_subtree(&tree, &mut scheme, &mut labeling, g3).unwrap();
 
             assert_eq!(labeling.len(), tree.len(), "{name}");
-            let v = verify(&tree, &scheme, &labeling, 250, 17);
+            let v = verify(&tree, &scheme, &labeling, 250, 17).unwrap();
             if name != "LSDX" && name != "Com-D" {
                 assert!(v.is_sound(), "{name} after grafting: {v:?}");
             }

@@ -54,10 +54,10 @@ fn figure2_encoding_table_golden() {
 
 fn labelled_display<S: LabelingScheme>(mut scheme: S) -> (XmlTree, Vec<String>) {
     let (tree, nodes) = figure3_shape();
-    let labeling = scheme.label_tree(&tree);
+    let labeling = scheme.label_tree(&tree).unwrap();
     let shown = nodes
         .iter()
-        .map(|&n| labeling.expect(n).display())
+        .map(|&n| labeling.req(n).unwrap().display())
         .collect();
     (tree, shown)
 }
@@ -92,22 +92,22 @@ fn figure4_ordpath_golden() {
     tree.append_child(root, c1).unwrap();
     tree.append_child(root, c2).unwrap();
     let mut scheme = OrdPath::new();
-    let mut labeling = scheme.label_tree(&tree);
+    let mut labeling = scheme.label_tree(&tree).unwrap();
 
     let right = tree.create(NodeKind::element("right"));
     tree.append_child(root, right).unwrap();
-    scheme.on_insert(&tree, &mut labeling, right);
-    assert_eq!(labeling.expect(right).display(), "1.5", "rightmost + 2");
+    scheme.on_insert(&tree, &mut labeling, right).unwrap();
+    assert_eq!(labeling.req(right).unwrap().display(), "1.5", "rightmost + 2");
 
     let left = tree.create(NodeKind::element("left"));
     tree.prepend_child(root, left).unwrap();
-    scheme.on_insert(&tree, &mut labeling, left);
-    assert_eq!(labeling.expect(left).display(), "1.-1", "leftmost − 2");
+    scheme.on_insert(&tree, &mut labeling, left).unwrap();
+    assert_eq!(labeling.req(left).unwrap().display(), "1.-1", "leftmost − 2");
 
     let mid = tree.create(NodeKind::element("mid"));
     tree.insert_after(c1, mid).unwrap();
-    scheme.on_insert(&tree, &mut labeling, mid);
-    assert_eq!(labeling.expect(mid).display(), "1.2.1", "careting-in");
+    scheme.on_insert(&tree, &mut labeling, mid).unwrap();
+    assert_eq!(labeling.req(mid).unwrap().display(), "1.2.1", "careting-in");
 }
 
 /// F5 — Figure 5: LSDX initial letters and the three grey insertions
@@ -124,16 +124,16 @@ fn figure5_lsdx_golden() {
 
     let mut tree = tree;
     let mut scheme = Lsdx::new();
-    let mut labeling = scheme.label_tree(&tree);
+    let mut labeling = scheme.label_tree(&tree).unwrap();
 
     // before the first grandchild → positional id "ab" (figure: 2ab.ab)
     let first_kid = kids[0];
     let gfirst = tree.first_child(first_kid).unwrap();
     let b = tree.create(NodeKind::element("before"));
     tree.insert_before(gfirst, b).unwrap();
-    scheme.on_insert(&tree, &mut labeling, b);
+    scheme.on_insert(&tree, &mut labeling, b).unwrap();
     assert_eq!(
-        labeling.expect(b).path.own_code().unwrap(),
+        labeling.req(b).unwrap().path.own_code().unwrap(),
         "ab",
         "prefixing an a"
     );
@@ -142,16 +142,16 @@ fn figure5_lsdx_golden() {
     let second = kids[1];
     let a = tree.create(NodeKind::element("after"));
     tree.append_child(second, a).unwrap();
-    scheme.on_insert(&tree, &mut labeling, a);
-    assert_eq!(labeling.expect(a).path.own_code().unwrap(), "c");
+    scheme.on_insert(&tree, &mut labeling, a).unwrap();
+    assert_eq!(labeling.req(a).unwrap().path.own_code().unwrap(), "c");
 
     // between the third kid's first two children → "bb" (figure: 2ad.bb)
     let third = kids[2];
     let tfirst = tree.first_child(third).unwrap();
     let m = tree.create(NodeKind::element("mid"));
     tree.insert_after(tfirst, m).unwrap();
-    scheme.on_insert(&tree, &mut labeling, m);
-    assert_eq!(labeling.expect(m).path.own_code().unwrap(), "bb");
+    scheme.on_insert(&tree, &mut labeling, m).unwrap();
+    assert_eq!(labeling.req(m).unwrap().path.own_code().unwrap(), "bb");
 }
 
 /// F6 — Figure 6: ImprovedBinary initial codes 01 / 0101 / 011 and the
@@ -160,12 +160,12 @@ fn figure5_lsdx_golden() {
 fn figure6_improved_binary_golden() {
     let (tree, _) = figure3_shape();
     let mut scheme = ImprovedBinary::new();
-    let mut labeling = scheme.label_tree(&tree);
+    let mut labeling = scheme.label_tree(&tree).unwrap();
     let root_elem = tree.document_element().unwrap();
     let kids: Vec<NodeId> = tree.children(root_elem).collect();
     let codes: Vec<String> = kids
         .iter()
-        .map(|&k| labeling.expect(k).path.own_code().unwrap().to_string())
+        .map(|&k| labeling.req(k).unwrap().path.own_code().unwrap().to_string())
         .collect();
     assert_eq!(codes, ["01", "0101", "011"]);
 
@@ -175,18 +175,18 @@ fn figure6_improved_binary_golden() {
     let sfirst = tree.first_child(second).unwrap();
     let before = tree.create(NodeKind::element("before"));
     tree.insert_before(sfirst, before).unwrap();
-    scheme.on_insert(&tree, &mut labeling, before);
+    scheme.on_insert(&tree, &mut labeling, before).unwrap();
     assert_eq!(
-        labeling.expect(before).path.own_code().unwrap().to_string(),
+        labeling.req(before).unwrap().path.own_code().unwrap().to_string(),
         "001"
     );
 
     // after last child of the 0101 node → 01 + 1 = 011
     let after = tree.create(NodeKind::element("after"));
     tree.append_child(second, after).unwrap();
-    scheme.on_insert(&tree, &mut labeling, after);
+    scheme.on_insert(&tree, &mut labeling, after).unwrap();
     assert_eq!(
-        labeling.expect(after).path.own_code().unwrap().to_string(),
+        labeling.req(after).unwrap().path.own_code().unwrap().to_string(),
         "011"
     );
 
@@ -195,10 +195,10 @@ fn figure6_improved_binary_golden() {
     let tfirst = tree.first_child(third).unwrap();
     let mid = tree.create(NodeKind::element("mid"));
     tree.insert_after(tfirst, mid).unwrap();
-    scheme.on_insert(&tree, &mut labeling, mid);
-    let mid_code = labeling.expect(mid).path.own_code().unwrap().to_string();
+    scheme.on_insert(&tree, &mut labeling, mid).unwrap();
+    let mid_code = labeling.req(mid).unwrap().path.own_code().unwrap().to_string();
     // strictly between its neighbours, ends in 1 (the scheme invariant)
-    let left_code = labeling.expect(tfirst).path.own_code().unwrap().to_string();
+    let left_code = labeling.req(tfirst).unwrap().path.own_code().unwrap().to_string();
     assert!(left_code < mid_code);
     assert!(mid_code.ends_with('1'));
 }

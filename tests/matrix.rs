@@ -46,7 +46,7 @@ fn declared_matrix_is_the_papers_figure7() {
 /// everything on it.
 #[test]
 fn measured_matrix_agreement_contract() {
-    let report = Figure7Report::new(measure_figure7());
+    let report = Figure7Report::new(measure_figure7().unwrap());
 
     // headline agreement bar
     let (agree, total) = report.agreement();

@@ -92,11 +92,11 @@ macro_rules! scheme_invariant_props {
             fn $test_name(tree in arb_tree(), script in arb_script()) {
                 let mut tree = tree;
                 let mut scheme = $make;
-                let mut labeling = scheme.label_tree(&tree);
-                run_script(&mut tree, &mut scheme, &mut labeling, &script);
+                let mut labeling = scheme.label_tree(&tree).expect("initial labelling");
+                run_script(&mut tree, &mut scheme, &mut labeling, &script).expect("script drives");
                 tree.validate().expect("tree invariants");
                 prop_assert_eq!(labeling.len(), tree.len());
-                let v = verify(&tree, &scheme, &labeling, 120, 7);
+                let v = verify(&tree, &scheme, &labeling, 120, 7).expect("verifiable labelling");
                 prop_assert!(v.is_sound(), "{}: {:?}", scheme.name(), v);
             }
         }
@@ -130,8 +130,9 @@ macro_rules! persistent_props {
             fn $test_name(tree in arb_tree(), script in arb_script()) {
                 let mut tree = tree;
                 let mut scheme = $make;
-                let mut labeling = scheme.label_tree(&tree);
-                let stats = run_script(&mut tree, &mut scheme, &mut labeling, &script);
+                let mut labeling = scheme.label_tree(&tree).expect("initial labelling");
+                let stats = run_script(&mut tree, &mut scheme, &mut labeling, &script)
+                    .expect("script drives");
                 prop_assert_eq!(stats.relabeled, 0, "{} must never relabel", scheme.name());
                 prop_assert_eq!(stats.overflow_events, 0);
             }
@@ -155,12 +156,12 @@ props! {
     fn lsdx_append_only_is_collision_free(tree in arb_tree(), n in ints(1usize..50)) {
         let mut tree = tree;
         let mut scheme = xml_update_props::schemes::prefix::lsdx::Lsdx::new();
-        let mut labeling = scheme.label_tree(&tree);
+        let mut labeling = scheme.label_tree(&tree).expect("initial labelling");
         let script = Script {
             kind: ScriptKind::AppendOnly,
             ops: (0..n).map(ScriptOp::AppendChild).collect(),
         };
-        run_script(&mut tree, &mut scheme, &mut labeling, &script);
+        run_script(&mut tree, &mut scheme, &mut labeling, &script).expect("script drives");
         prop_assert!(labeling.find_duplicate().is_none());
     }
 }
@@ -173,12 +174,12 @@ props! {
     fn deletion_sync(tree in arb_tree(), seeds in vecs(ints(0usize..64), 1, 19)) {
         let mut tree = tree;
         let mut scheme = xml_update_props::schemes::prefix::qed::Qed::new();
-        let mut labeling = scheme.label_tree(&tree);
+        let mut labeling = scheme.label_tree(&tree).expect("initial labelling");
         let script = Script {
             kind: ScriptKind::MixedDelete,
             ops: seeds.into_iter().map(ScriptOp::DeleteSubtree).collect(),
         };
-        run_script(&mut tree, &mut scheme, &mut labeling, &script);
+        run_script(&mut tree, &mut scheme, &mut labeling, &script).expect("script drives");
         // every live node labelled, no label for dead nodes
         prop_assert_eq!(labeling.len(), tree.len());
         for (id, _) in labeling.iter() {
