@@ -13,6 +13,7 @@
 use crate::table::EncodedDocument;
 use std::collections::BTreeMap;
 use xupd_labelcore::LabelingScheme;
+use xupd_xmldom::NodeKind;
 
 /// Element and attribute name index: name → row indices in document
 /// order.
@@ -28,9 +29,15 @@ pub struct NameIndex {
 impl NameIndex {
     /// Build the index over an encoded document in one pass.
     pub fn build<S: LabelingScheme>(doc: &EncodedDocument<S>) -> Self {
+        Self::from_kinds((0..doc.len()).map(|i| &doc.row(i).kind))
+    }
+
+    /// Build the index from per-row node kinds in document order — the
+    /// form [`EncodedDocument::encode`] uses so the table can carry its
+    /// own index.
+    pub fn from_kinds<'a>(kinds: impl Iterator<Item = &'a NodeKind>) -> Self {
         let mut idx = NameIndex::default();
-        for i in 0..doc.len() {
-            let kind = &doc.row(i).kind;
+        for (i, kind) in kinds.enumerate() {
             if let Some(name) = kind.name() {
                 if kind.is_element() {
                     idx.elements.entry(name.to_string()).or_default().push(i);
@@ -52,20 +59,20 @@ impl NameIndex {
         self.attributes.get(name).map_or(&[], Vec::as_slice)
     }
 
-    /// `//name` under a context row: the indexed rows filtered by the
-    /// scheme's ancestor algebra — a point lookup plus label comparisons,
-    /// no table scan.
+    /// `//name` under a context row: the indexed rows intersected with
+    /// the context's pre-order extent range via two binary searches —
+    /// a point lookup plus O(log bucket + answer), no table scan.
     pub fn descendants_named<S: LabelingScheme>(
         &self,
         doc: &EncodedDocument<S>,
         context: usize,
         name: &str,
     ) -> Vec<usize> {
-        self.elements(name)
-            .iter()
-            .copied()
-            .filter(|&i| doc.is_ancestor(context, i))
-            .collect()
+        let bucket = self.elements(name);
+        let range = doc.descendant_range(context);
+        let lo = bucket.partition_point(|&i| i < range.start);
+        let hi = bucket.partition_point(|&i| i < range.end);
+        bucket[lo..hi].to_vec()
     }
 
     /// Number of distinct indexed element names.

@@ -9,14 +9,20 @@
 //!
 //! * [`table`] — [`EncodedDocument`]: the node table (one [`Row`] per
 //!   node: label, kind, parent reference), generic over any
-//!   [`xupd_labelcore::LabelingScheme`]; axis evaluation uses the
-//!   scheme's label algebra where the scheme supports it and falls back
-//!   to the table's parent references where it does not — making the
-//!   paper's point that richer labels shrink the encoding's work;
-//! * [`xpath`] — a parser and evaluator for the XPath subset used by the
-//!   examples and benchmarks (child/descendant/parent/ancestor/sibling/
-//!   following/preceding/attribute axes, name and text tests, positional
-//!   and attribute-value predicates);
+//!   [`xupd_labelcore::LabelingScheme`]; axes run on the [`topology`]
+//!   sidecar (O(1) interval ancestry, CSR children, answer-proportional
+//!   range scans) while the raw label-algebra path survives as the
+//!   `*_via_labels` reference methods the framework checkers and the
+//!   differential property suite exercise;
+//! * [`topology`] — [`Topology`]: the structural sidecar index built at
+//!   encode time (pre-order subtree extents, CSR children arrays, depth
+//!   and parent vectors);
+//! * [`xpath`] — a parser and streaming evaluator for the XPath subset
+//!   used by the examples and benchmarks (child/descendant/parent/
+//!   ancestor/sibling/following/preceding/attribute axes, name and text
+//!   tests, positional and attribute-value predicates); name-test steps
+//!   on the descendant/child axes route through the [`NameIndex`]
+//!   buckets intersected with extent ranges;
 //! * [`reconstruct`] — rebuilds the [`xupd_xmldom::XmlTree`] (and hence
 //!   the textual document) from the table alone;
 //! * [`index`] — a name index accelerating `//name` lookups via the
@@ -28,8 +34,10 @@ pub mod figure2;
 pub mod index;
 pub mod reconstruct;
 pub mod table;
+pub mod topology;
 pub mod xpath;
 
 pub use index::NameIndex;
 pub use table::{EncodedDocument, Row};
+pub use topology::Topology;
 pub use xpath::{parse_xpath, XPathError, XPathExpr};

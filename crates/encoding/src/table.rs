@@ -1,7 +1,18 @@
 //! The node table: an [`EncodedDocument`] is the self-contained encoding
 //! of Definition 2 — once built, neither the original tree nor its node
 //! ids are needed.
+//!
+//! Axis evaluation runs on the [`Topology`] sidecar built at encode
+//! time: ancestry is an O(1) interval test, `child`/sibling axes are CSR
+//! slice walks, and the range axes cost time proportional to their
+//! answers. The raw label-algebra path survives as
+//! [`EncodedDocument::is_ancestor_via_labels`] (plus the `*_via_labels`
+//! reference axes) because the framework checkers measure what the
+//! labelling *scheme* can answer, not what the encoding can — a
+//! differential property suite pins the two paths equivalent.
 
+use crate::index::NameIndex;
+use crate::topology::Topology;
 use std::cmp::Ordering;
 use xupd_labelcore::{Labeling, LabelingScheme, Relation};
 use xupd_xmldom::{NodeId, NodeKind, TreeError, XmlTree};
@@ -26,10 +37,13 @@ pub struct Row<L> {
 pub struct EncodedDocument<S: LabelingScheme> {
     scheme: S,
     rows: Vec<Row<S::Label>>,
+    topo: Topology,
+    index: NameIndex,
 }
 
 impl<S: LabelingScheme> EncodedDocument<S> {
-    /// Label `tree` with `scheme` and extract the node table.
+    /// Label `tree` with `scheme` and extract the node table, building
+    /// the [`Topology`] sidecar and [`NameIndex`] in the same pass.
     ///
     /// Errors propagate scheme-level protocol failures ([`TreeError`]);
     /// encoding a well-formed tree with any in-repo scheme succeeds.
@@ -50,7 +64,15 @@ impl<S: LabelingScheme> EncodedDocument<S> {
                 })
             })
             .collect::<Result<Vec<_>, TreeError>>()?;
-        Ok(EncodedDocument { scheme, rows })
+        let parents: Vec<Option<usize>> = rows.iter().map(|r| r.parent).collect();
+        let topo = Topology::from_parents(&parents)?;
+        let index = NameIndex::from_kinds(rows.iter().map(|r| &r.kind));
+        Ok(EncodedDocument {
+            scheme,
+            rows,
+            topo,
+            index,
+        })
     }
 
     /// Number of rows (= nodes).
@@ -79,10 +101,25 @@ impl<S: LabelingScheme> EncodedDocument<S> {
         &self.scheme
     }
 
+    /// The structural sidecar index built at encode time.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The element/attribute name index built at encode time.
+    pub fn name_index(&self) -> &NameIndex {
+        &self.index
+    }
+
     /// Index of the document root row (always 0 — first in document
     /// order).
     pub fn root(&self) -> usize {
         0
+    }
+
+    /// Depth of row `i` (document root = 0).
+    pub fn depth(&self, i: usize) -> u32 {
+        self.topo.depth(i)
     }
 
     /// Document-order comparison of two rows by their labels.
@@ -91,11 +128,22 @@ impl<S: LabelingScheme> EncodedDocument<S> {
             .cmp_doc(&self.rows[a].label, &self.rows[b].label)
     }
 
-    /// Is row `a` an ancestor of row `b`? Uses the label algebra when the
-    /// scheme supports it; otherwise walks the table's parent references —
-    /// the supplementary information §2.4 says the encoding must carry
-    /// when the labelling scheme does not.
+    /// Is row `a` a strict ancestor of row `b`? O(1) interval
+    /// containment on the pre-order extents.
     pub fn is_ancestor(&self, a: usize, b: usize) -> bool {
+        self.topo.is_ancestor(a, b)
+    }
+
+    /// Ancestry answered the pre-topology way: the scheme's label
+    /// algebra when the scheme supports it, otherwise the table's
+    /// parent-reference chain — the supplementary information §2.4 says
+    /// the encoding must carry when the labelling scheme does not.
+    ///
+    /// Kept as the explicit reference path: the framework checkers
+    /// measure *scheme* capability (Figure 7's XPath column) and the
+    /// differential property suite pins this equal to
+    /// [`is_ancestor`](Self::is_ancestor) for every scheme.
+    pub fn is_ancestor_via_labels(&self, a: usize, b: usize) -> bool {
         if let Some(ans) = self.scheme.relation(
             Relation::AncestorDescendant,
             &self.rows[a].label,
@@ -118,17 +166,36 @@ impl<S: LabelingScheme> EncodedDocument<S> {
         self.rows[i].parent
     }
 
-    /// Children of a row, in document order.
-    pub fn children(&self, i: usize) -> Vec<usize> {
+    /// Children of a row, in document order — a CSR slice, no
+    /// allocation.
+    pub fn children(&self, i: usize) -> &[usize] {
+        self.topo.children(i)
+    }
+
+    /// Children computed by the reference full-table scan (what
+    /// [`children`](Self::children) did before the topology index) —
+    /// kept for differential tests and the scan-vs-index benchmarks.
+    pub fn children_via_scan(&self, i: usize) -> Vec<usize> {
         (0..self.rows.len())
             .filter(|&j| self.rows[j].parent == Some(i))
             .collect()
     }
 
-    /// Strict descendants of a row, in document order.
+    /// Strict descendants of a row, in document order: the contiguous
+    /// extent range, materialized.
     pub fn descendants(&self, i: usize) -> Vec<usize> {
+        self.topo.descendant_range(i).collect()
+    }
+
+    /// Strict descendants as a range — the allocation-free form.
+    pub fn descendant_range(&self, i: usize) -> std::ops::Range<usize> {
+        self.topo.descendant_range(i)
+    }
+
+    /// Descendants computed by the reference label-algebra scan.
+    pub fn descendants_via_labels(&self, i: usize) -> Vec<usize> {
         (0..self.rows.len())
-            .filter(|&j| j != i && self.is_ancestor(i, j))
+            .filter(|&j| j != i && self.is_ancestor_via_labels(i, j))
             .collect()
     }
 
@@ -145,52 +212,73 @@ impl<S: LabelingScheme> EncodedDocument<S> {
     }
 
     /// XPath `following` axis: after `i` in document order, excluding
-    /// descendants.
+    /// descendants — exactly the row suffix past `i`'s extent.
     pub fn following(&self, i: usize) -> Vec<usize> {
+        (self.topo.extent(i)..self.rows.len()).collect()
+    }
+
+    /// `following` computed by the reference label-algebra scan.
+    pub fn following_via_labels(&self, i: usize) -> Vec<usize> {
         (i + 1..self.rows.len())
-            .filter(|&j| !self.is_ancestor(i, j))
+            .filter(|&j| !self.is_ancestor_via_labels(i, j))
             .collect()
     }
 
     /// XPath `preceding` axis: before `i` in document order, excluding
-    /// ancestors.
+    /// ancestors — an O(1) extent test per candidate.
     pub fn preceding(&self, i: usize) -> Vec<usize> {
-        (0..i).filter(|&j| !self.is_ancestor(j, i)).collect()
+        (0..i).filter(|&j| self.topo.extent(j) <= i).collect()
     }
 
-    /// Following siblings of `i`, in document order.
-    pub fn following_siblings(&self, i: usize) -> Vec<usize> {
-        match self.rows[i].parent {
-            None => Vec::new(),
-            Some(p) => (i + 1..self.rows.len())
-                .filter(|&j| self.rows[j].parent == Some(p))
-                .collect(),
+    /// `preceding` computed by the reference label-algebra scan.
+    pub fn preceding_via_labels(&self, i: usize) -> Vec<usize> {
+        (0..i)
+            .filter(|&j| !self.is_ancestor_via_labels(j, i))
+            .collect()
+    }
+
+    /// Following siblings of `i`, in document order: the tail of the
+    /// parent's CSR slice.
+    pub fn following_siblings(&self, i: usize) -> &[usize] {
+        match (self.rows[i].parent, self.topo.child_position(i)) {
+            (Some(p), Some(pos)) => {
+                let sibs = self.topo.children(p);
+                &sibs[pos + 1..]
+            }
+            _ => &[],
         }
     }
 
-    /// Preceding siblings of `i`, in document order.
-    pub fn preceding_siblings(&self, i: usize) -> Vec<usize> {
-        match self.rows[i].parent {
-            None => Vec::new(),
-            Some(p) => (0..i).filter(|&j| self.rows[j].parent == Some(p)).collect(),
+    /// Preceding siblings of `i`, in document order: the head of the
+    /// parent's CSR slice.
+    pub fn preceding_siblings(&self, i: usize) -> &[usize] {
+        match (self.rows[i].parent, self.topo.child_position(i)) {
+            (Some(p), Some(pos)) => {
+                let sibs = self.topo.children(p);
+                &sibs[..pos]
+            }
+            _ => &[],
         }
     }
 
     /// Attribute children of `i`.
     pub fn attributes(&self, i: usize) -> Vec<usize> {
-        self.children(i)
-            .into_iter()
+        self.topo
+            .children(i)
+            .iter()
+            .copied()
             .filter(|&j| self.rows[j].kind.is_attribute())
             .collect()
     }
 
     /// The XPath string value of a row: concatenated descendant text for
-    /// elements, own value for attributes/text/comments/PIs.
+    /// elements, own value for attributes/text/comments/PIs. Walks the
+    /// extent range directly — no descendant set is materialized.
     pub fn string_value(&self, i: usize) -> String {
         match &self.rows[i].kind {
             NodeKind::Document | NodeKind::Element { .. } => {
                 let mut out = String::new();
-                for j in self.descendants(i) {
+                for j in self.topo.descendant_range(i) {
                     if let NodeKind::Text { value } = &self.rows[j].kind {
                         out.push_str(value);
                     }
@@ -201,12 +289,15 @@ impl<S: LabelingScheme> EncodedDocument<S> {
         }
     }
 
-    /// The value of attribute `name` on element row `i`.
-    pub fn attribute_value(&self, i: usize, name: &str) -> Option<String> {
-        self.attributes(i)
-            .into_iter()
-            .find_map(|j| match &self.rows[j].kind {
-                NodeKind::Attribute { name: n, value } if n == name => Some(value.clone()),
+    /// The value of attribute `name` on element row `i` — a borrow into
+    /// the table, probing the CSR children directly (no intermediate
+    /// `Vec`, no cloned `String`).
+    pub fn attribute_value(&self, i: usize, name: &str) -> Option<&str> {
+        self.topo
+            .children(i)
+            .iter()
+            .find_map(|&j| match &self.rows[j].kind {
+                NodeKind::Attribute { name: n, value } if n == name => Some(value.as_str()),
                 _ => None,
             })
     }
@@ -246,16 +337,17 @@ mod tests {
             // children
             let kid_names: Vec<_> = enc
                 .children(i)
-                .into_iter()
-                .map(|j| enc.row(j).kind.name().unwrap_or("").to_string())
+                .iter()
+                .map(|&j| enc.row(j).kind.name().unwrap_or("").to_string())
                 .collect();
             let tree_kids: Vec<_> = tree
                 .children(id)
                 .map(|c| tree.kind(c).name().unwrap_or("").to_string())
                 .collect();
             assert_eq!(kid_names, tree_kids);
-            // descendant count
+            // descendant count and depth
             assert_eq!(enc.descendants(i).len(), tree.subtree_size(id) - 1);
+            assert_eq!(enc.depth(i), tree.depth(id));
             // following/preceding partition
             let f = enc.following(i).len();
             let p = enc.preceding(i).len();
@@ -266,26 +358,41 @@ mod tests {
     }
 
     #[test]
-    fn ancestor_falls_back_to_parent_refs_for_sector() {
-        // Sector answers ancestor from labels; parent-chain fallback is
-        // exercised via... sector supports ancestor, so use string_value
-        // paths instead: encode with Sector and verify axes still work.
+    fn topology_axes_agree_with_label_path_for_sector() {
+        // Sector answers ancestry from labels; the topology must give
+        // byte-identical axes to the label-algebra reference path.
         let tree = figure1_document();
         let enc = EncodedDocument::encode(Sector::new(), &tree).unwrap();
         for i in 0..enc.len() {
-            let via_labels = enc.descendants(i).len();
-            let mut via_parents = 0;
+            assert_eq!(enc.descendants(i), enc.descendants_via_labels(i));
+            assert_eq!(enc.children(i), enc.children_via_scan(i).as_slice());
+            assert_eq!(enc.following(i), enc.following_via_labels(i));
+            assert_eq!(enc.preceding(i), enc.preceding_via_labels(i));
             for j in 0..enc.len() {
-                let mut cur = enc.parent(j);
-                while let Some(p) = cur {
-                    if p == i {
-                        via_parents += 1;
-                        break;
-                    }
-                    cur = enc.parent(p);
+                assert_eq!(enc.is_ancestor(i, j), enc.is_ancestor_via_labels(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn sibling_axes_are_csr_slices() {
+        let tree = figure1_document();
+        let enc = EncodedDocument::encode(DeweyId::new(), &tree).unwrap();
+        for i in 0..enc.len() {
+            let fs = enc.following_siblings(i);
+            let ps = enc.preceding_siblings(i);
+            match enc.parent(i) {
+                None => {
+                    assert!(fs.is_empty());
+                    assert!(ps.is_empty());
+                }
+                Some(p) => {
+                    let mut all = ps.to_vec();
+                    all.push(i);
+                    all.extend_from_slice(fs);
+                    assert_eq!(all, enc.children(p));
                 }
             }
-            assert_eq!(via_labels, via_parents);
         }
     }
 
@@ -298,7 +405,7 @@ mod tests {
             .find(|&i| enc.row(i).kind.name() == Some("title"))
             .unwrap();
         assert_eq!(enc.string_value(title), "Wayfarer");
-        assert_eq!(enc.attribute_value(title, "genre"), Some("Fantasy".into()));
+        assert_eq!(enc.attribute_value(title, "genre"), Some("Fantasy"));
         assert_eq!(enc.attribute_value(title, "nope"), None);
         // whole-document string value concatenates all text
         let all = enc.string_value(enc.root());

@@ -134,7 +134,7 @@ pub fn parse_xpath(input: &str) -> Result<XPathExpr, XPathError> {
         if rest.is_empty() {
             return Err(err("trailing '/'"));
         }
-        let end = rest.find('/').unwrap_or(rest.len());
+        let end = step_end(rest);
         let (raw_step, tail) = rest.split_at(end);
         rest = tail;
         if descendant {
@@ -216,6 +216,54 @@ fn parse_step(raw: &str) -> Result<Step, XPathError> {
     Ok(Step { axis, test, preds })
 }
 
+/// Byte length of the leading location step of `rest`: everything up to
+/// the first `/` that is neither inside a `[...]` predicate nor inside a
+/// quoted predicate value (so `//item[@href="a/b"]/name` splits after
+/// the closing `]`, not inside the URL).
+fn step_end(rest: &str) -> usize {
+    let mut quote: Option<char> = None;
+    let mut depth = 0usize;
+    for (i, c) in rest.char_indices() {
+        match quote {
+            Some(q) => {
+                if c == q {
+                    quote = None;
+                }
+            }
+            None => match c {
+                '"' | '\'' if depth > 0 => quote = Some(c),
+                '[' => depth += 1,
+                ']' => depth = depth.saturating_sub(1),
+                '/' if depth == 0 => return i,
+                _ => {}
+            },
+        }
+    }
+    rest.len()
+}
+
+/// Index of the first unquoted `]` in `s` — a `]` inside a `"..."` or
+/// `'...'` predicate value (e.g. `[@id="a]b"]`) is literal content, not
+/// the predicate terminator.
+fn find_closing_bracket(s: &str) -> Option<usize> {
+    let mut quote: Option<char> = None;
+    for (i, c) in s.char_indices() {
+        match quote {
+            Some(q) => {
+                if c == q {
+                    quote = None;
+                }
+            }
+            None => match c {
+                '"' | '\'' => quote = Some(c),
+                ']' => return Some(i),
+                _ => {}
+            },
+        }
+    }
+    None
+}
+
 fn split_predicates(raw: &str) -> Result<(&str, Vec<String>), XPathError> {
     match raw.find('[') {
         None => Ok((raw, Vec::new())),
@@ -227,7 +275,7 @@ fn split_predicates(raw: &str) -> Result<(&str, Vec<String>), XPathError> {
                 if !rest.starts_with('[') {
                     return Err(err(format!("expected '[' at '{rest}'")));
                 }
-                let close = rest.find(']').ok_or_else(|| err("missing ']'"))?;
+                let close = find_closing_bracket(rest).ok_or_else(|| err("missing ']'"))?;
                 preds.push(rest[1..close].to_string());
                 rest = &rest[close + 1..];
             }
@@ -269,54 +317,181 @@ impl XPathExpr {
     /// document order, duplicates eliminated (§2.2: XPath operators
     /// "eliminate duplicate nodes from their result sequences based on
     /// node identity" and return document order).
+    ///
+    /// The evaluator streams: name-test steps on the `descendant`,
+    /// `descendant-or-self` and `child` axes intersect [`NameIndex`]
+    /// buckets with the context's pre-order extent range via binary
+    /// search instead of enumerating the axis; every axis fills one
+    /// reused scratch buffer per step (no per-context allocation); and
+    /// the per-step `sort`+`dedup` is skipped whenever the contexts
+    /// emitted their candidates in strictly increasing document order —
+    /// the common case for downward axes over disjoint subtrees.
+    ///
+    /// [`NameIndex`]: crate::index::NameIndex
     pub fn evaluate<S: LabelingScheme>(&self, doc: &EncodedDocument<S>) -> Vec<usize> {
+        let topo = doc.topology();
+        let index = doc.name_index();
+        let plan = fuse_steps(&self.steps);
         let mut context: Vec<usize> = vec![doc.root()];
-        for step in &self.steps {
+        let mut scratch: Vec<usize> = Vec::new();
+        for step in plan.iter() {
             let mut next: Vec<usize> = Vec::new();
+            let mut ordered = true;
             for &ctx in &context {
-                let mut candidates: Vec<usize> = match step.axis {
-                    Axis::Child => doc.children(ctx),
-                    Axis::Descendant => doc.descendants(ctx),
-                    Axis::DescendantOrSelf => {
-                        let mut v = vec![ctx];
-                        v.extend(doc.descendants(ctx));
-                        v
+                scratch.clear();
+                let mut pre_tested = false;
+                match (step.axis, &step.test) {
+                    // Indexed fast paths: the bucket holds exactly the
+                    // element rows with this name, in document order.
+                    (Axis::Descendant | Axis::DescendantOrSelf, NodeTest::Name(name)) => {
+                        if step.axis == Axis::DescendantOrSelf
+                            && test_matches(doc, ctx, step.axis, &step.test)
+                        {
+                            scratch.push(ctx);
+                        }
+                        let bucket = index.elements(name);
+                        let range = topo.descendant_range(ctx);
+                        let lo = bucket.partition_point(|&i| i < range.start);
+                        let hi = bucket.partition_point(|&i| i < range.end);
+                        scratch.extend_from_slice(&bucket[lo..hi]);
+                        pre_tested = true;
                     }
-                    Axis::Parent => doc.parent(ctx).into_iter().collect(),
-                    Axis::Ancestor => doc.ancestors(ctx),
-                    Axis::Following => doc.following(ctx),
-                    Axis::Preceding => doc.preceding(ctx),
-                    Axis::FollowingSibling => doc.following_siblings(ctx),
-                    Axis::PrecedingSibling => doc.preceding_siblings(ctx),
-                    Axis::Attribute => doc.attributes(ctx),
-                    Axis::SelfAxis => vec![ctx],
-                };
-                candidates.retain(|&i| test_matches(doc, i, step.axis, &step.test));
+                    (Axis::Child, NodeTest::Name(name)) => {
+                        let bucket = index.elements(name);
+                        let range = topo.descendant_range(ctx);
+                        let lo = bucket.partition_point(|&i| i < range.start);
+                        let hi = bucket.partition_point(|&i| i < range.end);
+                        let kids = topo.children(ctx);
+                        // Walk whichever side is smaller: the name
+                        // bucket restricted to the subtree, or the CSR
+                        // children slice.
+                        if hi - lo <= kids.len() {
+                            scratch.extend(
+                                bucket[lo..hi]
+                                    .iter()
+                                    .copied()
+                                    .filter(|&i| topo.parent(i) == Some(ctx)),
+                            );
+                            pre_tested = true;
+                        } else {
+                            scratch.extend_from_slice(kids);
+                        }
+                    }
+                    _ => match step.axis {
+                        Axis::Child => scratch.extend_from_slice(topo.children(ctx)),
+                        Axis::Descendant => scratch.extend(topo.descendant_range(ctx)),
+                        Axis::DescendantOrSelf => {
+                            scratch.push(ctx);
+                            scratch.extend(topo.descendant_range(ctx));
+                        }
+                        Axis::Parent => scratch.extend(topo.parent(ctx)),
+                        Axis::Ancestor => {
+                            // Root first = ascending row order.
+                            let mut cur = topo.parent(ctx);
+                            while let Some(p) = cur {
+                                scratch.push(p);
+                                cur = topo.parent(p);
+                            }
+                            scratch.reverse();
+                        }
+                        Axis::Following => scratch.extend(topo.extent(ctx)..doc.len()),
+                        Axis::Preceding => {
+                            scratch.extend((0..ctx).filter(|&j| topo.extent(j) <= ctx));
+                        }
+                        Axis::FollowingSibling => {
+                            scratch.extend_from_slice(doc.following_siblings(ctx));
+                        }
+                        Axis::PrecedingSibling => {
+                            scratch.extend_from_slice(doc.preceding_siblings(ctx));
+                        }
+                        Axis::Attribute => {
+                            scratch.extend(
+                                topo.children(ctx)
+                                    .iter()
+                                    .copied()
+                                    .filter(|&j| doc.row(j).kind.is_attribute()),
+                            );
+                        }
+                        Axis::SelfAxis => scratch.push(ctx),
+                    },
+                }
+                if !pre_tested {
+                    scratch.retain(|&i| test_matches(doc, i, step.axis, &step.test));
+                }
                 for pred in &step.preds {
                     match pred {
                         Pred::Position(k) => {
-                            candidates = candidates
-                                .into_iter()
-                                .enumerate()
-                                .filter(|(pos, _)| pos + 1 == *k)
-                                .map(|(_, i)| i)
-                                .collect();
+                            let kept = scratch.get(*k - 1).copied();
+                            scratch.clear();
+                            scratch.extend(kept);
                         }
                         Pred::AttrEq(name, value) => {
-                            candidates.retain(|&i| {
-                                doc.attribute_value(i, name).as_deref() == Some(value)
-                            });
+                            scratch
+                                .retain(|&i| doc.attribute_value(i, name) == Some(value.as_str()));
                         }
                     }
                 }
-                next.extend(candidates);
+                for &c in &scratch {
+                    if ordered {
+                        if let Some(&last) = next.last() {
+                            if c <= last {
+                                ordered = false;
+                            }
+                        }
+                    }
+                    next.push(c);
+                }
             }
-            next.sort_unstable();
-            next.dedup();
+            if !ordered {
+                next.sort_unstable();
+                next.dedup();
+            }
             context = next;
         }
         context
     }
+}
+
+/// Fuse the `//` shorthand's step pair for evaluation: a
+/// `descendant-or-self::node()` step (no predicates) directly followed
+/// by a `child::T` step collapses to `descendant::T` — the classic
+/// XPath identity. A node's parent lies in *subtree-or-self* of some
+/// context `c` exactly when the node lies in the strict subtree of `c`,
+/// so the result set, document order and duplicates all match the
+/// two-step form.
+///
+/// The fusion is skipped when the child step carries a positional
+/// predicate: `[k]` counts within each parent's children, which the
+/// fused form cannot reproduce. Attribute-equality predicates are
+/// per-node and fuse safely. The parsed [`XPathExpr::steps`] are left
+/// untouched — this is an evaluation plan, not a rewrite.
+fn fuse_steps(steps: &[Step]) -> Vec<Step> {
+    let mut plan = Vec::with_capacity(steps.len());
+    let mut i = 0;
+    while i < steps.len() {
+        let s = &steps[i];
+        if s.axis == Axis::DescendantOrSelf
+            && s.test == NodeTest::AnyNode
+            && s.preds.is_empty()
+            && i + 1 < steps.len()
+        {
+            let next = &steps[i + 1];
+            if next.axis == Axis::Child
+                && !next.preds.iter().any(|p| matches!(p, Pred::Position(_)))
+            {
+                plan.push(Step {
+                    axis: Axis::Descendant,
+                    test: next.test.clone(),
+                    preds: next.preds.clone(),
+                });
+                i += 2;
+                continue;
+            }
+        }
+        plan.push(s.clone());
+        i += 1;
+    }
+    plan
 }
 
 fn test_matches<S: LabelingScheme>(
@@ -462,6 +637,58 @@ mod tests {
         for w in r.windows(2) {
             assert!(w[0] < w[1]);
         }
+    }
+
+    #[test]
+    fn bracket_inside_quoted_predicate_value() {
+        // A ']' inside a quoted value is literal content, not the
+        // predicate terminator (regression: it used to truncate the
+        // predicate at 'a').
+        let e = parse_xpath("//item[@id=\"a]b\"]").unwrap();
+        let step = e.steps().last().unwrap();
+        assert_eq!(step.preds, [Pred::AttrEq("id".into(), "a]b".into())]);
+        let e = parse_xpath("//item[@id='x]y']").unwrap();
+        let step = e.steps().last().unwrap();
+        assert_eq!(step.preds, [Pred::AttrEq("id".into(), "x]y".into())]);
+        // unterminated predicate still errors
+        assert!(parse_xpath("//item[@id=\"a]b\"").is_err());
+        assert!(parse_xpath("//item[@id=\"a]").is_err(), "quote never closes");
+    }
+
+    #[test]
+    fn slash_inside_quoted_predicate_value() {
+        // A '/' inside a quoted value or inside a predicate must not
+        // split the step.
+        let e = parse_xpath("//itemref[@href=\"a/b\"]/name").unwrap();
+        let names: Vec<_> = e
+            .steps()
+            .iter()
+            .filter_map(|s| match &s.test {
+                NodeTest::Name(n) => Some(n.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names, ["itemref", "name"]);
+        let step = &e.steps()[e.steps().len() - 2];
+        assert_eq!(step.preds, [Pred::AttrEq("href".into(), "a/b".into())]);
+    }
+
+    #[test]
+    fn quoted_bracket_predicate_evaluates() {
+        // End to end: an attribute value containing ']' is matchable.
+        let mut tree = xupd_xmldom::XmlTree::new();
+        let root = tree.create(xupd_xmldom::NodeKind::element("root"));
+        tree.append_child(tree.root(), root).unwrap();
+        let item = tree.create(xupd_xmldom::NodeKind::element("item"));
+        tree.append_child(root, item).unwrap();
+        let attr = tree.create(xupd_xmldom::NodeKind::attribute("id", "a]b"));
+        tree.append_child(item, attr).unwrap();
+        let doc = EncodedDocument::encode(DeweyId::new(), &tree).unwrap();
+        let r = parse_xpath("//item[@id=\"a]b\"]").unwrap().evaluate(&doc);
+        assert_eq!(r.len(), 1);
+        assert_eq!(doc.row(r[0]).kind.name(), Some("item"));
+        let none = parse_xpath("//item[@id=\"a\"]").unwrap().evaluate(&doc);
+        assert!(none.is_empty());
     }
 
     #[test]

@@ -16,6 +16,18 @@
 //! | Compact Encoding | graded from measured size evidence: `F` ≤ 0.5 bits per skewed insert and bulk mean ≤ 192 bits; `P` ≤ 1 bit/insert; `N` otherwise (see EXPERIMENTS.md for why this column is the hardest to reconstruct) |
 //! | Division Computation | `F` iff the instrumented division counter stays zero |
 //! | Recursive Labelling | `F` iff the instrumented recursion counter stays zero |
+//!
+//! The checkers grade the **raw label algebra** (`scheme.relation`,
+//! `scheme.cmp_doc`, `scheme.level` — see [`crate::verify`]) and never
+//! route through the encoding layer's `Topology` sidecar
+//! (`xupd-encoding`), which answers every structural question in O(1)
+//! regardless of the scheme. Figure 7's *XPath Evaluations* column is a
+//! property of the labels; grading it through the topology index would
+//! make every scheme look `F`. The encoding keeps the label path
+//! available as `EncodedDocument::is_ancestor_via_labels` (and the
+//! `*_via_labels` reference axes), and a differential property suite in
+//! `crates/encoding/tests/topology_props.rs` pins the two paths
+//! equivalent for all twelve schemes.
 
 use crate::driver::{run_script, DriveStats};
 use crate::orthogonal::has_order_code_algebra;

@@ -5,6 +5,13 @@
 //! relation and depth answers derived from labels alone are *correct*.
 //! These verifiers compare a live labelling with the
 //! [`XmlTree`] ground truth.
+//!
+//! Everything here interrogates the scheme's label algebra directly
+//! (`scheme.relation(rel, lx, ly)` over label pairs) — deliberately
+//! *not* the `Topology` sidecar the encoding layer uses to accelerate
+//! queries. The framework measures what the **labels** can answer;
+//! structural indexes would answer everything and mask the difference
+//! Figure 7 exists to show.
 
 use std::cmp::Ordering;
 use xupd_testkit::TestRng;

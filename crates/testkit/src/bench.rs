@@ -7,6 +7,7 @@
 //! commits, per DESIGN.md, not absolute nanoseconds. Iteration counts
 //! can be raised for quieter numbers via `XUPD_BENCH_ITERS`.
 
+use std::cell::OnceCell;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -14,19 +15,42 @@ use std::time::Instant;
 pub use std::hint::black_box;
 
 /// Timing summary of one benchmark case.
+///
+/// The run-order times are sorted **once**, lazily, into a private
+/// cache; every summary statistic (median, p90, min, max) reads that
+/// shared sorted slice instead of re-sorting a clone per accessor.
 #[derive(Debug, Clone)]
 pub struct Sample {
     /// Case name, e.g. `update/random/QED/100`.
     pub name: String,
     /// Per-iteration wall-clock times, nanoseconds, in run order.
-    pub times_ns: Vec<u64>,
+    /// Private so the sorted cache can never go stale.
+    times_ns: Vec<u64>,
+    /// Lazily sorted copy of `times_ns`, shared by all summary stats.
+    sorted: OnceCell<Vec<u64>>,
 }
 
 impl Sample {
-    fn sorted(&self) -> Vec<u64> {
-        let mut t = self.times_ns.clone();
-        t.sort_unstable();
-        t
+    /// A sample from per-iteration times in run order.
+    pub fn new(name: impl Into<String>, times_ns: Vec<u64>) -> Sample {
+        Sample {
+            name: name.into(),
+            times_ns,
+            sorted: OnceCell::new(),
+        }
+    }
+
+    /// Per-iteration wall-clock times, nanoseconds, in run order.
+    pub fn times_ns(&self) -> &[u64] {
+        &self.times_ns
+    }
+
+    fn sorted(&self) -> &[u64] {
+        self.sorted.get_or_init(|| {
+            let mut t = self.times_ns.clone();
+            t.sort_unstable();
+            t
+        })
     }
 
     /// Median iteration time.
@@ -55,12 +79,12 @@ impl Sample {
 
     /// Fastest iteration.
     pub fn min_ns(&self) -> u64 {
-        self.times_ns.iter().copied().min().unwrap_or(0)
+        self.sorted().first().copied().unwrap_or(0)
     }
 
     /// Slowest iteration.
     pub fn max_ns(&self) -> u64 {
-        self.times_ns.iter().copied().max().unwrap_or(0)
+        self.sorted().last().copied().unwrap_or(0)
     }
 
     /// Arithmetic mean iteration time.
@@ -118,10 +142,7 @@ impl Harness {
             black_box(f());
             times.push(start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
         }
-        let sample = Sample {
-            name: name.to_string(),
-            times_ns: times,
-        };
+        let sample = Sample::new(name, times);
         println!(
             "{:<48} median {:>12}  p90 {:>12}",
             sample.name,
@@ -241,10 +262,7 @@ mod tests {
     use super::*;
 
     fn sample(times: &[u64]) -> Sample {
-        Sample {
-            name: "s".into(),
-            times_ns: times.to_vec(),
-        }
+        Sample::new("s", times.to_vec())
     }
 
     #[test]
@@ -259,6 +277,21 @@ mod tests {
         assert_eq!(even.median_ns(), 2);
         let ten = sample(&[10, 20, 30, 40, 50, 60, 70, 80, 90, 100]);
         assert_eq!(ten.p90_ns(), 90);
+    }
+
+    #[test]
+    fn summary_stats_share_one_sorted_slice() {
+        // Regression: each stat used to sort a fresh clone; now the
+        // first accessor sorts once and the rest read the same cache.
+        let s = sample(&[5, 1, 4, 2, 3]);
+        assert!(s.sorted.get().is_none(), "cache starts empty");
+        let _ = s.median_ns();
+        let first = s.sorted.get().map(Vec::as_ptr);
+        assert!(first.is_some(), "first stat populated the cache");
+        let _ = (s.p90_ns(), s.min_ns(), s.max_ns());
+        assert_eq!(s.sorted.get().map(Vec::as_ptr), first, "no re-sort");
+        assert_eq!(s.sorted.get().unwrap(), &[1, 2, 3, 4, 5]);
+        assert_eq!(s.times_ns(), &[5, 1, 4, 2, 3], "run order preserved");
     }
 
     #[test]

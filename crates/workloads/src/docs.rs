@@ -61,6 +61,46 @@ pub fn random_tree(seed: u64, n: usize) -> XmlTree {
     tree
 }
 
+/// A random-shaped tree like [`random_tree`], but element names drawn
+/// from a small repeated tag alphabet (so per-name index buckets hold
+/// many rows), with occasional `id` attributes and text leaves — the
+/// shape the encoding-layer differential property tests want: every
+/// node kind present, non-trivial name buckets, random topology.
+/// Deterministic for a given `seed`.
+pub fn random_tagged_tree(seed: u64, n: usize, tags: &[&str]) -> XmlTree {
+    let mut rng = TestRng::seed_from_u64(seed);
+    let mut tree = XmlTree::new();
+    let root = tree.create(NodeKind::element("root"));
+    tree.append_child(tree.root(), root).expect("root live");
+    let mut elements = vec![root];
+    for i in 1..n {
+        let parent = loop {
+            let idx = if rng.gen_bool(0.5) {
+                elements.len() - 1 - rng.gen_range(0..elements.len().min(8))
+            } else {
+                rng.gen_range(0..elements.len())
+            };
+            let cand = elements[idx];
+            if tree.depth(cand) < 10 {
+                break cand;
+            }
+        };
+        let tag = tags[rng.gen_range(0..tags.len().max(1))];
+        let node = tree.create(NodeKind::element(tag));
+        tree.append_child(parent, node).expect("parent live");
+        if rng.gen_bool(0.3) {
+            let attr = tree.create(NodeKind::attribute("id", format!("n{i}")));
+            tree.append_child(node, attr).expect("node live");
+        }
+        if rng.gen_bool(0.3) {
+            let text = tree.create(NodeKind::text(format!("t{i}")));
+            tree.append_child(node, text).expect("node live");
+        }
+        elements.push(node);
+    }
+    tree
+}
+
 /// An XMark-flavoured auction document: `site` with `regions`, `people`
 /// and `open_auctions` sections, text values and attributes — the
 /// realistic-shape workload the paper's motivation (XML repositories in
@@ -186,6 +226,27 @@ mod tests {
         a.validate().unwrap();
         let c = random_tree(43, 500);
         assert_ne!(sig(&a), sig(&c), "different seeds differ");
+    }
+
+    #[test]
+    fn random_tagged_tree_repeats_tags_and_mixes_kinds() {
+        let tags = ["a", "b", "c"];
+        let t = random_tagged_tree(9, 120, &tags);
+        let u = random_tagged_tree(9, 120, &tags);
+        assert_eq!(t.len(), u.len(), "deterministic");
+        let mut per_tag = [0usize; 3];
+        let (mut attrs, mut texts) = (0usize, 0usize);
+        for n in t.preorder() {
+            let k = t.kind(n);
+            if let Some(pos) = tags.iter().position(|&tag| k.name() == Some(tag)) {
+                per_tag[pos] += 1;
+            }
+            attrs += usize::from(k.is_attribute());
+            texts += usize::from(k.is_text());
+        }
+        assert!(per_tag.iter().all(|&c| c > 5), "buckets non-trivial: {per_tag:?}");
+        assert!(attrs > 5 && texts > 5, "attrs {attrs}, texts {texts}");
+        t.validate().unwrap();
     }
 
     #[test]

@@ -23,4 +23,16 @@ cargo run --release -q -p xupd-lint -- --workspace
 echo "==> figure 7 regeneration (declared + measured matrix)"
 cargo run --release -q -p xupd-bench --bin figure7
 
+echo "==> bench smoke (every bench_* bin, 1 timed iter, throwaway results dir)"
+# Keeps the bench bins from rotting without touching the committed
+# results/BENCH_*.json baselines.
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+for bench_bin in bench_bulk_labeling bench_label_growth bench_query_eval \
+                 bench_update_cost bench_axis_index; do
+  echo "    -> ${bench_bin}"
+  XUPD_BENCH_ITERS=1 XUPD_RESULTS_DIR="$smoke_dir" \
+    cargo run --release -q -p xupd-bench --bin "$bench_bin" > /dev/null
+done
+
 echo "==> ci.sh: all checks passed"
