@@ -24,6 +24,10 @@ use xupd_schemes::prefix::qed::Qed;
 use xupd_testkit::bench::{black_box, Harness};
 use xupd_workloads::docs;
 
+// Count allocation events per bench iteration (reported as
+// `allocs`/`alloc_bytes` in the emitted JSON).
+xupd_testkit::install_counting_allocator!();
+
 const STRIDE: usize = 17;
 
 fn main() {

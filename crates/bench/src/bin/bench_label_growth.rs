@@ -19,6 +19,10 @@ use xupd_schemes::vector::VectorScheme;
 use xupd_testkit::bench::{black_box, Harness};
 use xupd_workloads::{docs, ScriptKind};
 
+// Count allocation events per bench iteration (reported as
+// `allocs`/`alloc_bytes` in the emitted JSON).
+xupd_testkit::install_counting_allocator!();
+
 fn main() {
     let mut h = Harness::new("label_growth");
     let base = docs::wide(50);

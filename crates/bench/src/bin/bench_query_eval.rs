@@ -30,6 +30,10 @@ use xupd_testkit::bench::{black_box, Harness};
 use xupd_workloads::docs;
 use xupd_xmldom::XmlTree;
 
+// Count allocation events per bench iteration (reported as
+// `allocs`/`alloc_bytes` in the emitted JSON).
+xupd_testkit::install_counting_allocator!();
+
 const QUERIES: [&str; 4] = [
     "/site/regions/europe/item",
     "//item/name",

@@ -17,6 +17,10 @@ use xupd_testkit::bench::{black_box, Harness};
 use xupd_workloads::{docs, Script, ScriptKind};
 use xupd_xmldom::XmlTree;
 
+// Count allocation events per bench iteration (reported as
+// `allocs`/`alloc_bytes` in the emitted JSON).
+xupd_testkit::install_counting_allocator!();
+
 struct UpdateBench<'a, 'b> {
     h: &'a mut Harness,
     base: &'b XmlTree,

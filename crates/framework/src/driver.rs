@@ -6,7 +6,7 @@ use xupd_workloads::{Script, ScriptOp};
 use xupd_xmldom::{NodeId, NodeKind, TreeError, XmlTree};
 
 /// Evidence accumulated while driving one script.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DriveStats {
     /// Nodes inserted.
     pub inserts: usize,
@@ -28,6 +28,104 @@ pub struct DriveStats {
 /// How often (in ops) the driver scans label sizes for the peak metric.
 const CHECKPOINT_EVERY: usize = 25;
 
+/// The live element nodes of a tree in document order, maintained
+/// **incrementally** across script ops.
+///
+/// The driver resolves every op index against this pool. Rebuilding it
+/// with a full preorder scan per op made replay O(ops·n); instead, each
+/// insert splices the new leaf next to its document-order predecessor
+/// element, and each delete drains the subtree's contiguous run — both
+/// proportional to the affected suffix, with plain pointer walks and
+/// `u32`-sized bookkeeping instead of a fresh allocation per op.
+struct ElementPool {
+    /// Live elements in document order.
+    order: Vec<NodeId>,
+    /// `NodeId` index → position in `order`. Meaningful only for ids
+    /// currently present in `order` (node ids are never reused).
+    pos: Vec<u32>,
+}
+
+impl ElementPool {
+    /// One full scan at script start — the last one.
+    fn build(tree: &XmlTree) -> Self {
+        let order: Vec<NodeId> = tree
+            .preorder()
+            .filter(|&n| tree.kind(n).is_element())
+            .collect();
+        let mut pos = vec![0u32; tree.id_bound()];
+        for (i, &n) in order.iter().enumerate() {
+            pos[n.index()] = i as u32;
+        }
+        ElementPool { order, pos }
+    }
+
+    fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The op-index addressing rule: modulo the live pool size.
+    fn resolve(&self, i: usize) -> NodeId {
+        self.order[i % self.order.len()]
+    }
+
+    /// The nearest element preceding `node` in document order: a preorder
+    /// predecessor pointer walk (previous sibling's deepest last
+    /// descendant, else parent), skipping non-element nodes.
+    fn prev_element(tree: &XmlTree, node: NodeId) -> Option<NodeId> {
+        let mut cur = node;
+        loop {
+            cur = match tree.prev_sibling(cur) {
+                Some(mut p) => {
+                    while let Some(last) = tree.last_child(p) {
+                        p = last;
+                    }
+                    p
+                }
+                None => tree.parent(cur)?,
+            };
+            if tree.kind(cur).is_element() {
+                return Some(cur);
+            }
+        }
+    }
+
+    /// Register a freshly attached element leaf. Its pool position is one
+    /// past its document-order predecessor element (or 0 when none —
+    /// possible only for a first document element).
+    fn insert_new(&mut self, tree: &XmlTree, node: NodeId) {
+        let at = match Self::prev_element(tree, node) {
+            Some(prev) => self.pos[prev.index()] as usize + 1,
+            None => 0,
+        };
+        self.order.insert(at, node);
+        if self.pos.len() <= node.index() {
+            self.pos.resize(node.index() + 1, 0);
+        }
+        for j in at..self.order.len() {
+            self.pos[self.order[j].index()] = j as u32;
+        }
+    }
+
+    /// Unregister the still-attached subtree rooted at element `node`:
+    /// in the element-filtered preorder its elements form one contiguous
+    /// run starting at `node`'s own position.
+    fn remove_subtree(&mut self, tree: &XmlTree, node: NodeId) {
+        let at = self.pos[node.index()] as usize;
+        let doomed = tree
+            .preorder_from(node)
+            .filter(|&n| tree.kind(n).is_element())
+            .count();
+        self.order.drain(at..at + doomed);
+        for j in at..self.order.len() {
+            self.pos[self.order[j].index()] = j as u32;
+        }
+    }
+}
+
 /// Replay `script` against `scheme`/`labeling`/`tree`.
 ///
 /// Index resolution: each op's index addresses the element pool (live
@@ -45,25 +143,22 @@ pub fn run_script<S: LabelingScheme>(
     let mut stats = DriveStats::default();
     let mut zig: Option<(NodeId, NodeId)> = None;
     let mut zig_step = 0usize;
+    let mut pool = ElementPool::build(tree);
 
     for (op_idx, op) in script.ops.iter().enumerate() {
-        let pool: Vec<NodeId> = tree
-            .preorder()
-            .filter(|&n| tree.kind(n).is_element())
-            .collect();
         if pool.is_empty() {
             break;
         }
-        let resolve = |i: usize| pool[i % pool.len()];
         match *op {
             ScriptOp::InsertBefore(i) => {
-                let target = resolve(i);
+                let target = pool.resolve(i);
                 let node = tree.create(NodeKind::element("u"));
                 if tree.parent(target) == Some(tree.root()) || tree.parent(target).is_none() {
                     tree.prepend_child(target, node)?;
                 } else {
                     tree.insert_before(target, node)?;
                 }
+                pool.insert_new(tree, node);
                 apply_insert(tree, scheme, labeling, node, &mut stats)?;
             }
             ScriptOp::InsertAfter(i) if i == usize::MAX => {
@@ -78,18 +173,21 @@ pub fn run_script<S: LabelingScheme>(
                         (a, b)
                     }
                     _ => {
-                        let base = resolve(pool.len() / 2);
+                        let base = pool.resolve(pool.len() / 2);
                         let c1 = tree.create(NodeKind::element("u"));
                         tree.append_child(base, c1)?;
+                        pool.insert_new(tree, c1);
                         apply_insert(tree, scheme, labeling, c1, &mut stats)?;
                         let c2 = tree.create(NodeKind::element("u"));
                         tree.append_child(base, c2)?;
+                        pool.insert_new(tree, c2);
                         apply_insert(tree, scheme, labeling, c2, &mut stats)?;
                         (c1, c2)
                     }
                 };
                 let node = tree.create(NodeKind::element("u"));
                 tree.insert_after(a, node)?;
+                pool.insert_new(tree, node);
                 apply_insert(tree, scheme, labeling, node, &mut stats)?;
                 zig = Some(if zig_step % 2 == 0 {
                     (a, node)
@@ -99,33 +197,37 @@ pub fn run_script<S: LabelingScheme>(
                 zig_step += 1;
             }
             ScriptOp::InsertAfter(i) => {
-                let target = resolve(i);
+                let target = pool.resolve(i);
                 let node = tree.create(NodeKind::element("u"));
                 if tree.parent(target) == Some(tree.root()) || tree.parent(target).is_none() {
                     tree.append_child(target, node)?;
                 } else {
                     tree.insert_after(target, node)?;
                 }
+                pool.insert_new(tree, node);
                 apply_insert(tree, scheme, labeling, node, &mut stats)?;
             }
             ScriptOp::PrependChild(i) => {
-                let target = resolve(i);
+                let target = pool.resolve(i);
                 let node = tree.create(NodeKind::element("u"));
                 tree.prepend_child(target, node)?;
+                pool.insert_new(tree, node);
                 apply_insert(tree, scheme, labeling, node, &mut stats)?;
             }
             ScriptOp::AppendChild(i) => {
-                let target = resolve(i);
+                let target = pool.resolve(i);
                 let node = tree.create(NodeKind::element("u"));
                 tree.append_child(target, node)?;
+                pool.insert_new(tree, node);
                 apply_insert(tree, scheme, labeling, node, &mut stats)?;
             }
             ScriptOp::DeleteSubtree(i) => {
-                let target = resolve(i);
+                let target = pool.resolve(i);
                 if Some(target) == tree.document_element() || pool.len() <= 2 {
                     continue;
                 }
                 scheme.on_delete(tree, labeling, target);
+                pool.remove_subtree(tree, target);
                 tree.remove_subtree(target)?;
                 stats.deletes += 1;
             }
@@ -153,7 +255,7 @@ pub fn graft_subtree<S: LabelingScheme>(
     root: NodeId,
 ) -> Result<DriveStats, TreeError> {
     let mut stats = DriveStats::default();
-    for node in tree.preorder_from(root).collect::<Vec<_>>() {
+    for node in tree.preorder_from(root) {
         apply_insert(tree, scheme, labeling, node, &mut stats)?;
     }
     stats.peak_label_bits = labeling.max_bits();

@@ -1,0 +1,224 @@
+//! Differential regression test for the incremental element pool.
+//!
+//! The production driver maintains the live-element pool incrementally
+//! across ops. This test replays the same scripts through a reference
+//! driver that recomputes the pool with a full preorder scan before every
+//! op (the pre-optimisation behaviour, kept here as the executable
+//! specification of the op-addressing semantics) and asserts that both
+//! produce identical [`DriveStats`] and identical final labelings for
+//! every Figure 7 scheme.
+
+use std::collections::BTreeMap;
+use xupd_framework::driver::{run_script, DriveStats};
+use xupd_labelcore::{Label, Labeling, LabelingScheme, SchemeVisitor};
+use xupd_schemes::visit_figure7_schemes;
+use xupd_workloads::{docs, Script, ScriptOp};
+use xupd_xmldom::{NodeId, NodeKind, TreeError, XmlTree};
+
+/// The pre-optimisation driver: element pool rebuilt from scratch before
+/// every op. Semantics must match `run_script` exactly.
+fn run_script_reference<S: LabelingScheme>(
+    tree: &mut XmlTree,
+    scheme: &mut S,
+    labeling: &mut Labeling<S::Label>,
+    script: &Script,
+) -> Result<DriveStats, TreeError> {
+    const CHECKPOINT_EVERY: usize = 25;
+    let mut stats = DriveStats::default();
+    let mut zig: Option<(NodeId, NodeId)> = None;
+    let mut zig_step = 0usize;
+
+    let apply_insert = |tree: &XmlTree,
+                            scheme: &mut S,
+                            labeling: &mut Labeling<S::Label>,
+                            node: NodeId,
+                            stats: &mut DriveStats|
+     -> Result<(), TreeError> {
+        let report = scheme.on_insert(tree, labeling, node)?;
+        stats.inserts += 1;
+        stats.relabeled += report.relabeled.len() as u64;
+        if report.overflowed {
+            stats.overflow_events += 1;
+        }
+        Ok(())
+    };
+
+    for (op_idx, op) in script.ops.iter().enumerate() {
+        let pool: Vec<NodeId> = tree
+            // lint:allow(R6): the reference per-op-rebuild driver the incremental pool is differentially tested against
+            .preorder()
+            .filter(|&n| tree.kind(n).is_element())
+            .collect();
+        if pool.is_empty() {
+            break;
+        }
+        let resolve = |i: usize| pool[i % pool.len()];
+        match *op {
+            ScriptOp::InsertBefore(i) => {
+                let target = resolve(i);
+                let node = tree.create(NodeKind::element("u"));
+                if tree.parent(target) == Some(tree.root()) || tree.parent(target).is_none() {
+                    tree.prepend_child(target, node)?;
+                } else {
+                    tree.insert_before(target, node)?;
+                }
+                apply_insert(tree, scheme, labeling, node, &mut stats)?;
+            }
+            ScriptOp::InsertAfter(i) if i == usize::MAX => {
+                let (a, b) = match zig {
+                    Some((a, b))
+                        if tree.is_alive(a)
+                            && tree.is_alive(b)
+                            && tree.next_sibling(a) == Some(b) =>
+                    {
+                        (a, b)
+                    }
+                    _ => {
+                        let base = resolve(pool.len() / 2);
+                        let c1 = tree.create(NodeKind::element("u"));
+                        tree.append_child(base, c1)?;
+                        apply_insert(tree, scheme, labeling, c1, &mut stats)?;
+                        let c2 = tree.create(NodeKind::element("u"));
+                        tree.append_child(base, c2)?;
+                        apply_insert(tree, scheme, labeling, c2, &mut stats)?;
+                        (c1, c2)
+                    }
+                };
+                let node = tree.create(NodeKind::element("u"));
+                tree.insert_after(a, node)?;
+                apply_insert(tree, scheme, labeling, node, &mut stats)?;
+                zig = Some(if zig_step % 2 == 0 { (a, node) } else { (node, b) });
+                zig_step += 1;
+            }
+            ScriptOp::InsertAfter(i) => {
+                let target = resolve(i);
+                let node = tree.create(NodeKind::element("u"));
+                if tree.parent(target) == Some(tree.root()) || tree.parent(target).is_none() {
+                    tree.append_child(target, node)?;
+                } else {
+                    tree.insert_after(target, node)?;
+                }
+                apply_insert(tree, scheme, labeling, node, &mut stats)?;
+            }
+            ScriptOp::PrependChild(i) => {
+                let target = resolve(i);
+                let node = tree.create(NodeKind::element("u"));
+                tree.prepend_child(target, node)?;
+                apply_insert(tree, scheme, labeling, node, &mut stats)?;
+            }
+            ScriptOp::AppendChild(i) => {
+                let target = resolve(i);
+                let node = tree.create(NodeKind::element("u"));
+                tree.append_child(target, node)?;
+                apply_insert(tree, scheme, labeling, node, &mut stats)?;
+            }
+            ScriptOp::DeleteSubtree(i) => {
+                let target = resolve(i);
+                if Some(target) == tree.document_element() || pool.len() <= 2 {
+                    continue;
+                }
+                scheme.on_delete(tree, labeling, target);
+                tree.remove_subtree(target)?;
+                stats.deletes += 1;
+            }
+        }
+        if op_idx % CHECKPOINT_EVERY == 0 {
+            stats.peak_label_bits = stats.peak_label_bits.max(labeling.max_bits());
+        }
+    }
+    stats.peak_label_bits = stats.peak_label_bits.max(labeling.max_bits());
+    stats.end_mean_bits = labeling.mean_bits();
+    stats.end_max_bits = labeling.max_bits();
+    Ok(stats)
+}
+
+/// One run's observable outcome: the drive evidence plus every final
+/// label rendered to its display form (display strings compare across
+/// the two runs without requiring `Clone` label types).
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    stats: DriveStats,
+    labels: Vec<(usize, String)>,
+}
+
+struct Collect {
+    incremental: bool,
+    script: Script,
+    seed: u64,
+    nodes: usize,
+    outcomes: BTreeMap<&'static str, Outcome>,
+}
+
+impl SchemeVisitor for Collect {
+    fn visit<S: LabelingScheme>(&mut self, mut scheme: S) {
+        let mut tree = docs::random_tree(self.seed, self.nodes);
+        let mut labeling = scheme.label_tree(&tree).unwrap();
+        let stats = if self.incremental {
+            run_script(&mut tree, &mut scheme, &mut labeling, &self.script).unwrap()
+        } else {
+            run_script_reference(&mut tree, &mut scheme, &mut labeling, &self.script).unwrap()
+        };
+        let labels = labeling
+            .iter()
+            .map(|(id, l)| (id.index(), l.display()))
+            .collect();
+        self.outcomes.insert(scheme.name(), Outcome { stats, labels });
+    }
+}
+
+fn diff_scripts(kind: xupd_workloads::ScriptKind, ops: usize, seed: u64) {
+    let nodes = 110;
+    let script = Script::generate(kind, ops, nodes, seed);
+    let mut inc = Collect {
+        incremental: true,
+        script: script.clone(),
+        seed,
+        nodes,
+        outcomes: BTreeMap::new(),
+    };
+    visit_figure7_schemes(&mut inc);
+    let mut refr = Collect {
+        incremental: false,
+        script,
+        seed,
+        nodes,
+        outcomes: BTreeMap::new(),
+    };
+    visit_figure7_schemes(&mut refr);
+
+    assert_eq!(inc.outcomes.len(), 12);
+    assert_eq!(refr.outcomes.len(), 12);
+    for (name, reference) in &refr.outcomes {
+        let incremental = &inc.outcomes[name];
+        assert_eq!(
+            incremental.stats, reference.stats,
+            "{name}: drive stats diverged under {kind:?}"
+        );
+        assert_eq!(
+            incremental.labels, reference.labels,
+            "{name}: final labeling diverged under {kind:?}"
+        );
+    }
+}
+
+#[test]
+fn incremental_pool_matches_per_op_rebuild_random() {
+    diff_scripts(xupd_workloads::ScriptKind::Random, 60, 11);
+    diff_scripts(xupd_workloads::ScriptKind::Random, 60, 12);
+}
+
+#[test]
+fn incremental_pool_matches_per_op_rebuild_skewed() {
+    diff_scripts(xupd_workloads::ScriptKind::Skewed, 60, 21);
+}
+
+#[test]
+fn incremental_pool_matches_per_op_rebuild_mixed_delete() {
+    diff_scripts(xupd_workloads::ScriptKind::MixedDelete, 80, 31);
+    diff_scripts(xupd_workloads::ScriptKind::MixedDelete, 80, 32);
+}
+
+#[test]
+fn incremental_pool_matches_per_op_rebuild_zigzag() {
+    diff_scripts(xupd_workloads::ScriptKind::Zigzag, 60, 41);
+}

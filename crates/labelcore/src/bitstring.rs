@@ -13,15 +13,17 @@
 //! * between two siblings: [`middle`], the `AssignMiddleSelfLabel`
 //!   construction.
 
+use crate::smallbuf::SmallBuf;
 use crate::stats::SchemeStats;
 use std::fmt;
 
 /// A binary code: a sequence of bits compared lexicographically
-/// (prefix-smaller). Bits are stored one per byte for clarity; storage
-/// accounting ([`BitString::bit_len`]) is logical.
+/// (prefix-smaller). Bits are stored one per byte for clarity — inline
+/// up to the [`SmallBuf`] capacity, so ordinary labels never touch the
+/// heap; storage accounting ([`BitString::bit_len`]) is logical.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct BitString {
-    bits: Vec<u8>,
+    bits: SmallBuf,
 }
 
 impl BitString {
@@ -36,17 +38,16 @@ impl BitString {
     /// Panics on characters other than `0`/`1` (codes in this codebase are
     /// compile-time constants or algorithm output).
     pub fn from_bits(s: &str) -> Self {
-        BitString {
-            bits: s
-                .chars()
-                .map(|c| match c {
-                    '0' => 0,
-                    '1' => 1,
-                    // lint:allow(R1): documented panic contract; inputs are compile-time constant bit strings
-                    _ => panic!("invalid bit character {c:?}"),
-                })
-                .collect(),
+        let mut bits = SmallBuf::new();
+        for c in s.chars() {
+            bits.push(match c {
+                '0' => 0,
+                '1' => 1,
+                // lint:allow(R1): documented panic contract; inputs are compile-time constant bit strings
+                _ => panic!("invalid bit character {c:?}"),
+            });
         }
+        BitString { bits }
     }
 
     /// Number of bits.
@@ -301,5 +302,21 @@ mod tests {
     #[test]
     fn display_empty_is_epsilon() {
         assert_eq!(BitString::empty().to_string(), "ε");
+    }
+
+    #[test]
+    fn display_is_byte_identical_across_the_inline_spill_boundary() {
+        // Golden renderings pinned across the SmallBuf storage swap: a
+        // 24-bit code stays inline, a 25-bit one spills; both must print
+        // exactly their construction string.
+        let inline24 = "010101010101010101010101";
+        let spilled25 = "0101010101010101010101011";
+        assert_eq!(b(inline24).to_string(), inline24);
+        assert_eq!(b(spilled25).to_string(), spilled25);
+        assert_eq!(format!("{:?}", b("011")), "b\"011\"");
+        // round-trip through the insertion algebra at the boundary
+        let grown = b(inline24).after();
+        assert_eq!(grown.to_string(), format!("{inline24}1"));
+        assert_eq!(grown.bit_len(), 25);
     }
 }

@@ -31,6 +31,10 @@ pub trait Label: Clone + Eq + Ord + Debug {
 #[derive(Debug, Clone)]
 pub struct Labeling<L> {
     slots: Vec<Option<L>>,
+    /// Count of `Some` slots, maintained by `set`/`remove` so `len` and
+    /// `is_empty` (called per checkpoint in the update driver) are O(1)
+    /// instead of a scan over the whole id space.
+    live: usize,
 }
 
 impl<L: Label> Default for Labeling<L> {
@@ -42,14 +46,17 @@ impl<L: Label> Default for Labeling<L> {
 impl<L: Label> Labeling<L> {
     /// An empty labelling.
     pub fn new() -> Self {
-        Labeling { slots: Vec::new() }
+        Labeling {
+            slots: Vec::new(),
+            live: 0,
+        }
     }
 
     /// Pre-size for a tree's id space.
     pub fn with_capacity_for(tree: &XmlTree) -> Self {
         let mut slots = Vec::new();
         slots.resize_with(tree.id_bound(), || None);
-        Labeling { slots }
+        Labeling { slots, live: 0 }
     }
 
     /// The label of `id`, if assigned.
@@ -71,22 +78,30 @@ impl<L: Label> Labeling<L> {
         if self.slots.len() <= id.index() {
             self.slots.resize_with(id.index() + 1, || None);
         }
-        self.slots[id.index()].replace(label)
+        let prev = self.slots[id.index()].replace(label);
+        if prev.is_none() {
+            self.live += 1;
+        }
+        prev
     }
 
     /// Remove the label of `id` (on node deletion).
     pub fn remove(&mut self, id: NodeId) -> Option<L> {
-        self.slots.get_mut(id.index()).and_then(|s| s.take())
+        let prev = self.slots.get_mut(id.index()).and_then(|s| s.take());
+        if prev.is_some() {
+            self.live -= 1;
+        }
+        prev
     }
 
-    /// Number of labelled nodes.
+    /// Number of labelled nodes. O(1).
     pub fn len(&self) -> usize {
-        self.slots.iter().filter(|s| s.is_some()).count()
+        self.live
     }
 
-    /// True when no node is labelled.
+    /// True when no node is labelled. O(1).
     pub fn is_empty(&self) -> bool {
-        self.slots.iter().all(|s| s.is_none())
+        self.live == 0
     }
 
     /// Iterate `(NodeId, &L)` over all labelled nodes in id order.
@@ -192,5 +207,30 @@ mod tests {
         let mut l = l;
         l.set(id, IntLabel(1));
         assert_eq!(l.req(id), Ok(&IntLabel(1)));
+    }
+
+    use xupd_testkit::prop::{ints, vecs, Config};
+    use xupd_testkit::{prop_assert, prop_assert_eq, props};
+
+    props! {
+        config = Config::with_cases(150);
+
+        /// The maintained live count always equals the count a full scan
+        /// of the slot vector would produce, under any interleaving of
+        /// set (fresh), set (replace) and remove.
+        fn len_matches_scanned_count(ops in vecs(ints(0u32..1000), 0, 80)) {
+            let mut l: Labeling<IntLabel> = Labeling::new();
+            for op in ops {
+                let id = NodeId::from_index((op % 16) as usize);
+                if op % 3 == 0 {
+                    l.remove(id);
+                } else {
+                    l.set(id, IntLabel(u64::from(op)));
+                }
+                let scanned = l.iter().count();
+                prop_assert_eq!(l.len(), scanned);
+                prop_assert!(l.is_empty() == (scanned == 0));
+            }
+        }
     }
 }

@@ -27,11 +27,13 @@ pub mod properties;
 pub mod qstorage;
 pub mod quaternary;
 pub mod scheme;
+pub mod smallbuf;
 pub mod stats;
 pub mod varint;
 pub mod vectorcode;
 
 pub use bitstring::BitString;
+pub use smallbuf::{SmallBuf, SmallVec};
 pub use label::{Label, Labeling};
 pub use properties::{Compliance, EncodingRep, OrderKind, Property, SchemeDescriptor};
 pub use quaternary::QCode;

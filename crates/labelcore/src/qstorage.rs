@@ -19,11 +19,13 @@
 //! caller must handle by relabelling).
 
 use crate::quaternary::QCode;
+use crate::smallbuf::SmallBuf;
 
-/// A packed bitstream of 2-bit symbols.
+/// A packed bitstream of 2-bit symbols. Short streams (≤ 96 symbols)
+/// stay inline in a [`SmallBuf`]; longer ones spill to the heap.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SymbolStream {
-    bytes: Vec<u8>,
+    bytes: SmallBuf,
     symbols: usize,
 }
 
@@ -80,20 +82,19 @@ pub fn pack_separated(codes: &[QCode]) -> SymbolStream {
 /// malformed stream (trailing unterminated code).
 pub fn unpack_separated(stream: &SymbolStream) -> Option<Vec<QCode>> {
     let mut out = Vec::new();
-    let mut digits = String::new();
+    let mut cur = QCode::empty();
     for i in 0..stream.len_symbols() {
         match stream.symbol(i) {
             0 => {
-                if digits.is_empty() {
+                if cur.is_empty() {
                     return None; // empty code: malformed
                 }
-                out.push(QCode::from_digits(&digits));
-                digits.clear();
+                out.push(std::mem::take(&mut cur));
             }
-            d => digits.push_str(&d.to_string()),
+            d => cur.push(d),
         }
     }
-    if digits.is_empty() {
+    if cur.is_empty() {
         Some(out)
     } else {
         None
@@ -146,17 +147,17 @@ pub fn unpack_fixed_cells(stream: &SymbolStream, cell_symbols: usize) -> Option<
     }
     let mut out = Vec::new();
     for cell in 0..stream.len_symbols() / cell_symbols {
-        let mut digits = String::new();
+        let mut code = QCode::empty();
         for i in 0..cell_symbols {
             match stream.symbol(cell * cell_symbols + i) {
                 0 => break,
-                d => digits.push_str(&d.to_string()),
+                d => code.push(d),
             }
         }
-        if digits.is_empty() {
+        if code.is_empty() {
             return None;
         }
-        out.push(QCode::from_digits(&digits));
+        out.push(code);
     }
     Some(out)
 }
@@ -236,6 +237,28 @@ mod tests {
         let stream = pack_fixed_cells(&codes, 4).unwrap();
         assert_eq!(unpack_fixed_cells(&stream, 3), None, "wrong cell size");
         assert_eq!(unpack_fixed_cells(&stream, 0), None);
+    }
+
+    #[test]
+    fn packed_bytes_golden_across_inline_spill_boundary() {
+        // Golden byte layout pinned across the SmallBuf storage swap:
+        // codes 2, 12 pack as symbols [2,0,1,2,0] → 10 00 01 10 | 00…
+        let stream = pack_separated(&[q("2"), q("12")]);
+        assert_eq!(stream.as_bytes(), &[0b10_00_01_10, 0b00_00_00_00]);
+        assert_eq!(stream.len_symbols(), 5);
+        // an inline stream (≤ 96 symbols / 24 bytes) and a spilled one
+        // behave identically: same prefix bytes, same unpacking
+        let short = bulk_qed(10, &mut SchemeStats::default());
+        let long = bulk_qed(200, &mut SchemeStats::default());
+        let (s1, s2) = (pack_separated(&short), pack_separated(&long));
+        assert!(s2.len_bits() > 96 * 2, "long stream crossed the boundary");
+        assert_eq!(
+            s2.as_bytes()[..4],
+            pack_separated(&long[..10.min(long.len())]).as_bytes()[..4],
+            "packing is position-independent of later spill"
+        );
+        assert_eq!(unpack_separated(&s1).unwrap(), short);
+        assert_eq!(unpack_separated(&s2).unwrap(), long);
     }
 
     #[test]

@@ -13,14 +13,16 @@
 //! codes ending in `1` would create un-splittable gaps (there is no code
 //! strictly between `x` and `x⧺1`).
 
+use crate::smallbuf::SmallBuf;
 use crate::stats::SchemeStats;
 use std::fmt;
 
 /// A quaternary code over `{1,2,3}`, lexicographically ordered
-/// (prefix-smaller).
+/// (prefix-smaller). Digits live inline (one byte each) up to the
+/// [`SmallBuf`] capacity, so ordinary QED/CDQS codes never allocate.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct QCode {
-    digits: Vec<u8>,
+    digits: SmallBuf,
 }
 
 impl QCode {
@@ -35,18 +37,17 @@ impl QCode {
     /// # Panics
     /// Panics on other characters.
     pub fn from_digits(s: &str) -> Self {
-        QCode {
-            digits: s
-                .chars()
-                .map(|c| match c {
-                    '1' => 1,
-                    '2' => 2,
-                    '3' => 3,
-                    // lint:allow(R1): documented panic contract; inputs are compile-time constant digit strings
-                    _ => panic!("invalid quaternary digit {c:?}"),
-                })
-                .collect(),
+        let mut digits = SmallBuf::new();
+        for c in s.chars() {
+            digits.push(match c {
+                '1' => 1,
+                '2' => 2,
+                '3' => 3,
+                // lint:allow(R1): documented panic contract; inputs are compile-time constant digit strings
+                _ => panic!("invalid quaternary digit {c:?}"),
+            });
         }
+        QCode { digits }
     }
 
     /// Number of quaternary symbols.
@@ -81,7 +82,7 @@ impl QCode {
             && other.digits[..self.digits.len()] == self.digits[..]
     }
 
-    fn push(&mut self, d: u8) {
+    pub(crate) fn push(&mut self, d: u8) {
         debug_assert!((1..=3).contains(&d));
         self.digits.push(d);
     }
@@ -376,7 +377,10 @@ fn code_of_rank(rank: u128, len: usize) -> QCode {
     // First len-1 digits range over {1,2,3} (base 3), last digit over
     // {2,3} (base 2); lexicographic order of the tuple equals ranked
     // mixed-radix order.
-    let mut digits = vec![0u8; len];
+    let mut digits = SmallBuf::new();
+    for _ in 0..len {
+        digits.push(0);
+    }
     let mut r = rank;
     // last digit
     let last = (r % 2) as u8 + 2;

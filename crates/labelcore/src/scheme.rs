@@ -98,8 +98,7 @@ pub trait LabelingScheme {
     /// Remove labels for `node` and its entire subtree, which is about to
     /// be deleted from `tree` (still attached when called).
     fn on_delete(&mut self, tree: &XmlTree, labeling: &mut Labeling<Self::Label>, node: NodeId) {
-        let doomed: Vec<NodeId> = tree.preorder_from(node).collect();
-        for d in doomed {
+        for d in tree.preorder_from(node) {
             labeling.remove(d);
         }
     }
@@ -216,19 +215,42 @@ mod tests {
             labeling: &mut Labeling<Pos>,
             node: NodeId,
         ) -> Result<InsertReport, TreeError> {
-            // Position strictly between document-order neighbours.
-            let order = tree.ids_in_doc_order();
-            let idx = order
-                .iter()
-                .position(|&n| n == node)
-                .ok_or(TreeError::DanglingNodeId(node))?;
-            let before = if idx == 0 {
-                None
-            } else {
-                Some(labeling.req(order[idx - 1])?.0)
+            // Position strictly between document-order neighbours, found
+            // by local pointer walks (no full ids_in_doc_order
+            // materialisation per insert): the preorder predecessor is
+            // the previous sibling's deepest last descendant (or the
+            // parent), the successor is the first child or the nearest
+            // ancestor-or-self's next sibling.
+            if !tree.is_alive(node) {
+                return Err(TreeError::DanglingNodeId(node));
+            }
+            let doc_prev = match tree.prev_sibling(node) {
+                Some(mut p) => {
+                    while let Some(last) = tree.last_child(p) {
+                        p = last;
+                    }
+                    Some(p)
+                }
+                None => tree.parent(node),
             };
-            let after = match order.get(idx + 1) {
-                Some(&n) => Some(labeling.req(n)?.0),
+            let doc_next = tree.first_child(node).or_else(|| {
+                let mut cur = node;
+                loop {
+                    if let Some(sib) = tree.next_sibling(cur) {
+                        break Some(sib);
+                    }
+                    match tree.parent(cur) {
+                        Some(p) => cur = p,
+                        None => break None,
+                    }
+                }
+            });
+            let before = match doc_prev {
+                Some(n) => Some(labeling.req(n)?.0),
+                None => None,
+            };
+            let after = match doc_next {
+                Some(n) => Some(labeling.req(n)?.0),
                 None => None,
             };
             self.stats.divisions += 1;

@@ -40,9 +40,11 @@ pub fn encoded_len(v: u64) -> u32 {
     bits.div_ceil(7)
 }
 
-/// Encode `v` with the extension schedule (LEB128). Used by the storage
-/// model; decodability is what matters for the self-delimiting claim.
-pub fn encode(v: u64, out: &mut Vec<u8>) {
+/// Encode `v` with the extension schedule (LEB128) into a [`SmallBuf`]
+/// (any u64 needs ≤ 10 bytes, so encoding alone never spills). Used by
+/// the storage model; decodability is what matters for the
+/// self-delimiting claim.
+pub fn encode(v: u64, out: &mut crate::smallbuf::SmallBuf) {
     let mut v = v;
     loop {
         let byte = (v & 0x7F) as u8;
@@ -74,6 +76,7 @@ pub fn decode(input: &[u8]) -> Option<(u64, usize)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::smallbuf::SmallBuf;
 
     #[test]
     fn utf8_schedule_boundaries() {
@@ -118,7 +121,7 @@ mod tests {
             1 << 21,
             u64::MAX,
         ] {
-            let mut buf = Vec::new();
+            let mut buf = SmallBuf::new();
             encode(v, &mut buf);
             let (back, used) = decode(&buf).unwrap();
             assert_eq!(back, v);
@@ -128,7 +131,7 @@ mod tests {
 
     #[test]
     fn decode_rejects_truncated() {
-        let mut buf = Vec::new();
+        let mut buf = SmallBuf::new();
         encode(u64::MAX, &mut buf);
         buf.pop();
         assert!(decode(&buf).is_none());
@@ -137,7 +140,7 @@ mod tests {
 
     #[test]
     fn decode_is_self_delimiting_in_a_stream() {
-        let mut buf = Vec::new();
+        let mut buf = SmallBuf::new();
         encode(5, &mut buf);
         encode(1 << 30, &mut buf);
         encode(0, &mut buf);

@@ -23,7 +23,10 @@ use std::cmp::Ordering;
 use std::fmt;
 
 /// A vector order code `(x, y)` compared by gradient `y/x`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// `Default` is `(0, 0)` — never a meaningful code; it exists so vector
+/// paths can live in [`crate::SmallVec`] inline storage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub struct VectorCode {
     /// Denominator component.
     pub x: u64,

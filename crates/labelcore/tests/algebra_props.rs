@@ -163,7 +163,7 @@ props! {
 
 props! {
     fn varint_round_trip(v in any_u64()) {
-        let mut buf = Vec::new();
+        let mut buf = xupd_labelcore::SmallBuf::new();
         varint::encode(v, &mut buf);
         let (back, used) = varint::decode(&buf).expect("well-formed");
         prop_assert_eq!(back, v);
@@ -173,7 +173,7 @@ props! {
     }
 
     fn varint_streams_self_delimit(vs in vecs(any_u64(), 1, 19)) {
-        let mut buf = Vec::new();
+        let mut buf = xupd_labelcore::SmallBuf::new();
         for &v in &vs {
             varint::encode(v, &mut buf);
         }

@@ -8,6 +8,7 @@
 //! | R3 | no-ambient-entropy         | no `Instant::now`/`SystemTime`/`thread_rng`-style ambient clocks or RNGs outside `testkit::bench` |
 //! | R4 | scheme-completeness        | no `todo!`/`unimplemented!` inside a `LabelingScheme` impl in `xupd-schemes` |
 //! | R5 | forbid-unsafe              | no `unsafe` anywhere in the workspace |
+//! | R6 | no-per-op-preorder-rebuild | no `.preorder()` full-tree scan inside a per-op replay loop (a `for` loop whose header mentions `ops`) — rebuildable state must be maintained incrementally |
 
 use crate::lexer::{scan, Suppression, TokKind, Token};
 
@@ -30,7 +31,7 @@ pub const R2_CRATES: &[&str] = &[
 ];
 
 /// All rule ids, in report order.
-pub const ALL_RULES: &[&str] = &["R1", "R2", "R3", "R4", "R5"];
+pub const ALL_RULES: &[&str] = &["R1", "R2", "R3", "R4", "R5", "R6"];
 
 /// Human name for a rule id.
 pub fn rule_name(id: &str) -> &'static str {
@@ -40,6 +41,7 @@ pub fn rule_name(id: &str) -> &'static str {
         "R3" => "no-ambient-entropy",
         "R4" => "scheme-completeness",
         "R5" => "forbid-unsafe",
+        "R6" => "no-per-op-preorder-rebuild",
         _ => "unknown-rule",
     }
 }
@@ -119,6 +121,7 @@ pub fn check_source(src: &str, ctx: &FileCtx) -> (Vec<Finding>, Vec<Suppression>
     let toks = &scanned.tokens;
     let in_cfg_test = cfg_test_mask(toks, src);
     let in_scheme_impl = labeling_scheme_impl_mask(toks, src);
+    let in_ops_loop = for_ops_loop_mask(toks, src);
 
     let mut findings: Vec<Finding> = Vec::new();
     let r1_applies =
@@ -127,6 +130,9 @@ pub fn check_source(src: &str, ctx: &FileCtx) -> (Vec<Finding>, Vec<Suppression>
         !ctx.is_test_code && R2_CRATES.iter().any(|c| *c == ctx.crate_name.as_str());
     let r3_applies = !ctx.is_bench_harness;
     let r4_applies = ctx.crate_name == "schemes";
+    // R6 applies to test code too (differential/reference drivers live in
+    // tests/ and must opt out explicitly via lint:allow).
+    let r6_applies = R2_CRATES.iter().any(|c| *c == ctx.crate_name.as_str());
 
     for (i, t) in toks.iter().enumerate() {
         if t.kind != TokKind::Ident {
@@ -202,6 +208,27 @@ pub fn check_source(src: &str, ctx: &FileCtx) -> (Vec<Finding>, Vec<Suppression>
         // R5 — unsafe, everywhere, no exemptions for test code.
         if text == "unsafe" {
             push(&mut findings, "R5", ctx, t, "unsafe block or fn".to_string());
+        }
+
+        // R6 — full-tree `.preorder()` rebuild inside a per-op replay
+        // loop. `.preorder_from(subtree)` is a different ident and stays
+        // legal: subtree-proportional work is what delete paths need.
+        if r6_applies
+            && in_ops_loop[i]
+            && text == "preorder"
+            && i > 0
+            && toks[i - 1].kind == TokKind::Punct
+            && toks[i - 1].text(src) == "."
+            && next_is(toks, src, i, "(")
+        {
+            push(
+                &mut findings,
+                "R6",
+                ctx,
+                t,
+                ".preorder() full-tree scan inside a per-op loop; maintain the state incrementally"
+                    .to_string(),
+            );
         }
     }
 
@@ -345,6 +372,40 @@ fn match_close(toks: &[Token], src: &str, open_idx: usize, open: &str, close: &s
     toks.len().saturating_sub(1)
 }
 
+/// Mask of tokens inside the body of any `for` loop whose header (the
+/// tokens between `for` and the body `{`) mentions the ident `ops` —
+/// the driver-style per-op replay shape (`for (i, op) in script.ops...`).
+fn for_ops_loop_mask(toks: &[Token], src: &str) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Ident && toks[i].text(src) == "for" {
+            let mut saw_ops = false;
+            let mut j = i + 1;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.kind == TokKind::Punct && t.text(src) == "{" {
+                    break;
+                }
+                if t.kind == TokKind::Ident && t.text(src) == "ops" {
+                    saw_ops = true;
+                }
+                j += 1;
+            }
+            if saw_ops && j < toks.len() {
+                let end = match_close(toks, src, j, "{", "}");
+                for m in mask.iter_mut().take(end + 1).skip(j) {
+                    *m = true;
+                }
+                // do not jump past `end`: nested for-ops loops inside the
+                // body would be re-masked identically anyway
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
 /// Mask of tokens inside `impl ... LabelingScheme for ... { ... }` bodies.
 fn labeling_scheme_impl_mask(toks: &[Token], src: &str) -> Vec<bool> {
     let mut mask = vec![false; toks.len()];
@@ -483,6 +544,43 @@ mod tests {
                 .count(),
             1
         );
+    }
+
+    #[test]
+    fn r6_flags_preorder_rebuild_in_per_op_loops() {
+        let src = r#"
+            fn run(tree: &XmlTree, script: &Script) {
+                for (i, op) in script.ops.iter().enumerate() {
+                    let pool: Vec<NodeId> = tree.preorder().collect();
+                }
+            }
+        "#;
+        let f = unsuppressed(src, "crates/framework/src/driver.rs");
+        assert_eq!(f.iter().filter(|f| f.rule == "R6").count(), 1, "{f:?}");
+        // applies to test code too — reference drivers must opt out
+        let f = unsuppressed(src, "crates/framework/tests/t.rs");
+        assert_eq!(f.iter().filter(|f| f.rule == "R6").count(), 1);
+        // but not outside the R2 crate set
+        assert!(unsuppressed(src, "crates/testkit/src/x.rs").is_empty());
+    }
+
+    #[test]
+    fn r6_leaves_legitimate_traversals_alone() {
+        // preorder_from is subtree-proportional: legal in delete paths
+        let sub = r#"
+            fn run(script: &Script) {
+                for op in script.ops.iter() {
+                    for d in tree.preorder_from(node) { remove(d); }
+                }
+            }
+        "#;
+        assert!(unsuppressed(sub, "crates/framework/src/driver.rs").is_empty());
+        // a .preorder() outside any per-op loop is fine (one-time build)
+        let build = "fn build(tree: &XmlTree) { let v: Vec<_> = tree.preorder().collect(); }";
+        assert!(unsuppressed(build, "crates/framework/src/driver.rs").is_empty());
+        // a for loop without `ops` in its header is not a replay loop
+        let other = "fn f() { for x in items { let v: Vec<_> = tree.preorder().collect(); } }";
+        assert!(unsuppressed(other, "crates/framework/src/driver.rs").is_empty());
     }
 
     #[test]

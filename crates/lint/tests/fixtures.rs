@@ -183,6 +183,44 @@ fn r5_clean() {
     assert!(unsuppressed(src, TEST_PATH).is_empty());
 }
 
+// ---------------------------------------------------------------- R6
+
+/// A framework path: R6 applies even under tests/ (reference replay
+/// drivers must opt out explicitly).
+const DRIVER_TEST_PATH: &str = "crates/framework/tests/fixture.rs";
+
+#[test]
+fn r6_positive_preorder_rebuild_in_per_op_loop() {
+    let src = "fn run(script: &Script) {\n    for op in script.ops.iter() {\n        let pool: Vec<NodeId> = tree.preorder().collect();\n    }\n}";
+    for path in ["crates/framework/src/driver.rs", DRIVER_TEST_PATH] {
+        let f = unsuppressed(src, path);
+        assert_eq!(f.len(), 1, "{path}: {f:?}");
+        assert_eq!(f[0].rule, "R6");
+    }
+}
+
+#[test]
+fn r6_suppressed() {
+    let src = "fn run(script: &Script) {\n    for op in script.ops.iter() {\n        // lint:allow(R6): reference driver kept for differential testing\n        let pool: Vec<NodeId> = tree.preorder().collect();\n    }\n}";
+    let (findings, unused) = check_source(src, &FileCtx::classify(DRIVER_TEST_PATH));
+    assert_eq!(findings.len(), 1);
+    assert!(!findings[0].is_unsuppressed());
+    assert!(unused.is_empty());
+}
+
+#[test]
+fn r6_clean() {
+    // subtree-proportional traversal inside the loop is legal
+    let sub = "fn run(script: &Script) {\n    for op in script.ops.iter() {\n        for d in tree.preorder_from(node) { labeling.remove(d); }\n    }\n}";
+    assert!(unsuppressed(sub, DRIVER_TEST_PATH).is_empty());
+    // one-time pool build outside any per-op loop is legal
+    let build = "fn build(tree: &XmlTree) { let v: Vec<_> = tree.preorder().collect(); }";
+    assert!(unsuppressed(build, "crates/framework/src/driver.rs").is_empty());
+    // outside the R2 crate set the rule does not apply at all
+    let src = "fn run(script: &Script) {\n    for op in script.ops.iter() {\n        let pool: Vec<NodeId> = tree.preorder().collect();\n    }\n}";
+    assert!(unsuppressed(src, "crates/testkit/src/x.rs").is_empty());
+}
+
 // -------------------------------------------------- stale suppressions
 
 #[test]

@@ -119,7 +119,7 @@ impl LabelingScheme for XPathAccelerator {
     }
 
     fn on_delete(&mut self, tree: &XmlTree, labeling: &mut Labeling<PrePostLabel>, node: NodeId) {
-        for d in tree.preorder_from(node).collect::<Vec<_>>() {
+        for d in tree.preorder_from(node) {
             labeling.remove(d);
         }
         // Deletions also shift global ranks; the scheme relabels

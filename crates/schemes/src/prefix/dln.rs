@@ -12,22 +12,35 @@
 
 use super::path::{CodeOutcome, PrefixScheme, SiblingAlgebra};
 use std::fmt;
-use xupd_labelcore::{EncodingRep, OrderKind, SchemeDescriptor, SchemeStats};
+use xupd_labelcore::{EncodingRep, OrderKind, SchemeDescriptor, SchemeStats, SmallVec};
 
 /// Width of one sub-id in bits (fixed-length encoding). Sub-ids run
 /// 1..=2^W − 1; 0 is reserved so an absent sublevel compares below every
 /// present one.
 const SUB_ID_BITS: u32 = 8;
 
+/// Sub-id chain storage: chains of up to 6 sublevels stay inline, so
+/// cloning a typical code during renumbering never allocates.
+type DlnSubs = SmallVec<u32, 6>;
+
 /// One DLN component: a chain of fixed-width sub-ids, e.g. `2/1`.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DlnCode {
-    subs: Vec<u32>,
+    subs: DlnSubs,
 }
 
 impl DlnCode {
     fn single(v: u32) -> Self {
-        DlnCode { subs: vec![v] }
+        DlnCode {
+            subs: DlnSubs::from_slice(&[v]),
+        }
+    }
+
+    #[cfg(test)]
+    fn chain(subs: &[u32]) -> Self {
+        DlnCode {
+            subs: DlnSubs::from_slice(subs),
+        }
     }
 
     /// The sub-id chain.
@@ -116,7 +129,7 @@ impl SiblingAlgebra for DlnAlgebra {
             } else {
                 // max, max/1, max/2, ..., max/max, max/max/1, ...
                 let mut rem = i - max;
-                let mut subs = vec![self.max_sub_id];
+                let mut subs = DlnSubs::from_slice(&[self.max_sub_id]);
                 while rem > max {
                     subs.push(self.max_sub_id);
                     rem -= max;
@@ -221,18 +234,18 @@ mod tests {
         // between 2 and 3 → 2/1
         assert_eq!(
             a.mid(&DlnCode::single(2), &DlnCode::single(3)).unwrap(),
-            DlnCode { subs: vec![2, 1] }
+            DlnCode::chain(&[2, 1])
         );
         // between 2 and 2/1 → dead end (no room at this width)
         assert_eq!(
-            a.mid(&DlnCode::single(2), &DlnCode { subs: vec![2, 1] }),
+            a.mid(&DlnCode::single(2), &DlnCode::chain(&[2, 1])),
             None
         );
         // between 2/1 and 3 → 2/2
         assert_eq!(
-            a.mid(&DlnCode { subs: vec![2, 1] }, &DlnCode::single(3))
+            a.mid(&DlnCode::chain(&[2, 1]), &DlnCode::single(3))
                 .unwrap(),
-            DlnCode { subs: vec![2, 2] }
+            DlnCode::chain(&[2, 2])
         );
     }
 

@@ -134,9 +134,12 @@ impl<C: Clone> PathLabel<C> {
         }
     }
 
-    /// This path extended by one child code.
+    /// This path extended by one child code. Allocates the child path at
+    /// its exact final length so the clone-then-push pattern never pays a
+    /// second (doubling) allocation.
     pub fn child(&self, code: C) -> Self {
-        let mut components = self.components.clone();
+        let mut components = Vec::with_capacity(self.components.len() + 1);
+        components.extend_from_slice(&self.components);
         components.push(code);
         PathLabel { components }
     }
@@ -234,13 +237,13 @@ impl<A: SiblingAlgebra> PrefixScheme<A> {
         parent_path: &PathLabel<A::Code>,
         labeling: &mut Labeling<AlgPath<A>>,
     ) {
-        let children: Vec<NodeId> = tree.children(parent).collect();
-        if children.is_empty() {
+        let n = tree.children(parent).count();
+        if n == 0 {
             return;
         }
-        let codes = self.algebra.bulk(children.len(), &mut self.stats);
-        debug_assert_eq!(codes.len(), children.len());
-        for (child, code) in children.into_iter().zip(codes) {
+        let codes = self.algebra.bulk(n, &mut self.stats);
+        debug_assert_eq!(codes.len(), n);
+        for (child, code) in tree.children(parent).zip(codes) {
             let path = parent_path.child(code);
             labeling.set(child, AlgPath { path: path.clone() });
             self.label_children(tree, child, &path, labeling);
@@ -272,8 +275,7 @@ impl<A: SiblingAlgebra> PrefixScheme<A> {
                 },
             );
         }
-        let children: Vec<NodeId> = tree.children(node).collect();
-        for child in children {
+        for child in tree.children(node) {
             // an unlabelled child is part of a graft batch still being
             // inserted — it will receive its label in its own turn
             let Some(own) = labeling.get(child).and_then(|l| l.path.own_code().cloned()) else {
@@ -365,10 +367,10 @@ impl<A: SiblingAlgebra> LabelingScheme for PrefixScheme<A> {
             }
             CodeOutcome::RenumberAll => {
                 self.stats.overflow_events += 1;
-                let siblings: Vec<NodeId> = tree.children(parent).collect();
-                let codes = self.algebra.bulk(siblings.len(), &mut self.stats);
+                let n = tree.children(parent).count();
+                let codes = self.algebra.bulk(n, &mut self.stats);
                 let mut changed = Vec::new();
-                for (sib, code) in siblings.into_iter().zip(codes) {
+                for (sib, code) in tree.children(parent).zip(codes) {
                     let path = parent_path.child(code);
                     self.rebase_subtree(tree, labeling, sib, path, node, &mut changed);
                 }

@@ -215,7 +215,7 @@ impl LabelingScheme for Prime {
     }
 
     fn on_delete(&mut self, tree: &XmlTree, labeling: &mut Labeling<PrimeLabel>, node: NodeId) {
-        for d in tree.preorder_from(node).collect::<Vec<_>>() {
+        for d in tree.preorder_from(node) {
             if let Some(l) = labeling.remove(d) {
                 self.sc_order.remove(&l.prime);
             }

@@ -26,20 +26,25 @@ use std::cmp::Ordering;
 use xupd_labelcore::vectorcode::bulk_vector;
 use xupd_labelcore::{
     EncodingRep, InsertReport, Label, Labeling, LabelingScheme, OrderKind, Relation,
-    SchemeDescriptor, SchemeStats, VectorCode,
+    SchemeDescriptor, SchemeStats, SmallVec, VectorCode,
 };
 use xupd_xmldom::{NodeId, TreeError, XmlTree};
+
+/// Inline depth of a vector path: components for the 8 shallowest levels
+/// live on the stack (deeper paths spill), so per-insert label
+/// construction is allocation-free for typical documents.
+type VectorPath = SmallVec<VectorCode, 8>;
 
 /// A vector-path label.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VectorLabel {
-    components: Vec<VectorCode>,
+    components: VectorPath,
 }
 
 impl VectorLabel {
     fn root() -> Self {
         VectorLabel {
-            components: Vec::new(),
+            components: VectorPath::new(),
         }
     }
 
@@ -118,12 +123,12 @@ impl VectorScheme {
         path: &VectorLabel,
         labeling: &mut Labeling<VectorLabel>,
     ) {
-        let children: Vec<NodeId> = tree.children(node).collect();
-        if children.is_empty() {
+        let n = tree.children(node).count();
+        if n == 0 {
             return;
         }
-        let codes = bulk_vector(children.len(), &mut self.stats.recursive_calls);
-        for (child, code) in children.into_iter().zip(codes) {
+        let codes = bulk_vector(n, &mut self.stats.recursive_calls);
+        for (child, code) in tree.children(node).zip(codes) {
             let child_path = path.child(code);
             labeling.set(child, child_path.clone());
             self.label_children(tree, child, &child_path, labeling);
@@ -185,10 +190,10 @@ impl LabelingScheme for VectorScheme {
             None => {
                 // 64-bit component exhaustion: renumber this sibling list.
                 self.stats.overflow_events += 1;
-                let siblings: Vec<NodeId> = tree.children(parent).collect();
-                let codes = bulk_vector(siblings.len(), &mut self.stats.recursive_calls);
+                let n = tree.children(parent).count();
+                let codes = bulk_vector(n, &mut self.stats.recursive_calls);
                 let mut relabeled = Vec::new();
-                for (sib, code) in siblings.into_iter().zip(codes) {
+                for (sib, code) in tree.children(parent).zip(codes) {
                     let new_path = parent_path.child(code);
                     rebase(
                         tree,
@@ -253,8 +258,7 @@ fn rebase(
         }
         labeling.set(node, new_path.clone());
     }
-    let children: Vec<NodeId> = tree.children(node).collect();
-    for child in children {
+    for child in tree.children(node) {
         // unlabelled children belong to an in-flight graft batch
         let Some(own) = labeling.get(child).and_then(|l| l.own().copied()) else {
             continue;

@@ -1,0 +1,90 @@
+//! Allocation-counting global allocator for the bench harness.
+//!
+//! Wraps [`std::alloc::System`] and counts allocation events and bytes
+//! requested in relaxed atomics, so bench iterations can report
+//! `allocs`/`alloc_bytes` deltas alongside wall-clock time — the
+//! observability layer for the allocation-lean label hot path work.
+//!
+//! Install it in a bench binary with [`crate::install_counting_allocator!`];
+//! binaries without it simply report zeros (the harness reads whatever
+//! the counters say, and the CI diff only warns on *growth*).
+//!
+//! `unsafe` is unavoidable here — the [`GlobalAlloc`] contract is an
+//! unsafe trait — and each occurrence below carries an R5 suppression
+//! scoped to exactly that necessity.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative `(allocation_events, bytes_requested)` since process start.
+/// Monotonic; callers take deltas around a measured region.
+pub fn counts() -> (u64, u64) {
+    (
+        ALLOC_EVENTS.load(Ordering::Relaxed),
+        ALLOC_BYTES.load(Ordering::Relaxed),
+    )
+}
+
+/// A [`System`]-delegating allocator that counts events and bytes.
+///
+/// `realloc` delegates to `System::realloc` (counted as one event for the
+/// grown size) rather than the default alloc+copy+dealloc, so installing
+/// the counter preserves the in-place-growth behaviour benches measure.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountingAllocator;
+
+// lint:allow(R5): GlobalAlloc is an unsafe trait; this impl only delegates to System and bumps atomic counters
+unsafe impl GlobalAlloc for CountingAllocator {
+    // lint:allow(R5): trait method is declared unsafe fn
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    // lint:allow(R5): trait method is declared unsafe fn
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    // lint:allow(R5): trait method is declared unsafe fn
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    // lint:allow(R5): trait method is declared unsafe fn
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Install the [`CountingAllocator`] as the process-wide
+/// `#[global_allocator]`. Call once at a bench binary's top level.
+#[macro_export]
+macro_rules! install_counting_allocator {
+    () => {
+        #[global_allocator]
+        static XUPD_COUNTING_ALLOCATOR: $crate::alloc::CountingAllocator =
+            $crate::alloc::CountingAllocator;
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_are_monotone() {
+        let (e0, b0) = counts();
+        let (e1, b1) = counts();
+        assert!(e1 >= e0);
+        assert!(b1 >= b0);
+    }
+}

@@ -26,16 +26,35 @@ pub struct Sample {
     /// Per-iteration wall-clock times, nanoseconds, in run order.
     /// Private so the sorted cache can never go stale.
     times_ns: Vec<u64>,
+    /// Per-iteration allocation-event deltas (empty or all-zero when the
+    /// binary did not install the counting allocator).
+    allocs: Vec<u64>,
+    /// Per-iteration allocated-byte deltas.
+    alloc_bytes: Vec<u64>,
     /// Lazily sorted copy of `times_ns`, shared by all summary stats.
     sorted: OnceCell<Vec<u64>>,
 }
 
 impl Sample {
-    /// A sample from per-iteration times in run order.
+    /// A sample from per-iteration times in run order (no allocation
+    /// counts — they report as zero).
     pub fn new(name: impl Into<String>, times_ns: Vec<u64>) -> Sample {
+        Sample::with_allocs(name, times_ns, Vec::new(), Vec::new())
+    }
+
+    /// A sample carrying per-iteration allocation deltas next to the
+    /// times (same run order).
+    pub fn with_allocs(
+        name: impl Into<String>,
+        times_ns: Vec<u64>,
+        allocs: Vec<u64>,
+        alloc_bytes: Vec<u64>,
+    ) -> Sample {
         Sample {
             name: name.into(),
             times_ns,
+            allocs,
+            alloc_bytes,
             sorted: OnceCell::new(),
         }
     }
@@ -95,6 +114,30 @@ impl Sample {
         (self.times_ns.iter().map(|&t| u128::from(t)).sum::<u128>()
             / self.times_ns.len() as u128) as u64
     }
+
+    /// Median allocation events per iteration (0 when not counted).
+    pub fn allocs(&self) -> u64 {
+        median_of(&self.allocs)
+    }
+
+    /// Median allocated bytes per iteration (0 when not counted).
+    pub fn alloc_bytes(&self) -> u64 {
+        median_of(&self.alloc_bytes)
+    }
+}
+
+fn median_of(values: &[u64]) -> u64 {
+    if values.is_empty() {
+        return 0;
+    }
+    let mut v = values.to_vec();
+    v.sort_unstable();
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2
+    }
 }
 
 /// A benchmark suite: register cases with [`Harness::bench`], then
@@ -137,12 +180,19 @@ impl Harness {
             black_box(f());
         }
         let mut times = Vec::with_capacity(self.timed_iters as usize);
+        let mut allocs = Vec::with_capacity(self.timed_iters as usize);
+        let mut alloc_bytes = Vec::with_capacity(self.timed_iters as usize);
         for _ in 0..self.timed_iters {
+            let (e0, b0) = crate::alloc::counts();
             let start = Instant::now();
             black_box(f());
-            times.push(start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+            let elapsed = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            let (e1, b1) = crate::alloc::counts();
+            times.push(elapsed);
+            allocs.push(e1 - e0);
+            alloc_bytes.push(b1 - b0);
         }
-        let sample = Sample::new(name, times);
+        let sample = Sample::with_allocs(name, times, allocs, alloc_bytes);
         println!(
             "{:<48} median {:>12}  p90 {:>12}",
             sample.name,
@@ -166,13 +216,16 @@ impl Harness {
             let _ = write!(
                 out,
                 "    {{\"name\": {}, \"median_ns\": {}, \"p90_ns\": {}, \
-                 \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"times_ns\": [{}]}}",
+                 \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \
+                 \"allocs\": {}, \"alloc_bytes\": {}, \"times_ns\": [{}]}}",
                 json_str(&s.name),
                 s.median_ns(),
                 s.p90_ns(),
                 s.mean_ns(),
                 s.min_ns(),
                 s.max_ns(),
+                s.allocs(),
+                s.alloc_bytes(),
                 times.join(", ")
             );
             out.push_str(if i + 1 < self.samples.len() { ",\n" } else { "\n" });
@@ -315,6 +368,8 @@ mod tests {
         assert!(json.contains("\"suite\": \"unit_json\""));
         assert!(json.contains("\\\"quoted\\\""));
         assert!(json.contains("\"median_ns\""));
+        assert!(json.contains("\"allocs\""));
+        assert!(json.contains("\"alloc_bytes\""));
         // balanced braces/brackets (cheap well-formedness check)
         assert_eq!(
             json.matches('{').count(),
@@ -324,6 +379,17 @@ mod tests {
             json.matches('[').count(),
             json.matches(']').count()
         );
+    }
+
+    #[test]
+    fn alloc_medians_come_from_per_iteration_deltas() {
+        let s = Sample::with_allocs("s", vec![1, 2, 3], vec![4, 10, 6], vec![40, 100, 60]);
+        assert_eq!(s.allocs(), 6);
+        assert_eq!(s.alloc_bytes(), 60);
+        // plain Sample::new reports zeros, not garbage
+        let plain = Sample::new("p", vec![1, 2, 3]);
+        assert_eq!(plain.allocs(), 0);
+        assert_eq!(plain.alloc_bytes(), 0);
     }
 
     #[test]

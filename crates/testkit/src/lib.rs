@@ -21,6 +21,7 @@
 //! Replaying a property failure: the panic report prints the failing
 //! case's seed; rerun with `XUPD_PROP_SEED=<seed> cargo test <name>`.
 
+pub mod alloc;
 pub mod bench;
 pub mod prop;
 pub mod rng;

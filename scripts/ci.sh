@@ -35,4 +35,31 @@ for bench_bin in bench_bulk_labeling bench_label_growth bench_query_eval \
     cargo run --release -q -p xupd-bench --bin "$bench_bin" > /dev/null
 done
 
+echo "==> alloc diff (report-only: warn when a smoke sample allocates >25% more than its baseline)"
+# The counting allocator makes allocation counts deterministic per
+# iteration, so even a 1-iter smoke run is comparable to the committed
+# baseline. This step never fails the build — it exists to surface
+# allocation regressions in the hot path early.
+for smoke_json in "$smoke_dir"/BENCH_*.json; do
+  base_json="results/$(basename "$smoke_json")"
+  [ -f "$base_json" ] || continue
+  grep -q '"allocs"' "$base_json" || continue  # pre-instrumentation baseline
+  python3 - "$base_json" "$smoke_json" <<'PYEOF' || true
+import json, sys
+base_path, smoke_path = sys.argv[1], sys.argv[2]
+base = {s["name"]: s for s in json.load(open(base_path))["samples"]}
+warned = 0
+for s in json.load(open(smoke_path))["samples"]:
+    b = base.get(s["name"])
+    if b is None or b.get("allocs", 0) == 0:
+        continue
+    if s.get("allocs", 0) > b["allocs"] * 1.25:
+        warned += 1
+        print(f'    WARN {s["name"]}: allocs {b["allocs"]} -> {s["allocs"]} '
+              f'(+{100.0 * s["allocs"] / b["allocs"] - 100.0:.0f}%)')
+if not warned:
+    print(f'    ok: {base_path} — no sample grew allocations by >25%')
+PYEOF
+done
+
 echo "==> ci.sh: all checks passed"
