@@ -3,6 +3,12 @@
 //! paper discusses (recursive labelling algorithms requiring multiple
 //! passes, §5.1 *Recursive Labelling Algorithm*).
 //!
+//! Each scheme's case runs on its own `xupd-exec` pool worker
+//! (`Harness::bench_case` measures off-thread; allocation deltas are
+//! per-thread so workers never see a neighbour's allocations), and the
+//! completed samples are pushed in roster order — the emitted JSON is
+//! byte-identical at any `XUPD_THREADS`.
+//!
 //! Offline harness (formerly a criterion bench):
 //!
 //! ```text
@@ -11,40 +17,27 @@
 //!
 //! Emits `results/BENCH_bulk_labeling.json`.
 
-use xupd_labelcore::{LabelingScheme, SchemeVisitor};
 use xupd_testkit::bench::{black_box, Harness};
 use xupd_workloads::docs;
-use xupd_xmldom::XmlTree;
 
 // Count allocation events per bench iteration (reported as
 // `allocs`/`alloc_bytes` in the emitted JSON).
 xupd_testkit::install_counting_allocator!();
 
-struct BulkBench<'a, 'b> {
-    h: &'a mut Harness,
-    tree: &'b XmlTree,
-    size: usize,
-}
-
-impl SchemeVisitor for BulkBench<'_, '_> {
-    fn visit<S: LabelingScheme>(&mut self, mut scheme: S) {
-        let name = scheme.name();
-        self.h.bench(&format!("bulk/{name}/{}", self.size), || {
-            black_box(scheme.label_tree(black_box(self.tree)))
-        });
-    }
-}
-
 fn main() {
     let mut h = Harness::new("bulk_labeling");
+    let entries = xupd_schemes::registry_figure7();
     for size in [500usize, 2000] {
         let tree = docs::random_tree(42, size);
-        let mut v = BulkBench {
-            h: &mut h,
-            tree: &tree,
-            size,
-        };
-        xupd_schemes::visit_figure7_schemes(&mut v);
+        let samples = xupd_exec::par_map(&entries, |entry| {
+            let mut session = entry.session();
+            h.bench_case(&format!("bulk/{}/{size}", entry.name()), || {
+                black_box(session.label_tree(black_box(&tree)))
+            })
+        });
+        for sample in samples {
+            h.push(sample);
+        }
     }
     h.finish().expect("write results/BENCH_bulk_labeling.json");
 }

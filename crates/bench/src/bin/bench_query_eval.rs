@@ -23,12 +23,10 @@
 //!
 //! Emits `results/BENCH_query_eval.json`.
 
-use xupd_encoding::{parse_xpath, EncodedDocument, NameIndex};
-use xupd_labelcore::{LabelingScheme, SchemeVisitor};
+use xupd_encoding::{document_registry_figure7, parse_xpath, EncodedDocument, NameIndex};
 use xupd_schemes::prefix::qed::Qed;
 use xupd_testkit::bench::{black_box, Harness};
 use xupd_workloads::docs;
-use xupd_xmldom::XmlTree;
 
 // Count allocation events per bench iteration (reported as
 // `allocs`/`alloc_bytes` in the emitted JSON).
@@ -40,26 +38,6 @@ const QUERIES: [&str; 4] = [
     "//person/@id",
     "//open_auction/bidder/following-sibling::*",
 ];
-
-struct QueryBench<'a, 'b> {
-    h: &'a mut Harness,
-    tree: &'b XmlTree,
-}
-
-impl SchemeVisitor for QueryBench<'_, '_> {
-    fn visit<S: LabelingScheme>(&mut self, scheme: S) {
-        let name = scheme.name();
-        let doc = EncodedDocument::encode(scheme, self.tree).unwrap();
-        let exprs: Vec<_> = QUERIES.iter().map(|q| parse_xpath(q).unwrap()).collect();
-        self.h.bench(&format!("xpath/{name}"), || {
-            let mut total = 0usize;
-            for e in &exprs {
-                total += black_box(e.evaluate(&doc)).len();
-            }
-            total
-        });
-    }
-}
 
 /// The §2.3 trade-off, timed on `//item`: the label-algebra scan the
 /// encoding used before the topology sidecar, the name-index probe, and
@@ -94,11 +72,23 @@ fn bench_scan_vs_indexed(h: &mut Harness) {
 fn main() {
     let mut h = Harness::new("query_eval");
     let tree = docs::xmark_like(7, 150);
-    let mut v = QueryBench {
-        h: &mut h,
-        tree: &tree,
-    };
-    xupd_schemes::visit_figure7_schemes(&mut v);
+    // One erased encoded document per Figure 7 scheme, each scheme's
+    // case timed on its own pool worker, samples pushed in roster order.
+    let entries = document_registry_figure7();
+    let samples = xupd_exec::par_map(&entries, |entry| {
+        let doc = (entry.encode)(&tree).unwrap();
+        let exprs: Vec<_> = QUERIES.iter().map(|q| parse_xpath(q).unwrap()).collect();
+        h.bench_case(&format!("xpath/{}", entry.name()), || {
+            let mut total = 0usize;
+            for e in &exprs {
+                total += black_box(doc.evaluate(e)).len();
+            }
+            total
+        })
+    });
+    for sample in samples {
+        h.push(sample);
+    }
     bench_scan_vs_indexed(&mut h);
     h.finish().expect("write results/BENCH_query_eval.json");
 }

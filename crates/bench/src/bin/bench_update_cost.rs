@@ -3,6 +3,10 @@
 //! single label. The crossover the paper's prose predicts is directly
 //! visible in these timings.
 //!
+//! Each scheme's case runs on its own `xupd-exec` pool worker; samples
+//! are pushed in roster order so the emitted JSON is byte-identical at
+//! any `XUPD_THREADS`.
+//!
 //! Offline harness (formerly a criterion bench):
 //!
 //! ```text
@@ -11,49 +15,35 @@
 //!
 //! Emits `results/BENCH_update_cost.json`.
 
-use xupd_framework::driver::run_script;
-use xupd_labelcore::{LabelingScheme, SchemeVisitor};
+use xupd_framework::driver::run_script_dyn;
 use xupd_testkit::bench::{black_box, Harness};
 use xupd_workloads::{docs, Script, ScriptKind};
-use xupd_xmldom::XmlTree;
 
 // Count allocation events per bench iteration (reported as
 // `allocs`/`alloc_bytes` in the emitted JSON).
 xupd_testkit::install_counting_allocator!();
 
-struct UpdateBench<'a, 'b> {
-    h: &'a mut Harness,
-    base: &'b XmlTree,
-    kind: ScriptKind,
-    ops: usize,
-}
-
-impl SchemeVisitor for UpdateBench<'_, '_> {
-    fn visit<S: LabelingScheme>(&mut self, mut scheme: S) {
-        let name = scheme.name();
-        self.h.bench(
-            &format!("update/{}/{name}/{}", self.kind.name(), self.ops),
-            || {
-                let mut tree = self.base.clone();
-                let mut labeling = scheme.label_tree(&tree).unwrap();
-                let script = Script::generate(self.kind, self.ops, tree.len(), 11);
-                black_box(run_script(&mut tree, &mut scheme, &mut labeling, &script).unwrap())
-            },
-        );
-    }
-}
-
 fn main() {
     let mut h = Harness::new("update_cost");
     let base = docs::random_tree(0xBEEF, 500);
+    let entries = xupd_schemes::registry_figure7();
+    let ops = 100usize;
     for kind in [ScriptKind::Random, ScriptKind::Skewed] {
-        let mut v = UpdateBench {
-            h: &mut h,
-            base: &base,
-            kind,
-            ops: 100,
-        };
-        xupd_schemes::visit_figure7_schemes(&mut v);
+        let samples = xupd_exec::par_map(&entries, |entry| {
+            let mut session = entry.session();
+            h.bench_case(
+                &format!("update/{}/{}/{ops}", kind.name(), entry.name()),
+                || {
+                    let mut tree = base.clone();
+                    session.label_tree(&tree).unwrap();
+                    let script = Script::generate(kind, ops, tree.len(), 11);
+                    black_box(run_script_dyn(&mut tree, session.as_mut(), &script).unwrap())
+                },
+            )
+        });
+        for sample in samples {
+            h.push(sample);
+        }
     }
     h.finish().expect("write results/BENCH_update_cost.json");
 }

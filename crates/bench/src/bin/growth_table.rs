@@ -7,7 +7,7 @@
 //! cargo run --release --bin growth_table [ops]
 //! ```
 
-use xupd_bench::{render_growth_table, GrowthVisitor};
+use xupd_bench::{growth_battery, render_growth_table};
 use xupd_workloads::{docs, ScriptKind};
 
 fn main() {
@@ -20,6 +20,8 @@ fn main() {
         "P3 — label-size growth, {} ops per workload on a 500-node document\n",
         ops
     );
+    // Full roster, one pool worker per scheme, series in roster order.
+    let entries = xupd_schemes::registry();
     for kind in [
         ScriptKind::Random,
         ScriptKind::Uniform,
@@ -27,15 +29,8 @@ fn main() {
         ScriptKind::PrependStorm,
         ScriptKind::Zigzag,
     ] {
-        let mut v = GrowthVisitor {
-            base: &base,
-            kind,
-            ops,
-            step: ops,
-            series: Vec::new(),
-        };
-        xupd_schemes::visit_all_schemes(&mut v);
-        println!("{}", render_growth_table(kind, &v.series));
+        let series = growth_battery(&entries, &base, kind, ops, ops, 42);
+        println!("{}", render_growth_table(kind, &series));
     }
 
     // The headline P3 series: skewed growth of QED vs Vector, max label

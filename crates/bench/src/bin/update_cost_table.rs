@@ -8,38 +8,14 @@
 //! cargo run --release --bin update_cost_table [ops]
 //! ```
 
-use xupd_framework::driver::run_script;
-use xupd_labelcore::{LabelingScheme, SchemeVisitor};
+use xupd_framework::driver::run_script_dyn;
 use xupd_workloads::{docs, Script, ScriptKind};
-use xupd_xmldom::XmlTree;
 
 struct CostRow {
     scheme: &'static str,
     relabels: u64,
     overflows: u64,
     relabels_per_insert: f64,
-}
-
-struct CostVisitor<'a> {
-    base: &'a XmlTree,
-    kind: ScriptKind,
-    ops: usize,
-    rows: Vec<CostRow>,
-}
-
-impl SchemeVisitor for CostVisitor<'_> {
-    fn visit<S: LabelingScheme>(&mut self, mut scheme: S) {
-        let mut tree = self.base.clone();
-        let mut labeling = scheme.label_tree(&tree).unwrap();
-        let script = Script::generate(self.kind, self.ops, tree.len(), 7);
-        let stats = run_script(&mut tree, &mut scheme, &mut labeling, &script).unwrap();
-        self.rows.push(CostRow {
-            scheme: scheme.name(),
-            relabels: stats.relabeled,
-            overflows: stats.overflow_events,
-            relabels_per_insert: stats.relabeled as f64 / stats.inserts.max(1) as f64,
-        });
-    }
 }
 
 fn main() {
@@ -49,6 +25,8 @@ fn main() {
         .unwrap_or(400);
     let base = docs::random_tree(0xC057, 800);
     println!("P1/P2 — update cost, {ops} ops per workload on an 800-node document\n");
+    // Full roster, one pool worker per scheme, rows in roster order.
+    let entries = xupd_schemes::registry();
     for kind in [
         ScriptKind::Random,
         ScriptKind::Uniform,
@@ -57,20 +35,26 @@ fn main() {
         ScriptKind::MixedDelete,
         ScriptKind::Zigzag,
     ] {
-        let mut v = CostVisitor {
-            base: &base,
-            kind,
-            ops,
-            rows: Vec::new(),
-        };
-        xupd_schemes::visit_all_schemes(&mut v);
+        let rows: Vec<CostRow> = xupd_exec::par_map(&entries, |entry| {
+            let mut session = entry.session();
+            let mut tree = base.clone();
+            session.label_tree(&tree).unwrap();
+            let script = Script::generate(kind, ops, tree.len(), 7);
+            let stats = run_script_dyn(&mut tree, session.as_mut(), &script).unwrap();
+            CostRow {
+                scheme: entry.name(),
+                relabels: stats.relabeled,
+                overflows: stats.overflow_events,
+                relabels_per_insert: stats.relabeled as f64 / stats.inserts.max(1) as f64,
+            }
+        });
         println!("Workload: {}", kind.name());
         println!(
             "{:<18} {:>10} {:>10} {:>16}",
             "Scheme", "relabels", "overflows", "relabels/insert"
         );
         println!("{}", "-".repeat(58));
-        for r in &v.rows {
+        for r in &rows {
             println!(
                 "{:<18} {:>10} {:>10} {:>16.3}",
                 r.scheme, r.relabels, r.overflows, r.relabels_per_insert

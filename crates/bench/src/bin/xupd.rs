@@ -9,12 +9,15 @@
 //!
 //! The default scheme is QED (persistent + overflow-free — the safe
 //! choice §5.2's framework would recommend for a general repository).
+//!
+//! Scheme lookup goes through the object-safe registries
+//! ([`xupd_schemes::registry`] for labelling sessions,
+//! [`xupd_encoding::document_registry`] for encoded documents), so the
+//! CLI roster can never drift from the library roster.
 
 use std::process::ExitCode;
 use xupd_encoding::figure2::{figure2_table, render_figure2};
-use xupd_encoding::{parse_xpath, EncodedDocument};
-use xupd_labelcore::{Label, LabelingScheme, SchemeVisitor};
-use xupd_schemes::visit_all_schemes;
+use xupd_encoding::{document_registry, parse_xpath};
 use xupd_xmldom::{parse, NodeKind, XmlTree};
 
 fn usage() -> ExitCode {
@@ -25,84 +28,75 @@ fn usage() -> ExitCode {
     ExitCode::from(2)
 }
 
-enum Cmd {
-    Labels,
-    Query(String),
-    Table,
-    Schemes,
-}
-
-struct Run<'a> {
-    tree: &'a XmlTree,
-    wanted: String,
-    cmd: Cmd,
-    matched: bool,
-}
-
-impl SchemeVisitor for Run<'_> {
-    fn visit<S: LabelingScheme>(&mut self, mut scheme: S) {
-        match &self.cmd {
-            Cmd::Schemes => {
-                let d = scheme.descriptor();
-                println!(
-                    "  {:<18} {:<8} {:<9} {}",
-                    d.name,
-                    d.order.to_string(),
-                    d.encoding.to_string(),
-                    if d.in_figure7 {
-                        "Figure 7"
-                    } else {
-                        "extension"
-                    }
-                );
-                self.matched = true;
+fn print_schemes() {
+    for entry in xupd_schemes::registry() {
+        let d = &entry.descriptor;
+        println!(
+            "  {:<18} {:<8} {:<9} {}",
+            d.name,
+            d.order.to_string(),
+            d.encoding.to_string(),
+            if d.in_figure7 {
+                "Figure 7"
+            } else {
+                "extension"
             }
-            _ if scheme.name() != self.wanted => {}
-            Cmd::Labels => {
-                self.matched = true;
-                let labeling = scheme.label_tree(self.tree).unwrap();
-                for n in self.tree.ids_in_doc_order() {
-                    let what = match self.tree.kind(n) {
-                        NodeKind::Document => "#document".to_string(),
-                        NodeKind::Element { name } => format!("<{name}>"),
-                        NodeKind::Attribute { name, .. } => format!("@{name}"),
-                        NodeKind::Text { .. } => "#text".to_string(),
-                        NodeKind::Comment { .. } => "#comment".to_string(),
-                        NodeKind::Pi { target, .. } => format!("<?{target}?>"),
-                    };
-                    println!(
-                        "{}{:<24} {}",
-                        "  ".repeat(self.tree.depth(n) as usize),
-                        what,
-                        labeling.req(n).unwrap().display()
-                    );
-                }
-            }
-            Cmd::Query(q) => {
-                self.matched = true;
-                let expr = match parse_xpath(q) {
-                    Ok(e) => e,
-                    Err(e) => {
-                        eprintln!("{e}");
-                        return;
-                    }
-                };
-                let doc = EncodedDocument::encode(scheme, self.tree).unwrap();
-                let hits = expr.evaluate(&doc);
-                println!("{} hit(s)", hits.len());
-                for h in hits {
-                    let row = doc.row(h);
-                    println!(
-                        "  {:<12} {:<16} {}",
-                        row.kind.type_tag(),
-                        row.kind.name().unwrap_or(""),
-                        doc.string_value(h).chars().take(60).collect::<String>()
-                    );
-                }
-            }
-            Cmd::Table => unreachable!("handled before dispatch"),
-        }
+        );
     }
+}
+
+fn print_labels(tree: &XmlTree, wanted: &str) -> bool {
+    let Some(entry) = xupd_schemes::registry()
+        .into_iter()
+        .find(|e| e.name() == wanted)
+    else {
+        return false;
+    };
+    let mut session = entry.session();
+    session.label_tree(tree).unwrap();
+    for n in tree.ids_in_doc_order() {
+        let what = match tree.kind(n) {
+            NodeKind::Document => "#document".to_string(),
+            NodeKind::Element { name } => format!("<{name}>"),
+            NodeKind::Attribute { name, .. } => format!("@{name}"),
+            NodeKind::Text { .. } => "#text".to_string(),
+            NodeKind::Comment { .. } => "#comment".to_string(),
+            NodeKind::Pi { target, .. } => format!("<?{target}?>"),
+        };
+        println!(
+            "{}{:<24} {}",
+            "  ".repeat(tree.depth(n) as usize),
+            what,
+            session.label_display(n).unwrap()
+        );
+    }
+    true
+}
+
+fn print_query(tree: &XmlTree, wanted: &str, query: &str) -> bool {
+    let Some(entry) = document_registry().into_iter().find(|e| e.name() == wanted) else {
+        return false;
+    };
+    let expr = match parse_xpath(query) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("{e}");
+            return true;
+        }
+    };
+    let doc = (entry.encode)(tree).unwrap();
+    let hits = doc.evaluate(&expr);
+    println!("{} hit(s)", hits.len());
+    for h in hits {
+        let kind = doc.kind(h);
+        println!(
+            "  {:<12} {:<16} {}",
+            kind.type_tag(),
+            kind.name().unwrap_or(""),
+            doc.string_value(h).chars().take(60).collect::<String>()
+        );
+    }
+    true
 }
 
 fn main() -> ExitCode {
@@ -118,12 +112,12 @@ fn main() -> ExitCode {
             None => return usage(),
         }
     }
-    let cmd = match args[1].as_str() {
-        "labels" => Cmd::Labels,
-        "table" => Cmd::Table,
-        "schemes" => Cmd::Schemes,
+
+    // Validate the command shape before touching the file.
+    let query = match args[1].as_str() {
+        "labels" | "table" | "schemes" => None,
         "query" => match args.get(2) {
-            Some(q) if !q.starts_with("--") => Cmd::Query(q.clone()),
+            Some(q) if !q.starts_with("--") => Some(q.clone()),
             _ => return usage(),
         },
         _ => return usage(),
@@ -144,23 +138,21 @@ fn main() -> ExitCode {
         }
     };
 
-    if matches!(cmd, Cmd::Table) {
-        print!("{}", render_figure2(&figure2_table(&tree)));
-        return ExitCode::SUCCESS;
-    }
-
-    let mut run = Run {
-        tree: &tree,
-        wanted,
-        cmd,
-        matched: false,
+    let matched = match args[1].as_str() {
+        "schemes" => {
+            print_schemes();
+            true
+        }
+        "table" => {
+            print!("{}", render_figure2(&figure2_table(&tree)));
+            true
+        }
+        "labels" => print_labels(&tree, &wanted),
+        "query" => print_query(&tree, &wanted, query.as_deref().unwrap_or_default()),
+        _ => unreachable!("validated above"),
     };
-    visit_all_schemes(&mut run);
-    if !run.matched {
-        eprintln!(
-            "unknown scheme '{}'; run `xupd {file} schemes` for the roster",
-            run.wanted
-        );
+    if !matched {
+        eprintln!("unknown scheme '{wanted}'; run `xupd {file} schemes` for the roster");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -20,7 +20,8 @@
 //! measurement helpers the table and timing binaries share, so numbers
 //! in tables and benches come from one code path.
 
-use xupd_labelcore::{Labeling, LabelingScheme, SchemeVisitor};
+use xupd_labelcore::{DynScheme, LabelingScheme, SchemeSession};
+use xupd_schemes::SchemeEntry;
 use xupd_workloads::{Script, ScriptKind};
 use xupd_xmldom::XmlTree;
 
@@ -42,31 +43,47 @@ pub struct GrowthSeries {
 
 /// Drive `ops` operations of `kind` against `scheme` on a copy of
 /// `base`, checkpointing label sizes every `step` ops.
-pub fn growth_series<S: LabelingScheme>(
-    mut scheme: S,
+///
+/// Typed convenience over [`growth_series_session`] — both paths run
+/// the same driver, so table and bench numbers can never diverge.
+pub fn growth_series<S: LabelingScheme + 'static>(
+    scheme: S,
     base: &XmlTree,
     kind: ScriptKind,
     ops: usize,
     step: usize,
     seed: u64,
 ) -> GrowthSeries {
-    let name = scheme.name();
+    let mut session = SchemeSession::new(scheme);
+    growth_series_session(&mut session, base, kind, ops, step, seed)
+}
+
+/// [`growth_series`] over an erased scheme session — the form the
+/// registry battery fans out over the `xupd-exec` pool.
+pub fn growth_series_session(
+    session: &mut dyn DynScheme,
+    base: &XmlTree,
+    kind: ScriptKind,
+    ops: usize,
+    step: usize,
+    seed: u64,
+) -> GrowthSeries {
+    let name = session.name();
     let mut tree = base.clone();
-    let mut labeling: Labeling<S::Label> = scheme.label_tree(&tree).expect("bulk labelling");
-    let mut points = vec![(0usize, labeling.total_bits(), labeling.max_bits())];
+    session.label_tree(&tree).expect("bulk labelling");
+    let mut points = vec![(0usize, session.total_bits(), session.max_bits())];
     let mut relabels = 0u64;
     let mut overflows = 0u64;
     let mut applied = 0usize;
     while applied < ops {
         let chunk = step.min(ops - applied);
         let script = Script::generate(kind, chunk, tree.len(), seed ^ applied as u64);
-        let stats =
-            xupd_framework::driver::run_script(&mut tree, &mut scheme, &mut labeling, &script)
-                .expect("benchmark scripts drive live trees");
+        let stats = xupd_framework::driver::run_script_dyn(&mut tree, session, &script)
+            .expect("benchmark scripts drive live trees");
         relabels += stats.relabeled;
         overflows += stats.overflow_events;
         applied += chunk;
-        points.push((applied, labeling.total_bits(), labeling.max_bits()));
+        points.push((applied, session.total_bits(), session.max_bits()));
     }
     GrowthSeries {
         scheme: name,
@@ -77,26 +94,20 @@ pub fn growth_series<S: LabelingScheme>(
     }
 }
 
-/// A visitor that measures a [`GrowthSeries`] for every scheme it visits.
-pub struct GrowthVisitor<'a> {
-    /// Base document each scheme is measured on.
-    pub base: &'a XmlTree,
-    /// Workload kind.
-    pub kind: ScriptKind,
-    /// Operation count.
-    pub ops: usize,
-    /// Checkpoint interval.
-    pub step: usize,
-    /// Collected series.
-    pub series: Vec<GrowthSeries>,
-}
-
-impl SchemeVisitor for GrowthVisitor<'_> {
-    fn visit<S: LabelingScheme>(&mut self, scheme: S) {
-        self.series.push(growth_series(
-            scheme, self.base, self.kind, self.ops, self.step, 42,
-        ));
-    }
+/// Measure a [`GrowthSeries`] for every registry entry, one pool worker
+/// per scheme, results in roster order (order-preserving `par_map`).
+pub fn growth_battery(
+    entries: &[SchemeEntry],
+    base: &XmlTree,
+    kind: ScriptKind,
+    ops: usize,
+    step: usize,
+    seed: u64,
+) -> Vec<GrowthSeries> {
+    xupd_exec::par_map(entries, |entry| {
+        let mut session = entry.session();
+        growth_series_session(session.as_mut(), base, kind, ops, step, seed)
+    })
 }
 
 /// Render a growth table: one row per scheme, end-state total bits, max
@@ -156,17 +167,28 @@ mod tests {
     #[test]
     fn render_table_lists_schemes() {
         let base = docs::wide(10);
-        let mut v = GrowthVisitor {
-            base: &base,
-            kind: ScriptKind::Random,
-            ops: 30,
-            step: 30,
-            series: Vec::new(),
-        };
-        xupd_schemes::visit_figure7_schemes(&mut v);
-        let table = render_growth_table(ScriptKind::Random, &v.series);
+        let series = growth_battery(
+            &xupd_schemes::registry_figure7(),
+            &base,
+            ScriptKind::Random,
+            30,
+            30,
+            42,
+        );
+        let table = render_growth_table(ScriptKind::Random, &series);
         assert!(table.contains("QED"));
         assert!(table.contains("Vector"));
-        assert_eq!(v.series.len(), 12);
+        assert_eq!(series.len(), 12);
+    }
+
+    #[test]
+    fn typed_and_session_growth_series_agree() {
+        let base = docs::wide(15);
+        let typed = growth_series(Qed::new(), &base, ScriptKind::Skewed, 60, 20, 9);
+        let mut session = SchemeSession::new(Qed::new());
+        let erased = growth_series_session(&mut session, &base, ScriptKind::Skewed, 60, 20, 9);
+        assert_eq!(typed.points, erased.points);
+        assert_eq!(typed.relabels, erased.relabels);
+        assert_eq!(typed.overflows, erased.overflows);
     }
 }

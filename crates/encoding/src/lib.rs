@@ -30,6 +30,7 @@
 //! * [`figure2`] — the paper's Figure 2 table for the Figure 1 sample
 //!   document, golden-tested cell by cell.
 
+pub mod erased;
 pub mod figure2;
 pub mod index;
 pub mod reconstruct;
@@ -37,6 +38,7 @@ pub mod table;
 pub mod topology;
 pub mod xpath;
 
+pub use erased::{document_registry, document_registry_figure7, DocSchemeEntry, DynDocument};
 pub use index::NameIndex;
 pub use table::{EncodedDocument, Row};
 pub use topology::Topology;

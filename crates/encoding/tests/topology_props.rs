@@ -9,8 +9,10 @@
 //! topology index may make queries faster, but it must never change a
 //! single observable answer.
 
-use xupd_encoding::{parse_xpath, EncodedDocument, Topology, XPathExpr};
-use xupd_labelcore::{LabelingScheme, SchemeVisitor};
+use xupd_encoding::{
+    document_registry_figure7, parse_xpath, DocSchemeEntry, EncodedDocument, Topology, XPathExpr,
+};
+use xupd_labelcore::LabelingScheme;
 use xupd_schemes::prefix::dewey::DeweyId;
 use xupd_schemes::prefix::qed::Qed;
 use xupd_testkit::prop::{ints, Config};
@@ -20,46 +22,39 @@ use xupd_xmldom::XmlTree;
 
 const TAGS: [&str; 4] = ["a", "b", "c", "d"];
 
-/// Visitor that diffs every topology-backed axis against its
-/// label-algebra/parent-chain reference on one tree, for every scheme
-/// it visits; mismatches are collected as human-readable strings.
-struct AxisDiff<'a> {
-    tree: &'a XmlTree,
-    schemes: usize,
-    failures: Vec<String>,
-}
-
-impl SchemeVisitor for AxisDiff<'_> {
-    fn visit<S: LabelingScheme>(&mut self, scheme: S) {
-        let name = scheme.name();
-        self.schemes += 1;
-        let enc = match EncodedDocument::encode(scheme, self.tree) {
-            Ok(e) => e,
-            Err(e) => {
-                self.failures.push(format!("{name}: encode failed: {e}"));
-                return;
-            }
-        };
-        for i in 0..enc.len() {
-            if enc.descendants(i) != enc.descendants_via_labels(i) {
-                self.failures.push(format!("{name}: descendants({i})"));
-            }
-            if enc.children(i) != enc.children_via_scan(i).as_slice() {
-                self.failures.push(format!("{name}: children({i})"));
-            }
-            if enc.following(i) != enc.following_via_labels(i) {
-                self.failures.push(format!("{name}: following({i})"));
-            }
-            if enc.preceding(i) != enc.preceding_via_labels(i) {
-                self.failures.push(format!("{name}: preceding({i})"));
-            }
-            for j in 0..enc.len() {
-                if enc.is_ancestor(i, j) != enc.is_ancestor_via_labels(i, j) {
-                    self.failures.push(format!("{name}: is_ancestor({i},{j})"));
-                }
+/// Diff every topology-backed axis against its label-algebra /
+/// parent-chain reference on one tree under one scheme; mismatches come
+/// back as human-readable strings.
+fn axis_diff(entry: &DocSchemeEntry, tree: &XmlTree) -> Vec<String> {
+    let name = entry.name();
+    let mut failures = Vec::new();
+    let enc = match (entry.encode)(tree) {
+        Ok(e) => e,
+        Err(e) => {
+            failures.push(format!("{name}: encode failed: {e}"));
+            return failures;
+        }
+    };
+    for i in 0..enc.len() {
+        if enc.descendants(i) != enc.descendants_via_labels(i) {
+            failures.push(format!("{name}: descendants({i})"));
+        }
+        if enc.children(i) != enc.children_via_scan(i).as_slice() {
+            failures.push(format!("{name}: children({i})"));
+        }
+        if enc.following(i) != enc.following_via_labels(i) {
+            failures.push(format!("{name}: following({i})"));
+        }
+        if enc.preceding(i) != enc.preceding_via_labels(i) {
+            failures.push(format!("{name}: preceding({i})"));
+        }
+        for j in 0..enc.len() {
+            if enc.is_ancestor(i, j) != enc.is_ancestor_via_labels(i, j) {
+                failures.push(format!("{name}: is_ancestor({i},{j})"));
             }
         }
     }
+    failures
 }
 
 props! {
@@ -67,10 +62,13 @@ props! {
 
     fn topology_axes_equal_label_algebra_axes(seed in ints(0u64..1_000_000), n in ints(2usize..48)) {
         let tree = docs::random_tagged_tree(seed, n, &TAGS);
-        let mut diff = AxisDiff { tree: &tree, schemes: 0, failures: Vec::new() };
-        xupd_schemes::visit_figure7_schemes(&mut diff);
-        prop_assert_eq!(diff.schemes, 12, "all Figure 7 schemes visited");
-        prop_assert!(diff.failures.is_empty(), "axis mismatches: {:?}", diff.failures);
+        let entries = document_registry_figure7();
+        let failures: Vec<String> = xupd_exec::par_map(&entries, |entry| axis_diff(entry, &tree))
+            .into_iter()
+            .flatten()
+            .collect();
+        prop_assert_eq!(entries.len(), 12, "all Figure 7 schemes diffed");
+        prop_assert!(failures.is_empty(), "axis mismatches: {:?}", failures);
     }
 
     fn sibling_axes_partition_parents_children(seed in ints(0u64..1_000_000), n in ints(2usize..60)) {

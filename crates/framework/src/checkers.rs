@@ -29,10 +29,10 @@
 //! `crates/encoding/tests/topology_props.rs` pins the two paths
 //! equivalent for all twelve schemes.
 
-use crate::driver::{run_script, DriveStats};
+use crate::driver::{run_script_dyn, DriveStats};
 use crate::orthogonal::has_order_code_algebra;
-use crate::verify::{verify, VerifyOutcome};
-use xupd_labelcore::{Compliance, LabelingScheme, Property, SchemeStats};
+use crate::verify::{verify_dyn, VerifyOutcome};
+use xupd_labelcore::{Compliance, DynScheme, LabelingScheme, Property, SchemeSession, SchemeStats};
 use xupd_workloads::{docs, Script, ScriptKind};
 use xupd_xmldom::{TreeError, XmlTree};
 
@@ -92,27 +92,34 @@ const ADVERSARIAL_SKEW_OPS: usize = 600;
 const ADVERSARIAL_ZIGZAG_OPS: usize = 300;
 const ADVERSARIAL_APPEND_OPS: usize = 300;
 
-fn drive<S: LabelingScheme>(
-    scheme: &mut S,
+fn drive(
+    session: &mut dyn DynScheme,
     base: &XmlTree,
     kind: ScriptKind,
     ops: usize,
     seed: u64,
     verification: &mut VerifyOutcome,
 ) -> Result<(DriveStats, SchemeStats), TreeError> {
-    scheme.reset_stats();
+    session.reset_stats();
     let mut tree = base.clone();
-    let mut labeling = scheme.label_tree(&tree)?;
+    session.label_tree(&tree)?;
     let script = Script::generate(kind, ops, tree.len(), seed);
-    let stats = run_script(&mut tree, scheme, &mut labeling, &script)?;
-    verification.absorb(&verify(&tree, scheme, &labeling, 300, seed ^ 0xabc)?);
-    Ok((stats, scheme.stats().clone()))
+    let stats = run_script_dyn(&mut tree, session, &script)?;
+    verification.absorb(&verify_dyn(&tree, session, 300, seed ^ 0xabc)?);
+    Ok((stats, session.stats().clone()))
 }
 
 /// Run the full checker battery against `scheme` and grade the eight
 /// properties.
-pub fn measure_scheme<S: LabelingScheme>(mut scheme: S) -> Result<Measured, TreeError> {
-    let name = scheme.name();
+pub fn measure_scheme<S: LabelingScheme + 'static>(scheme: S) -> Result<Measured, TreeError> {
+    measure_session(&mut SchemeSession::new(scheme))
+}
+
+/// Object-safe [`measure_scheme`]: the battery itself, written once
+/// against [`DynScheme`] sessions so the registry's parallel fan-out and
+/// the typed API grade identically.
+pub fn measure_session(session: &mut dyn DynScheme) -> Result<Measured, TreeError> {
+    let name = session.name();
     let mut ev = Evidence::default();
     let mut notes = Vec::new();
 
@@ -128,7 +135,7 @@ pub fn measure_scheme<S: LabelingScheme>(mut scheme: S) -> Result<Measured, Tree
     .enumerate()
     {
         let (ds, ss) = drive(
-            &mut scheme,
+            session,
             &base,
             kind,
             STANDARD_OPS,
@@ -142,22 +149,22 @@ pub fn measure_scheme<S: LabelingScheme>(mut scheme: S) -> Result<Measured, Tree
 
     // ---- size battery: bulk mean + skew growth -----------------------
     {
-        scheme.reset_stats();
+        session.reset_stats();
         let bulk_doc = docs::random_tree(0xB16, 2000);
-        let labeling = scheme.label_tree(&bulk_doc)?;
-        ev.bulk_mean_bits = labeling.mean_bits();
-        ev.divisions += scheme.stats().divisions;
-        ev.recursive_calls += scheme.stats().recursive_calls;
-        ev.peak_bits = ev.peak_bits.max(labeling.max_bits());
+        session.label_tree(&bulk_doc)?;
+        ev.bulk_mean_bits = session.mean_bits();
+        ev.divisions += session.stats().divisions;
+        ev.recursive_calls += session.stats().recursive_calls;
+        ev.peak_bits = ev.peak_bits.max(session.max_bits());
     }
     for kind in [ScriptKind::Skewed, ScriptKind::PrependStorm] {
-        scheme.reset_stats();
+        session.reset_stats();
         let mut tree = docs::wide(40);
-        let mut labeling = scheme.label_tree(&tree)?;
-        let before_max = labeling.max_bits();
+        session.label_tree(&tree)?;
+        let before_max = session.max_bits();
         let script = Script::generate(kind, 300, tree.len(), 7);
-        let ds = run_script(&mut tree, &mut scheme, &mut labeling, &script)?;
-        ev.divisions += scheme.stats().divisions;
+        let ds = run_script_dyn(&mut tree, session, &script)?;
+        ev.divisions += session.stats().divisions;
         ev.peak_bits = ev.peak_bits.max(ds.peak_label_bits);
         let growth =
             (ds.peak_label_bits.saturating_sub(before_max)) as f64 / ds.inserts.max(1) as f64;
@@ -166,8 +173,11 @@ pub fn measure_scheme<S: LabelingScheme>(mut scheme: S) -> Result<Measured, Tree
 
     // ---- adversarial battery on the audit instance -------------------
     {
-        let mut audit = scheme.overflow_audit_instance();
-        let target: &mut S = audit.as_mut().unwrap_or(&mut scheme);
+        let mut audit = session.overflow_audit_instance();
+        let target: &mut dyn DynScheme = match audit.as_deref_mut() {
+            Some(a) => a,
+            None => session,
+        };
         let small = docs::wide(20);
         let mut sink = VerifyOutcome::default();
         for (kind, ops, seed) in [

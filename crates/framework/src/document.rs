@@ -1,0 +1,211 @@
+//! The unified `Document` facade.
+//!
+//! The crates expose the full pipeline as separate entry points —
+//! `EncodedDocument::encode`, `parse_xpath` + `XPathExpr::evaluate`,
+//! `run_script`, `verify`, `reconstruct` — each with its own state to
+//! thread. [`Document`] bundles them behind one handle:
+//!
+//! ```
+//! use xupd_framework::Document;
+//! use xupd_schemes::prefix::qed::Qed;
+//! use xupd_workloads::{docs, Script, ScriptKind};
+//!
+//! let tree = docs::book();
+//! let mut doc = Document::encode(Qed::new(), &tree).unwrap();
+//! let hits = doc.xpath("//title").unwrap();
+//! assert_eq!(hits.len(), 1);
+//! let script = Script::generate(ScriptKind::Random, 20, doc.tree().len(), 9);
+//! doc.apply(&script).unwrap();
+//! assert!(doc.verify().unwrap().is_sound());
+//! let rebuilt = doc.reconstruct().unwrap();
+//! assert_eq!(rebuilt.len(), doc.tree().len());
+//! ```
+//!
+//! The document owns a live [`XmlTree`] plus the scheme and its
+//! labelling, updated incrementally by [`Document::apply`]. Query-side
+//! calls ([`Document::xpath`], [`Document::reconstruct`],
+//! [`Document::encoded`]) run over an encoded snapshot of the current
+//! tree that is built lazily and invalidated by every update — queries
+//! between two updates share one snapshot.
+
+use crate::driver::{run_script, DriveStats};
+use crate::verify::{verify, VerifyOutcome};
+use std::fmt;
+use xupd_encoding::{parse_xpath, EncodedDocument, XPathError};
+use xupd_labelcore::{Labeling, LabelingScheme};
+use xupd_workloads::Script;
+use xupd_xmldom::{TreeError, XmlTree};
+
+/// Random node pairs sampled by [`Document::verify`] for each relation.
+const VERIFY_SAMPLE_PAIRS: usize = 300;
+/// RNG seed for [`Document::verify`] sampling — fixed so facade
+/// verification is reproducible.
+const VERIFY_SEED: u64 = 0xFACADE;
+
+/// Any error a facade operation can surface: a tree/labelling error or
+/// an XPath parse error.
+#[derive(Debug)]
+pub enum DocumentError {
+    /// Tree or labelling failure.
+    Tree(TreeError),
+    /// XPath expression did not parse.
+    XPath(XPathError),
+}
+
+impl fmt::Display for DocumentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DocumentError::Tree(e) => write!(f, "{e}"),
+            DocumentError::XPath(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DocumentError {}
+
+impl From<TreeError> for DocumentError {
+    fn from(e: TreeError) -> Self {
+        DocumentError::Tree(e)
+    }
+}
+
+impl From<XPathError> for DocumentError {
+    fn from(e: XPathError) -> Self {
+        DocumentError::XPath(e)
+    }
+}
+
+/// A labelled XML document under one scheme: live tree + labelling for
+/// updates and verification, lazily encoded snapshot for queries.
+pub struct Document<S: LabelingScheme + Clone + 'static> {
+    tree: XmlTree,
+    scheme: S,
+    labeling: Labeling<S::Label>,
+    snapshot: Option<EncodedDocument<S>>,
+}
+
+impl<S: LabelingScheme + Clone + 'static> Document<S> {
+    /// Label a copy of `tree` under `scheme`.
+    pub fn encode(mut scheme: S, tree: &XmlTree) -> Result<Self, TreeError> {
+        let tree = tree.clone();
+        let labeling = scheme.label_tree(&tree)?;
+        Ok(Document {
+            tree,
+            scheme,
+            labeling,
+            snapshot: None,
+        })
+    }
+
+    /// The live tree.
+    pub fn tree(&self) -> &XmlTree {
+        &self.tree
+    }
+
+    /// The scheme instance.
+    pub fn scheme(&self) -> &S {
+        &self.scheme
+    }
+
+    /// The live labelling.
+    pub fn labeling(&self) -> &Labeling<S::Label> {
+        &self.labeling
+    }
+
+    /// The encoded snapshot of the current tree, building it on first
+    /// use after an update. Row indices returned by [`Document::xpath`]
+    /// address this document.
+    pub fn encoded(&mut self) -> Result<&EncodedDocument<S>, TreeError> {
+        match self.snapshot {
+            Some(ref enc) => Ok(enc),
+            None => {
+                let enc = EncodedDocument::encode(self.scheme.clone(), &self.tree)?;
+                Ok(self.snapshot.insert(enc))
+            }
+        }
+    }
+
+    /// Evaluate an XPath expression against the current tree. Returns
+    /// matching row indices into [`Document::encoded`], in document
+    /// order.
+    pub fn xpath(&mut self, expr: &str) -> Result<Vec<usize>, DocumentError> {
+        let expr = parse_xpath(expr)?;
+        Ok(expr.evaluate(self.encoded()?))
+    }
+
+    /// Replay an update script against the live tree through the
+    /// scheme's insertion/deletion path, invalidating the query
+    /// snapshot.
+    pub fn apply(&mut self, script: &Script) -> Result<DriveStats, TreeError> {
+        self.snapshot = None;
+        run_script(&mut self.tree, &mut self.scheme, &mut self.labeling, script)
+    }
+
+    /// Verify the live labelling against tree ground truth (document
+    /// order, duplicates, sampled relation and level answers).
+    pub fn verify(&self) -> Result<VerifyOutcome, TreeError> {
+        verify(
+            &self.tree,
+            &self.scheme,
+            &self.labeling,
+            VERIFY_SAMPLE_PAIRS,
+            VERIFY_SEED,
+        )
+    }
+
+    /// Rebuild an [`XmlTree`] from the encoded snapshot alone — the
+    /// round-trip the paper's reconstruction property asks for.
+    pub fn reconstruct(&mut self) -> Result<XmlTree, TreeError> {
+        let enc = self.encoded()?;
+        xupd_encoding::reconstruct::reconstruct(enc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xupd_schemes::prefix::dewey::DeweyId;
+    use xupd_schemes::prefix::qed::Qed;
+    use xupd_workloads::{docs, Script, ScriptKind};
+
+    #[test]
+    fn facade_round_trip_queries_updates_and_verifies() {
+        let tree = docs::xmark_like(41, 80);
+        let mut doc = Document::encode(Qed::new(), &tree).unwrap();
+        let before = doc.xpath("//item").unwrap();
+        assert!(!before.is_empty());
+
+        let script = Script::generate(ScriptKind::Random, 40, doc.tree().len(), 5);
+        let stats = doc.apply(&script).unwrap();
+        assert_eq!(stats.inserts, 40);
+        assert!(doc.verify().unwrap().is_sound());
+
+        // snapshot rebuilt after the update: the new nodes are visible
+        let rebuilt = doc.reconstruct().unwrap();
+        assert_eq!(rebuilt.len(), doc.tree().len());
+    }
+
+    #[test]
+    fn snapshot_is_reused_between_updates() {
+        let tree = docs::book();
+        let mut doc = Document::encode(DeweyId::new(), &tree).unwrap();
+        let a = doc.encoded().unwrap() as *const _;
+        doc.xpath("//title").unwrap();
+        let b = doc.encoded().unwrap() as *const _;
+        assert_eq!(a, b, "no re-encode without an update");
+        doc.apply(&Script::generate(ScriptKind::AppendOnly, 3, tree.len(), 1))
+            .unwrap();
+        let c = doc.encoded().unwrap() as *const _;
+        assert!(doc.tree().len() > tree.len());
+        let _ = c; // rebuilt lazily; contents now include the appended nodes
+        assert_eq!(doc.encoded().unwrap().len(), doc.tree().len());
+    }
+
+    #[test]
+    fn xpath_parse_errors_surface_as_document_errors() {
+        let tree = docs::book();
+        let mut doc = Document::encode(Qed::new(), &tree).unwrap();
+        let err = doc.xpath("//[broken").unwrap_err();
+        assert!(matches!(err, DocumentError::XPath(_)), "{err}");
+    }
+}

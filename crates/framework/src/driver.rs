@@ -1,7 +1,7 @@
 //! Replays update scripts against a labelling scheme, collecting the
 //! evidence the property checkers grade.
 
-use xupd_labelcore::{Labeling, LabelingScheme};
+use xupd_labelcore::{DynScheme, Labeling, LabelingScheme, SessionMut};
 use xupd_workloads::{Script, ScriptOp};
 use xupd_xmldom::{NodeId, NodeKind, TreeError, XmlTree};
 
@@ -134,10 +134,21 @@ impl ElementPool {
 /// [`ScriptOp::InsertAfter`] with index `usize::MAX` is the zigzag
 /// pattern: the driver maintains an adjacent pair and alternately
 /// tightens its left and right ends.
-pub fn run_script<S: LabelingScheme>(
+pub fn run_script<S: LabelingScheme + 'static>(
     tree: &mut XmlTree,
     scheme: &mut S,
     labeling: &mut Labeling<S::Label>,
+    script: &Script,
+) -> Result<DriveStats, TreeError> {
+    run_script_dyn(tree, &mut SessionMut::new(scheme, labeling), script)
+}
+
+/// Object-safe [`run_script`]: the implementation, written once against
+/// [`DynScheme`] so the registry battery and the typed API replay the
+/// exact same op semantics.
+pub fn run_script_dyn(
+    tree: &mut XmlTree,
+    session: &mut dyn DynScheme,
     script: &Script,
 ) -> Result<DriveStats, TreeError> {
     let mut stats = DriveStats::default();
@@ -159,7 +170,7 @@ pub fn run_script<S: LabelingScheme>(
                     tree.insert_before(target, node)?;
                 }
                 pool.insert_new(tree, node);
-                apply_insert(tree, scheme, labeling, node, &mut stats)?;
+                apply_insert_dyn(tree, session, node, &mut stats)?;
             }
             ScriptOp::InsertAfter(i) if i == usize::MAX => {
                 // zigzag: insert between an adjacent pair, alternately
@@ -177,18 +188,18 @@ pub fn run_script<S: LabelingScheme>(
                         let c1 = tree.create(NodeKind::element("u"));
                         tree.append_child(base, c1)?;
                         pool.insert_new(tree, c1);
-                        apply_insert(tree, scheme, labeling, c1, &mut stats)?;
+                        apply_insert_dyn(tree, session, c1, &mut stats)?;
                         let c2 = tree.create(NodeKind::element("u"));
                         tree.append_child(base, c2)?;
                         pool.insert_new(tree, c2);
-                        apply_insert(tree, scheme, labeling, c2, &mut stats)?;
+                        apply_insert_dyn(tree, session, c2, &mut stats)?;
                         (c1, c2)
                     }
                 };
                 let node = tree.create(NodeKind::element("u"));
                 tree.insert_after(a, node)?;
                 pool.insert_new(tree, node);
-                apply_insert(tree, scheme, labeling, node, &mut stats)?;
+                apply_insert_dyn(tree, session, node, &mut stats)?;
                 zig = Some(if zig_step % 2 == 0 {
                     (a, node)
                 } else {
@@ -205,40 +216,40 @@ pub fn run_script<S: LabelingScheme>(
                     tree.insert_after(target, node)?;
                 }
                 pool.insert_new(tree, node);
-                apply_insert(tree, scheme, labeling, node, &mut stats)?;
+                apply_insert_dyn(tree, session, node, &mut stats)?;
             }
             ScriptOp::PrependChild(i) => {
                 let target = pool.resolve(i);
                 let node = tree.create(NodeKind::element("u"));
                 tree.prepend_child(target, node)?;
                 pool.insert_new(tree, node);
-                apply_insert(tree, scheme, labeling, node, &mut stats)?;
+                apply_insert_dyn(tree, session, node, &mut stats)?;
             }
             ScriptOp::AppendChild(i) => {
                 let target = pool.resolve(i);
                 let node = tree.create(NodeKind::element("u"));
                 tree.append_child(target, node)?;
                 pool.insert_new(tree, node);
-                apply_insert(tree, scheme, labeling, node, &mut stats)?;
+                apply_insert_dyn(tree, session, node, &mut stats)?;
             }
             ScriptOp::DeleteSubtree(i) => {
                 let target = pool.resolve(i);
                 if Some(target) == tree.document_element() || pool.len() <= 2 {
                     continue;
                 }
-                scheme.on_delete(tree, labeling, target);
+                session.on_delete(tree, target);
                 pool.remove_subtree(tree, target);
                 tree.remove_subtree(target)?;
                 stats.deletes += 1;
             }
         }
         if op_idx % CHECKPOINT_EVERY == 0 {
-            stats.peak_label_bits = stats.peak_label_bits.max(labeling.max_bits());
+            stats.peak_label_bits = stats.peak_label_bits.max(session.max_bits());
         }
     }
-    stats.peak_label_bits = stats.peak_label_bits.max(labeling.max_bits());
-    stats.end_mean_bits = labeling.mean_bits();
-    stats.end_max_bits = labeling.max_bits();
+    stats.peak_label_bits = stats.peak_label_bits.max(session.max_bits());
+    stats.end_mean_bits = session.mean_bits();
+    stats.end_max_bits = session.max_bits();
     Ok(stats)
 }
 
@@ -248,19 +259,28 @@ pub fn run_script<S: LabelingScheme>(
 /// descendants are already attached to `tree`; each is labelled in
 /// preorder through the scheme's ordinary single-node insertion path.
 /// Returns the accumulated insert evidence.
-pub fn graft_subtree<S: LabelingScheme>(
+pub fn graft_subtree<S: LabelingScheme + 'static>(
     tree: &XmlTree,
     scheme: &mut S,
     labeling: &mut Labeling<S::Label>,
     root: NodeId,
 ) -> Result<DriveStats, TreeError> {
+    graft_subtree_dyn(tree, &mut SessionMut::new(scheme, labeling), root)
+}
+
+/// Object-safe [`graft_subtree`].
+pub fn graft_subtree_dyn(
+    tree: &XmlTree,
+    session: &mut dyn DynScheme,
+    root: NodeId,
+) -> Result<DriveStats, TreeError> {
     let mut stats = DriveStats::default();
     for node in tree.preorder_from(root) {
-        apply_insert(tree, scheme, labeling, node, &mut stats)?;
+        apply_insert_dyn(tree, session, node, &mut stats)?;
     }
-    stats.peak_label_bits = labeling.max_bits();
-    stats.end_mean_bits = labeling.mean_bits();
-    stats.end_max_bits = labeling.max_bits();
+    stats.peak_label_bits = session.max_bits();
+    stats.end_mean_bits = session.mean_bits();
+    stats.end_max_bits = session.max_bits();
     Ok(stats)
 }
 
@@ -270,7 +290,7 @@ pub fn graft_subtree<S: LabelingScheme>(
 /// which is exactly how XQuery Update expresses it — so persistent
 /// schemes keep every *other* label untouched, while the moved nodes
 /// necessarily get fresh labels (their positions changed).
-pub fn move_subtree<S: LabelingScheme>(
+pub fn move_subtree<S: LabelingScheme + 'static>(
     tree: &mut XmlTree,
     scheme: &mut S,
     labeling: &mut Labeling<S::Label>,
@@ -283,14 +303,13 @@ pub fn move_subtree<S: LabelingScheme>(
     graft_subtree(tree, scheme, labeling, root)
 }
 
-fn apply_insert<S: LabelingScheme>(
+fn apply_insert_dyn(
     tree: &XmlTree,
-    scheme: &mut S,
-    labeling: &mut Labeling<S::Label>,
+    session: &mut dyn DynScheme,
     node: NodeId,
     stats: &mut DriveStats,
 ) -> Result<(), TreeError> {
-    let report = scheme.on_insert(tree, labeling, node)?;
+    let report = session.on_insert(tree, node)?;
     stats.inserts += 1;
     stats.relabeled += report.relabeled.len() as u64;
     if report.overflowed {

@@ -19,15 +19,26 @@
 //! * [`matrix`] — the declared Figure 7 matrix (transcribed from the
 //!   paper) and the measured matrix, with rendering;
 //! * [`report`] — declared-vs-measured agreement reporting (the
-//!   reproduction's headline output).
+//!   reproduction's headline output);
+//! * [`document`] — the unified [`Document`] facade over encode /
+//!   query / update / verify / reconstruct.
+//!
+//! The checker battery fans out per scheme on the `xupd-exec` scoped
+//! pool (schemes are independent); results and renders are identical at
+//! any `XUPD_THREADS` setting.
 
 pub mod checkers;
+pub mod document;
 pub mod driver;
 pub mod matrix;
 pub mod orthogonal;
 pub mod report;
 pub mod verify;
 
-pub use checkers::{measure_scheme, Evidence, Measured};
-pub use matrix::{declared_figure7, measure_all, measure_figure7, EvaluationMatrix, MatrixRow};
+pub use checkers::{measure_scheme, measure_session, Evidence, Measured};
+pub use document::{Document, DocumentError};
+pub use matrix::{
+    declared_figure7, measure_all, measure_all_threads, measure_entries_threads, measure_figure7,
+    measure_figure7_threads, EvaluationMatrix, MatrixRow,
+};
 pub use report::Figure7Report;

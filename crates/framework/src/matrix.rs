@@ -1,9 +1,9 @@
 //! The Figure 7 evaluation matrix: declared (transcribed from the paper)
 //! and measured (from the [`crate::checkers`] battery), with rendering.
 
-use crate::checkers::{measure_scheme, Measured};
-use xupd_labelcore::{Compliance, LabelingScheme, SchemeDescriptor, SchemeVisitor};
-use xupd_schemes::{visit_all_schemes, visit_figure7_schemes};
+use crate::checkers::{measure_session, Measured};
+use xupd_labelcore::{Compliance, SchemeDescriptor};
+use xupd_schemes::{registry, registry_figure7, SchemeEntry};
 use xupd_xmldom::TreeError;
 
 /// One matrix row: descriptive columns plus eight graded cells.
@@ -97,95 +97,99 @@ impl EvaluationMatrix {
     }
 }
 
-struct DescriptorCollector(Vec<SchemeDescriptor>);
-
-impl SchemeVisitor for DescriptorCollector {
-    fn visit<S: LabelingScheme>(&mut self, scheme: S) {
-        self.0.push(scheme.descriptor());
+fn declared_matrix(entries: &[SchemeEntry], title: &str) -> EvaluationMatrix {
+    EvaluationMatrix {
+        title: title.to_string(),
+        rows: entries
+            .iter()
+            .map(|e| MatrixRow {
+                cells: e.descriptor.declared,
+                descriptor: e.descriptor.clone(),
+            })
+            .collect(),
     }
 }
 
 /// The paper's Figure 7, transcribed: twelve rows of declared compliance.
 pub fn declared_figure7() -> EvaluationMatrix {
-    let mut c = DescriptorCollector(Vec::new());
-    visit_figure7_schemes(&mut c);
-    EvaluationMatrix {
-        title: "Figure 7 — declared evaluation framework (transcribed from the paper)".to_string(),
-        rows: c
-            .0
-            .into_iter()
-            .map(|d| MatrixRow {
-                cells: d.declared,
-                descriptor: d,
-            })
-            .collect(),
-    }
+    declared_matrix(
+        &registry_figure7(),
+        "Figure 7 — declared evaluation framework (transcribed from the paper)",
+    )
 }
 
 /// Declared rows for the full roster (Figure 7 + §6 extensions).
 pub fn declared_all() -> EvaluationMatrix {
-    let mut c = DescriptorCollector(Vec::new());
-    visit_all_schemes(&mut c);
-    EvaluationMatrix {
-        title: "Declared evaluation framework (Figure 7 roster + §6 extensions)".to_string(),
-        rows: c
-            .0
-            .into_iter()
-            .map(|d| MatrixRow {
-                cells: d.declared,
-                descriptor: d,
-            })
-            .collect(),
+    declared_matrix(
+        &registry(),
+        "Declared evaluation framework (Figure 7 roster + §6 extensions)",
+    )
+}
+
+/// Run the checker battery over `entries` on `workers` pool threads
+/// (schemes are independent, so the fan-out is per entry). Results come
+/// back in roster order regardless of worker count, and **every**
+/// failing scheme's error is reported — unlike the retired visitor
+/// collector, which parked only the first.
+pub fn measure_entries_threads(
+    entries: Vec<SchemeEntry>,
+    workers: usize,
+) -> (
+    Vec<(SchemeDescriptor, Measured)>,
+    Vec<(SchemeDescriptor, TreeError)>,
+) {
+    let outcomes = xupd_exec::par_map_with(workers, &entries, |entry| {
+        let mut session = entry.session();
+        measure_session(session.as_mut())
+    });
+    let mut results = Vec::new();
+    let mut errors = Vec::new();
+    for (entry, outcome) in entries.into_iter().zip(outcomes) {
+        match outcome {
+            Ok(m) => results.push((entry.descriptor, m)),
+            Err(e) => errors.push((entry.descriptor, e)),
+        }
+    }
+    (results, errors)
+}
+
+fn first_error_or(
+    (results, mut errors): (
+        Vec<(SchemeDescriptor, Measured)>,
+        Vec<(SchemeDescriptor, TreeError)>,
+    ),
+) -> Result<Vec<(SchemeDescriptor, Measured)>, TreeError> {
+    if errors.is_empty() {
+        Ok(results)
+    } else {
+        Err(errors.remove(0).1)
     }
 }
 
-/// Collects checker results; the visitor interface is infallible, so the
-/// first error is parked and surfaced when the battery returns.
-struct MeasureCollector {
-    results: Vec<(SchemeDescriptor, Measured)>,
-    error: Option<TreeError>,
-}
-
-impl SchemeVisitor for MeasureCollector {
-    fn visit<S: LabelingScheme>(&mut self, scheme: S) {
-        if self.error.is_some() {
-            return;
-        }
-        let descriptor = scheme.descriptor();
-        match measure_scheme(scheme) {
-            Ok(measured) => self.results.push((descriptor, measured)),
-            Err(e) => self.error = Some(e),
-        }
-    }
-}
-
-impl MeasureCollector {
-    fn finish(self) -> Result<Vec<(SchemeDescriptor, Measured)>, TreeError> {
-        match self.error {
-            Some(e) => Err(e),
-            None => Ok(self.results),
-        }
-    }
-}
-
-/// Run the checker battery over the twelve Figure 7 schemes.
+/// Run the checker battery over the twelve Figure 7 schemes, in
+/// parallel on the [`xupd_exec`] pool.
 pub fn measure_figure7() -> Result<Vec<(SchemeDescriptor, Measured)>, TreeError> {
-    let mut c = MeasureCollector {
-        results: Vec::new(),
-        error: None,
-    };
-    visit_figure7_schemes(&mut c);
-    c.finish()
+    measure_figure7_threads(xupd_exec::worker_count())
 }
 
-/// Run the checker battery over the full roster.
+/// [`measure_figure7`] with an explicit worker count.
+pub fn measure_figure7_threads(
+    workers: usize,
+) -> Result<Vec<(SchemeDescriptor, Measured)>, TreeError> {
+    first_error_or(measure_entries_threads(registry_figure7(), workers))
+}
+
+/// Run the checker battery over the full roster, in parallel on the
+/// [`xupd_exec`] pool.
 pub fn measure_all() -> Result<Vec<(SchemeDescriptor, Measured)>, TreeError> {
-    let mut c = MeasureCollector {
-        results: Vec::new(),
-        error: None,
-    };
-    visit_all_schemes(&mut c);
-    c.finish()
+    measure_all_threads(xupd_exec::worker_count())
+}
+
+/// [`measure_all`] with an explicit worker count.
+pub fn measure_all_threads(
+    workers: usize,
+) -> Result<Vec<(SchemeDescriptor, Measured)>, TreeError> {
+    first_error_or(measure_entries_threads(registry(), workers))
 }
 
 /// Build the measured matrix from checker results.

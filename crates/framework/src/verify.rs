@@ -15,8 +15,8 @@
 
 use std::cmp::Ordering;
 use xupd_testkit::TestRng;
-use xupd_labelcore::{Labeling, LabelingScheme, Relation};
-use xupd_xmldom::{TreeError, XmlTree};
+use xupd_labelcore::{DynScheme, Labeling, LabelingScheme, Relation};
+use xupd_xmldom::{NodeId, TreeError, XmlTree};
 
 /// Per-relation verification outcome.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -94,16 +94,57 @@ pub fn verify<S: LabelingScheme>(
     sample_pairs: usize,
     seed: u64,
 ) -> Result<VerifyOutcome, TreeError> {
+    verify_core(
+        tree,
+        sample_pairs,
+        seed,
+        &|a, b| Ok(scheme.cmp_doc(labeling.req(a)?, labeling.req(b)?)),
+        &|rel, a, b| Ok(scheme.relation(rel, labeling.req(a)?, labeling.req(b)?)),
+        &|a| Ok(scheme.level(labeling.req(a)?)),
+        &|| labeling.find_duplicate().is_some(),
+    )
+}
+
+/// Object-safe [`verify`] over a [`DynScheme`] session.
+pub fn verify_dyn(
+    tree: &XmlTree,
+    session: &dyn DynScheme,
+    sample_pairs: usize,
+    seed: u64,
+) -> Result<VerifyOutcome, TreeError> {
+    verify_core(
+        tree,
+        sample_pairs,
+        seed,
+        &|a, b| session.cmp_nodes(a, b),
+        &|rel, a, b| session.relation_nodes(rel, a, b),
+        &|a| session.level_node(a),
+        &|| session.has_duplicate_labels(),
+    )
+}
+
+/// The one verification algorithm. The typed and object-safe fronts both
+/// funnel here, parameterised only by how a node resolves to its
+/// scheme-algebra answers, so the two paths can never grade differently.
+#[allow(clippy::too_many_arguments)]
+fn verify_core(
+    tree: &XmlTree,
+    sample_pairs: usize,
+    seed: u64,
+    cmp: &dyn Fn(NodeId, NodeId) -> Result<Ordering, TreeError>,
+    relation: &dyn Fn(Relation, NodeId, NodeId) -> Result<Option<bool>, TreeError>,
+    level: &dyn Fn(NodeId) -> Result<Option<u32>, TreeError>,
+    has_duplicate: &dyn Fn() -> bool,
+) -> Result<VerifyOutcome, TreeError> {
     let mut out = VerifyOutcome::default();
     let order = tree.ids_in_doc_order();
 
     for w in order.windows(2) {
-        let (a, b) = (labeling.req(w[0])?, labeling.req(w[1])?);
-        if scheme.cmp_doc(a, b) != Ordering::Less {
+        if cmp(w[0], w[1])? != Ordering::Less {
             out.order_violations += 1;
         }
     }
-    out.duplicate_labels = labeling.find_duplicate().is_some();
+    out.duplicate_labels = has_duplicate();
 
     let mut rng = TestRng::seed_from_u64(seed ^ 0xfeed);
     let mut level_mismatches: Option<usize> = None;
@@ -113,7 +154,6 @@ pub fn verify<S: LabelingScheme>(
         if x == y {
             continue;
         }
-        let (lx, ly) = (labeling.req(x)?, labeling.req(y)?);
         let truths = [
             (Relation::AncestorDescendant, tree.is_ancestor(x, y)),
             (Relation::ParentChild, tree.parent(y) == Some(x)),
@@ -128,7 +168,7 @@ pub fn verify<S: LabelingScheme>(
                 Relation::ParentChild => &mut out.parent,
                 Relation::Sibling => &mut out.sibling,
             };
-            if let Some(ans) = scheme.relation(rel, lx, ly) {
+            if let Some(ans) = relation(rel, x, y)? {
                 check.supported = true;
                 check.checked += 1;
                 if ans != truth {
@@ -136,7 +176,7 @@ pub fn verify<S: LabelingScheme>(
                 }
             }
         }
-        if let Some(lv) = scheme.level(lx) {
+        if let Some(lv) = level(x)? {
             let slot = level_mismatches.get_or_insert(0);
             if lv != tree.depth(x) {
                 *slot += 1;

@@ -6,21 +6,20 @@
 //! op (the pre-optimisation behaviour, kept here as the executable
 //! specification of the op-addressing semantics) and asserts that both
 //! produce identical [`DriveStats`] and identical final labelings for
-//! every Figure 7 scheme.
+//! every Figure 7 scheme. Schemes are independent, so the battery fans
+//! out per scheme on the `xupd-exec` pool.
 
-use std::collections::BTreeMap;
-use xupd_framework::driver::{run_script, DriveStats};
-use xupd_labelcore::{Label, Labeling, LabelingScheme, SchemeVisitor};
-use xupd_schemes::visit_figure7_schemes;
+use xupd_framework::driver::{run_script_dyn, DriveStats};
+use xupd_labelcore::DynScheme;
+use xupd_schemes::{registry_figure7, SchemeEntry};
 use xupd_workloads::{docs, Script, ScriptOp};
 use xupd_xmldom::{NodeId, NodeKind, TreeError, XmlTree};
 
 /// The pre-optimisation driver: element pool rebuilt from scratch before
-/// every op. Semantics must match `run_script` exactly.
-fn run_script_reference<S: LabelingScheme>(
+/// every op. Semantics must match `run_script_dyn` exactly.
+fn run_script_reference(
     tree: &mut XmlTree,
-    scheme: &mut S,
-    labeling: &mut Labeling<S::Label>,
+    session: &mut dyn DynScheme,
     script: &Script,
 ) -> Result<DriveStats, TreeError> {
     const CHECKPOINT_EVERY: usize = 25;
@@ -29,12 +28,11 @@ fn run_script_reference<S: LabelingScheme>(
     let mut zig_step = 0usize;
 
     let apply_insert = |tree: &XmlTree,
-                            scheme: &mut S,
-                            labeling: &mut Labeling<S::Label>,
+                            session: &mut dyn DynScheme,
                             node: NodeId,
                             stats: &mut DriveStats|
      -> Result<(), TreeError> {
-        let report = scheme.on_insert(tree, labeling, node)?;
+        let report = session.on_insert(tree, node)?;
         stats.inserts += 1;
         stats.relabeled += report.relabeled.len() as u64;
         if report.overflowed {
@@ -62,7 +60,7 @@ fn run_script_reference<S: LabelingScheme>(
                 } else {
                     tree.insert_before(target, node)?;
                 }
-                apply_insert(tree, scheme, labeling, node, &mut stats)?;
+                apply_insert(tree, session, node, &mut stats)?;
             }
             ScriptOp::InsertAfter(i) if i == usize::MAX => {
                 let (a, b) = match zig {
@@ -77,16 +75,16 @@ fn run_script_reference<S: LabelingScheme>(
                         let base = resolve(pool.len() / 2);
                         let c1 = tree.create(NodeKind::element("u"));
                         tree.append_child(base, c1)?;
-                        apply_insert(tree, scheme, labeling, c1, &mut stats)?;
+                        apply_insert(tree, session, c1, &mut stats)?;
                         let c2 = tree.create(NodeKind::element("u"));
                         tree.append_child(base, c2)?;
-                        apply_insert(tree, scheme, labeling, c2, &mut stats)?;
+                        apply_insert(tree, session, c2, &mut stats)?;
                         (c1, c2)
                     }
                 };
                 let node = tree.create(NodeKind::element("u"));
                 tree.insert_after(a, node)?;
-                apply_insert(tree, scheme, labeling, node, &mut stats)?;
+                apply_insert(tree, session, node, &mut stats)?;
                 zig = Some(if zig_step % 2 == 0 { (a, node) } else { (node, b) });
                 zig_step += 1;
             }
@@ -98,98 +96,77 @@ fn run_script_reference<S: LabelingScheme>(
                 } else {
                     tree.insert_after(target, node)?;
                 }
-                apply_insert(tree, scheme, labeling, node, &mut stats)?;
+                apply_insert(tree, session, node, &mut stats)?;
             }
             ScriptOp::PrependChild(i) => {
                 let target = resolve(i);
                 let node = tree.create(NodeKind::element("u"));
                 tree.prepend_child(target, node)?;
-                apply_insert(tree, scheme, labeling, node, &mut stats)?;
+                apply_insert(tree, session, node, &mut stats)?;
             }
             ScriptOp::AppendChild(i) => {
                 let target = resolve(i);
                 let node = tree.create(NodeKind::element("u"));
                 tree.append_child(target, node)?;
-                apply_insert(tree, scheme, labeling, node, &mut stats)?;
+                apply_insert(tree, session, node, &mut stats)?;
             }
             ScriptOp::DeleteSubtree(i) => {
                 let target = resolve(i);
                 if Some(target) == tree.document_element() || pool.len() <= 2 {
                     continue;
                 }
-                scheme.on_delete(tree, labeling, target);
+                session.on_delete(tree, target);
                 tree.remove_subtree(target)?;
                 stats.deletes += 1;
             }
         }
         if op_idx % CHECKPOINT_EVERY == 0 {
-            stats.peak_label_bits = stats.peak_label_bits.max(labeling.max_bits());
+            stats.peak_label_bits = stats.peak_label_bits.max(session.max_bits());
         }
     }
-    stats.peak_label_bits = stats.peak_label_bits.max(labeling.max_bits());
-    stats.end_mean_bits = labeling.mean_bits();
-    stats.end_max_bits = labeling.max_bits();
+    stats.peak_label_bits = stats.peak_label_bits.max(session.max_bits());
+    stats.end_mean_bits = session.mean_bits();
+    stats.end_max_bits = session.max_bits();
     Ok(stats)
 }
 
 /// One run's observable outcome: the drive evidence plus every final
-/// label rendered to its display form (display strings compare across
-/// the two runs without requiring `Clone` label types).
+/// label rendered to its display form.
 #[derive(Debug, PartialEq)]
 struct Outcome {
     stats: DriveStats,
     labels: Vec<(usize, String)>,
 }
 
-struct Collect {
-    incremental: bool,
-    script: Script,
-    seed: u64,
-    nodes: usize,
-    outcomes: BTreeMap<&'static str, Outcome>,
-}
-
-impl SchemeVisitor for Collect {
-    fn visit<S: LabelingScheme>(&mut self, mut scheme: S) {
-        let mut tree = docs::random_tree(self.seed, self.nodes);
-        let mut labeling = scheme.label_tree(&tree).unwrap();
-        let stats = if self.incremental {
-            run_script(&mut tree, &mut scheme, &mut labeling, &self.script).unwrap()
-        } else {
-            run_script_reference(&mut tree, &mut scheme, &mut labeling, &self.script).unwrap()
-        };
-        let labels = labeling
-            .iter()
-            .map(|(id, l)| (id.index(), l.display()))
-            .collect();
-        self.outcomes.insert(scheme.name(), Outcome { stats, labels });
+fn run_one(entry: &SchemeEntry, script: &Script, seed: u64, nodes: usize, incremental: bool) -> Outcome {
+    let mut session = entry.session();
+    let mut tree = docs::random_tree(seed, nodes);
+    session.label_tree(&tree).unwrap();
+    let stats = if incremental {
+        run_script_dyn(&mut tree, session.as_mut(), script).unwrap()
+    } else {
+        run_script_reference(&mut tree, session.as_mut(), script).unwrap()
+    };
+    Outcome {
+        stats,
+        labels: session.labels_display(),
     }
 }
 
 fn diff_scripts(kind: xupd_workloads::ScriptKind, ops: usize, seed: u64) {
     let nodes = 110;
     let script = Script::generate(kind, ops, nodes, seed);
-    let mut inc = Collect {
-        incremental: true,
-        script: script.clone(),
-        seed,
-        nodes,
-        outcomes: BTreeMap::new(),
-    };
-    visit_figure7_schemes(&mut inc);
-    let mut refr = Collect {
-        incremental: false,
-        script,
-        seed,
-        nodes,
-        outcomes: BTreeMap::new(),
-    };
-    visit_figure7_schemes(&mut refr);
+    let entries = registry_figure7();
+    let outcomes = xupd_exec::par_map(&entries, |entry| {
+        (
+            entry.name(),
+            run_one(entry, &script, seed, nodes, true),
+            run_one(entry, &script, seed, nodes, false),
+        )
+    });
 
-    assert_eq!(inc.outcomes.len(), 12);
-    assert_eq!(refr.outcomes.len(), 12);
-    for (name, reference) in &refr.outcomes {
-        let incremental = &inc.outcomes[name];
+    assert_eq!(outcomes.len(), 12);
+    for (name, incremental, reference) in &outcomes {
         assert_eq!(
             incremental.stats, reference.stats,
             "{name}: drive stats diverged under {kind:?}"

@@ -27,6 +27,7 @@ pub mod properties;
 pub mod qstorage;
 pub mod quaternary;
 pub mod scheme;
+pub mod session;
 pub mod smallbuf;
 pub mod stats;
 pub mod varint;
@@ -37,6 +38,9 @@ pub use smallbuf::{SmallBuf, SmallVec};
 pub use label::{Label, Labeling};
 pub use properties::{Compliance, EncodingRep, OrderKind, Property, SchemeDescriptor};
 pub use quaternary::QCode;
-pub use scheme::{InsertReport, LabelingScheme, Relation, SchemeVisitor};
+pub use scheme::{InsertReport, LabelingScheme, Relation};
+#[allow(deprecated)]
+pub use scheme::SchemeVisitor;
+pub use session::{DynScheme, SchemeSession, SessionMut, SessionParts};
 pub use stats::SchemeStats;
 pub use vectorcode::VectorCode;

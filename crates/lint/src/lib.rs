@@ -8,10 +8,12 @@
 //! nondeterminism or panics at runtime, the tree is scanned for the
 //! constructs that could introduce them.
 //!
-//! Five rules (see [`rules`] for the table): no panic paths in library
+//! Seven rules (see [`rules`] for the table): no panic paths in library
 //! code (R1), no hash-ordered collections in result-producing crates
 //! (R2), no ambient clocks or entropy outside `testkit::bench` (R3), no
-//! incomplete `LabelingScheme` impls (R4), and no `unsafe` anywhere (R5).
+//! incomplete `LabelingScheme` impls (R4), no `unsafe` anywhere (R5), no
+//! per-op full-tree `.preorder()` rebuilds (R6), and no raw thread
+//! spawns outside the `xupd-exec` pool crate (R7).
 //!
 //! A finding can be acknowledged in place with a justified suppression:
 //!

@@ -9,6 +9,7 @@
 //! | R4 | scheme-completeness        | no `todo!`/`unimplemented!` inside a `LabelingScheme` impl in `xupd-schemes` |
 //! | R5 | forbid-unsafe              | no `unsafe` anywhere in the workspace |
 //! | R6 | no-per-op-preorder-rebuild | no `.preorder()` full-tree scan inside a per-op replay loop (a `for` loop whose header mentions `ops`) — rebuildable state must be maintained incrementally |
+//! | R7 | no-raw-thread-spawn        | no `thread::spawn`/`scope.spawn` callees outside `crates/exec` — all fan-out goes through the `xupd-exec` pool so `XUPD_THREADS` governs every worker |
 
 use crate::lexer::{scan, Suppression, TokKind, Token};
 
@@ -31,7 +32,7 @@ pub const R2_CRATES: &[&str] = &[
 ];
 
 /// All rule ids, in report order.
-pub const ALL_RULES: &[&str] = &["R1", "R2", "R3", "R4", "R5", "R6"];
+pub const ALL_RULES: &[&str] = &["R1", "R2", "R3", "R4", "R5", "R6", "R7"];
 
 /// Human name for a rule id.
 pub fn rule_name(id: &str) -> &'static str {
@@ -42,6 +43,7 @@ pub fn rule_name(id: &str) -> &'static str {
         "R4" => "scheme-completeness",
         "R5" => "forbid-unsafe",
         "R6" => "no-per-op-preorder-rebuild",
+        "R7" => "no-raw-thread-spawn",
         _ => "unknown-rule",
     }
 }
@@ -133,6 +135,9 @@ pub fn check_source(src: &str, ctx: &FileCtx) -> (Vec<Finding>, Vec<Suppression>
     // R6 applies to test code too (differential/reference drivers live in
     // tests/ and must opt out explicitly via lint:allow).
     let r6_applies = R2_CRATES.iter().any(|c| *c == ctx.crate_name.as_str());
+    // R7 applies everywhere except the pool crate itself, test code
+    // included: a raw spawn in a test escapes XUPD_THREADS just the same.
+    let r7_applies = ctx.crate_name != "exec";
 
     for (i, t) in toks.iter().enumerate() {
         if t.kind != TokKind::Ident {
@@ -228,6 +233,25 @@ pub fn check_source(src: &str, ctx: &FileCtx) -> (Vec<Finding>, Vec<Suppression>
                 t,
                 ".preorder() full-tree scan inside a per-op loop; maintain the state incrementally"
                     .to_string(),
+            );
+        }
+
+        // R7 — raw thread spawns outside the pool crate. `::` lexes as
+        // two `:` puncts, so `thread::spawn` has `:` as the previous
+        // token and `scope.spawn` has `.`.
+        if r7_applies
+            && text == "spawn"
+            && i > 0
+            && toks[i - 1].kind == TokKind::Punct
+            && matches!(toks[i - 1].text(src), "." | ":")
+            && next_is(toks, src, i, "(")
+        {
+            push(
+                &mut findings,
+                "R7",
+                ctx,
+                t,
+                "raw thread spawn; route fan-out through xupd_exec::par_map".to_string(),
             );
         }
     }
@@ -581,6 +605,30 @@ mod tests {
         // a for loop without `ops` in its header is not a replay loop
         let other = "fn f() { for x in items { let v: Vec<_> = tree.preorder().collect(); } }";
         assert!(unsuppressed(other, "crates/framework/src/driver.rs").is_empty());
+    }
+
+    #[test]
+    fn r7_flags_raw_spawns_outside_the_pool_crate() {
+        let free = "fn f() { std::thread::spawn(|| {}); }";
+        let f = unsuppressed(free, "crates/framework/src/a.rs");
+        assert_eq!(f.iter().filter(|f| f.rule == "R7").count(), 1, "{f:?}");
+        // scoped-spawn method calls are raw spawns too
+        let scoped = "fn f(s: &Scope) { s.spawn(|| {}); }";
+        let f = unsuppressed(scoped, "tests/a.rs");
+        assert_eq!(f.iter().filter(|f| f.rule == "R7").count(), 1);
+        // test code gets no exemption — a raw spawn escapes XUPD_THREADS
+        let f = unsuppressed(free, "crates/bench/src/bin/b.rs");
+        assert_eq!(f.iter().filter(|f| f.rule == "R7").count(), 1);
+    }
+
+    #[test]
+    fn r7_leaves_the_pool_crate_and_non_calls_alone() {
+        let free = "fn f() { std::thread::spawn(|| {}); }";
+        assert!(unsuppressed(free, "crates/exec/src/lib.rs").is_empty());
+        assert!(unsuppressed(free, "crates/exec/tests/pool.rs").is_empty());
+        // `spawn` as a plain ident (fn name, doc word) is not a call site
+        let def = "fn spawn_workers(n: usize) { let spawn = n; }";
+        assert!(unsuppressed(def, "crates/framework/src/a.rs").is_empty());
     }
 
     #[test]

@@ -23,17 +23,23 @@
 //! the Prime-number scheme ([`prime`]), DDE ([`dde`]) and the §4
 //! orthogonality composition QED∘Containment ([`qcontainment`]).
 //!
-//! [`visit_all_schemes`] drives a [`SchemeVisitor`] over fresh instances of
-//! every scheme; [`visit_figure7_schemes`] restricts the roster to the
-//! twelve Figure 7 rows.
+//! [`registry`] / [`registry_figure7`] expose the roster as plain data:
+//! a `Vec<SchemeEntry>` of descriptors plus `fn() -> Box<dyn DynScheme>`
+//! session factories, which is what the framework's parallel battery,
+//! the benches and the differential tests iterate. The deprecated
+//! [`visit_all_schemes`] / [`visit_figure7_schemes`] visitor entry
+//! points remain as thin adapters for one release.
 
 pub mod containment;
 pub mod dde;
 pub mod prefix;
 pub mod prime;
 pub mod qcontainment;
+pub mod registry;
 pub mod vector;
 
+pub use registry::{registry, registry_figure7, SchemeEntry};
+#[allow(deprecated)]
 pub use xupd_labelcore::scheme::SchemeVisitor;
 
 /// Names of the twelve Figure 7 schemes in the paper's row order.
@@ -54,6 +60,8 @@ pub const FIGURE7_ORDER: [&str; 12] = [
 
 /// Visit a fresh instance of every implemented scheme (Figure 7 roster
 /// plus the §6 extensions), in a stable order.
+#[deprecated(since = "0.1.0", note = "use registry() and DynScheme sessions")]
+#[allow(deprecated)]
 pub fn visit_all_schemes<V: SchemeVisitor>(v: &mut V) {
     visit_figure7_schemes(v);
     v.visit(prefix::cdbs::Cdbs::new());
@@ -65,6 +73,8 @@ pub fn visit_all_schemes<V: SchemeVisitor>(v: &mut V) {
 
 /// Visit a fresh instance of each of the twelve Figure 7 schemes, in the
 /// paper's row order.
+#[deprecated(since = "0.1.0", note = "use registry_figure7() and DynScheme sessions")]
+#[allow(deprecated)]
 pub fn visit_figure7_schemes<V: SchemeVisitor>(v: &mut V) {
     v.visit(containment::accel::XPathAccelerator::new());
     v.visit(containment::xrel::XRel::new());
@@ -83,46 +93,32 @@ pub fn visit_figure7_schemes<V: SchemeVisitor>(v: &mut V) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use xupd_labelcore::LabelingScheme;
-
-    struct NameCollector(Vec<&'static str>);
-
-    impl SchemeVisitor for NameCollector {
-        fn visit<S: LabelingScheme>(&mut self, scheme: S) {
-            self.0.push(scheme.name());
-        }
-    }
 
     #[test]
     fn figure7_roster_matches_paper_order() {
-        let mut c = NameCollector(Vec::new());
-        visit_figure7_schemes(&mut c);
-        assert_eq!(c.0, FIGURE7_ORDER);
+        let names: Vec<&str> = registry_figure7().iter().map(|e| e.name()).collect();
+        assert_eq!(names, FIGURE7_ORDER);
     }
 
     #[test]
     fn full_roster_extends_figure7() {
-        let mut c = NameCollector(Vec::new());
-        visit_all_schemes(&mut c);
-        assert_eq!(c.0.len(), 17);
-        assert_eq!(&c.0[..12], &FIGURE7_ORDER);
-        assert!(c.0.contains(&"CDBS"));
-        assert!(c.0.contains(&"Com-D"));
-        assert!(c.0.contains(&"Prime"));
-        assert!(c.0.contains(&"DDE"));
-        assert!(c.0.contains(&"QED∘Containment"));
+        let names: Vec<&str> = registry().iter().map(|e| e.name()).collect();
+        assert_eq!(names.len(), 17);
+        assert_eq!(&names[..12], &FIGURE7_ORDER);
+        assert!(names.contains(&"CDBS"));
+        assert!(names.contains(&"Com-D"));
+        assert!(names.contains(&"Prime"));
+        assert!(names.contains(&"DDE"));
+        assert!(names.contains(&"QED∘Containment"));
     }
 
     #[test]
     fn descriptors_are_self_consistent() {
-        struct Check;
-        impl SchemeVisitor for Check {
-            fn visit<S: LabelingScheme>(&mut self, scheme: S) {
-                let d = scheme.descriptor();
-                assert_eq!(d.name, scheme.name());
-                assert!(!d.citation.is_empty());
-            }
+        for entry in registry() {
+            let session = entry.session();
+            let d = session.descriptor();
+            assert_eq!(d.name, session.name());
+            assert!(!d.citation.is_empty());
         }
-        visit_all_schemes(&mut Check);
     }
 }

@@ -216,6 +216,15 @@ pub struct PrefixScheme<A: SiblingAlgebra> {
     stats: SchemeStats,
 }
 
+impl<A: SiblingAlgebra + Clone> Clone for PrefixScheme<A> {
+    fn clone(&self) -> Self {
+        PrefixScheme {
+            algebra: self.algebra.clone(),
+            stats: self.stats.clone(),
+        }
+    }
+}
+
 impl<A: SiblingAlgebra> PrefixScheme<A> {
     /// Wrap an algebra.
     pub fn from_algebra(algebra: A) -> Self {

@@ -1,9 +1,12 @@
 //! Allocation-counting global allocator for the bench harness.
 //!
 //! Wraps [`std::alloc::System`] and counts allocation events and bytes
-//! requested in relaxed atomics, so bench iterations can report
+//! requested **per thread**, so bench iterations can report
 //! `allocs`/`alloc_bytes` deltas alongside wall-clock time — the
 //! observability layer for the allocation-lean label hot path work.
+//! Per-thread tallies keep the numbers deterministic when bench
+//! batteries fan out per scheme on the `xupd-exec` pool: each worker's
+//! deltas see only its own scheme's allocations, never a neighbour's.
 //!
 //! Install it in a bench binary with [`crate::install_counting_allocator!`];
 //! binaries without it simply report zeros (the harness reads whatever
@@ -14,18 +17,31 @@
 //! scoped to exactly that necessity.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 
-static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
-static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+// Const-initialised `Cell`s have no destructor, so the allocator can
+// touch them from any thread state except after TLS teardown — where
+// `try_with` makes the count a silent no-op rather than a panic.
+thread_local! {
+    static ALLOC_EVENTS: Cell<u64> = const { Cell::new(0) };
+    static ALLOC_BYTES: Cell<u64> = const { Cell::new(0) };
+}
 
-/// Cumulative `(allocation_events, bytes_requested)` since process start.
-/// Monotonic; callers take deltas around a measured region.
+/// Cumulative `(allocation_events, bytes_requested)` on the **calling
+/// thread** since it started. Monotonic; callers take deltas around a
+/// measured region on the same thread that runs it.
 pub fn counts() -> (u64, u64) {
     (
-        ALLOC_EVENTS.load(Ordering::Relaxed),
-        ALLOC_BYTES.load(Ordering::Relaxed),
+        ALLOC_EVENTS.try_with(Cell::get).unwrap_or(0),
+        ALLOC_BYTES.try_with(Cell::get).unwrap_or(0),
     )
+}
+
+fn record(bytes: u64) {
+    // Ignore allocations during TLS destruction; everything a bench
+    // measures happens while the thread is live.
+    let _ = ALLOC_EVENTS.try_with(|c| c.set(c.get() + 1));
+    let _ = ALLOC_BYTES.try_with(|c| c.set(c.get() + bytes));
 }
 
 /// A [`System`]-delegating allocator that counts events and bytes.
@@ -40,8 +56,7 @@ pub struct CountingAllocator;
 unsafe impl GlobalAlloc for CountingAllocator {
     // lint:allow(R5): trait method is declared unsafe fn
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
-        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        record(layout.size() as u64);
         System.alloc(layout)
     }
 
@@ -52,15 +67,13 @@ unsafe impl GlobalAlloc for CountingAllocator {
 
     // lint:allow(R5): trait method is declared unsafe fn
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
-        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        record(layout.size() as u64);
         System.alloc_zeroed(layout)
     }
 
     // lint:allow(R5): trait method is declared unsafe fn
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
-        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        record(new_size as u64);
         System.realloc(ptr, layout, new_size)
     }
 }

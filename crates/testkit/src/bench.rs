@@ -7,9 +7,9 @@
 //! commits, per DESIGN.md, not absolute nanoseconds. Iteration counts
 //! can be raised for quieter numbers via `XUPD_BENCH_ITERS`.
 
-use std::cell::OnceCell;
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::sync::OnceLock;
 use std::time::Instant;
 
 pub use std::hint::black_box;
@@ -32,7 +32,7 @@ pub struct Sample {
     /// Per-iteration allocated-byte deltas.
     alloc_bytes: Vec<u64>,
     /// Lazily sorted copy of `times_ns`, shared by all summary stats.
-    sorted: OnceCell<Vec<u64>>,
+    sorted: OnceLock<Vec<u64>>,
 }
 
 impl Sample {
@@ -55,7 +55,7 @@ impl Sample {
             times_ns,
             allocs,
             alloc_bytes,
-            sorted: OnceCell::new(),
+            sorted: OnceLock::new(),
         }
     }
 
@@ -175,7 +175,18 @@ impl Harness {
     /// Run one case: `warmup` untimed calls, then the timed iterations.
     /// The closure's return value is passed through [`black_box`] so the
     /// optimiser cannot delete the measured work.
-    pub fn bench<R, F: FnMut() -> R>(&mut self, name: &str, mut f: F) {
+    pub fn bench<R, F: FnMut() -> R>(&mut self, name: &str, f: F) {
+        let sample = self.bench_case(name, f);
+        self.push(sample);
+    }
+
+    /// Measure one case and return its [`Sample`] without recording or
+    /// printing anything. Takes `&self`, so per-scheme cases can run on
+    /// `xupd-exec` pool workers concurrently — allocation deltas are
+    /// per-thread, so each worker's counts cover only its own closure —
+    /// and the completed samples are [`Harness::push`]ed on the driving
+    /// thread in roster order for deterministic output.
+    pub fn bench_case<R, F: FnMut() -> R>(&self, name: &str, mut f: F) -> Sample {
         for _ in 0..self.warmup_iters {
             black_box(f());
         }
@@ -192,7 +203,12 @@ impl Harness {
             allocs.push(e1 - e0);
             alloc_bytes.push(b1 - b0);
         }
-        let sample = Sample::with_allocs(name, times, allocs, alloc_bytes);
+        Sample::with_allocs(name, times, allocs, alloc_bytes)
+    }
+
+    /// Record a completed sample: print its summary line and append it
+    /// to the suite in push order.
+    pub fn push(&mut self, sample: Sample) {
         println!(
             "{:<48} median {:>12}  p90 {:>12}",
             sample.name,
@@ -358,6 +374,23 @@ mod tests {
         assert_eq!(calls, 7);
         assert_eq!(h.samples.len(), 1);
         assert_eq!(h.samples[0].times_ns.len(), 5);
+    }
+
+    #[test]
+    fn bench_case_measures_without_recording() {
+        let h = Harness::with_schedule("unit_case", 1, 4);
+        let mut calls = 0u32;
+        let s = h.bench_case("case", || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(calls, 5, "1 warmup + 4 timed");
+        assert_eq!(s.times_ns.len(), 4);
+        assert_eq!(h.samples.len(), 0, "bench_case does not record");
+        let mut h = h;
+        h.push(s);
+        assert_eq!(h.samples.len(), 1);
+        assert_eq!(h.samples[0].name, "case");
     }
 
     #[test]

@@ -1,55 +1,60 @@
 //! Quickstart: parse a document, label it with a dynamic scheme, update
-//! it without relabelling, and query it through the encoding.
+//! it without relabelling, and query it through the encoding — all via
+//! the unified `Document` facade (one handle bundles the live tree, the
+//! scheme, its labelling and the lazily-encoded query snapshot).
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use xml_update_props::encoding::{parse_xpath, EncodedDocument};
-use xml_update_props::labelcore::{Label, LabelingScheme};
+use xml_update_props::framework::Document;
+use xml_update_props::labelcore::Label;
 use xml_update_props::schemes::prefix::qed::Qed;
-use xml_update_props::xmldom::{parse, serialize_pretty, NodeKind};
+use xml_update_props::workloads::{Script, ScriptKind, ScriptOp};
+use xml_update_props::xmldom::{parse, serialize_pretty};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Parse the paper's Figure 1 sample document.
-    let mut tree = parse(xml_update_props::xmldom::sample::FIGURE1_XML)?;
+    let tree = parse(xml_update_props::xmldom::sample::FIGURE1_XML)?;
     println!("Parsed {} nodes.\n", tree.len());
 
-    // 2. Label it with QED — a scheme that never relabels (§4).
-    let mut scheme = Qed::new();
-    let mut labeling = scheme.label_tree(&tree)?;
+    // 2. Label it with QED — a scheme that never relabels (§4) — behind
+    //    the facade.
+    let mut doc = Document::encode(Qed::new(), &tree)?;
     println!("QED labels (document order):");
-    for id in tree.ids_in_doc_order() {
-        if let Some(name) = tree.kind(id).name() {
-            println!("  {:<12} {}", name, labeling.req(id)?.display());
+    for id in doc.tree().ids_in_doc_order() {
+        if let Some(name) = doc.tree().kind(id).name() {
+            println!("  {:<12} {}", name, doc.labeling().req(id)?.display());
         }
     }
 
-    // 3. Structural update: a new chapter element squeezed between title
-    //    and author. No existing label changes.
-    let book = tree.document_element().expect("document element");
-    let title = tree.first_child(book).expect("title");
-    let chapter = tree.create(NodeKind::element("chapter"));
-    tree.insert_after(title, chapter)?;
-    let report = scheme.on_insert(&tree, &mut labeling, chapter)?;
+    // 3. Structural update: a new element squeezed in right after the
+    //    title (element pool index 1 in document order). QED splices a
+    //    fresh label between its neighbours — no existing label changes.
+    let script = Script {
+        kind: ScriptKind::Skewed,
+        ops: vec![ScriptOp::InsertAfter(1)],
+    };
+    let stats = doc.apply(&script)?;
     println!(
-        "\nInserted <chapter> with label {} — {} existing labels touched.",
-        labeling.req(chapter)?.display(),
-        report.relabeled.len()
+        "\nInserted {} element(s) — {} existing labels touched.",
+        stats.inserts, stats.relabeled
     );
-    assert!(report.relabeled.is_empty());
+    assert_eq!(stats.relabeled, 0);
 
-    // 4. Query through the encoding scheme (Definition 2).
-    let enc = EncodedDocument::encode(Qed::new(), &tree)?;
-    let hits = parse_xpath("/book/publisher/editor/name")?.evaluate(&enc);
+    // 4. Query through the encoding scheme (Definition 2). The facade
+    //    re-encodes the updated tree lazily, once.
+    let hits = doc.xpath("/book/publisher/editor/name")?;
     for h in hits {
         println!(
             "XPath /book/publisher/editor/name → \"{}\"",
-            enc.string_value(h)
+            doc.encoded()?.string_value(h)
         );
     }
 
-    // 5. The document is still a well-formed XML text.
-    println!("\nSerialized:\n{}", serialize_pretty(&tree));
+    // 5. The labelling still matches tree ground truth, and the document
+    //    is still a well-formed XML text.
+    assert!(doc.verify()?.is_sound());
+    println!("\nSerialized:\n{}", serialize_pretty(doc.tree()));
     Ok(())
 }

@@ -3,14 +3,18 @@
 //! and watch label sizes across schemes, including the headline
 //! comparison that Vector grows much slower than QED.
 //!
+//! The full roster runs one scheme per `xupd-exec` pool worker
+//! (`exec::par_map` preserves roster order, so the table is identical
+//! at any `XUPD_THREADS`).
+//!
 //! ```text
 //! cargo run --release --example update_storm [inserts]
 //! ```
 
-use xml_update_props::framework::driver::run_script;
-use xml_update_props::labelcore::{LabelingScheme, SchemeVisitor};
+use xml_update_props::exec::par_map;
+use xml_update_props::framework::driver::run_script_dyn;
+use xml_update_props::schemes::registry;
 use xml_update_props::workloads::{docs, Script, ScriptKind};
-use xml_update_props::xmldom::XmlTree;
 
 struct StormRow {
     scheme: &'static str,
@@ -20,41 +24,26 @@ struct StormRow {
     overflows: u64,
 }
 
-struct Storm<'a> {
-    base: &'a XmlTree,
-    ops: usize,
-    rows: Vec<StormRow>,
-}
-
-impl SchemeVisitor for Storm<'_> {
-    fn visit<S: LabelingScheme>(&mut self, mut scheme: S) {
-        let mut tree = self.base.clone();
-        let mut labeling = scheme.label_tree(&tree).expect("initial labelling");
-        let script = Script::generate(ScriptKind::Skewed, self.ops, tree.len(), 99);
-        let stats =
-            run_script(&mut tree, &mut scheme, &mut labeling, &script).expect("storm drives");
-        self.rows.push(StormRow {
-            scheme: scheme.name(),
-            end_max_bits: stats.end_max_bits,
-            peak_bits: stats.peak_label_bits,
-            relabels: stats.relabeled,
-            overflows: stats.overflow_events,
-        });
-    }
-}
-
 fn main() {
     let ops: usize = std::env::args()
         .nth(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(500);
     let base = docs::wide(30);
-    let mut storm = Storm {
-        base: &base,
-        ops,
-        rows: Vec::new(),
-    };
-    xml_update_props::schemes::visit_all_schemes(&mut storm);
+    let rows: Vec<StormRow> = par_map(&registry(), |entry| {
+        let mut session = entry.session();
+        let mut tree = base.clone();
+        session.label_tree(&tree).expect("initial labelling");
+        let script = Script::generate(ScriptKind::Skewed, ops, tree.len(), 99);
+        let stats = run_script_dyn(&mut tree, session.as_mut(), &script).expect("storm drives");
+        StormRow {
+            scheme: entry.name(),
+            end_max_bits: stats.end_max_bits,
+            peak_bits: stats.peak_label_bits,
+            relabels: stats.relabeled,
+            overflows: stats.overflow_events,
+        }
+    });
 
     println!("Skewed insertion storm: {ops} inserts at one fixed position\n");
     println!(
@@ -62,14 +51,14 @@ fn main() {
         "Scheme", "max bits", "peak bits", "relabels", "overflows"
     );
     println!("{}", "-".repeat(68));
-    for r in &storm.rows {
+    for r in &rows {
         println!(
             "{:<18} {:>12} {:>12} {:>10} {:>10}",
             r.scheme, r.end_max_bits, r.peak_bits, r.relabels, r.overflows
         );
     }
 
-    let find = |name: &str| storm.rows.iter().find(|r| r.scheme == name).unwrap();
+    let find = |name: &str| rows.iter().find(|r| r.scheme == name).unwrap();
     let qed = find("QED");
     let vector = find("Vector");
     println!(

@@ -4,14 +4,16 @@
 //! returns identical answers — the encoding scheme (Definition 2) makes
 //! query results independent of the labelling scheme underneath.
 //!
+//! One erased encoded document per Figure 7 scheme, each queried on its
+//! own `xupd-exec` pool worker, answers collected in roster order.
+//!
 //! ```text
 //! cargo run --release --example xpath_query
 //! ```
 
-use xml_update_props::encoding::{parse_xpath, EncodedDocument};
-use xml_update_props::labelcore::{LabelingScheme, SchemeVisitor};
+use xml_update_props::encoding::{document_registry_figure7, parse_xpath};
+use xml_update_props::exec::par_map;
 use xml_update_props::workloads::docs;
-use xml_update_props::xmldom::XmlTree;
 
 const QUERIES: [&str; 5] = [
     "/site/regions/*/item/name",
@@ -21,54 +23,39 @@ const QUERIES: [&str; 5] = [
     "//emailaddress/..",
 ];
 
-struct QueryRunner<'a> {
-    tree: &'a XmlTree,
-    /// query → (scheme, string values) collected per scheme
-    answers: Vec<(&'static str, Vec<Vec<String>>)>,
-}
-
-impl SchemeVisitor for QueryRunner<'_> {
-    fn visit<S: LabelingScheme>(&mut self, scheme: S) {
-        let name = scheme.name();
-        let enc = EncodedDocument::encode(scheme, self.tree).expect("encodable document");
-        let per_query: Vec<Vec<String>> = QUERIES
-            .iter()
-            .map(|q| {
-                parse_xpath(q)
-                    .expect("query parses")
-                    .evaluate(&enc)
-                    .into_iter()
-                    .map(|i| enc.string_value(i))
-                    .collect()
-            })
-            .collect();
-        self.answers.push((name, per_query));
-    }
-}
-
 fn main() {
     let tree = docs::xmark_like(2024, 120);
     println!(
         "XMark-flavoured document: {} nodes. Querying under every Figure 7 scheme…\n",
         tree.len()
     );
-    let mut runner = QueryRunner {
-        tree: &tree,
-        answers: Vec::new(),
-    };
-    xml_update_props::schemes::visit_figure7_schemes(&mut runner);
+    let answers: Vec<(&'static str, Vec<Vec<String>>)> =
+        par_map(&document_registry_figure7(), |entry| {
+            let enc = (entry.encode)(&tree).expect("encodable document");
+            let per_query: Vec<Vec<String>> = QUERIES
+                .iter()
+                .map(|q| {
+                    let expr = parse_xpath(q).expect("query parses");
+                    enc.evaluate(&expr)
+                        .into_iter()
+                        .map(|i| enc.string_value(i))
+                        .collect()
+                })
+                .collect();
+            (entry.name(), per_query)
+        });
 
     // All schemes must agree with the first.
-    let (ref_name, ref_answers) = &runner.answers[0];
-    for (name, answers) in &runner.answers[1..] {
+    let (ref_name, ref_answers) = &answers[0];
+    for (name, per_query) in &answers[1..] {
         assert_eq!(
-            answers, ref_answers,
+            per_query, ref_answers,
             "{name} disagrees with {ref_name} — encoding must be scheme-independent"
         );
     }
     println!(
         "All {} schemes returned identical result sets. Samples (via {ref_name}):\n",
-        runner.answers.len()
+        answers.len()
     );
     for (q, vals) in QUERIES.iter().zip(ref_answers) {
         println!("  {q}");

@@ -23,13 +23,35 @@ cargo run --release -q -p xupd-lint -- --workspace
 echo "==> figure 7 regeneration (declared + measured matrix)"
 cargo run --release -q -p xupd-bench --bin figure7
 
+echo "==> XUPD_THREADS=1 golden equivalence (pool width must be invisible in results/*)"
+# Every committed table golden is the stdout of its regenerator. The
+# exec pool's determinism contract says the worker count never changes a
+# byte of output: re-render the full set sequentially (XUPD_THREADS=1
+# takes the inline pre-pool path) and at a fixed parallel width, and
+# diff both against the committed goldens.
+equiv_dir="$(mktemp -d)"
+for threads in 1 4; do
+  for table in figure7 figures growth_table update_cost_table ablation_table; do
+    XUPD_THREADS="$threads" cargo run --release -q -p xupd-bench --bin "$table" \
+      > "$equiv_dir/$table.txt"
+    diff -u "results/$table.txt" "$equiv_dir/$table.txt" \
+      || { echo "    FAIL: $table.txt diverges at XUPD_THREADS=$threads"; exit 1; }
+  done
+  XUPD_THREADS="$threads" cargo run --release -q -p xupd-bench --bin figure7 -- --all \
+    > "$equiv_dir/figure7_all.txt"
+  diff -u results/figure7_all.txt "$equiv_dir/figure7_all.txt" \
+    || { echo "    FAIL: figure7_all.txt diverges at XUPD_THREADS=$threads"; exit 1; }
+  echo "    ok: 6 table goldens byte-identical at XUPD_THREADS=$threads"
+done
+rm -rf "$equiv_dir"
+
 echo "==> bench smoke (every bench_* bin, 1 timed iter, throwaway results dir)"
 # Keeps the bench bins from rotting without touching the committed
 # results/BENCH_*.json baselines.
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
 for bench_bin in bench_bulk_labeling bench_label_growth bench_query_eval \
-                 bench_update_cost bench_axis_index; do
+                 bench_update_cost bench_axis_index bench_matrix_pool; do
   echo "    -> ${bench_bin}"
   XUPD_BENCH_ITERS=1 XUPD_RESULTS_DIR="$smoke_dir" \
     cargo run --release -q -p xupd-bench --bin "$bench_bin" > /dev/null

@@ -15,11 +15,15 @@
 //! * [`encoding`] — the XML encoding scheme (Definition 2 / Figure 2) with
 //!   an XPath-subset evaluator and full document reconstruction;
 //! * [`workloads`] — deterministic document generators and update
-//!   workloads (random / uniform / skewed insertions).
+//!   workloads (random / uniform / skewed insertions);
+//! * [`exec`] — the hermetic scoped thread pool the scheme batteries fan
+//!   out on (`XUPD_THREADS=1` reproduces sequential output byte for
+//!   byte).
 //!
 //! See `README.md` for a tour and `examples/` for runnable entry points.
 
 pub use xupd_encoding as encoding;
+pub use xupd_exec as exec;
 pub use xupd_framework as framework;
 pub use xupd_labelcore as labelcore;
 pub use xupd_schemes as schemes;

@@ -1,49 +1,66 @@
 //! Cross-crate integration: every scheme × every workload keeps the
 //! Definition 1 invariants, and the encoding/XPath layer returns
 //! identical answers regardless of the labelling scheme underneath.
+//!
+//! The batteries iterate the object-safe registries
+//! (`schemes::registry()` for labelling sessions,
+//! `encoding::document_registry()` for encoded documents) and fan out
+//! one pool worker per scheme via `exec::par_map` — results come back
+//! in roster order, so assertions are deterministic at any
+//! `XUPD_THREADS`.
 
-use xml_update_props::encoding::{parse_xpath, EncodedDocument};
-use xml_update_props::framework::driver::run_script;
-use xml_update_props::framework::verify::verify;
-use xml_update_props::labelcore::{LabelingScheme, SchemeVisitor};
-use xml_update_props::schemes::{visit_all_schemes, visit_figure7_schemes};
+use xml_update_props::encoding::{document_registry, document_registry_figure7, parse_xpath};
+use xml_update_props::exec::par_map;
+use xml_update_props::framework::driver::{graft_subtree_dyn, run_script_dyn};
+use xml_update_props::framework::verify::verify_dyn;
+use xml_update_props::schemes::registry;
 use xml_update_props::workloads::{docs, Script, ScriptKind};
-use xml_update_props::xmldom::{serialize_compact, XmlTree};
+use xml_update_props::xmldom::serialize_compact;
 
 /// Every scheme stays sound (ordered, unique, correct relations) across
 /// the standard workloads — except LSDX, whose documented collisions are
 /// expected and asserted separately.
 #[test]
 fn all_schemes_sound_across_workloads() {
-    struct Soundness;
-    impl SchemeVisitor for Soundness {
-        fn visit<S: LabelingScheme>(&mut self, mut scheme: S) {
-            let name = scheme.name();
-            for (kind, seed) in [
-                (ScriptKind::Random, 11),
-                (ScriptKind::Uniform, 12),
-                (ScriptKind::MixedDelete, 13),
-                (ScriptKind::AppendOnly, 14),
-            ] {
-                let mut tree = docs::random_tree(77, 150);
-                let mut labeling = scheme.label_tree(&tree).unwrap();
-                let script = Script::generate(kind, 120, tree.len(), seed);
-                run_script(&mut tree, &mut scheme, &mut labeling, &script).unwrap();
-                let v = verify(&tree, &scheme, &labeling, 200, seed).unwrap();
-                if name == "LSDX" || name == "Com-D" {
-                    continue; // collisions possible; asserted below
-                }
-                assert!(v.is_sound(), "{name} unsound after {}: {v:?}", kind.name());
+    let entries = registry();
+    let failures: Vec<String> = par_map(&entries, |entry| {
+        let mut problems = Vec::new();
+        let name = entry.name();
+        for (kind, seed) in [
+            (ScriptKind::Random, 11),
+            (ScriptKind::Uniform, 12),
+            (ScriptKind::MixedDelete, 13),
+            (ScriptKind::AppendOnly, 14),
+        ] {
+            let mut session = entry.session();
+            let mut tree = docs::random_tree(77, 150);
+            session.label_tree(&tree).unwrap();
+            let script = Script::generate(kind, 120, tree.len(), seed);
+            run_script_dyn(&mut tree, session.as_mut(), &script).unwrap();
+            let v = verify_dyn(&tree, session.as_ref(), 200, seed).unwrap();
+            if name == "LSDX" || name == "Com-D" {
+                continue; // collisions possible; asserted below
+            }
+            if !v.is_sound() {
+                problems.push(format!("{name} unsound after {}: {v:?}", kind.name()));
             }
         }
-    }
-    visit_all_schemes(&mut Soundness);
+        problems
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    assert_eq!(entries.len(), 17, "full roster exercised");
+    assert!(failures.is_empty(), "{failures:?}");
 }
 
 /// LSDX's uniqueness failure is reproducible — and is the *only* kind of
 /// violation it exhibits on collision-free workloads.
 #[test]
 fn lsdx_collisions_are_the_documented_failure() {
+    use xml_update_props::framework::driver::run_script;
+    use xml_update_props::framework::verify::verify;
+    use xml_update_props::labelcore::LabelingScheme;
     use xml_update_props::schemes::prefix::lsdx::Lsdx;
     // append-only workloads never hit the between-collision corner
     let mut tree = docs::random_tree(5, 100);
@@ -68,38 +85,24 @@ fn xpath_answers_identical_across_schemes() {
         "//item[@id=\"item0_0\"]/quantity",
     ];
 
-    struct Collect<'a> {
-        tree: &'a XmlTree,
-        queries: &'a [&'a str],
-        results: Vec<(String, Vec<Vec<String>>)>,
-    }
-    impl SchemeVisitor for Collect<'_> {
-        fn visit<S: LabelingScheme>(&mut self, scheme: S) {
-            let name = scheme.name().to_string();
-            let enc = EncodedDocument::encode(scheme, self.tree).unwrap();
-            let res = self
-                .queries
-                .iter()
-                .map(|q| {
-                    parse_xpath(q)
-                        .unwrap()
-                        .evaluate(&enc)
-                        .into_iter()
-                        .map(|i| enc.string_value(i))
-                        .collect::<Vec<_>>()
-                })
-                .collect();
-            self.results.push((name, res));
-        }
-    }
-    let mut c = Collect {
-        tree: &tree,
-        queries: &queries,
-        results: Vec::new(),
-    };
-    visit_figure7_schemes(&mut c);
-    let (ref_name, ref_res) = &c.results[0];
-    for (name, res) in &c.results[1..] {
+    let entries = document_registry_figure7();
+    let results: Vec<(&'static str, Vec<Vec<String>>)> = par_map(&entries, |entry| {
+        let enc = (entry.encode)(&tree).unwrap();
+        let res = queries
+            .iter()
+            .map(|q| {
+                let expr = parse_xpath(q).unwrap();
+                enc.evaluate(&expr)
+                    .into_iter()
+                    .map(|i| enc.string_value(i))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        (entry.name(), res)
+    });
+    assert_eq!(results.len(), 12);
+    let (ref_name, ref_res) = &results[0];
+    for (name, res) in &results[1..] {
         assert_eq!(res, ref_res, "{name} disagrees with {ref_name}");
     }
     // at least one query returned something (the test is non-vacuous)
@@ -113,54 +116,55 @@ fn reconstruction_round_trip_every_scheme() {
     let tree = docs::xmark_like(8, 45);
     let original = serialize_compact(&tree);
 
-    struct RoundTrip<'a> {
-        tree: &'a XmlTree,
-        original: &'a str,
-    }
-    impl SchemeVisitor for RoundTrip<'_> {
-        fn visit<S: LabelingScheme>(&mut self, scheme: S) {
-            let name = scheme.name();
-            let enc = EncodedDocument::encode(scheme, self.tree).unwrap();
-            let back = xml_update_props::encoding::reconstruct::reconstruct(&enc).unwrap();
-            assert_eq!(serialize_compact(&back), self.original, "{name}");
-        }
-    }
-    visit_all_schemes(&mut RoundTrip {
-        tree: &tree,
-        original: &original,
-    });
+    let entries = document_registry();
+    let failures: Vec<&'static str> = par_map(&entries, |entry| {
+        let enc = (entry.encode)(&tree).unwrap();
+        let back = enc.reconstruct().unwrap();
+        (serialize_compact(&back) != original).then(|| entry.name())
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    assert_eq!(entries.len(), 17);
+    assert!(failures.is_empty(), "round-trip mismatch: {failures:?}");
 }
 
 /// Deep documents exercise path-length behaviour (and the Prime scheme's
 /// big-integer products) in every scheme.
 #[test]
 fn deep_document_all_schemes() {
-    struct Deep;
-    impl SchemeVisitor for Deep {
-        fn visit<S: LabelingScheme>(&mut self, mut scheme: S) {
-            let tree = docs::deep(40);
-            let labeling = scheme.label_tree(&tree).unwrap();
-            assert_eq!(labeling.len(), tree.len(), "{}", scheme.name());
-            let v = verify(&tree, &scheme, &labeling, 100, 1).unwrap();
-            assert!(v.is_sound(), "{}: {v:?}", scheme.name());
+    let entries = registry();
+    let failures: Vec<String> = par_map(&entries, |entry| {
+        let mut session = entry.session();
+        let tree = docs::deep(40);
+        session.label_tree(&tree).unwrap();
+        if session.labeled_len() != tree.len() {
+            return Some(format!("{}: label count mismatch", entry.name()));
         }
-    }
-    visit_all_schemes(&mut Deep);
+        let v = verify_dyn(&tree, session.as_ref(), 100, 1).unwrap();
+        (!v.is_sound()).then(|| format!("{}: {v:?}", entry.name()))
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    assert!(failures.is_empty(), "{failures:?}");
 }
 
 /// Wide documents exercise sibling-code allocation in every scheme.
 #[test]
 fn wide_document_all_schemes() {
-    struct Wide;
-    impl SchemeVisitor for Wide {
-        fn visit<S: LabelingScheme>(&mut self, mut scheme: S) {
-            let tree = docs::wide(500);
-            let labeling = scheme.label_tree(&tree).unwrap();
-            let v = verify(&tree, &scheme, &labeling, 200, 2).unwrap();
-            assert!(v.is_sound(), "{}: {v:?}", scheme.name());
-        }
-    }
-    visit_all_schemes(&mut Wide);
+    let entries = registry();
+    let failures: Vec<String> = par_map(&entries, |entry| {
+        let mut session = entry.session();
+        let tree = docs::wide(500);
+        session.label_tree(&tree).unwrap();
+        let v = verify_dyn(&tree, session.as_ref(), 200, 2).unwrap();
+        (!v.is_sound()).then(|| format!("{}: {v:?}", entry.name()))
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    assert!(failures.is_empty(), "{failures:?}");
 }
 
 /// Subtree insertion (the paper's third structural-update class,
@@ -168,8 +172,7 @@ fn wide_document_all_schemes() {
 /// individually") works for every scheme and preserves order.
 #[test]
 fn subtree_grafting_all_schemes() {
-    use xml_update_props::framework::driver::graft_subtree;
-    use xml_update_props::xmldom::NodeId;
+    use xml_update_props::xmldom::{NodeId, XmlTree};
 
     fn clone_into(src: &XmlTree, node: NodeId, dst: &mut XmlTree) -> NodeId {
         let copy = dst.create(src.kind(node).clone());
@@ -180,37 +183,42 @@ fn subtree_grafting_all_schemes() {
         copy
     }
 
-    struct Graft;
-    impl SchemeVisitor for Graft {
-        fn visit<S: LabelingScheme>(&mut self, mut scheme: S) {
-            let name = scheme.name();
-            let mut tree = docs::book();
-            let mut labeling = scheme.label_tree(&tree).unwrap();
-            let donor = docs::xmark_like(4, 12);
-            let donor_root = donor.document_element().unwrap();
+    let entries = registry();
+    let failures: Vec<String> = par_map(&entries, |entry| {
+        let name = entry.name();
+        let mut session = entry.session();
+        let mut tree = docs::book();
+        session.label_tree(&tree).unwrap();
+        let donor = docs::xmark_like(4, 12);
+        let donor_root = donor.document_element().unwrap();
 
-            // graft in three positions: append, prepend, between
-            let book = tree.document_element().unwrap();
-            let g1 = clone_into(&donor, donor_root, &mut tree);
-            tree.append_child(book, g1).unwrap();
-            graft_subtree(&tree, &mut scheme, &mut labeling, g1).unwrap();
+        // graft in three positions: append, prepend, between
+        let book = tree.document_element().unwrap();
+        let g1 = clone_into(&donor, donor_root, &mut tree);
+        tree.append_child(book, g1).unwrap();
+        graft_subtree_dyn(&tree, session.as_mut(), g1).unwrap();
 
-            let first = tree.first_child(book).unwrap();
-            let g2 = clone_into(&donor, donor_root, &mut tree);
-            tree.insert_before(first, g2).unwrap();
-            graft_subtree(&tree, &mut scheme, &mut labeling, g2).unwrap();
+        let first = tree.first_child(book).unwrap();
+        let g2 = clone_into(&donor, donor_root, &mut tree);
+        tree.insert_before(first, g2).unwrap();
+        graft_subtree_dyn(&tree, session.as_mut(), g2).unwrap();
 
-            let second = tree.next_sibling(g2).unwrap();
-            let g3 = clone_into(&donor, donor_root, &mut tree);
-            tree.insert_after(second, g3).unwrap();
-            graft_subtree(&tree, &mut scheme, &mut labeling, g3).unwrap();
+        let second = tree.next_sibling(g2).unwrap();
+        let g3 = clone_into(&donor, donor_root, &mut tree);
+        tree.insert_after(second, g3).unwrap();
+        graft_subtree_dyn(&tree, session.as_mut(), g3).unwrap();
 
-            assert_eq!(labeling.len(), tree.len(), "{name}");
-            let v = verify(&tree, &scheme, &labeling, 250, 17).unwrap();
-            if name != "LSDX" && name != "Com-D" {
-                assert!(v.is_sound(), "{name} after grafting: {v:?}");
-            }
+        if session.labeled_len() != tree.len() {
+            return Some(format!("{name}: label count mismatch"));
         }
-    }
-    visit_all_schemes(&mut Graft);
+        let v = verify_dyn(&tree, session.as_ref(), 250, 17).unwrap();
+        if name != "LSDX" && name != "Com-D" && !v.is_sound() {
+            return Some(format!("{name} after grafting: {v:?}"));
+        }
+        None
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    assert!(failures.is_empty(), "{failures:?}");
 }

@@ -6,7 +6,9 @@
 //! breaks a scheme's behaviour, the measured matrix shifts and this
 //! suite pins down exactly which cell moved.
 
-use xml_update_props::framework::{declared_figure7, measure_figure7, Figure7Report};
+use xml_update_props::framework::{
+    declared_figure7, measure_figure7, measure_figure7_threads, Figure7Report,
+};
 use xml_update_props::labelcore::{Compliance, Property};
 
 #[test]
@@ -39,6 +41,25 @@ fn declared_matrix_is_the_papers_figure7() {
     for ((name, letters), (ename, eletters)) in letters.iter().zip(expected) {
         assert_eq!(name, ename);
         assert_eq!(letters, eletters, "{name}");
+    }
+}
+
+/// The pool is invisible in the output: the measured battery renders the
+/// identical report at every worker count (`XUPD_THREADS` ∈ {1, 2, 8}).
+/// One worker takes the inline sequential path, so this also pins the
+/// parallel runs to the pre-pool byte stream.
+#[test]
+fn measured_matrix_identical_at_any_worker_count() {
+    let render = |workers: usize| {
+        Figure7Report::new(measure_figure7_threads(workers).unwrap()).render()
+    };
+    let sequential = render(1);
+    for workers in [2, 8] {
+        assert_eq!(
+            render(workers),
+            sequential,
+            "matrix diverges at {workers} workers"
+        );
     }
 }
 
