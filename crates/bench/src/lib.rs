@@ -46,7 +46,7 @@ pub struct GrowthSeries {
 ///
 /// Typed convenience over [`growth_series_session`] — both paths run
 /// the same driver, so table and bench numbers can never diverge.
-pub fn growth_series<S: LabelingScheme + 'static>(
+pub fn growth_series<S: LabelingScheme + Clone + 'static>(
     scheme: S,
     base: &XmlTree,
     kind: ScriptKind,

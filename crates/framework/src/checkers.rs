@@ -111,7 +111,7 @@ fn drive(
 
 /// Run the full checker battery against `scheme` and grade the eight
 /// properties.
-pub fn measure_scheme<S: LabelingScheme + 'static>(scheme: S) -> Result<Measured, TreeError> {
+pub fn measure_scheme<S: LabelingScheme + Clone + 'static>(scheme: S) -> Result<Measured, TreeError> {
     measure_session(&mut SchemeSession::new(scheme))
 }
 

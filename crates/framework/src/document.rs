@@ -29,6 +29,7 @@
 //! between two updates share one snapshot.
 
 use crate::driver::{run_script, DriveStats};
+use crate::mutations::{self, MutationLog};
 use crate::verify::{verify, VerifyOutcome};
 use std::fmt;
 use xupd_encoding::{parse_xpath, EncodedDocument, XPathError};
@@ -82,6 +83,10 @@ pub struct Document<S: LabelingScheme + Clone + 'static> {
     scheme: S,
     labeling: Labeling<S::Label>,
     snapshot: Option<EncodedDocument<S>>,
+    /// How many times the lazy query snapshot has been (re)built — one
+    /// per first query after an update, however many ops the update
+    /// batched. Observable for the once-per-batch invalidation contract.
+    snapshot_rebuilds: u64,
 }
 
 impl<S: LabelingScheme + Clone + 'static> Document<S> {
@@ -94,6 +99,7 @@ impl<S: LabelingScheme + Clone + 'static> Document<S> {
             scheme,
             labeling,
             snapshot: None,
+            snapshot_rebuilds: 0,
         })
     }
 
@@ -120,6 +126,7 @@ impl<S: LabelingScheme + Clone + 'static> Document<S> {
             Some(ref enc) => Ok(enc),
             None => {
                 let enc = EncodedDocument::encode(self.scheme.clone(), &self.tree)?;
+                self.snapshot_rebuilds += 1;
                 Ok(self.snapshot.insert(enc))
             }
         }
@@ -139,6 +146,22 @@ impl<S: LabelingScheme + Clone + 'static> Document<S> {
     pub fn apply(&mut self, script: &Script) -> Result<DriveStats, TreeError> {
         self.snapshot = None;
         run_script(&mut self.tree, &mut self.scheme, &mut self.labeling, script)
+    }
+
+    /// Apply a [`MutationLog`] atomically against the live tree (see
+    /// [`mutations::apply_log`]): validated up front, all-or-nothing on
+    /// failure. The query snapshot is invalidated exactly **once** per
+    /// applied batch — and not at all when the batch is rejected, since
+    /// a rejected batch changes nothing.
+    pub fn apply_log(&mut self, log: &MutationLog) -> Result<DriveStats, TreeError> {
+        let stats = mutations::apply_log(&mut self.tree, &mut self.scheme, &mut self.labeling, log)?;
+        self.snapshot = None;
+        Ok(stats)
+    }
+
+    /// How many times the lazy query snapshot has been (re)built.
+    pub fn snapshot_rebuilds(&self) -> u64 {
+        self.snapshot_rebuilds
     }
 
     /// Verify the live labelling against tree ground truth (document
@@ -199,6 +222,37 @@ mod tests {
         assert!(doc.tree().len() > tree.len());
         let _ = c; // rebuilt lazily; contents now include the appended nodes
         assert_eq!(doc.encoded().unwrap().len(), doc.tree().len());
+    }
+
+    #[test]
+    fn batch_apply_invalidates_snapshot_exactly_once() {
+        use crate::mutations::{batch_of, Mutation, MutationLog, NodeRef};
+        use xupd_xmldom::NodeId;
+
+        let tree = docs::random_tree(3, 60);
+        let mut doc = Document::encode(Qed::new(), &tree).unwrap();
+        doc.xpath("//e1").unwrap();
+        assert_eq!(doc.snapshot_rebuilds(), 1, "initial lazy build");
+
+        // a 100-op batch costs exactly one rebuild, observed only when
+        // the next query forces the lazy snapshot
+        let script = Script::generate(ScriptKind::Random, 100, tree.len(), 8);
+        let log = batch_of(&script, doc.tree()).unwrap();
+        assert!(log.len() >= 90, "most ops survive the skip rules");
+        doc.apply_log(&log).unwrap();
+        assert_eq!(doc.snapshot_rebuilds(), 1, "invalidation alone is free");
+        doc.xpath("//e1").unwrap();
+        doc.xpath("//e2").unwrap();
+        doc.reconstruct().unwrap();
+        assert_eq!(doc.snapshot_rebuilds(), 2, "one rebuild per batch");
+
+        // a rejected batch changes nothing and keeps the snapshot
+        let bad = MutationLog::from(vec![Mutation::Delete {
+            target: NodeRef::Node(NodeId::from_index(doc.tree().id_bound() + 9)),
+        }]);
+        doc.apply_log(&bad).unwrap_err();
+        doc.xpath("//e1").unwrap();
+        assert_eq!(doc.snapshot_rebuilds(), 2, "rejected batch is free too");
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! Replays update scripts against a labelling scheme, collecting the
 //! evidence the property checkers grade.
 
+use crate::mutations::{LogBindings, LogId, Mutation, MutationLog, NodeRef, Place};
 use xupd_labelcore::{DynScheme, Labeling, LabelingScheme, SessionMut};
 use xupd_workloads::{Script, ScriptOp};
-use xupd_xmldom::{NodeId, NodeKind, TreeError, XmlTree};
+use xupd_xmldom::{NodeId, TreeError, XmlTree};
 
 /// Evidence accumulated while driving one script.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -26,7 +27,7 @@ pub struct DriveStats {
 }
 
 /// How often (in ops) the driver scans label sizes for the peak metric.
-const CHECKPOINT_EVERY: usize = 25;
+pub(crate) const CHECKPOINT_EVERY: usize = 25;
 
 /// The live element nodes of a tree in document order, maintained
 /// **incrementally** across script ops.
@@ -37,7 +38,13 @@ const CHECKPOINT_EVERY: usize = 25;
 /// element, and each delete drains the subtree's contiguous run — both
 /// proportional to the affected suffix, with plain pointer walks and
 /// `u32`-sized bookkeeping instead of a fresh allocation per op.
-struct ElementPool {
+///
+/// Batch application ([`crate::mutations::apply_log_dyn_with_pool`])
+/// amortises further: the pool is left untouched while the batch runs
+/// and [`ElementPool::rebuild`] restores it with **one** full scan per
+/// batch instead of one suffix rewrite per op.
+#[derive(Debug, Clone)]
+pub struct ElementPool {
     /// Live elements in document order.
     order: Vec<NodeId>,
     /// `NodeId` index → position in `order`. Meaningful only for ids
@@ -47,7 +54,7 @@ struct ElementPool {
 
 impl ElementPool {
     /// One full scan at script start — the last one.
-    fn build(tree: &XmlTree) -> Self {
+    pub fn build(tree: &XmlTree) -> Self {
         let order: Vec<NodeId> = tree
             .preorder()
             .filter(|&n| tree.kind(n).is_element())
@@ -59,16 +66,29 @@ impl ElementPool {
         ElementPool { order, pos }
     }
 
-    fn len(&self) -> usize {
+    /// Discard the incrementally maintained state and rescan — the
+    /// once-per-batch path.
+    pub fn rebuild(&mut self, tree: &XmlTree) {
+        *self = Self::build(tree);
+    }
+
+    /// Number of live elements.
+    pub fn len(&self) -> usize {
         self.order.len()
     }
 
-    fn is_empty(&self) -> bool {
+    /// True when the tree holds no element at all.
+    pub fn is_empty(&self) -> bool {
         self.order.is_empty()
     }
 
+    /// Live elements in document order.
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
     /// The op-index addressing rule: modulo the live pool size.
-    fn resolve(&self, i: usize) -> NodeId {
+    pub fn resolve(&self, i: usize) -> NodeId {
         self.order[i % self.order.len()]
     }
 
@@ -96,7 +116,7 @@ impl ElementPool {
     /// Register a freshly attached element leaf. Its pool position is one
     /// past its document-order predecessor element (or 0 when none —
     /// possible only for a first document element).
-    fn insert_new(&mut self, tree: &XmlTree, node: NodeId) {
+    pub fn insert_new(&mut self, tree: &XmlTree, node: NodeId) {
         let at = match Self::prev_element(tree, node) {
             Some(prev) => self.pos[prev.index()] as usize + 1,
             None => 0,
@@ -113,7 +133,7 @@ impl ElementPool {
     /// Unregister the still-attached subtree rooted at element `node`:
     /// in the element-filtered preorder its elements form one contiguous
     /// run starting at `node`'s own position.
-    fn remove_subtree(&mut self, tree: &XmlTree, node: NodeId) {
+    pub fn remove_subtree(&mut self, tree: &XmlTree, node: NodeId) {
         let at = self.pos[node.index()] as usize;
         let doomed = tree
             .preorder_from(node)
@@ -134,7 +154,7 @@ impl ElementPool {
 /// [`ScriptOp::InsertAfter`] with index `usize::MAX` is the zigzag
 /// pattern: the driver maintains an adjacent pair and alternately
 /// tightens its left and right ends.
-pub fn run_script<S: LabelingScheme + 'static>(
+pub fn run_script<S: LabelingScheme + Clone + 'static>(
     tree: &mut XmlTree,
     scheme: &mut S,
     labeling: &mut Labeling<S::Label>,
@@ -146,6 +166,16 @@ pub fn run_script<S: LabelingScheme + 'static>(
 /// Object-safe [`run_script`]: the implementation, written once against
 /// [`DynScheme`] so the registry battery and the typed API replay the
 /// exact same op semantics.
+///
+/// Since the mutation-log port, each script op is translated into a
+/// one-op [`MutationLog`] and applied through the same
+/// [`crate::mutations`] machinery as [`crate::mutations::apply_log_dyn`]
+/// — per-op application (each op addresses the pool the previous op left
+/// behind) is simply batch size 1, which keeps the historical semantics
+/// and the `results/*` goldens untouched. The per-op path performs no
+/// validation or snapshotting: the driver only emits ops it has already
+/// resolved against live pool targets, and atomicity is the *batch*
+/// API's contract.
 pub fn run_script_dyn(
     tree: &mut XmlTree,
     session: &mut dyn DynScheme,
@@ -155,93 +185,133 @@ pub fn run_script_dyn(
     let mut zig: Option<(NodeId, NodeId)> = None;
     let mut zig_step = 0usize;
     let mut pool = ElementPool::build(tree);
+    // One mutation buffer and one binding table, reused across ops: the
+    // hot path allocates only what the ops themselves require.
+    let mut batch = MutationLog::new();
+    let mut binds = LogBindings::default();
 
     for (op_idx, op) in script.ops.iter().enumerate() {
         if pool.is_empty() {
             break;
         }
+        batch.clear();
+        binds.clear();
+        // (zig pair after this op, zig_step increments) resolved from the
+        // batch bindings once the mutations have been applied.
+        let mut zig_plan: Option<(Option<(NodeId, NodeId)>, bool)> = None;
         match *op {
             ScriptOp::InsertBefore(i) => {
                 let target = pool.resolve(i);
-                let node = tree.create(NodeKind::element("u"));
-                if tree.parent(target) == Some(tree.root()) || tree.parent(target).is_none() {
-                    tree.prepend_child(target, node)?;
+                let place = if tree.parent(target) == Some(tree.root())
+                    || tree.parent(target).is_none()
+                {
+                    Place::FirstChildOf(NodeRef::Node(target))
                 } else {
-                    tree.insert_before(target, node)?;
-                }
-                pool.insert_new(tree, node);
-                apply_insert_dyn(tree, session, node, &mut stats)?;
+                    Place::Before(NodeRef::Node(target))
+                };
+                batch.push(Mutation::CreateElement {
+                    id: LogId(0),
+                    name: "u".to_string(),
+                    place,
+                });
             }
             ScriptOp::InsertAfter(i) if i == usize::MAX => {
                 // zigzag: insert between an adjacent pair, alternately
                 // keeping the new node as the pair's right or left end.
-                let (a, b) = match zig {
+                match zig {
                     Some((a, b))
                         if tree.is_alive(a)
                             && tree.is_alive(b)
                             && tree.next_sibling(a) == Some(b) =>
                     {
-                        (a, b)
+                        batch.push(Mutation::CreateElement {
+                            id: LogId(0),
+                            name: "u".to_string(),
+                            place: Place::After(NodeRef::Node(a)),
+                        });
+                        zig_plan = Some((Some((a, b)), false));
                     }
                     _ => {
                         let base = pool.resolve(pool.len() / 2);
-                        let c1 = tree.create(NodeKind::element("u"));
-                        tree.append_child(base, c1)?;
-                        pool.insert_new(tree, c1);
-                        apply_insert_dyn(tree, session, c1, &mut stats)?;
-                        let c2 = tree.create(NodeKind::element("u"));
-                        tree.append_child(base, c2)?;
-                        pool.insert_new(tree, c2);
-                        apply_insert_dyn(tree, session, c2, &mut stats)?;
-                        (c1, c2)
+                        batch.push(Mutation::CreateElement {
+                            id: LogId(0),
+                            name: "u".to_string(),
+                            place: Place::LastChildOf(NodeRef::Node(base)),
+                        });
+                        batch.push(Mutation::CreateElement {
+                            id: LogId(1),
+                            name: "u".to_string(),
+                            place: Place::LastChildOf(NodeRef::Node(base)),
+                        });
+                        batch.push(Mutation::CreateElement {
+                            id: LogId(2),
+                            name: "u".to_string(),
+                            place: Place::After(NodeRef::New(LogId(0))),
+                        });
+                        zig_plan = Some((None, true));
                     }
-                };
-                let node = tree.create(NodeKind::element("u"));
-                tree.insert_after(a, node)?;
-                pool.insert_new(tree, node);
-                apply_insert_dyn(tree, session, node, &mut stats)?;
-                zig = Some(if zig_step % 2 == 0 {
-                    (a, node)
-                } else {
-                    (node, b)
-                });
-                zig_step += 1;
+                }
             }
             ScriptOp::InsertAfter(i) => {
                 let target = pool.resolve(i);
-                let node = tree.create(NodeKind::element("u"));
-                if tree.parent(target) == Some(tree.root()) || tree.parent(target).is_none() {
-                    tree.append_child(target, node)?;
+                let place = if tree.parent(target) == Some(tree.root())
+                    || tree.parent(target).is_none()
+                {
+                    Place::LastChildOf(NodeRef::Node(target))
                 } else {
-                    tree.insert_after(target, node)?;
-                }
-                pool.insert_new(tree, node);
-                apply_insert_dyn(tree, session, node, &mut stats)?;
+                    Place::After(NodeRef::Node(target))
+                };
+                batch.push(Mutation::CreateElement {
+                    id: LogId(0),
+                    name: "u".to_string(),
+                    place,
+                });
             }
             ScriptOp::PrependChild(i) => {
-                let target = pool.resolve(i);
-                let node = tree.create(NodeKind::element("u"));
-                tree.prepend_child(target, node)?;
-                pool.insert_new(tree, node);
-                apply_insert_dyn(tree, session, node, &mut stats)?;
+                batch.push(Mutation::CreateElement {
+                    id: LogId(0),
+                    name: "u".to_string(),
+                    place: Place::FirstChildOf(NodeRef::Node(pool.resolve(i))),
+                });
             }
             ScriptOp::AppendChild(i) => {
-                let target = pool.resolve(i);
-                let node = tree.create(NodeKind::element("u"));
-                tree.append_child(target, node)?;
-                pool.insert_new(tree, node);
-                apply_insert_dyn(tree, session, node, &mut stats)?;
+                batch.push(Mutation::CreateElement {
+                    id: LogId(0),
+                    name: "u".to_string(),
+                    place: Place::LastChildOf(NodeRef::Node(pool.resolve(i))),
+                });
             }
             ScriptOp::DeleteSubtree(i) => {
                 let target = pool.resolve(i);
                 if Some(target) == tree.document_element() || pool.len() <= 2 {
                     continue;
                 }
-                session.on_delete(tree, target);
-                pool.remove_subtree(tree, target);
-                tree.remove_subtree(target)?;
-                stats.deletes += 1;
+                batch.push(Mutation::Delete {
+                    target: NodeRef::Node(target),
+                });
             }
+        }
+        for m in batch.iter() {
+            crate::mutations::apply_mutation_dyn(
+                tree,
+                Some(&mut *session),
+                Some(&mut pool),
+                &mut binds,
+                m,
+                &mut stats,
+            )?;
+        }
+        if let Some((pair, init)) = zig_plan {
+            let (a, b, node) = if init {
+                (binds.node(LogId(0))?, binds.node(LogId(1))?, binds.node(LogId(2))?)
+            } else {
+                let (a, b) = pair.ok_or(TreeError::Invariant(
+                    "zigzag pair missing".to_string(),
+                ))?;
+                (a, b, binds.node(LogId(0))?)
+            };
+            zig = Some(if zig_step % 2 == 0 { (a, node) } else { (node, b) });
+            zig_step += 1;
         }
         if op_idx % CHECKPOINT_EVERY == 0 {
             stats.peak_label_bits = stats.peak_label_bits.max(session.max_bits());
@@ -259,7 +329,7 @@ pub fn run_script_dyn(
 /// descendants are already attached to `tree`; each is labelled in
 /// preorder through the scheme's ordinary single-node insertion path.
 /// Returns the accumulated insert evidence.
-pub fn graft_subtree<S: LabelingScheme + 'static>(
+pub fn graft_subtree<S: LabelingScheme + Clone + 'static>(
     tree: &XmlTree,
     scheme: &mut S,
     labeling: &mut Labeling<S::Label>,
@@ -290,7 +360,7 @@ pub fn graft_subtree_dyn(
 /// which is exactly how XQuery Update expresses it — so persistent
 /// schemes keep every *other* label untouched, while the moved nodes
 /// necessarily get fresh labels (their positions changed).
-pub fn move_subtree<S: LabelingScheme + 'static>(
+pub fn move_subtree<S: LabelingScheme + Clone + 'static>(
     tree: &mut XmlTree,
     scheme: &mut S,
     labeling: &mut Labeling<S::Label>,
@@ -303,7 +373,7 @@ pub fn move_subtree<S: LabelingScheme + 'static>(
     graft_subtree(tree, scheme, labeling, root)
 }
 
-fn apply_insert_dyn(
+pub(crate) fn apply_insert_dyn(
     tree: &XmlTree,
     session: &mut dyn DynScheme,
     node: NodeId,

@@ -21,7 +21,11 @@
 //! * [`report`] — declared-vs-measured agreement reporting (the
 //!   reproduction's headline output);
 //! * [`document`] — the unified [`Document`] facade over encode /
-//!   query / update / verify / reconstruct.
+//!   query / update / verify / reconstruct;
+//! * [`mutations`] — the batched, atomic, replayable [`MutationLog`]
+//!   update API: validation before any state change, all-or-nothing
+//!   application, a deterministic journaling codec, and log inversion
+//!   (undo/redo for free).
 //!
 //! The checker battery fans out per scheme on the `xupd-exec` scoped
 //! pool (schemes are independent); results and renders are identical at
@@ -31,11 +35,17 @@ pub mod checkers;
 pub mod document;
 pub mod driver;
 pub mod matrix;
+pub mod mutations;
 pub mod orthogonal;
 pub mod report;
 pub mod verify;
 
 pub use checkers::{measure_scheme, measure_session, Evidence, Measured};
+pub use driver::ElementPool;
+pub use mutations::{
+    apply_log, apply_log_dyn, apply_log_dyn_with_pool, batch_of, deserialize, invert, serialize,
+    validate, LogBindings, LogId, Mutation, MutationLog, NodeRef, Place,
+};
 pub use document::{Document, DocumentError};
 pub use matrix::{
     declared_figure7, measure_all, measure_all_threads, measure_entries_threads, measure_figure7,

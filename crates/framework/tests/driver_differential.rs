@@ -56,8 +56,10 @@ fn run_script_reference(
                 let target = resolve(i);
                 let node = tree.create(NodeKind::element("u"));
                 if tree.parent(target) == Some(tree.root()) || tree.parent(target).is_none() {
+                    // lint:allow(R8): the reference per-op driver the MutationLog batch path is differentially tested against
                     tree.prepend_child(target, node)?;
                 } else {
+                    // lint:allow(R8): the reference per-op driver the MutationLog batch path is differentially tested against
                     tree.insert_before(target, node)?;
                 }
                 apply_insert(tree, session, node, &mut stats)?;
@@ -74,15 +76,18 @@ fn run_script_reference(
                     _ => {
                         let base = resolve(pool.len() / 2);
                         let c1 = tree.create(NodeKind::element("u"));
+                        // lint:allow(R8): the reference per-op driver the MutationLog batch path is differentially tested against
                         tree.append_child(base, c1)?;
                         apply_insert(tree, session, c1, &mut stats)?;
                         let c2 = tree.create(NodeKind::element("u"));
+                        // lint:allow(R8): the reference per-op driver the MutationLog batch path is differentially tested against
                         tree.append_child(base, c2)?;
                         apply_insert(tree, session, c2, &mut stats)?;
                         (c1, c2)
                     }
                 };
                 let node = tree.create(NodeKind::element("u"));
+                // lint:allow(R8): the reference per-op driver the MutationLog batch path is differentially tested against
                 tree.insert_after(a, node)?;
                 apply_insert(tree, session, node, &mut stats)?;
                 zig = Some(if zig_step % 2 == 0 { (a, node) } else { (node, b) });
@@ -92,8 +97,10 @@ fn run_script_reference(
                 let target = resolve(i);
                 let node = tree.create(NodeKind::element("u"));
                 if tree.parent(target) == Some(tree.root()) || tree.parent(target).is_none() {
+                    // lint:allow(R8): the reference per-op driver the MutationLog batch path is differentially tested against
                     tree.append_child(target, node)?;
                 } else {
+                    // lint:allow(R8): the reference per-op driver the MutationLog batch path is differentially tested against
                     tree.insert_after(target, node)?;
                 }
                 apply_insert(tree, session, node, &mut stats)?;
@@ -101,12 +108,14 @@ fn run_script_reference(
             ScriptOp::PrependChild(i) => {
                 let target = resolve(i);
                 let node = tree.create(NodeKind::element("u"));
+                // lint:allow(R8): the reference per-op driver the MutationLog batch path is differentially tested against
                 tree.prepend_child(target, node)?;
                 apply_insert(tree, session, node, &mut stats)?;
             }
             ScriptOp::AppendChild(i) => {
                 let target = resolve(i);
                 let node = tree.create(NodeKind::element("u"));
+                // lint:allow(R8): the reference per-op driver the MutationLog batch path is differentially tested against
                 tree.append_child(target, node)?;
                 apply_insert(tree, session, node, &mut stats)?;
             }
@@ -116,6 +125,7 @@ fn run_script_reference(
                     continue;
                 }
                 session.on_delete(tree, target);
+                // lint:allow(R8): the reference per-op driver the MutationLog batch path is differentially tested against
                 tree.remove_subtree(target)?;
                 stats.deletes += 1;
             }

@@ -1,0 +1,212 @@
+//! Atomicity fault-injection battery for `apply_log_dyn`.
+//!
+//! A [`FaultAfter`] session wrapper forwards every `DynScheme` call to a
+//! real registry session but makes the k-th `on_insert` fail. Applying
+//! a batch through it must leave the tree, the labelling, and the
+//! [`ElementPool`] index byte-identical to their pre-batch state — for
+//! every scheme in the roster and several fault positions, including
+//! k = 0 (the very first insert fails). After the rollback the restored
+//! session must still be fully usable: re-applying the same batch with
+//! the fault disarmed has to match a control session that never faulted.
+
+use std::any::Any;
+use std::cmp::Ordering;
+
+use xupd_framework::mutations::{apply_log_dyn, apply_log_dyn_with_pool, batch_of};
+use xupd_framework::ElementPool;
+use xupd_labelcore::{DynScheme, InsertReport, Relation, SchemeDescriptor, SchemeStats};
+use xupd_schemes::registry;
+use xupd_workloads::{docs, Script, ScriptKind};
+use xupd_xmldom::{serialize_compact, NodeId, TreeError, XmlTree};
+
+/// Forwarding wrapper that fails the (`budget`+1)-th `on_insert`.
+struct FaultAfter {
+    inner: Box<dyn DynScheme>,
+    /// Successful inserts remaining before the injected failure; `None`
+    /// disarms the fault entirely.
+    budget: Option<usize>,
+}
+
+impl DynScheme for FaultAfter {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+    fn descriptor(&self) -> SchemeDescriptor {
+        self.inner.descriptor()
+    }
+    fn label_tree(&mut self, tree: &XmlTree) -> Result<(), TreeError> {
+        self.inner.label_tree(tree)
+    }
+    fn on_insert(&mut self, tree: &XmlTree, node: NodeId) -> Result<InsertReport, TreeError> {
+        if let Some(left) = self.budget.as_mut() {
+            if *left == 0 {
+                return Err(TreeError::Invariant("injected mid-batch fault".to_string()));
+            }
+            *left -= 1;
+        }
+        self.inner.on_insert(tree, node)
+    }
+    fn on_delete(&mut self, tree: &XmlTree, node: NodeId) {
+        self.inner.on_delete(tree, node);
+    }
+    fn cmp_nodes(&self, a: NodeId, b: NodeId) -> Result<Ordering, TreeError> {
+        self.inner.cmp_nodes(a, b)
+    }
+    fn relation_nodes(
+        &self,
+        rel: Relation,
+        a: NodeId,
+        b: NodeId,
+    ) -> Result<Option<bool>, TreeError> {
+        self.inner.relation_nodes(rel, a, b)
+    }
+    fn level_node(&self, a: NodeId) -> Result<Option<u32>, TreeError> {
+        self.inner.level_node(a)
+    }
+    fn stats(&self) -> &SchemeStats {
+        self.inner.stats()
+    }
+    fn reset_stats(&mut self) {
+        self.inner.reset_stats();
+    }
+    fn overflow_audit_instance(&self) -> Option<Box<dyn DynScheme>> {
+        self.inner.overflow_audit_instance()
+    }
+    fn labeled_len(&self) -> usize {
+        self.inner.labeled_len()
+    }
+    fn total_bits(&self) -> u64 {
+        self.inner.total_bits()
+    }
+    fn mean_bits(&self) -> f64 {
+        self.inner.mean_bits()
+    }
+    fn max_bits(&self) -> u64 {
+        self.inner.max_bits()
+    }
+    fn has_duplicate_labels(&self) -> bool {
+        self.inner.has_duplicate_labels()
+    }
+    fn label_bits(&self, node: NodeId) -> Result<u64, TreeError> {
+        self.inner.label_bits(node)
+    }
+    fn label_display(&self, node: NodeId) -> Result<String, TreeError> {
+        self.inner.label_display(node)
+    }
+    fn labels_display(&self) -> Vec<(usize, String)> {
+        self.inner.labels_display()
+    }
+    fn save_state(&self) -> Box<dyn Any> {
+        self.inner.save_state()
+    }
+    fn restore_state(&mut self, state: Box<dyn Any>) -> bool {
+        self.inner.restore_state(state)
+    }
+}
+
+/// Every observable of the update state at one instant.
+#[derive(Debug, PartialEq)]
+struct Observables {
+    tree: String,
+    labels: Vec<(usize, String)>,
+    pool: Vec<NodeId>,
+}
+
+fn observe(tree: &XmlTree, session: &dyn DynScheme, pool: &ElementPool) -> Observables {
+    Observables {
+        tree: serialize_compact(tree),
+        labels: session.labels_display(),
+        pool: pool.order().to_vec(),
+    }
+}
+
+fn fault_battery(kind: ScriptKind, ops: usize, seed: u64, fault_at: usize) {
+    let nodes = 60;
+    let script = Script::generate(kind, ops, nodes, seed);
+    let entries = registry();
+    assert_eq!(entries.len(), 17, "whole roster covered");
+
+    let checked = xupd_exec::par_map(&entries, |entry| {
+        let mut tree = docs::random_tree(seed, nodes);
+        let log = batch_of(&script, &tree).unwrap();
+        let inserts = log
+            .iter()
+            .filter(|m| {
+                use xupd_framework::mutations::Mutation;
+                matches!(
+                    m,
+                    Mutation::CreateElement { .. }
+                        | Mutation::CreateNode { .. }
+                        | Mutation::Replace { .. }
+                )
+            })
+            .count();
+        assert!(
+            fault_at < inserts,
+            "{}: fault position {fault_at} beyond the {inserts} inserts",
+            entry.name()
+        );
+
+        let mut session = FaultAfter {
+            inner: entry.session(),
+            budget: Some(fault_at),
+        };
+        session.label_tree(&tree).unwrap();
+        let mut pool = ElementPool::build(&tree);
+        let before = observe(&tree, &session, &pool);
+
+        let err = apply_log_dyn_with_pool(&mut tree, &mut session, &mut pool, &log).unwrap_err();
+        assert!(
+            matches!(err, TreeError::Invariant(ref msg) if msg.contains("injected")),
+            "{}: unexpected failure {err:?}",
+            entry.name()
+        );
+        let after = observe(&tree, &session, &pool);
+        assert_eq!(
+            before,
+            after,
+            "{}: a failed batch left observable state behind",
+            entry.name()
+        );
+
+        // the restored session is not just byte-identical but usable:
+        // disarm the fault and the same batch must match a session that
+        // never faulted
+        session.budget = None;
+        apply_log_dyn_with_pool(&mut tree, &mut session, &mut pool, &log).unwrap();
+
+        let mut control_tree = docs::random_tree(seed, nodes);
+        let mut control = entry.session();
+        control.label_tree(&control_tree).unwrap();
+        apply_log_dyn(&mut control_tree, control.as_mut(), &log).unwrap();
+        assert_eq!(
+            serialize_compact(&tree),
+            serialize_compact(&control_tree),
+            "{}: post-rollback replay diverged from control tree",
+            entry.name()
+        );
+        assert_eq!(
+            session.labels_display(),
+            control.labels_display(),
+            "{}: post-rollback replay diverged from control labels",
+            entry.name()
+        );
+        entry.name()
+    });
+    assert_eq!(checked.len(), 17);
+}
+
+#[test]
+fn first_insert_fault_rolls_back_every_scheme() {
+    fault_battery(ScriptKind::Random, 40, 7001, 0);
+}
+
+#[test]
+fn mid_batch_fault_rolls_back_every_scheme() {
+    fault_battery(ScriptKind::Random, 40, 7002, 11);
+}
+
+#[test]
+fn late_fault_rolls_back_every_scheme_under_deletes() {
+    fault_battery(ScriptKind::MixedDelete, 60, 7003, 23);
+}

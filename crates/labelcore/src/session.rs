@@ -99,6 +99,20 @@ pub trait DynScheme {
     /// Every `(node index, label rendering)` pair, in id order — the
     /// observable the differential suites compare across drivers.
     fn labels_display(&self) -> Vec<(usize, String)>;
+
+    /// Snapshot the session's full state (scheme internals + labelling)
+    /// as an opaque token. Paired with [`DynScheme::restore_state`], this
+    /// is what gives batch application its all-or-nothing semantics: a
+    /// snapshot taken before the batch restores the labelling *and* any
+    /// scheme-internal allocator state byte-for-byte, which an undo-log
+    /// replay could not (relabelling schemes would re-derive different
+    /// labels).
+    fn save_state(&self) -> Box<dyn std::any::Any>;
+
+    /// Restore a snapshot produced by [`DynScheme::save_state`] on the
+    /// same session type. Returns `false` (leaving the session untouched)
+    /// when the token came from a different concrete session.
+    fn restore_state(&mut self, state: Box<dyn std::any::Any>) -> bool;
 }
 
 /// Field access powering the blanket [`DynScheme`] impl. Implemented by
@@ -217,7 +231,7 @@ impl<S: LabelingScheme> SessionParts for SessionMut<'_, S> {
 
 impl<T: SessionParts> DynScheme for T
 where
-    T::Scheme: 'static,
+    T::Scheme: Clone + 'static,
 {
     fn name(&self) -> &'static str {
         self.scheme().name()
@@ -316,6 +330,23 @@ where
             .iter()
             .map(|(id, l)| (id.index(), l.display()))
             .collect()
+    }
+
+    fn save_state(&self) -> Box<dyn std::any::Any> {
+        Box::new((self.scheme().clone(), self.labeling().clone()))
+    }
+
+    fn restore_state(&mut self, state: Box<dyn std::any::Any>) -> bool {
+        type Snap<S> = (S, Labeling<<S as LabelingScheme>::Label>);
+        match state.downcast::<Snap<T::Scheme>>() {
+            Ok(snap) => {
+                let (scheme, labeling) = *snap;
+                *self.scheme_mut() = scheme;
+                self.replace_labeling(labeling);
+                true
+            }
+            Err(_) => false,
+        }
     }
 }
 
@@ -461,6 +492,38 @@ mod tests {
         // the caller-owned labelling saw the insert
         assert_eq!(labeling.len(), 3);
         assert!(labeling.req(b).is_ok());
+    }
+
+    #[test]
+    fn save_restore_round_trips_scheme_and_labeling() {
+        let (mut tree, a) = two_node_tree();
+        let mut session: Box<dyn DynScheme> = Box::new(SchemeSession::new(SeqScheme::default()));
+        session.label_tree(&tree).unwrap();
+        let snap = session.save_state();
+        let before = session.labels_display();
+
+        let b = tree.create(NodeKind::element("b"));
+        tree.append_child(a, b).unwrap();
+        session.on_insert(&tree, b).unwrap();
+        assert_ne!(session.labels_display(), before);
+
+        assert!(session.restore_state(snap), "token matches session type");
+        assert_eq!(session.labels_display(), before);
+        // scheme internals restored too: re-inserting hands out the same
+        // counter value the pre-snapshot state would have
+        let report = session.on_insert(&tree, b).unwrap();
+        assert!(report.relabeled.is_empty());
+        assert_eq!(session.labeled_len(), 3);
+    }
+
+    #[test]
+    fn restore_rejects_foreign_tokens() {
+        let (tree, _) = two_node_tree();
+        let mut session = SchemeSession::new(SeqScheme::default());
+        DynScheme::label_tree(&mut session, &tree).unwrap();
+        let before = session.labels_display();
+        assert!(!session.restore_state(Box::new(42u32)), "foreign token");
+        assert_eq!(session.labels_display(), before, "session untouched");
     }
 
     #[test]

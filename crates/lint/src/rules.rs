@@ -10,6 +10,7 @@
 //! | R5 | forbid-unsafe              | no `unsafe` anywhere in the workspace |
 //! | R6 | no-per-op-preorder-rebuild | no `.preorder()` full-tree scan inside a per-op replay loop (a `for` loop whose header mentions `ops`) — rebuildable state must be maintained incrementally |
 //! | R7 | no-raw-thread-spawn        | no `thread::spawn`/`scope.spawn` callees outside `crates/exec` — all fan-out goes through the `xupd-exec` pool so `XUPD_THREADS` governs every worker |
+//! | R8 | no-direct-batch-mutation   | no direct structural tree mutation (`append_child`, `detach`, `remove_subtree`, ...) inside a per-op replay loop outside the update driver and the mutation-log module — multi-op edits must flow through `MutationLog` so validation and atomicity cannot be bypassed |
 
 use crate::lexer::{scan, Suppression, TokKind, Token};
 
@@ -32,7 +33,27 @@ pub const R2_CRATES: &[&str] = &[
 ];
 
 /// All rule ids, in report order.
-pub const ALL_RULES: &[&str] = &["R1", "R2", "R3", "R4", "R5", "R6", "R7"];
+pub const ALL_RULES: &[&str] = &["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"];
+
+/// Structural tree mutators that R8 forbids calling directly inside a
+/// per-op replay loop — the batch API (`MutationLog`) is the only
+/// sanctioned multi-op edit path outside the driver/mutations modules.
+pub const R8_MUTATORS: &[&str] = &[
+    "append_child",
+    "prepend_child",
+    "insert_before",
+    "insert_after",
+    "detach",
+    "remove_subtree",
+];
+
+/// The two modules allowed to mutate the tree per-op: the update driver
+/// (it *is* the per-op reference path) and the mutation-log machinery
+/// (it applies validated batches).
+pub const R8_EXEMPT_PATHS: &[&str] = &[
+    "crates/framework/src/driver.rs",
+    "crates/framework/src/mutations.rs",
+];
 
 /// Human name for a rule id.
 pub fn rule_name(id: &str) -> &'static str {
@@ -44,6 +65,7 @@ pub fn rule_name(id: &str) -> &'static str {
         "R5" => "forbid-unsafe",
         "R6" => "no-per-op-preorder-rebuild",
         "R7" => "no-raw-thread-spawn",
+        "R8" => "no-direct-batch-mutation",
         _ => "unknown-rule",
     }
 }
@@ -138,6 +160,13 @@ pub fn check_source(src: &str, ctx: &FileCtx) -> (Vec<Finding>, Vec<Suppression>
     // R7 applies everywhere except the pool crate itself, test code
     // included: a raw spawn in a test escapes XUPD_THREADS just the same.
     let r7_applies = ctx.crate_name != "exec";
+    // R8 applies to test code too (reference drivers replay per-op by
+    // design and must opt out explicitly via lint:allow), but not to the
+    // two modules that implement the sanctioned edit paths, and not to
+    // xmldom itself (the tree's own test/doc code exercises its API).
+    let r8_applies = R2_CRATES.iter().any(|c| *c == ctx.crate_name.as_str())
+        && ctx.crate_name != "xmldom"
+        && !R8_EXEMPT_PATHS.iter().any(|p| ctx.path == *p);
 
     for (i, t) in toks.iter().enumerate() {
         if t.kind != TokKind::Ident {
@@ -233,6 +262,27 @@ pub fn check_source(src: &str, ctx: &FileCtx) -> (Vec<Finding>, Vec<Suppression>
                 t,
                 ".preorder() full-tree scan inside a per-op loop; maintain the state incrementally"
                     .to_string(),
+            );
+        }
+
+        // R8 — direct structural mutation inside a per-op replay loop.
+        // The method-call shape (`.name(`) keeps definitions and doc
+        // words legal; the for-ops mask scopes the rule to replay loops,
+        // where bypassing `MutationLog` skips validation and atomicity.
+        if r8_applies
+            && in_ops_loop[i]
+            && R8_MUTATORS.contains(&text)
+            && i > 0
+            && toks[i - 1].kind == TokKind::Punct
+            && toks[i - 1].text(src) == "."
+            && next_is(toks, src, i, "(")
+        {
+            push(
+                &mut findings,
+                "R8",
+                ctx,
+                t,
+                format!(".{text}() in a per-op loop; batch the edits through MutationLog"),
             );
         }
 
@@ -629,6 +679,53 @@ mod tests {
         // `spawn` as a plain ident (fn name, doc word) is not a call site
         let def = "fn spawn_workers(n: usize) { let spawn = n; }";
         assert!(unsuppressed(def, "crates/framework/src/a.rs").is_empty());
+    }
+
+    #[test]
+    fn r8_flags_direct_mutation_in_per_op_loops() {
+        let src = r#"
+            fn run(tree: &mut XmlTree, script: &Script) {
+                for (i, op) in script.ops.iter().enumerate() {
+                    let n = tree.create(NodeKind::element("x"));
+                    tree.append_child(parent, n).unwrap();
+                }
+            }
+        "#;
+        let f = unsuppressed(src, "crates/framework/src/checkers.rs");
+        assert_eq!(f.iter().filter(|f| f.rule == "R8").count(), 1, "{f:?}");
+        // test code gets no exemption — reference drivers opt out via
+        // lint:allow instead
+        let f = unsuppressed(src, "crates/framework/tests/t.rs");
+        assert_eq!(f.iter().filter(|f| f.rule == "R8").count(), 1);
+        // the sanctioned edit paths are exempt
+        assert!(unsuppressed(src, "crates/framework/src/driver.rs")
+            .iter()
+            .all(|f| f.rule != "R8"));
+        assert!(unsuppressed(src, "crates/framework/src/mutations.rs")
+            .iter()
+            .all(|f| f.rule != "R8"));
+        // so is the tree crate itself and everything outside the R2 set
+        assert!(unsuppressed(src, "crates/xmldom/src/tree.rs")
+            .iter()
+            .all(|f| f.rule != "R8"));
+        assert!(unsuppressed(src, "crates/testkit/src/x.rs").is_empty());
+    }
+
+    #[test]
+    fn r8_leaves_non_loop_and_non_call_uses_alone() {
+        // one-off edits outside a replay loop are not batch bypasses
+        let build = "fn f(tree: &mut XmlTree) { tree.append_child(p, n); }";
+        assert!(unsuppressed(build, "crates/framework/src/checkers.rs")
+            .iter()
+            .all(|f| f.rule != "R8"));
+        // a for loop without `ops` in its header is not a replay loop
+        let other = "fn f() { for x in items { tree.remove_subtree(x); } }";
+        assert!(unsuppressed(other, "crates/framework/src/checkers.rs")
+            .iter()
+            .all(|f| f.rule != "R8"));
+        // `detach` as a plain ident (fn name) is not a call site
+        let def = "fn detach_all(n: usize) { let detach = n; }";
+        assert!(unsuppressed(def, "crates/framework/src/checkers.rs").is_empty());
     }
 
     #[test]

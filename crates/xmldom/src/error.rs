@@ -31,6 +31,12 @@ pub enum TreeError {
     /// A live node unexpectedly has no label in a labelling side table
     /// that is supposed to cover every live node.
     Unlabeled(NodeId),
+    /// A batch log creates the same log-local id twice (carries the raw
+    /// log id, which shares no namespace with [`NodeId`]).
+    DuplicateCreate(u32),
+    /// A batch log writes to a node it has already consumed (deleted or
+    /// replaced it, or one of its ancestors) earlier in the same batch.
+    ConflictingWrite(NodeId),
 }
 
 impl fmt::Display for TreeError {
@@ -49,6 +55,12 @@ impl fmt::Display for TreeError {
             TreeError::MissingParent(id) => write!(f, "node {id} unexpectedly has no parent"),
             TreeError::DanglingNodeId(id) => write!(f, "node id {id} is dangling (dead or out of range)"),
             TreeError::Unlabeled(id) => write!(f, "node {id} has no label"),
+            TreeError::DuplicateCreate(lid) => {
+                write!(f, "log id #{lid} is created more than once in the batch")
+            }
+            TreeError::ConflictingWrite(id) => {
+                write!(f, "conflicting writes: node {id} was already consumed by the batch")
+            }
         }
     }
 }
@@ -161,6 +173,8 @@ mod tests {
             (TreeError::MissingParent(id), "no parent"),
             (TreeError::DanglingNodeId(id), "dangling"),
             (TreeError::Unlabeled(id), "no label"),
+            (TreeError::DuplicateCreate(3), "created more than once"),
+            (TreeError::ConflictingWrite(id), "conflicting writes"),
         ];
         let mut renderings = Vec::new();
         for (e, needle) in cases {
@@ -170,12 +184,14 @@ mod tests {
         }
         renderings.sort();
         renderings.dedup();
-        assert_eq!(renderings.len(), 9, "renderings are distinct");
+        assert_eq!(renderings.len(), 11, "renderings are distinct");
         // id-carrying variants name the node
         assert!(TreeError::DeadNode(id).to_string().contains("n3"));
         assert!(TreeError::MissingParent(id).to_string().contains("n3"));
         assert!(TreeError::DanglingNodeId(id).to_string().contains("n3"));
         assert!(TreeError::Unlabeled(id).to_string().contains("n3"));
+        assert!(TreeError::DuplicateCreate(3).to_string().contains("#3"));
+        assert!(TreeError::ConflictingWrite(id).to_string().contains("n3"));
     }
 
     /// Every `ParseErrorKind` variant has a distinct, non-empty rendering.
