@@ -1,0 +1,1635 @@
+//! # Static mutation-log analysis: footprints, conflicts, certificates
+//!
+//! The paper's central complaint (§6) is that XML update mechanisms make
+//! edits *opaque*: nothing about an update reveals what it will touch
+//! until it has touched it. This module makes the effect of a validated
+//! [`MutationLog`] analyzable **before** it is applied, in the spirit of
+//! FLUX's static update analysis (Cheney, arXiv 0807.1211) and the
+//! update/query independence test of Genevès–Layaïda–Quint (arXiv
+//! 0811.4324), adapted to the log model of PR 6:
+//!
+//! 1. **Footprints** — every op is abstracted to the log ids it creates
+//!    and uses, the sibling *gaps* it writes (keyed by `(parent,
+//!    left-slot)` against the pre-batch document), the text points it
+//!    overwrites, the subtree *extents* it deletes or moves (resolved as
+//!    contiguous preorder ranges through a [`Topology`] sidecar), and a
+//!    conservative relabel *region* (the anchor's parent extent — wide
+//!    enough to absorb sibling-renumber ripples of prefix schemes).
+//! 2. **Conflict graph** — ops `i < j` are connected by dependency
+//!    edges (`j` uses an id `i` creates) and conflict edges carrying a
+//!    named taxonomy ([`ConflictKind`]): structural overlap,
+//!    write-after-delete, text/text, move-into-deleted, and
+//!    ancestor/descendant extent overlap.
+//! 3. **Certificates** — from the graph the analyzer derives redundant
+//!    no-op text writes, whole create+delete *nil components* that
+//!    cancel, a canonical topological reorder, and a partition into
+//!    provably independent sub-logs ([`AnalyzedPlan::components`]).
+//!
+//! Certificates are consumed by [`apply_plan_dyn`] /
+//! [`apply_plan_coalesced_dyn`] (the batch optimizer behind
+//! `apply_log`) and by [`par_apply_independent`], which fans the
+//! independent sub-logs across document shards on the `xupd-exec` pool.
+//!
+//! ## Soundness, in two layers
+//!
+//! The **batch layer** is deliberately conservative: it must preserve
+//! *labels and evidence counters*, not just document bytes, because the
+//! differential suite (`tests/analysis_differential.rs`) compares all of
+//! them across the whole scheme roster. Reordering is additionally
+//! gated on [`DynScheme::order_independent`]: schemes whose labels
+//! encode insertion *history* (Prime's temporal prime counter, the
+//! containment family's global interval renumbering) refuse the
+//! certificate and run in original order — which is always safe.
+//!
+//! The **pairwise layer** ([`op_pair_verdict`], [`commutes`],
+//! [`conflicts`]) is the precise structural oracle the property tests
+//! exercise: `Commutes` promises that applying the two ops as one-op
+//! batches in either order yields byte-identical documents *and* the
+//! same per-op success pattern; every `Conflicts` verdict is witnessed
+//! by the pair itself — its two orders genuinely diverge in bytes or in
+//! validity. The pairwise oracle judges *structure only*; it does not by
+//! itself license label-preserving reorders (that is the batch layer's
+//! job).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use xupd_encoding::Topology;
+use xupd_labelcore::DynScheme;
+use xupd_xmldom::{NodeId, NodeKind, TreeError, XmlTree};
+
+use crate::driver::{DriveStats, CHECKPOINT_EVERY};
+use crate::mutations::{
+    apply_mutation_dyn, validate, LogBindings, LogId, Mutation, MutationLog, NodeRef, Place,
+};
+
+// ---------------------------------------------------------------------
+// Footprint lattice primitives.
+// ---------------------------------------------------------------------
+
+/// How each `XmlTree` structural mutator is modelled in the footprint
+/// lattice. Keyed by [`xupd_xmldom::STRUCTURAL_MUTATORS`] — the shared
+/// table lint rule R8 is also derived from — so the analyzer's write
+/// model and the lint gate cannot drift; `mutator_table_stays_in_sync`
+/// below pins the correspondence.
+pub const MUTATOR_FOOTPRINTS: &[(&str, &str)] = &[
+    ("append_child", "gap write at (parent, last-child slot)"),
+    ("prepend_child", "gap write at (parent, start slot)"),
+    ("insert_before", "gap write at (parent, predecessor slot)"),
+    ("insert_after", "gap write at (parent, anchor slot)"),
+    ("detach", "moved-subtree extent (source half of MoveSubtree)"),
+    ("remove_subtree", "deleted-subtree extent"),
+];
+
+/// A contiguous preorder range `[start, end)` of pre-batch rows — the
+/// resolved form of a subtree in the [`Topology`] sidecar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Extent {
+    /// First preorder row of the subtree (the subtree root).
+    pub start: u32,
+    /// One past the last preorder row of the subtree.
+    pub end: u32,
+}
+
+impl Extent {
+    /// Does the range cover preorder row `p`?
+    pub fn contains(&self, p: u32) -> bool {
+        self.start <= p && p < self.end
+    }
+
+    /// Do the two ranges share any row? Subtree extents are laminar, so
+    /// overlap implies one contains the other.
+    pub fn overlaps(&self, other: &Extent) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+/// The left boundary of a sibling gap in the pre-batch document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum GapSlot {
+    /// The gap before the parent's first child.
+    Start,
+    /// The gap immediately after the child at this preorder row.
+    AfterNode(u32),
+    /// The slot currently occupied by the child at this row: a
+    /// `Replace` writes *in place*, so it collides with neither of the
+    /// insertion gaps flanking its target. (Inserts that anchor on the
+    /// replaced node itself are caught earlier as write-after-delete.)
+    Own(u32),
+}
+
+/// A structural write target: one sibling gap, keyed by the parent's
+/// preorder row and the left slot. Two ops that realize the same key
+/// write the *same* child-list position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct GapKey {
+    /// Preorder row of the parent whose child list is written.
+    pub parent: u32,
+    /// Left boundary of the written gap.
+    pub left: GapSlot,
+}
+
+/// A text-write point: either a pre-batch text node (by preorder row)
+/// or a node the batch itself creates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PointRef {
+    /// Pre-existing text node, by preorder row.
+    Pre(u32),
+    /// Batch-created node, by log id.
+    New(u32),
+}
+
+/// The read/write footprint of one mutation, fully resolved against the
+/// pre-batch document.
+#[derive(Debug, Clone, Default)]
+pub struct OpFootprint {
+    /// Log ids this op binds.
+    pub creates: Vec<LogId>,
+    /// Log ids of earlier ops this op references.
+    pub uses: Vec<LogId>,
+    /// Sibling gaps written (creates, moves, replaces).
+    pub gap_writes: Vec<GapKey>,
+    /// Text points overwritten.
+    pub text_writes: Vec<PointRef>,
+    /// Pre-batch rows read as anchors or targets.
+    pub anchor_reads: Vec<u32>,
+    /// Subtree extents this op deletes (Delete, Replace).
+    pub deleted_extents: Vec<Extent>,
+    /// Subtree extents this op detaches and re-attaches (MoveSubtree).
+    pub moved_extents: Vec<Extent>,
+    /// Conservative relabel regions: the anchor-parent extents inside
+    /// which every structural ripple of this op (sibling renumbering
+    /// included) is contained. New-anchored ops inherit their host
+    /// creator's regions so nothing escapes the graph.
+    pub regions: Vec<Extent>,
+}
+
+// ---------------------------------------------------------------------
+// Conflict taxonomy and graph.
+// ---------------------------------------------------------------------
+
+/// Why two ops cannot be freely reordered or separated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ConflictKind {
+    /// Both ops write the same sibling gap or overlapping relabel
+    /// regions under the same parent neighbourhood.
+    StructuralOverlap,
+    /// One op reads or writes a node the other op's delete consumes.
+    WriteAfterDelete,
+    /// Both ops overwrite the same text point.
+    TextText,
+    /// A move's destination lands inside a subtree the other op
+    /// deletes.
+    MoveIntoDeleted,
+    /// Deleted/moved subtree extents overlap (ancestor/descendant or
+    /// equal), or such an extent overlaps the other op's relabel
+    /// region.
+    ExtentOverlap,
+}
+
+impl ConflictKind {
+    /// Stable display name used in reports and benches.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ConflictKind::StructuralOverlap => "structural-overlap",
+            ConflictKind::WriteAfterDelete => "write-after-delete",
+            ConflictKind::TextText => "text-text",
+            ConflictKind::MoveIntoDeleted => "move-into-deleted",
+            ConflictKind::ExtentOverlap => "extent-overlap",
+        }
+    }
+}
+
+/// Why edge `from → to` constrains the pair's relative order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// `to` references a log id `from` creates.
+    Dependency,
+    /// The footprints collide; the taxonomy names how.
+    Conflict(ConflictKind),
+}
+
+/// One ordered edge of the dependency/conflict graph. `from < to`
+/// always holds: edges point forward in original log order, so the
+/// graph is acyclic by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Earlier op (original index).
+    pub from: usize,
+    /// Later op (original index).
+    pub to: usize,
+    /// What couples the pair.
+    pub kind: EdgeKind,
+}
+
+// ---------------------------------------------------------------------
+// The analyzed plan: footprints + graph + certificates.
+// ---------------------------------------------------------------------
+
+/// The analyzer's output over one validated log: per-op footprints, the
+/// dependency/conflict graph, and the derived certificates.
+#[derive(Debug, Clone)]
+pub struct AnalyzedPlan {
+    /// Number of ops the plan covers (must match the log at apply
+    /// time).
+    len: usize,
+    /// Per-op footprints, in log order.
+    pub footprints: Vec<OpFootprint>,
+    /// Dependency/conflict edges, `from < to`.
+    pub edges: Vec<Edge>,
+    /// Partition of `0..len` into provably independent components:
+    /// no edge crosses components. Components are ordered by smallest
+    /// member; members are in original order.
+    pub components: Vec<Vec<usize>>,
+    /// A canonical topological order of the graph: structure-building
+    /// ops first (creates, then moves, replaces, deletes, text), ties
+    /// broken by region start then original index. Respects every
+    /// edge.
+    pub canonical: Vec<usize>,
+    /// Ops that are provably no-ops on every observable (a `SetText`
+    /// writing the value the pre-batch node already holds, outside any
+    /// deleted extent's shadow or not — either way droppable).
+    pub redundant: Vec<usize>,
+    /// Indices into `components` whose net effect on the document is
+    /// nil: every created node is deleted again inside the component,
+    /// and no pre-existing node is written, moved, or deleted.
+    /// Cancelling them is a coalescing certificate — valid for
+    /// document bytes and labels, though work counters shrink. The
+    /// optimizer only consumes it for schemes claiming both
+    /// [`order_independent`](DynScheme::order_independent) and
+    /// [`cancellation_neutral`](DynScheme::cancellation_neutral):
+    /// schemes whose insert path rewrites neighbour labels (Sector's
+    /// interval respacing, DeweyID/DLN sibling renumbering) make a
+    /// cancelled create+delete observable on surviving nodes.
+    pub nil_components: Vec<usize>,
+}
+
+impl AnalyzedPlan {
+    /// Number of ops covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for the empty plan.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The conflict edges only (dependencies filtered out).
+    pub fn conflict_edges(&self) -> impl Iterator<Item = &Edge> {
+        self.edges
+            .iter()
+            .filter(|e| matches!(e.kind, EdgeKind::Conflict(_)))
+    }
+
+    /// Are ops `i` and `j` provably independent (no graph path couples
+    /// them — they live in different components)?
+    pub fn is_independent(&self, i: usize, j: usize) -> bool {
+        self.component_of(i) != self.component_of(j)
+    }
+
+    fn component_of(&self, i: usize) -> usize {
+        for (c, members) in self.components.iter().enumerate() {
+            if members.binary_search(&i).is_ok() {
+                return c;
+            }
+        }
+        usize::MAX
+    }
+
+    /// The execution order the optimizer is certified to use. With
+    /// `reorder` (granted when the session's scheme is
+    /// [`order_independent`](DynScheme::order_independent)) the
+    /// canonical topological order is used; otherwise original order.
+    /// Redundant no-op writes are dropped in both cases; nil
+    /// components are dropped only when `cancel` is also granted.
+    pub fn execution_order(&self, reorder: bool, cancel: bool) -> Vec<usize> {
+        let dropped: BTreeSet<usize> = self
+            .redundant
+            .iter()
+            .copied()
+            .chain(if cancel {
+                self.nil_components
+                    .iter()
+                    .flat_map(|&c| self.components[c].iter().copied())
+                    .collect::<Vec<_>>()
+            } else {
+                Vec::new()
+            })
+            .collect();
+        let base: Vec<usize> = if reorder {
+            self.canonical.clone()
+        } else {
+            (0..self.len).collect()
+        };
+        base.into_iter().filter(|i| !dropped.contains(i)).collect()
+    }
+
+    /// Original-order op indices concatenated component by component —
+    /// another certified sequential order for order-independent
+    /// schemes, and the order [`par_apply_independent`] fans out.
+    pub fn component_major_order(&self) -> Vec<usize> {
+        self.components.iter().flatten().copied().collect()
+    }
+
+    /// Split `log` into one sub-log per component, preserving original
+    /// op order inside each. Log ids are untouched: dependency edges
+    /// guarantee a component is closed under id references.
+    pub fn independent_sublogs(&self, log: &MutationLog) -> Result<Vec<MutationLog>, TreeError> {
+        if log.len() != self.len {
+            return Err(TreeError::Invariant(
+                "analyzed plan does not cover this log".to_string(),
+            ));
+        }
+        let all: Vec<&Mutation> = log.iter().collect();
+        Ok(self
+            .components
+            .iter()
+            .map(|members| {
+                MutationLog::from(
+                    members
+                        .iter()
+                        .map(|&i| all[i].clone())
+                        .collect::<Vec<Mutation>>(),
+                )
+            })
+            .collect())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Document index: preorder rows + Topology sidecar.
+// ---------------------------------------------------------------------
+
+/// Preorder view of the pre-batch document: the [`Topology`] sidecar
+/// plus an arena-id → preorder-row map.
+struct DocIndex {
+    top: Topology,
+    /// Arena index → preorder row; `u32::MAX` marks dead slots.
+    row_of: Vec<u32>,
+}
+
+impl DocIndex {
+    fn build(tree: &XmlTree) -> Result<DocIndex, TreeError> {
+        let order = tree.ids_in_doc_order();
+        let mut row_of = vec![u32::MAX; tree.id_bound()];
+        for (row, n) in order.iter().enumerate() {
+            row_of[n.index()] = row as u32;
+        }
+        let mut parents: Vec<Option<usize>> = Vec::with_capacity(order.len());
+        for &n in &order {
+            parents.push(match tree.parent(n) {
+                Some(p) => {
+                    let pr = row_of[p.index()];
+                    if pr == u32::MAX {
+                        return Err(TreeError::DanglingNodeId(p));
+                    }
+                    Some(pr as usize)
+                }
+                None => None,
+            });
+        }
+        let top = Topology::from_parents(&parents)?;
+        Ok(DocIndex { top, row_of })
+    }
+
+    fn row(&self, n: NodeId) -> Result<u32, TreeError> {
+        match self.row_of.get(n.index()) {
+            Some(&r) if r != u32::MAX => Ok(r),
+            _ => Err(TreeError::DanglingNodeId(n)),
+        }
+    }
+
+    fn extent(&self, row: u32) -> Extent {
+        Extent {
+            start: row,
+            end: self.top.extent(row as usize) as u32,
+        }
+    }
+}
+
+/// Shadow parentage of a batch-created node: under a pre-batch row or
+/// under another created node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum ParentKey {
+    Pre(u32),
+    New(u32),
+}
+
+/// Scratch state threaded through footprint extraction.
+struct FootprintBuilder<'t> {
+    tree: &'t XmlTree,
+    idx: DocIndex,
+    /// Final shadow parent of every created id (creates, then moves).
+    parent_of_new: BTreeMap<u32, ParentKey>,
+    /// Regions inherited by ids created under batch-made hosts.
+    regions_of_new: BTreeMap<u32, Vec<Extent>>,
+    /// Ids directly consumed by Delete/Replace.
+    dead_new: BTreeSet<u32>,
+}
+
+impl<'t> FootprintBuilder<'t> {
+    fn new(tree: &'t XmlTree) -> Result<FootprintBuilder<'t>, TreeError> {
+        Ok(FootprintBuilder {
+            tree,
+            idx: DocIndex::build(tree)?,
+            parent_of_new: BTreeMap::new(),
+            regions_of_new: BTreeMap::new(),
+            dead_new: BTreeSet::new(),
+        })
+    }
+
+    /// Record a pre-batch node read (anchor or target).
+    fn read(&self, fp: &mut OpFootprint, n: NodeId) -> Result<u32, TreeError> {
+        let row = self.idx.row(n)?;
+        fp.anchor_reads.push(row);
+        Ok(row)
+    }
+
+    /// The parent-extent region around `row`'s parent (or the node's
+    /// own extent when it is the parent).
+    fn parent_region_of(&self, parent_row: u32) -> Extent {
+        self.idx.extent(parent_row)
+    }
+
+    /// Resolve `place` into gap/region/read facts on `fp`; returns the
+    /// shadow parent the landed node acquires.
+    fn place_footprint(&self, fp: &mut OpFootprint, place: Place) -> Result<ParentKey, TreeError> {
+        match place {
+            Place::FirstChildOf(r) | Place::LastChildOf(r) => match r {
+                NodeRef::Node(p) => {
+                    let prow = self.read(fp, p)?;
+                    let left = if matches!(place, Place::FirstChildOf(_)) {
+                        GapSlot::Start
+                    } else {
+                        match self.tree.last_child(p) {
+                            Some(lc) => GapSlot::AfterNode(self.idx.row(lc)?),
+                            None => GapSlot::Start,
+                        }
+                    };
+                    fp.gap_writes.push(GapKey { parent: prow, left });
+                    fp.regions.push(self.parent_region_of(prow));
+                    Ok(ParentKey::Pre(prow))
+                }
+                NodeRef::New(l) => {
+                    fp.uses.push(l);
+                    self.inherit_regions(fp, l);
+                    Ok(ParentKey::New(l.0))
+                }
+            },
+            Place::Before(r) | Place::After(r) => match r {
+                NodeRef::Node(s) => {
+                    let srow = self.read(fp, s)?;
+                    let parent = self
+                        .tree
+                        .parent(s)
+                        .ok_or(TreeError::NoParent(s))?;
+                    let prow = self.idx.row(parent)?;
+                    let left = if matches!(place, Place::After(_)) {
+                        GapSlot::AfterNode(srow)
+                    } else {
+                        match self.tree.prev_sibling(s) {
+                            Some(ps) => GapSlot::AfterNode(self.idx.row(ps)?),
+                            None => GapSlot::Start,
+                        }
+                    };
+                    fp.gap_writes.push(GapKey { parent: prow, left });
+                    fp.regions.push(self.parent_region_of(prow));
+                    Ok(ParentKey::Pre(prow))
+                }
+                NodeRef::New(l) => {
+                    fp.uses.push(l);
+                    self.inherit_regions(fp, l);
+                    match self.parent_of_new.get(&l.0) {
+                        Some(&pk) => Ok(pk),
+                        None => Err(TreeError::Invariant(format!(
+                            "log id #{} has no recorded parent",
+                            l.0
+                        ))),
+                    }
+                }
+            },
+        }
+    }
+
+    fn inherit_regions(&self, fp: &mut OpFootprint, l: LogId) {
+        if let Some(rs) = self.regions_of_new.get(&l.0) {
+            fp.regions.extend(rs.iter().copied());
+        }
+    }
+
+    /// Footprint one mutation, updating shadow parentage as the scan
+    /// walks the log in order.
+    fn footprint(&mut self, m: &Mutation) -> Result<OpFootprint, TreeError> {
+        let mut fp = OpFootprint::default();
+        match m {
+            Mutation::CreateElement { id, place, .. } | Mutation::CreateNode { id, place, .. } => {
+                let pk = self.place_footprint(&mut fp, *place)?;
+                fp.creates.push(*id);
+                self.parent_of_new.insert(id.0, pk);
+                self.regions_of_new.insert(id.0, fp.regions.clone());
+            }
+            Mutation::SetText { target, .. } => match target {
+                NodeRef::Node(t) => {
+                    let row = self.read(&mut fp, *t)?;
+                    fp.text_writes.push(PointRef::Pre(row));
+                }
+                NodeRef::New(l) => {
+                    fp.uses.push(*l);
+                    self.inherit_regions(&mut fp, *l);
+                    fp.text_writes.push(PointRef::New(l.0));
+                }
+            },
+            Mutation::Replace { target, id, .. } => {
+                let pk = match target {
+                    NodeRef::Node(t) => {
+                        let trow = self.read(&mut fp, *t)?;
+                        fp.deleted_extents.push(self.idx.extent(trow));
+                        let parent = self.tree.parent(*t).ok_or(TreeError::RootImmutable)?;
+                        let prow = self.idx.row(parent)?;
+                        fp.gap_writes.push(GapKey {
+                            parent: prow,
+                            left: GapSlot::Own(trow),
+                        });
+                        fp.regions.push(self.parent_region_of(prow));
+                        ParentKey::Pre(prow)
+                    }
+                    NodeRef::New(l) => {
+                        fp.uses.push(*l);
+                        self.inherit_regions(&mut fp, *l);
+                        self.dead_new.insert(l.0);
+                        match self.parent_of_new.get(&l.0) {
+                            Some(&pk) => pk,
+                            None => {
+                                return Err(TreeError::Invariant(format!(
+                                    "log id #{} has no recorded parent",
+                                    l.0
+                                )))
+                            }
+                        }
+                    }
+                };
+                fp.creates.push(*id);
+                self.parent_of_new.insert(id.0, pk);
+                self.regions_of_new.insert(id.0, fp.regions.clone());
+            }
+            Mutation::Delete { target } => match target {
+                NodeRef::Node(t) => {
+                    let trow = self.read(&mut fp, *t)?;
+                    fp.deleted_extents.push(self.idx.extent(trow));
+                    if let Some(parent) = self.tree.parent(*t) {
+                        let prow = self.idx.row(parent)?;
+                        fp.regions.push(self.parent_region_of(prow));
+                    }
+                }
+                NodeRef::New(l) => {
+                    fp.uses.push(*l);
+                    self.inherit_regions(&mut fp, *l);
+                    self.dead_new.insert(l.0);
+                }
+            },
+            Mutation::AppendChildren { parent, ids, .. } => {
+                let pk = match parent {
+                    NodeRef::Node(p) => {
+                        let prow = self.read(&mut fp, *p)?;
+                        let left = match self.tree.last_child(*p) {
+                            Some(lc) => GapSlot::AfterNode(self.idx.row(lc)?),
+                            None => GapSlot::Start,
+                        };
+                        fp.gap_writes.push(GapKey { parent: prow, left });
+                        fp.regions.push(self.parent_region_of(prow));
+                        ParentKey::Pre(prow)
+                    }
+                    NodeRef::New(l) => {
+                        fp.uses.push(*l);
+                        self.inherit_regions(&mut fp, *l);
+                        ParentKey::New(l.0)
+                    }
+                };
+                for id in ids {
+                    fp.creates.push(*id);
+                    self.parent_of_new.insert(id.0, pk);
+                    self.regions_of_new.insert(id.0, fp.regions.clone());
+                }
+            }
+            Mutation::MoveSubtree { target, place } => {
+                let pk = self.place_footprint(&mut fp, *place)?;
+                match target {
+                    NodeRef::Node(t) => {
+                        let trow = self.read(&mut fp, *t)?;
+                        fp.moved_extents.push(self.idx.extent(trow));
+                        if let Some(parent) = self.tree.parent(*t) {
+                            let prow = self.idx.row(parent)?;
+                            fp.regions.push(self.parent_region_of(prow));
+                        }
+                    }
+                    NodeRef::New(l) => {
+                        fp.uses.push(*l);
+                        self.inherit_regions(&mut fp, *l);
+                        self.parent_of_new.insert(l.0, pk);
+                    }
+                }
+            }
+        }
+        Ok(fp)
+    }
+
+    /// Is created id `l` provably gone by batch end (it, or a shadow
+    /// ancestor among created nodes, is directly consumed)?
+    fn created_id_dies(&self, l: u32) -> bool {
+        let mut seen = BTreeSet::new();
+        let mut cur = l;
+        loop {
+            if self.dead_new.contains(&cur) {
+                return true;
+            }
+            if !seen.insert(cur) {
+                return false;
+            }
+            match self.parent_of_new.get(&cur) {
+                Some(ParentKey::New(p)) => cur = *p,
+                _ => return false,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The analysis pass.
+// ---------------------------------------------------------------------
+
+/// Every pre-batch row an op's footprint *references* (anchors, targets,
+/// text points, gap parents).
+fn referenced_rows(fp: &OpFootprint) -> Vec<u32> {
+    let mut rows: Vec<u32> = fp.anchor_reads.clone();
+    for g in &fp.gap_writes {
+        rows.push(g.parent);
+    }
+    for t in &fp.text_writes {
+        if let PointRef::Pre(r) = t {
+            rows.push(*r);
+        }
+    }
+    rows
+}
+
+/// Classify the coupling between ops `i < j`, if any. Precedence:
+/// dependency, text/text, move-into-deleted, write-after-delete,
+/// extent overlap, structural overlap.
+fn classify(a: &OpFootprint, b: &OpFootprint, b_is_move: bool, a_is_move: bool) -> Option<EdgeKind> {
+    // Dependency: b uses an id a creates (forward refs only).
+    if b.uses.iter().any(|u| a.creates.contains(u)) {
+        return Some(EdgeKind::Dependency);
+    }
+    // Text/text: same point written twice.
+    if a.text_writes
+        .iter()
+        .any(|t| b.text_writes.contains(t))
+    {
+        return Some(EdgeKind::Conflict(ConflictKind::TextText));
+    }
+    // Move-into-deleted: a move's destination gap parent sits inside
+    // the other op's deleted extent.
+    let move_into = |mv: &OpFootprint, del: &OpFootprint| {
+        mv.gap_writes
+            .iter()
+            .any(|g| del.deleted_extents.iter().any(|e| e.contains(g.parent)))
+    };
+    if (b_is_move && move_into(b, a)) || (a_is_move && move_into(a, b)) {
+        return Some(EdgeKind::Conflict(ConflictKind::MoveIntoDeleted));
+    }
+    // Write-after-delete: one op references a row the other deletes.
+    let touches_deleted = |x: &OpFootprint, del: &OpFootprint| {
+        referenced_rows(x)
+            .iter()
+            .any(|&r| del.deleted_extents.iter().any(|e| e.contains(r)))
+    };
+    if touches_deleted(a, b) || touches_deleted(b, a) {
+        return Some(EdgeKind::Conflict(ConflictKind::WriteAfterDelete));
+    }
+    // Extent overlap: deleted/moved extents collide with each other or
+    // with the other op's relabel regions.
+    let extents = |x: &OpFootprint| {
+        x.deleted_extents
+            .iter()
+            .chain(x.moved_extents.iter())
+            .copied()
+            .collect::<Vec<Extent>>()
+    };
+    let ea = extents(a);
+    let eb = extents(b);
+    if ea.iter().any(|x| eb.iter().any(|y| x.overlaps(y)))
+        || ea.iter().any(|x| b.regions.iter().any(|y| x.overlaps(y)))
+        || eb.iter().any(|x| a.regions.iter().any(|y| x.overlaps(y)))
+    {
+        return Some(EdgeKind::Conflict(ConflictKind::ExtentOverlap));
+    }
+    // Structural overlap: same gap key, or overlapping relabel
+    // regions.
+    if a.gap_writes.iter().any(|g| b.gap_writes.contains(g))
+        || a.regions
+            .iter()
+            .any(|x| b.regions.iter().any(|y| x.overlaps(y)))
+    {
+        return Some(EdgeKind::Conflict(ConflictKind::StructuralOverlap));
+    }
+    None
+}
+
+fn class_rank(m: &Mutation) -> u8 {
+    match m {
+        Mutation::CreateElement { .. }
+        | Mutation::CreateNode { .. }
+        | Mutation::AppendChildren { .. } => 0,
+        Mutation::MoveSubtree { .. } => 1,
+        Mutation::Replace { .. } => 2,
+        Mutation::Delete { .. } => 3,
+        Mutation::SetText { .. } => 4,
+    }
+}
+
+/// Minimal-key Kahn topological sort: among ready ops, emit the one
+/// with the smallest (class rank, region start, original index) key —
+/// a *canonical* order that genuinely regroups work (creates first,
+/// region-major) instead of echoing the input order.
+fn canonical_order(ops: &[&Mutation], fps: &[OpFootprint], edges: &[Edge]) -> Vec<usize> {
+    let n = ops.len();
+    let mut indegree = vec![0usize; n];
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in edges {
+        indegree[e.to] += 1;
+        succ[e.from].push(e.to);
+    }
+    let key = |i: usize| {
+        let start = fps[i]
+            .regions
+            .iter()
+            .map(|r| r.start)
+            .min()
+            .unwrap_or(u32::MAX);
+        (class_rank(ops[i]), start, i)
+    };
+    let mut ready: BTreeSet<(u8, u32, usize)> = (0..n)
+        .filter(|&i| indegree[i] == 0)
+        .map(key)
+        .collect();
+    let mut out = Vec::with_capacity(n);
+    while let Some(&k) = ready.iter().next() {
+        ready.remove(&k);
+        let i = k.2;
+        out.push(i);
+        for &j in &succ[i] {
+            indegree[j] -= 1;
+            if indegree[j] == 0 {
+                ready.insert(key(j));
+            }
+        }
+    }
+    out
+}
+
+/// Union-find over op indices.
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Dsu {
+        Dsu {
+            parent: (0..n).collect(),
+        }
+    }
+    fn find(&mut self, i: usize) -> usize {
+        let mut r = i;
+        while self.parent[r] != r {
+            r = self.parent[r];
+        }
+        let mut cur = i;
+        while self.parent[cur] != r {
+            let next = self.parent[cur];
+            self.parent[cur] = r;
+            cur = next;
+        }
+        r
+    }
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra.max(rb)] = ra.min(rb);
+        }
+    }
+}
+
+/// Run the full static analysis over a log: validate it, compute
+/// footprints, build the dependency/conflict graph, and derive every
+/// certificate. Pure — the tree is only read.
+pub fn analyze(log: &MutationLog, tree: &XmlTree) -> Result<AnalyzedPlan, TreeError> {
+    validate(log, tree)?;
+    let n = log.len();
+    let ops: Vec<&Mutation> = log.iter().collect();
+
+    let mut builder = FootprintBuilder::new(tree)?;
+    let mut footprints = Vec::with_capacity(n);
+    for m in &ops {
+        footprints.push(builder.footprint(m)?);
+    }
+
+    // Graph: every pair, forward edges only.
+    let mut edges = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let a_is_move = matches!(ops[i], Mutation::MoveSubtree { .. });
+            let b_is_move = matches!(ops[j], Mutation::MoveSubtree { .. });
+            if let Some(kind) = classify(&footprints[i], &footprints[j], b_is_move, a_is_move) {
+                edges.push(Edge { from: i, to: j, kind });
+            }
+        }
+    }
+
+    // Components.
+    let mut dsu = Dsu::new(n);
+    for e in &edges {
+        dsu.union(e.from, e.to);
+    }
+    let mut by_root: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for i in 0..n {
+        let r = dsu.find(i);
+        by_root.entry(r).or_default().push(i);
+    }
+    let components: Vec<Vec<usize>> = by_root.into_values().collect();
+
+    // Certificate: canonical topological order.
+    let canonical = canonical_order(&ops, &footprints, &edges);
+
+    // Certificate: redundant no-op text writes.
+    let mut redundant = Vec::new();
+    for (i, m) in ops.iter().enumerate() {
+        if let Mutation::SetText {
+            target: NodeRef::Node(t),
+            text,
+        } = m
+        {
+            if tree.is_alive(*t) {
+                if let NodeKind::Text { value } = tree.kind(*t) {
+                    if value == text {
+                        redundant.push(i);
+                    }
+                }
+            }
+        }
+    }
+
+    // Certificate: nil components (create+delete cancellation).
+    let mut nil_components = Vec::new();
+    'comp: for (c, members) in components.iter().enumerate() {
+        if members.is_empty() {
+            continue;
+        }
+        let mut created: Vec<u32> = Vec::new();
+        for &i in members {
+            match ops[i] {
+                Mutation::CreateElement { id, .. } | Mutation::CreateNode { id, .. } => {
+                    created.push(id.0);
+                }
+                Mutation::AppendChildren { ids, .. } => {
+                    created.extend(ids.iter().map(|l| l.0));
+                }
+                Mutation::SetText { target, .. }
+                | Mutation::Delete { target }
+                | Mutation::MoveSubtree { target, .. } => {
+                    if matches!(target, NodeRef::Node(_)) {
+                        continue 'comp;
+                    }
+                }
+                Mutation::Replace { target, id, .. } => {
+                    if matches!(target, NodeRef::Node(_)) {
+                        continue 'comp;
+                    }
+                    created.push(id.0);
+                }
+            }
+        }
+        if created.is_empty() {
+            continue;
+        }
+        if created.iter().all(|&l| builder.created_id_dies(l)) {
+            nil_components.push(c);
+        }
+    }
+
+    Ok(AnalyzedPlan {
+        len: n,
+        footprints,
+        edges,
+        components,
+        canonical,
+        redundant,
+        nil_components,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Certificate consumers: the batch optimizer and the parallel fan-out.
+// ---------------------------------------------------------------------
+
+fn check_plan(plan: &AnalyzedPlan, log: &MutationLog) -> Result<(), TreeError> {
+    if plan.len != log.len() {
+        return Err(TreeError::Invariant(
+            "analyzed plan does not cover this log".to_string(),
+        ));
+    }
+    Ok(())
+}
+
+fn apply_in_order(
+    tree: &mut XmlTree,
+    session: &mut dyn DynScheme,
+    log: &MutationLog,
+    order: &[usize],
+) -> Result<DriveStats, TreeError> {
+    let ops: Vec<&Mutation> = log.iter().collect();
+    let tree_snap = tree.clone();
+    let sess_snap = session.save_state();
+    let mut stats = DriveStats::default();
+    let mut binds = LogBindings::default();
+    let mut failed = None;
+    for (step, &i) in order.iter().enumerate() {
+        if let Err(e) =
+            apply_mutation_dyn(tree, Some(&mut *session), None, &mut binds, ops[i], &mut stats)
+        {
+            failed = Some(e);
+            break;
+        }
+        if step % CHECKPOINT_EVERY == 0 {
+            stats.peak_label_bits = stats.peak_label_bits.max(session.max_bits());
+        }
+    }
+    if let Some(e) = failed {
+        *tree = tree_snap;
+        if !session.restore_state(sess_snap) {
+            return Err(TreeError::Invariant(
+                "batch rollback: session snapshot was rejected".to_string(),
+            ));
+        }
+        return Err(e);
+    }
+    stats.peak_label_bits = stats.peak_label_bits.max(session.max_bits());
+    stats.end_mean_bits = session.mean_bits();
+    stats.end_max_bits = session.max_bits();
+    Ok(stats)
+}
+
+/// Apply `log` through its analyzed plan: revalidation is skipped (the
+/// analysis already validated), redundant no-op writes are dropped, and
+/// — when the session's scheme is order-independent — the ops run in
+/// the certified canonical order. Atomic like `apply_log_dyn`: any
+/// failure rolls tree and session back. Work counters (`inserts`,
+/// `deletes`, `relabeled`) match sequential apply exactly; only
+/// `peak_label_bits` may differ, as its checkpoints sample different
+/// instants.
+pub fn apply_plan_dyn(
+    tree: &mut XmlTree,
+    session: &mut dyn DynScheme,
+    log: &MutationLog,
+    plan: &AnalyzedPlan,
+) -> Result<DriveStats, TreeError> {
+    check_plan(plan, log)?;
+    let order = plan.execution_order(session.order_independent(), false);
+    apply_in_order(tree, session, log, &order)
+}
+
+/// [`apply_plan_dyn`] with create+delete cancellation: nil components
+/// are skipped entirely when the scheme claims both
+/// [`order_independent`](DynScheme::order_independent) (no temporal
+/// label state other components could observe) and
+/// [`cancellation_neutral`](DynScheme::cancellation_neutral) (inserts
+/// never rewrite neighbour labels, so a cancelled scratch subtree
+/// leaves no residue). Document bytes and final labels match
+/// sequential apply; the work counters intentionally shrink — that
+/// saved work is the coalesce ratio the bench reports.
+pub fn apply_plan_coalesced_dyn(
+    tree: &mut XmlTree,
+    session: &mut dyn DynScheme,
+    log: &MutationLog,
+    plan: &AnalyzedPlan,
+) -> Result<DriveStats, TreeError> {
+    check_plan(plan, log)?;
+    let oi = session.order_independent();
+    let cancel = oi && session.cancellation_neutral();
+    let order = plan.execution_order(oi, cancel);
+    apply_in_order(tree, session, log, &order)
+}
+
+/// What one shard of [`par_apply_independent`] produced.
+pub struct ShardOutcome {
+    /// Original op indices this shard applied (one plan component).
+    pub component: Vec<usize>,
+    /// The shard's document after its sub-log.
+    pub tree: XmlTree,
+    /// Final labels, as `(arena index, display form)` in id order.
+    pub labels: Vec<(usize, String)>,
+    /// The shard's drive stats.
+    pub stats: DriveStats,
+}
+
+/// Fan the plan's provably independent sub-logs across document shards
+/// on the `xupd-exec` pool: every component gets its own clone of
+/// `base` and a fresh session from `factory`, and applies only its own
+/// ops. Results come back in component order regardless of
+/// `XUPD_THREADS`, and the first (lowest-component) error wins — so
+/// output is thread-count invariant, which `scripts/ci.sh` checks.
+pub fn par_apply_independent(
+    base: &XmlTree,
+    factory: fn() -> Box<dyn DynScheme>,
+    log: &MutationLog,
+    plan: &AnalyzedPlan,
+) -> Result<Vec<ShardOutcome>, TreeError> {
+    check_plan(plan, log)?;
+    let sublogs = plan.independent_sublogs(log)?;
+    let shards: Vec<(Vec<usize>, MutationLog)> = plan
+        .components
+        .iter()
+        .cloned()
+        .zip(sublogs)
+        .collect();
+    xupd_exec::try_par_map(&shards, |(component, sub)| {
+        let mut tree = base.clone();
+        let mut session = factory();
+        session.label_tree(&tree)?;
+        let stats = crate::mutations::apply_log_dyn(&mut tree, session.as_mut(), sub)?;
+        Ok(ShardOutcome {
+            component: component.clone(),
+            labels: session.labels_display(),
+            tree,
+            stats,
+        })
+    })
+}
+
+// ---------------------------------------------------------------------
+// Pairwise structural oracle.
+// ---------------------------------------------------------------------
+
+/// The precise pairwise verdict: structural commutation or a witnessed
+/// conflict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairVerdict {
+    /// Applying `a` then `b` (as one-op batches) and `b` then `a`
+    /// yields byte-identical documents and the same per-op success
+    /// pattern.
+    Commutes,
+    /// The two orders genuinely diverge — in document bytes or in
+    /// which ops succeed.
+    Conflicts(ConflictKind),
+}
+
+/// Pairwise footprint of one self-contained op.
+struct PairFacts {
+    refs: Vec<u32>,
+    gap: Option<GapKey>,
+    /// Uniform payload of the created run at the gap, when every node
+    /// the op inserts has the same kind (`None` when nothing uniform
+    /// is inserted — e.g. a move).
+    gap_payload: Option<NodeKind>,
+    text: Option<(u32, String)>,
+    deleted: Option<Extent>,
+    is_move: bool,
+    is_delete: bool,
+    /// Row of the subtree root a `MoveSubtree` relocates.
+    moved_root: Option<u32>,
+    /// Row of a `Before`/`After` destination anchor. Sibling-relative
+    /// placement follows the anchor *wherever it currently is*, so it
+    /// is order-sensitive against an op that moves that exact node
+    /// (anchors strictly inside a moved subtree just ride along).
+    sibling_anchor: Option<u32>,
+}
+
+fn pair_place(
+    tree: &XmlTree,
+    idx: &DocIndex,
+    place: Place,
+    facts: &mut PairFacts,
+) -> Result<(), TreeError> {
+    let node = |r: NodeRef| match r {
+        NodeRef::Node(n) => Ok(n),
+        NodeRef::New(l) => Err(TreeError::Invariant(format!(
+            "pairwise verdicts need self-contained ops; log id #{} crosses ops",
+            l.0
+        ))),
+    };
+    match place {
+        Place::FirstChildOf(r) => {
+            let p = node(r)?;
+            let prow = idx.row(p)?;
+            facts.refs.push(prow);
+            facts.gap = Some(GapKey {
+                parent: prow,
+                left: GapSlot::Start,
+            });
+        }
+        Place::LastChildOf(r) => {
+            let p = node(r)?;
+            let prow = idx.row(p)?;
+            facts.refs.push(prow);
+            let left = match tree.last_child(p) {
+                Some(lc) => GapSlot::AfterNode(idx.row(lc)?),
+                None => GapSlot::Start,
+            };
+            facts.gap = Some(GapKey { parent: prow, left });
+        }
+        Place::Before(r) | Place::After(r) => {
+            let s = node(r)?;
+            let srow = idx.row(s)?;
+            facts.refs.push(srow);
+            facts.sibling_anchor = Some(srow);
+            let parent = tree.parent(s).ok_or(TreeError::NoParent(s))?;
+            let prow = idx.row(parent)?;
+            let left = if matches!(place, Place::After(_)) {
+                GapSlot::AfterNode(srow)
+            } else {
+                match tree.prev_sibling(s) {
+                    Some(ps) => GapSlot::AfterNode(idx.row(ps)?),
+                    None => GapSlot::Start,
+                }
+            };
+            facts.gap = Some(GapKey { parent: prow, left });
+        }
+    }
+    Ok(())
+}
+
+fn pair_facts(tree: &XmlTree, idx: &DocIndex, m: &Mutation) -> Result<PairFacts, TreeError> {
+    let mut facts = PairFacts {
+        refs: Vec::new(),
+        gap: None,
+        gap_payload: None,
+        text: None,
+        deleted: None,
+        is_move: false,
+        is_delete: false,
+        moved_root: None,
+        sibling_anchor: None,
+    };
+    let node = |r: NodeRef| match r {
+        NodeRef::Node(n) => Ok(n),
+        NodeRef::New(l) => Err(TreeError::Invariant(format!(
+            "pairwise verdicts need self-contained ops; log id #{} crosses ops",
+            l.0
+        ))),
+    };
+    match m {
+        Mutation::CreateElement { name, place, .. } => {
+            pair_place(tree, idx, *place, &mut facts)?;
+            facts.gap_payload = Some(NodeKind::element(name.clone()));
+        }
+        Mutation::CreateNode { kind, place, .. } => {
+            pair_place(tree, idx, *place, &mut facts)?;
+            facts.gap_payload = Some(kind.clone());
+        }
+        Mutation::SetText { target, text } => {
+            let t = node(*target)?;
+            let row = idx.row(t)?;
+            facts.refs.push(row);
+            facts.text = Some((row, text.clone()));
+        }
+        Mutation::Replace { target, name, .. } => {
+            let t = node(*target)?;
+            let trow = idx.row(t)?;
+            facts.refs.push(trow);
+            facts.deleted = Some(idx.extent(trow));
+            let parent = tree.parent(t).ok_or(TreeError::RootImmutable)?;
+            let prow = idx.row(parent)?;
+            facts.gap = Some(GapKey {
+                parent: prow,
+                left: GapSlot::Own(trow),
+            });
+            facts.gap_payload = Some(NodeKind::element(name.clone()));
+        }
+        Mutation::Delete { target } => {
+            let t = node(*target)?;
+            let trow = idx.row(t)?;
+            facts.refs.push(trow);
+            facts.deleted = Some(idx.extent(trow));
+            facts.is_delete = true;
+        }
+        Mutation::AppendChildren { parent, name, .. } => {
+            let p = node(*parent)?;
+            let prow = idx.row(p)?;
+            facts.refs.push(prow);
+            let left = match tree.last_child(p) {
+                Some(lc) => GapSlot::AfterNode(idx.row(lc)?),
+                None => GapSlot::Start,
+            };
+            facts.gap = Some(GapKey { parent: prow, left });
+            facts.gap_payload = Some(NodeKind::element(name.clone()));
+        }
+        Mutation::MoveSubtree { target, place } => {
+            let t = node(*target)?;
+            let trow = idx.row(t)?;
+            facts.refs.push(trow);
+            pair_place(tree, idx, *place, &mut facts)?;
+            facts.is_move = true;
+            facts.moved_root = Some(trow);
+        }
+    }
+    Ok(facts)
+}
+
+/// Decide, statically, whether the one-op batches `a` and `b` commute
+/// on `tree` — see [`PairVerdict`] for the exact contract. Both ops
+/// must be self-contained (no [`NodeRef::New`] references).
+pub fn op_pair_verdict(
+    tree: &XmlTree,
+    a: &Mutation,
+    b: &Mutation,
+) -> Result<PairVerdict, TreeError> {
+    let idx = DocIndex::build(tree)?;
+    let fa = pair_facts(tree, &idx, a)?;
+    let fb = pair_facts(tree, &idx, b)?;
+
+    // Text/text: the same point written twice diverges unless both
+    // write the same value.
+    if let (Some((ta, va)), Some((tb, vb))) = (&fa.text, &fb.text) {
+        if ta == tb {
+            return Ok(if va == vb {
+                PairVerdict::Commutes
+            } else {
+                PairVerdict::Conflicts(ConflictKind::TextText)
+            });
+        }
+    }
+
+    // Identical plain deletes are idempotent as a pair (either order:
+    // the first succeeds, the second fails on the same dangling
+    // target) — decided before the reference checks below, which would
+    // otherwise see each delete's target inside its twin's extent.
+    if fa.is_delete && fb.is_delete && fa.deleted == fb.deleted {
+        return Ok(PairVerdict::Commutes);
+    }
+
+    // Move destination inside the other op's deleted subtree: one
+    // order moves the subtree to safety, the other strands it.
+    let move_into = |mv: &PairFacts, other: &PairFacts| {
+        mv.is_move
+            && matches!((&mv.gap, &other.deleted), (Some(g), Some(e)) if e.contains(g.parent))
+    };
+    if move_into(&fa, &fb) || move_into(&fb, &fa) {
+        return Ok(PairVerdict::Conflicts(ConflictKind::MoveIntoDeleted));
+    }
+
+    // Write-after-delete: one op anchors on (or targets) a row the
+    // other deletes — applying the delete first invalidates the other
+    // op, so the success patterns of the two orders differ.
+    let touches = |x: &PairFacts, del: &PairFacts| {
+        matches!(&del.deleted, Some(e) if x.refs.iter().any(|&r| e.contains(r)))
+    };
+    if touches(&fa, &fb) || touches(&fb, &fa) {
+        return Ok(PairVerdict::Conflicts(ConflictKind::WriteAfterDelete));
+    }
+
+    // Overlapping deletions (identical plain deletes were already
+    // certified idempotent above) — everything else diverges.
+    if let (Some(ea), Some(eb)) = (&fa.deleted, &fb.deleted) {
+        if ea.overlaps(eb) {
+            return Ok(PairVerdict::Conflicts(ConflictKind::ExtentOverlap));
+        }
+    }
+
+    // Two moves of the same subtree root: whichever runs second decides
+    // the final position.
+    if fa.moved_root.is_some() && fa.moved_root == fb.moved_root {
+        return Ok(PairVerdict::Conflicts(ConflictKind::StructuralOverlap));
+    }
+
+    // A Before/After destination anchored on the exact node the other
+    // op moves: the placement follows the anchor to its new home in one
+    // order and stays at the old site in the other. (Anchors strictly
+    // inside the moved subtree are id-stable and ride along.)
+    let anchor_moved = |x: &PairFacts, mv: &PairFacts| {
+        matches!((x.sibling_anchor, mv.moved_root), (Some(s), Some(r)) if s == r)
+    };
+    if anchor_moved(&fa, &fb) || anchor_moved(&fb, &fa) {
+        return Ok(PairVerdict::Conflicts(ConflictKind::StructuralOverlap));
+    }
+
+    // Same sibling gap: order decides adjacency — unless both ops
+    // insert runs of one identical kind, in which case the merged run
+    // reads the same either way.
+    if let (Some(ga), Some(gb)) = (&fa.gap, &fb.gap) {
+        if ga == gb {
+            let uniform = match (&fa.gap_payload, &fb.gap_payload) {
+                (Some(ka), Some(kb)) => ka == kb,
+                _ => false,
+            };
+            return Ok(if uniform && !fa.is_move && !fb.is_move {
+                PairVerdict::Commutes
+            } else {
+                PairVerdict::Conflicts(ConflictKind::StructuralOverlap)
+            });
+        }
+    }
+
+    Ok(PairVerdict::Commutes)
+}
+
+/// True when [`op_pair_verdict`] certifies the pair order-insensitive.
+pub fn commutes(tree: &XmlTree, a: &Mutation, b: &Mutation) -> Result<bool, TreeError> {
+    Ok(matches!(op_pair_verdict(tree, a, b)?, PairVerdict::Commutes))
+}
+
+/// The conflict witnessed by the pair, when the verdict is not
+/// commutation.
+pub fn conflicts(
+    tree: &XmlTree,
+    a: &Mutation,
+    b: &Mutation,
+) -> Result<Option<ConflictKind>, TreeError> {
+    Ok(match op_pair_verdict(tree, a, b)? {
+        PairVerdict::Commutes => None,
+        PairVerdict::Conflicts(k) => Some(k),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Tests.
+// ---------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xupd_xmldom::parse;
+
+    /// Satellite: the analyzer's write-footprint table and lint's R8
+    /// mutator list are both views of `STRUCTURAL_MUTATORS` — keys
+    /// must match it exactly, in order.
+    #[test]
+    fn mutator_table_stays_in_sync() {
+        let keys: Vec<&str> = MUTATOR_FOOTPRINTS.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, xupd_xmldom::STRUCTURAL_MUTATORS);
+    }
+
+    fn doc() -> XmlTree {
+        parse("<r><a><x>1</x><y>2</y></a><b><z>3</z></b><c/></r>").unwrap()
+    }
+
+    fn elem(n: &XmlTree, name: &str) -> NodeId {
+        n.ids_in_doc_order()
+            .into_iter()
+            .find(|&id| matches!(n.kind(id), NodeKind::Element { name: e } if e == name))
+            .unwrap()
+    }
+
+    fn text_node(n: &XmlTree, value: &str) -> NodeId {
+        n.ids_in_doc_order()
+            .into_iter()
+            .find(|&id| matches!(n.kind(id), NodeKind::Text { value: v } if v == value))
+            .unwrap()
+    }
+
+    #[test]
+    fn disjoint_subtree_edits_partition() {
+        let t = doc();
+        let log = MutationLog::from(vec![
+            Mutation::CreateElement {
+                id: LogId(0),
+                name: "p".into(),
+                place: Place::LastChildOf(NodeRef::Node(elem(&t, "a"))),
+            },
+            Mutation::CreateElement {
+                id: LogId(1),
+                name: "q".into(),
+                place: Place::LastChildOf(NodeRef::Node(elem(&t, "b"))),
+            },
+            Mutation::SetText {
+                target: NodeRef::Node(text_node(&t, "3")),
+                text: "30".into(),
+            },
+        ]);
+        let plan = analyze(&log, &t).unwrap();
+        // a-create is independent of the b-subtree pair; the SetText
+        // inside <b> shares no footprint with the structural create
+        // under <b> (text points don't collide with sibling gaps), so
+        // all three ops are mutually independent here.
+        assert_eq!(plan.components.len(), 3);
+        assert!(plan.is_independent(0, 1));
+        assert!(plan.edges.is_empty());
+    }
+
+    #[test]
+    fn same_parent_creates_conflict_structurally() {
+        let t = doc();
+        let a = elem(&t, "a");
+        let log = MutationLog::from(vec![
+            Mutation::CreateElement {
+                id: LogId(0),
+                name: "p".into(),
+                place: Place::FirstChildOf(NodeRef::Node(a)),
+            },
+            Mutation::CreateElement {
+                id: LogId(1),
+                name: "q".into(),
+                place: Place::LastChildOf(NodeRef::Node(a)),
+            },
+        ]);
+        let plan = analyze(&log, &t).unwrap();
+        assert_eq!(plan.components.len(), 1);
+        assert!(matches!(
+            plan.edges[0].kind,
+            EdgeKind::Conflict(ConflictKind::StructuralOverlap)
+        ));
+    }
+
+    #[test]
+    fn write_after_delete_is_named() {
+        let t = doc();
+        let log = MutationLog::from(vec![
+            Mutation::Delete {
+                target: NodeRef::Node(elem(&t, "a")),
+            },
+            Mutation::SetText {
+                target: NodeRef::Node(text_node(&t, "1")),
+                text: "10".into(),
+            },
+        ]);
+        // Invalid as a batch (writes a consumed node) — analyze must
+        // reject it exactly like validate does.
+        assert!(analyze(&log, &t).is_err());
+        // But the pairwise oracle names the hazard statically.
+        let d = Mutation::Delete {
+            target: NodeRef::Node(elem(&t, "a")),
+        };
+        let s = Mutation::SetText {
+            target: NodeRef::Node(text_node(&t, "1")),
+            text: "10".into(),
+        };
+        assert_eq!(
+            op_pair_verdict(&t, &d, &s).unwrap(),
+            PairVerdict::Conflicts(ConflictKind::WriteAfterDelete)
+        );
+    }
+
+    #[test]
+    fn nested_deletes_are_extent_overlap() {
+        let t = doc();
+        let d_outer = Mutation::Delete {
+            target: NodeRef::Node(elem(&t, "a")),
+        };
+        let d_inner = Mutation::Delete {
+            target: NodeRef::Node(elem(&t, "x")),
+        };
+        // The inner target row sits inside the outer extent, so the
+        // reference check fires first: deleting <a> strands the <x>
+        // delete.
+        assert!(matches!(
+            op_pair_verdict(&t, &d_outer, &d_inner).unwrap(),
+            PairVerdict::Conflicts(_)
+        ));
+        // Identical deletes are idempotent as a pair.
+        assert_eq!(
+            op_pair_verdict(&t, &d_outer, &d_outer.clone()).unwrap(),
+            PairVerdict::Commutes
+        );
+    }
+
+    #[test]
+    fn move_into_deleted_is_named() {
+        let t = doc();
+        let mv = Mutation::MoveSubtree {
+            target: NodeRef::Node(elem(&t, "c")),
+            place: Place::LastChildOf(NodeRef::Node(elem(&t, "a"))),
+        };
+        let del = Mutation::Delete {
+            target: NodeRef::Node(elem(&t, "a")),
+        };
+        assert_eq!(
+            op_pair_verdict(&t, &mv, &del).unwrap(),
+            PairVerdict::Conflicts(ConflictKind::MoveIntoDeleted)
+        );
+    }
+
+    #[test]
+    fn text_text_divergence_and_noop() {
+        let t = doc();
+        let w1 = Mutation::SetText {
+            target: NodeRef::Node(text_node(&t, "1")),
+            text: "x".into(),
+        };
+        let w2 = Mutation::SetText {
+            target: NodeRef::Node(text_node(&t, "1")),
+            text: "y".into(),
+        };
+        assert_eq!(
+            op_pair_verdict(&t, &w1, &w2).unwrap(),
+            PairVerdict::Conflicts(ConflictKind::TextText)
+        );
+        assert_eq!(
+            op_pair_verdict(&t, &w1, &w1.clone()).unwrap(),
+            PairVerdict::Commutes
+        );
+    }
+
+    #[test]
+    fn redundant_settext_detected() {
+        let t = doc();
+        let log = MutationLog::from(vec![Mutation::SetText {
+            target: NodeRef::Node(text_node(&t, "2")),
+            text: "2".into(),
+        }]);
+        let plan = analyze(&log, &t).unwrap();
+        assert_eq!(plan.redundant, vec![0]);
+    }
+
+    #[test]
+    fn create_delete_cancellation() {
+        let t = doc();
+        let log = MutationLog::from(vec![
+            Mutation::CreateElement {
+                id: LogId(0),
+                name: "tmp".into(),
+                place: Place::LastChildOf(NodeRef::Node(elem(&t, "c"))),
+            },
+            Mutation::CreateElement {
+                id: LogId(1),
+                name: "inner".into(),
+                place: Place::FirstChildOf(NodeRef::New(LogId(0))),
+            },
+            Mutation::Delete {
+                target: NodeRef::New(LogId(0)),
+            },
+        ]);
+        let plan = analyze(&log, &t).unwrap();
+        assert_eq!(plan.components.len(), 1);
+        assert_eq!(plan.nil_components, vec![0]);
+    }
+
+    #[test]
+    fn escaped_creation_is_not_nil() {
+        let t = doc();
+        let log = MutationLog::from(vec![
+            Mutation::CreateElement {
+                id: LogId(0),
+                name: "tmp".into(),
+                place: Place::LastChildOf(NodeRef::Node(elem(&t, "c"))),
+            },
+            Mutation::CreateElement {
+                id: LogId(1),
+                name: "keeper".into(),
+                place: Place::FirstChildOf(NodeRef::New(LogId(0))),
+            },
+            // The inner node escapes before its host dies.
+            Mutation::MoveSubtree {
+                target: NodeRef::New(LogId(1)),
+                place: Place::LastChildOf(NodeRef::Node(elem(&t, "b"))),
+            },
+            Mutation::Delete {
+                target: NodeRef::New(LogId(0)),
+            },
+        ]);
+        let plan = analyze(&log, &t).unwrap();
+        assert!(plan.nil_components.is_empty());
+    }
+
+    #[test]
+    fn canonical_order_respects_edges_and_regroups() {
+        let t = doc();
+        let log = MutationLog::from(vec![
+            Mutation::SetText {
+                target: NodeRef::Node(text_node(&t, "3")),
+                text: "z".into(),
+            },
+            Mutation::CreateElement {
+                id: LogId(0),
+                name: "p".into(),
+                place: Place::LastChildOf(NodeRef::Node(elem(&t, "c"))),
+            },
+        ]);
+        let plan = analyze(&log, &t).unwrap();
+        // Independent text write and create: canonical order puts the
+        // structure-building op first.
+        assert_eq!(plan.canonical, vec![1, 0]);
+        // Every edge is respected by construction (none here).
+        assert!(plan.edges.is_empty());
+    }
+
+    #[test]
+    fn plan_len_mismatch_is_rejected() {
+        let t = doc();
+        let log = MutationLog::from(vec![Mutation::Delete {
+            target: NodeRef::Node(elem(&t, "c")),
+        }]);
+        let plan = analyze(&log, &t).unwrap();
+        let other = MutationLog::new();
+        assert!(plan.independent_sublogs(&other).is_err());
+    }
+
+    #[test]
+    fn pairwise_rejects_cross_op_log_ids() {
+        let t = doc();
+        let a = Mutation::Delete {
+            target: NodeRef::New(LogId(7)),
+        };
+        let b = Mutation::Delete {
+            target: NodeRef::Node(elem(&t, "c")),
+        };
+        assert!(op_pair_verdict(&t, &a, &b).is_err());
+    }
+}

@@ -25,12 +25,18 @@
 //! * [`mutations`] — the batched, atomic, replayable [`MutationLog`]
 //!   update API: validation before any state change, all-or-nothing
 //!   application, a deterministic journaling codec, and log inversion
-//!   (undo/redo for free).
+//!   (undo/redo for free);
+//! * [`analysis`] — the static analyzer over validated logs: per-op
+//!   read/write footprints, a dependency/conflict graph with a named
+//!   taxonomy, and certificates (no-op detection, coalescing, a
+//!   canonical reorder, independent sub-log partitioning) consumed by
+//!   the batch optimizer and the parallel shard fan-out.
 //!
 //! The checker battery fans out per scheme on the `xupd-exec` scoped
 //! pool (schemes are independent); results and renders are identical at
 //! any `XUPD_THREADS` setting.
 
+pub mod analysis;
 pub mod checkers;
 pub mod document;
 pub mod driver;
@@ -40,6 +46,11 @@ pub mod orthogonal;
 pub mod report;
 pub mod verify;
 
+pub use analysis::{
+    analyze, apply_plan_coalesced_dyn, apply_plan_dyn, commutes, conflicts, op_pair_verdict,
+    par_apply_independent, AnalyzedPlan, ConflictKind, Edge, EdgeKind, Extent, GapKey, GapSlot,
+    OpFootprint, PairVerdict, PointRef, ShardOutcome, MUTATOR_FOOTPRINTS,
+};
 pub use checkers::{measure_scheme, measure_session, Evidence, Measured};
 pub use driver::ElementPool;
 pub use mutations::{

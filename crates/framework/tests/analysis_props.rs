@@ -1,0 +1,200 @@
+//! Property tests for the pairwise commutation oracle
+//! (`op_pair_verdict`), on the hermetic `xupd-testkit` harness
+//! (shrinking, seed-replayable).
+//!
+//! The oracle's contract is *structural*: `Commutes` promises that the
+//! two single-op batches leave byte-identical documents and the same
+//! per-op success pattern in either application order; `Conflicts`
+//! promises a witness — some observable (bytes or success pattern)
+//! genuinely diverges between the orders. Both directions are checked
+//! here against randomly generated self-contained op pairs over random
+//! trees. Labels are deliberately outside the pairwise contract (see
+//! `framework::analysis`), so they are not compared.
+
+use xupd_framework::analysis::{op_pair_verdict, PairVerdict};
+use xupd_framework::mutations::{apply_log, LogId, Mutation, MutationLog, NodeRef, Place};
+use xupd_labelcore::LabelingScheme;
+use xupd_schemes::prefix::qed::Qed;
+use xupd_testkit::prop::{ints, Config};
+use xupd_testkit::{prop_assert, prop_assume, props};
+use xupd_workloads::docs;
+use xupd_xmldom::{serialize_compact, NodeId, XmlTree};
+
+/// Nodes an op may target or anchor on: everything except the document
+/// node and the document element (whose deletion/sibling positions are
+/// degenerate), restricted to elements and texts.
+fn interior(tree: &XmlTree) -> Vec<NodeId> {
+    let root = tree.root();
+    let doc = tree.document_element();
+    tree.ids_in_doc_order()
+        .into_iter()
+        .filter(|&id| id != root && Some(id) != doc)
+        .filter(|&id| tree.kind(id).is_element() || tree.kind(id).is_text())
+        .collect()
+}
+
+/// Decode one self-contained mutation from raw generator integers.
+/// `slot` disambiguates the two ops of a pair (distinct `LogId`s and
+/// names, so created material never coincides by accident).
+fn decode_op(
+    tree: &XmlTree,
+    slot: u32,
+    kind_tag: usize,
+    sel: usize,
+    place_tag: usize,
+    anchor_sel: usize,
+) -> Option<Mutation> {
+    let pool = interior(tree);
+    if pool.is_empty() {
+        return None;
+    }
+    let target = pool[sel % pool.len()];
+    let parents: Vec<NodeId> = {
+        let mut v: Vec<NodeId> = pool
+            .iter()
+            .copied()
+            .filter(|&id| tree.kind(id).is_element())
+            .collect();
+        if let Some(doc) = tree.document_element() {
+            v.push(doc);
+        }
+        v
+    };
+    let place = match place_tag % 4 {
+        0 | 1 if !parents.is_empty() => {
+            let p = NodeRef::Node(parents[anchor_sel % parents.len()]);
+            if place_tag % 4 == 0 {
+                Place::FirstChildOf(p)
+            } else {
+                Place::LastChildOf(p)
+            }
+        }
+        2 => Place::Before(NodeRef::Node(pool[anchor_sel % pool.len()])),
+        _ => Place::After(NodeRef::Node(pool[anchor_sel % pool.len()])),
+    };
+    let tag = if slot == 0 { "pa" } else { "pb" };
+    Some(match kind_tag {
+        0 => Mutation::CreateElement {
+            id: LogId(slot),
+            name: format!("{tag}_el"),
+            place,
+        },
+        1 => {
+            let texts: Vec<NodeId> = pool
+                .iter()
+                .copied()
+                .filter(|&id| tree.kind(id).is_text())
+                .collect();
+            if texts.is_empty() {
+                return None;
+            }
+            Mutation::SetText {
+                target: NodeRef::Node(texts[sel % texts.len()]),
+                text: format!("{tag}_v{}", anchor_sel % 3),
+            }
+        }
+        2 => Mutation::Delete {
+            target: NodeRef::Node(target),
+        },
+        3 => Mutation::Replace {
+            target: NodeRef::Node(target),
+            id: LogId(slot),
+            name: format!("{tag}_rep"),
+        },
+        _ => {
+            if !tree.kind(target).is_element() {
+                return None;
+            }
+            Mutation::MoveSubtree {
+                target: NodeRef::Node(target),
+                place,
+            }
+        }
+    })
+}
+
+/// Apply `op` as its own single-op atomic batch: `true` on success,
+/// `false` when the batch was rejected or rolled back (tree untouched
+/// either way — pinned by the atomicity battery).
+fn apply_one(tree: &mut XmlTree, scheme: &mut Qed, op: &Mutation) -> bool {
+    let mut labeling = match scheme.label_tree(tree) {
+        Ok(l) => l,
+        Err(_) => return false,
+    };
+    let log = MutationLog::from(vec![op.clone()]);
+    apply_log(tree, scheme, &mut labeling, &log).is_ok()
+}
+
+/// Run `first` then `second` from `base`, each as an atomic single-op
+/// batch; failures roll back and the run continues. Returns the final
+/// document bytes and the per-op success pattern.
+fn run_order(base: &XmlTree, first: &Mutation, second: &Mutation) -> (String, [bool; 2]) {
+    let mut tree = base.clone();
+    let mut scheme = Qed::new();
+    let ok1 = apply_one(&mut tree, &mut scheme, first);
+    let ok2 = apply_one(&mut tree, &mut scheme, second);
+    (serialize_compact(&tree), [ok1, ok2])
+}
+
+props! {
+    config = Config::with_cases(128);
+
+    /// `Commutes` is a proof obligation: both orders must leave
+    /// byte-identical documents and the same success pattern.
+    fn commuting_pairs_apply_identically_in_both_orders(
+        seed in ints(0u64..5000),
+        a_raw in (ints(0usize..5), ints(0usize..64), ints(0usize..4), ints(0usize..64)),
+        b_raw in (ints(0usize..5), ints(0usize..64), ints(0usize..4), ints(0usize..64)),
+    ) {
+        let (a_kind, a_sel, a_place, a_anchor) = a_raw;
+        let (b_kind, b_sel, b_place, b_anchor) = b_raw;
+        let tree = docs::random_tree(seed, 14);
+        let a = decode_op(&tree, 0, a_kind, a_sel, a_place, a_anchor);
+        let b = decode_op(&tree, 1, b_kind, b_sel, b_place, b_anchor);
+        prop_assume!(a.is_some() && b.is_some());
+        let (a, b) = (a.expect("checked"), b.expect("checked"));
+        let verdict = op_pair_verdict(&tree, &a, &b);
+        prop_assume!(matches!(verdict, Ok(PairVerdict::Commutes)));
+
+        let (bytes_ab, ok_ab) = run_order(&tree, &a, &b);
+        let (bytes_ba, ok_ba) = run_order(&tree, &b, &a);
+        prop_assert!(
+            bytes_ab == bytes_ba,
+            "Commutes but bytes diverge\n a = {a:?}\n b = {b:?}\n ab = {bytes_ab}\n ba = {bytes_ba}"
+        );
+        prop_assert!(
+            ok_ab == [ok_ba[1], ok_ba[0]],
+            "Commutes but success pattern diverges: ab {ok_ab:?} vs ba {ok_ba:?}\n a = {a:?}\n b = {b:?}"
+        );
+    }
+
+    /// `Conflicts` is never a false alarm (for the move-free fragment):
+    /// some witness — final bytes or the success pattern — genuinely
+    /// differs between the two orders. Moves are excluded because two
+    /// overlapping-extent moves can reassemble the same final document
+    /// either way; the analyzer still (soundly) serializes them.
+    fn conflicting_pairs_have_a_diverging_witness(
+        seed in ints(5000u64..10000),
+        a_raw in (ints(0usize..4), ints(0usize..64), ints(0usize..4), ints(0usize..64)),
+        b_raw in (ints(0usize..4), ints(0usize..64), ints(0usize..4), ints(0usize..64)),
+    ) {
+        let (a_kind, a_sel, a_place, a_anchor) = a_raw;
+        let (b_kind, b_sel, b_place, b_anchor) = b_raw;
+        let tree = docs::random_tree(seed, 10);
+        let a = decode_op(&tree, 0, a_kind, a_sel, a_place, a_anchor);
+        let b = decode_op(&tree, 1, b_kind, b_sel, b_place, b_anchor);
+        prop_assume!(a.is_some() && b.is_some());
+        let (a, b) = (a.expect("checked"), b.expect("checked"));
+        let verdict = op_pair_verdict(&tree, &a, &b);
+        prop_assume!(matches!(verdict, Ok(PairVerdict::Conflicts(_))));
+
+        let (bytes_ab, ok_ab) = run_order(&tree, &a, &b);
+        let (bytes_ba, ok_ba) = run_order(&tree, &b, &a);
+        let diverges = bytes_ab != bytes_ba || ok_ab != [ok_ba[1], ok_ba[0]];
+        prop_assert!(
+            diverges,
+            "verdict {:?} but both orders agree (bytes {bytes_ab}, ok {ok_ab:?})\n a = {a:?}\n b = {b:?}",
+            verdict
+        );
+    }
+}

@@ -96,6 +96,12 @@ impl DynScheme for FaultAfter {
     fn labels_display(&self) -> Vec<(usize, String)> {
         self.inner.labels_display()
     }
+    fn order_independent(&self) -> bool {
+        self.inner.order_independent()
+    }
+    fn cancellation_neutral(&self) -> bool {
+        self.inner.cancellation_neutral()
+    }
     fn save_state(&self) -> Box<dyn Any> {
         self.inner.save_state()
     }

@@ -121,6 +121,42 @@ pub trait LabelingScheme {
     /// Reset instrumentation counters.
     fn reset_stats(&mut self);
 
+    /// True when the scheme's final labels and evidence counters depend
+    /// only on the resulting document and the *set* of footprint-disjoint
+    /// edits applied, never on the order those edits were interleaved.
+    ///
+    /// This is the capability the static batch analyzer
+    /// (`xupd_framework::analysis`) consumes: a canonical reorder or
+    /// parallel-shard certificate is only *byte-preserving* for schemes
+    /// that answer `true` here. Schemes that derive labels from a
+    /// temporal allocator (Prime's prime counter) or that relabel
+    /// globally on overflow (ImprovedBinary's renumber sweeps, the
+    /// interval renumbering of the containment family) must keep the
+    /// conservative `false` default: for them the analyzer still
+    /// partitions and detects conflicts, but applies ops in original
+    /// order. Each `true` claim is pinned empirically by the
+    /// reorder/parallel differential suite in
+    /// `crates/framework/tests/analysis_differential.rs`.
+    fn order_independent(&self) -> bool {
+        false
+    }
+
+    /// True when inserting a node and later deleting its subtree
+    /// restores every *other* node's label exactly — the scheme's
+    /// insertion path never rewrites neighbour labels (no sibling
+    /// renumbering, no interval respacing), so a statically-nil group
+    /// of edits (create + delete of the same scratch subtree) can be
+    /// skipped without any observable residue. This is strictly
+    /// stronger than [`order_independent`](Self::order_independent)
+    /// along a different axis: reordering keeps the edit *set* fixed,
+    /// cancellation shrinks it. The batch optimizer only cancels nil
+    /// components when a scheme claims **both** capabilities.
+    /// Conservative default: `false`. Claims are pinned empirically by
+    /// `crates/framework/tests/analysis_differential.rs`.
+    fn cancellation_neutral(&self) -> bool {
+        false
+    }
+
     /// A variant of this scheme with its encoding budget tightened so
     /// that asymptotic overflow (§4) becomes reachable within a test-size
     /// workload — e.g. ORDPATH's compressed-encoding magnitude table

@@ -100,6 +100,18 @@ pub trait DynScheme {
     /// observable the differential suites compare across drivers.
     fn labels_display(&self) -> Vec<(usize, String)>;
 
+    /// Whether footprint-disjoint edits commute byte-for-byte under this
+    /// scheme (see [`LabelingScheme::order_independent`]). The batch
+    /// analyzer consults this before consuming reorder/parallel
+    /// certificates; `false` forces original-order application.
+    fn order_independent(&self) -> bool;
+
+    /// Whether insert-then-delete of a scratch subtree leaves zero
+    /// label residue (see [`LabelingScheme::cancellation_neutral`]).
+    /// Consulted together with [`DynScheme::order_independent`] before
+    /// the optimizer cancels statically-nil edit groups.
+    fn cancellation_neutral(&self) -> bool;
+
     /// Snapshot the session's full state (scheme internals + labelling)
     /// as an opaque token. Paired with [`DynScheme::restore_state`], this
     /// is what gives batch application its all-or-nothing semantics: a
@@ -330,6 +342,14 @@ where
             .iter()
             .map(|(id, l)| (id.index(), l.display()))
             .collect()
+    }
+
+    fn order_independent(&self) -> bool {
+        self.scheme().order_independent()
+    }
+
+    fn cancellation_neutral(&self) -> bool {
+        self.scheme().cancellation_neutral()
     }
 
     fn save_state(&self) -> Box<dyn std::any::Any> {

@@ -8,12 +8,14 @@
 //! nondeterminism or panics at runtime, the tree is scanned for the
 //! constructs that could introduce them.
 //!
-//! Seven rules (see [`rules`] for the table): no panic paths in library
+//! Nine rules (see [`rules`] for the table): no panic paths in library
 //! code (R1), no hash-ordered collections in result-producing crates
 //! (R2), no ambient clocks or entropy outside `testkit::bench` (R3), no
 //! incomplete `LabelingScheme` impls (R4), no `unsafe` anywhere (R5), no
-//! per-op full-tree `.preorder()` rebuilds (R6), and no raw thread
-//! spawns outside the `xupd-exec` pool crate (R7).
+//! per-op full-tree `.preorder()` rebuilds (R6), no raw thread spawns
+//! outside the `xupd-exec` pool crate (R7), no direct structural tree
+//! mutation inside per-op replay loops (R8), and no hand permutation of
+//! mutation-log op vectors outside the analyzer's certified paths (R9).
 //!
 //! A finding can be acknowledged in place with a justified suppression:
 //!

@@ -175,12 +175,13 @@ impl WorkspaceReport {
             let comma = if i + 1 < unsup.len() { "," } else { "" };
             let _ = writeln!(
                 out,
-                "    {{\"file\": \"{}\", \"line\": {}, \"col\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}{comma}",
+                "    {{\"file\": \"{}\", \"line\": {}, \"col\": {}, \"rule\": \"{}\", \"message\": \"{}\", \"snippet\": \"{}\"}}{comma}",
                 json_escape(&fd.path),
                 fd.line,
                 fd.col,
                 fd.rule,
-                json_escape(&fd.message)
+                json_escape(&fd.message),
+                json_escape(f.source_line.trim_end())
             );
         }
         out.push_str("  ]\n");
@@ -324,6 +325,10 @@ mod tests {
         let json = rep.render_json();
         assert!(json.contains("\"findings_unsuppressed\": 1"), "{json}");
         assert!(json.contains("\"rule\": \"R1\""), "{json}");
+        assert!(
+            json.contains("\"snippet\": \"fn f(x: Option<u8>) -> u8 { x.unwrap() }\""),
+            "machine-readable findings carry the source line: {json}"
+        );
         let text = rep.render_text();
         assert!(text.contains("no-panic-paths"), "{text}");
         assert!(text.contains("x.unwrap()"), "source context: {text}");

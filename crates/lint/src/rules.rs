@@ -11,6 +11,7 @@
 //! | R6 | no-per-op-preorder-rebuild | no `.preorder()` full-tree scan inside a per-op replay loop (a `for` loop whose header mentions `ops`) — rebuildable state must be maintained incrementally |
 //! | R7 | no-raw-thread-spawn        | no `thread::spawn`/`scope.spawn` callees outside `crates/exec` — all fan-out goes through the `xupd-exec` pool so `XUPD_THREADS` governs every worker |
 //! | R8 | no-direct-batch-mutation   | no direct structural tree mutation (`append_child`, `detach`, `remove_subtree`, ...) inside a per-op replay loop outside the update driver and the mutation-log module — multi-op edits must flow through `MutationLog` so validation and atomicity cannot be bypassed |
+//! | R9 | no-unanalyzed-reorder      | no hand permutation or splitting (`.sort*`, `.swap`, `.reverse`, `.rotate_*`, `.retain`, `.drain`, `.split_off`, `.shuffle`) of a mutation-log op vector (receiver named `ops`/`log`/`mutations`) outside `framework::analysis` and the mutations module — reordering is only sound under an `AnalyzedPlan` certificate |
 
 use crate::lexer::{scan, Suppression, TokKind, Token};
 
@@ -33,25 +34,53 @@ pub const R2_CRATES: &[&str] = &[
 ];
 
 /// All rule ids, in report order.
-pub const ALL_RULES: &[&str] = &["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"];
+pub const ALL_RULES: &[&str] = &["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9"];
 
 /// Structural tree mutators that R8 forbids calling directly inside a
 /// per-op replay loop — the batch API (`MutationLog`) is the only
 /// sanctioned multi-op edit path outside the driver/mutations modules.
-pub const R8_MUTATORS: &[&str] = &[
-    "append_child",
-    "prepend_child",
-    "insert_before",
-    "insert_after",
-    "detach",
-    "remove_subtree",
-];
+/// Single-sourced from [`xupd_xmldom::STRUCTURAL_MUTATORS`] so the lint
+/// and the analyzer's footprint table can never drift from the tree's
+/// actual mutator surface.
+pub const R8_MUTATORS: &[&str] = xupd_xmldom::STRUCTURAL_MUTATORS;
 
 /// The two modules allowed to mutate the tree per-op: the update driver
 /// (it *is* the per-op reference path) and the mutation-log machinery
 /// (it applies validated batches).
 pub const R8_EXEMPT_PATHS: &[&str] = &[
     "crates/framework/src/driver.rs",
+    "crates/framework/src/mutations.rs",
+];
+
+/// Slice permuters/splitters that R9 forbids calling on a mutation-log
+/// op vector: anything that changes op order or removes ops without an
+/// analyzer certificate silently forfeits the byte-identical-replay
+/// guarantee the differential suite pins.
+pub const R9_PERMUTERS: &[&str] = &[
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "swap",
+    "reverse",
+    "rotate_left",
+    "rotate_right",
+    "retain",
+    "drain",
+    "split_off",
+    "shuffle",
+];
+
+/// Receiver idents R9 treats as mutation-log op vectors.
+pub const R9_RECEIVERS: &[&str] = &["ops", "log", "mutations"];
+
+/// The two modules allowed to reorder or split logs: the analyzer (it
+/// *produces* the reorder/partition certificates) and the mutation-log
+/// machinery (rollback rewinds its own op vector).
+pub const R9_EXEMPT_PATHS: &[&str] = &[
+    "crates/framework/src/analysis.rs",
     "crates/framework/src/mutations.rs",
 ];
 
@@ -66,6 +95,7 @@ pub fn rule_name(id: &str) -> &'static str {
         "R6" => "no-per-op-preorder-rebuild",
         "R7" => "no-raw-thread-spawn",
         "R8" => "no-direct-batch-mutation",
+        "R9" => "no-unanalyzed-reorder",
         _ => "unknown-rule",
     }
 }
@@ -167,6 +197,11 @@ pub fn check_source(src: &str, ctx: &FileCtx) -> (Vec<Finding>, Vec<Suppression>
     let r8_applies = R2_CRATES.iter().any(|c| *c == ctx.crate_name.as_str())
         && ctx.crate_name != "xmldom"
         && !R8_EXEMPT_PATHS.iter().any(|p| ctx.path == *p);
+    // R9 applies to test code too — the differential suite's value rests
+    // on never hand-permuting op vectors, so even tests must go through
+    // analyzer certificates (or opt out explicitly via lint:allow).
+    let r9_applies = R2_CRATES.iter().any(|c| *c == ctx.crate_name.as_str())
+        && !R9_EXEMPT_PATHS.iter().any(|p| ctx.path == *p);
 
     for (i, t) in toks.iter().enumerate() {
         if t.kind != TokKind::Ident {
@@ -283,6 +318,31 @@ pub fn check_source(src: &str, ctx: &FileCtx) -> (Vec<Finding>, Vec<Suppression>
                 ctx,
                 t,
                 format!(".{text}() in a per-op loop; batch the edits through MutationLog"),
+            );
+        }
+
+        // R9 — hand permutation/splitting of a mutation-log op vector.
+        // The shape `ops.sort(`/`log.drain(`/`mutations.retain(` — an
+        // identifier receiver, so field accesses like `plan.ops.sort(`
+        // are caught too (the receiver ident before the dot is `ops`).
+        if r9_applies
+            && R9_PERMUTERS.contains(&text)
+            && i > 1
+            && toks[i - 1].kind == TokKind::Punct
+            && toks[i - 1].text(src) == "."
+            && toks[i - 2].kind == TokKind::Ident
+            && R9_RECEIVERS.contains(&toks[i - 2].text(src))
+            && next_is(toks, src, i, "(")
+        {
+            push(
+                &mut findings,
+                "R9",
+                ctx,
+                t,
+                format!(
+                    ".{text}() permutes a mutation-log op vector; reorder only \
+                     through a framework::analysis certificate"
+                ),
             );
         }
 
@@ -726,6 +786,59 @@ mod tests {
         // `detach` as a plain ident (fn name) is not a call site
         let def = "fn detach_all(n: usize) { let detach = n; }";
         assert!(unsuppressed(def, "crates/framework/src/checkers.rs").is_empty());
+    }
+
+    #[test]
+    fn r8_mutator_list_is_single_sourced() {
+        // the lint's list IS the tree crate's list — drift is impossible,
+        // and this pins the expected surface so an accidental rename in
+        // xmldom is noticed here too
+        assert_eq!(R8_MUTATORS, xupd_xmldom::STRUCTURAL_MUTATORS);
+        assert_eq!(R8_MUTATORS.len(), 6);
+        assert!(R8_MUTATORS.contains(&"append_child"));
+        assert!(R8_MUTATORS.contains(&"remove_subtree"));
+    }
+
+    #[test]
+    fn r9_flags_permutation_of_op_vectors() {
+        let src = "fn f(log: &mut MutationLog) { log.ops.sort_by_key(|m| m.rank()); }";
+        let f = unsuppressed(src, "crates/framework/src/checkers.rs");
+        assert_eq!(f.iter().filter(|f| f.rule == "R9").count(), 1, "{f:?}");
+        // applies to test code too — differential tests must only use
+        // analyzer-certified orders
+        let f = unsuppressed(src, "crates/framework/tests/t.rs");
+        assert_eq!(f.iter().filter(|f| f.rule == "R9").count(), 1);
+        // every permuter in the list is caught
+        for m in ["swap", "reverse", "rotate_left", "retain", "drain", "split_off"] {
+            let src = format!("fn f() {{ ops.{m}(0); }}");
+            let f = unsuppressed(&src, "crates/framework/src/checkers.rs");
+            assert_eq!(f.iter().filter(|f| f.rule == "R9").count(), 1, "{m}");
+        }
+        // the analyzer and the mutation-log machinery are exempt — they
+        // implement the certified paths
+        assert!(unsuppressed(src, "crates/framework/src/analysis.rs")
+            .iter()
+            .all(|f| f.rule != "R9"));
+        assert!(unsuppressed(src, "crates/framework/src/mutations.rs")
+            .iter()
+            .all(|f| f.rule != "R9"));
+        // outside the R2 crate set the rule does not apply
+        assert!(unsuppressed(src, "crates/testkit/src/x.rs").is_empty());
+    }
+
+    #[test]
+    fn r9_leaves_other_receivers_and_non_calls_alone() {
+        // sorting something that is not an op vector is fine
+        let other = "fn f(mut v: Vec<u32>) { v.sort(); names.sort_by_key(|n| n.len()); }";
+        assert!(unsuppressed(other, "crates/framework/src/checkers.rs").is_empty());
+        // `sort` as a plain ident (fn name, local) is not a call site
+        let def = "fn sort_plans(n: usize) { let sort = n; }";
+        assert!(unsuppressed(def, "crates/framework/src/checkers.rs").is_empty());
+        // iterating or indexing the op vector is fine — only permuters fire
+        let read = "fn f(log: &MutationLog) { for m in log.ops.iter() { use_op(m); } }";
+        assert!(unsuppressed(read, "crates/framework/src/checkers.rs")
+            .iter()
+            .all(|f| f.rule != "R9"));
     }
 
     #[test]

@@ -221,6 +221,76 @@ fn r6_clean() {
     assert!(unsuppressed(src, "crates/testkit/src/x.rs").is_empty());
 }
 
+// ---------------------------------------------------------------- R9
+
+#[test]
+fn r9_positive_sorting_an_op_vector() {
+    let src = "fn canonical(log: &mut MutationLog) {\n    log.ops.sort_by_key(|m| rank(m));\n}";
+    for path in ["crates/framework/src/planner.rs", DRIVER_TEST_PATH] {
+        let f = unsuppressed(src, path);
+        assert_eq!(f.len(), 1, "{path}: {f:?}");
+        assert_eq!(f[0].rule, "R9");
+        assert_eq!(f[0].line, 2);
+    }
+}
+
+#[test]
+fn r9_positive_splitting_an_op_vector() {
+    let src = "fn shard(mut ops: Vec<Mutation>) -> Vec<Mutation> { ops.split_off(4) }";
+    let f = unsuppressed(src, "crates/bench/src/lib.rs");
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].rule, "R9");
+}
+
+#[test]
+fn r9_suppressed() {
+    let src = "fn scramble(mut ops: Vec<Mutation>) {\n    // lint:allow(R9): adversarial fixture exercising divergence on purpose\n    ops.reverse();\n}";
+    let (findings, unused) = check_source(src, &FileCtx::classify(DRIVER_TEST_PATH));
+    assert_eq!(findings.len(), 1);
+    assert!(!findings[0].is_unsuppressed());
+    assert!(unused.is_empty());
+}
+
+#[test]
+fn r9_clean() {
+    // the analyzer itself implements the certified reorder — exempt
+    let src = "fn canonical(log: &mut MutationLog) {\n    log.ops.sort_by_key(|m| rank(m));\n}";
+    assert!(unsuppressed(src, "crates/framework/src/analysis.rs").is_empty());
+    assert!(unsuppressed(src, "crates/framework/src/mutations.rs").is_empty());
+    // reading the op vector is always fine
+    let read = "fn f(log: &MutationLog) { let n = log.ops.len(); }";
+    assert!(unsuppressed(read, "crates/framework/src/planner.rs").is_empty());
+    // permuting a non-log vector is always fine
+    let other = "fn f(mut names: Vec<String>) { names.sort(); }";
+    assert!(unsuppressed(other, "crates/framework/src/planner.rs").is_empty());
+}
+
+// ------------------------------------------------- JSON findings shape
+
+/// The machine-readable findings schema is stable: file/line/col/rule/
+/// message/snippet, in that key order, one object per line.
+#[test]
+fn json_findings_schema_is_stable() {
+    use xupd_lint::report::{check_file_source, WorkspaceReport};
+    let mut rep = WorkspaceReport::default();
+    check_file_source(
+        "fn f(mut ops: Vec<Mutation>) { ops.reverse(); }",
+        "crates/framework/src/planner.rs",
+        &mut rep,
+    );
+    assert_eq!(rep.unsuppressed_count(), 1);
+    let json = rep.render_json();
+    let expected = "    {\"file\": \"crates/framework/src/planner.rs\", \"line\": 1, \
+                    \"col\": 36, \"rule\": \"R9\", \"message\": \".reverse() permutes a \
+                    mutation-log op vector; reorder only through a framework::analysis \
+                    certificate\", \"snippet\": \"fn f(mut ops: Vec<Mutation>) { ops.reverse(); }\"}";
+    assert!(
+        json.contains(expected),
+        "stable finding object shape:\n{json}"
+    );
+    assert!(json.contains("\"R9\": {\"name\": \"no-unanalyzed-reorder\""), "{json}");
+}
+
 // -------------------------------------------------- stale suppressions
 
 #[test]

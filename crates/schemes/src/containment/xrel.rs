@@ -115,6 +115,13 @@ impl LabelingScheme for XRel {
         "XRel"
     }
 
+    // Deliberately order-sensitive (the trait default): end-of-range
+    // insertions grow ancestor interval bounds by history-dependent
+    // amounts, so even footprint-disjoint edits can leave different
+    // final labels when interleaved differently —
+    // crates/framework/tests/analysis_differential.rs demonstrated the
+    // divergence, so XRel keeps the sequential path.
+
     fn descriptor(&self) -> SchemeDescriptor {
         SchemeDescriptor {
             name: "XRel",

@@ -73,6 +73,20 @@ impl SiblingAlgebra for ComDAlgebra {
         "Com-D"
     }
 
+    // Labels for footprint-disjoint edits depend only on surrounding
+    // structure, never on edit order; claim pinned empirically by
+    // crates/framework/tests/analysis_differential.rs.
+    fn order_independent(&self) -> bool {
+        true
+    }
+
+    // Insertions never rewrite neighbour labels, so a cancelled
+    // create+delete leaves zero residue; pinned empirically by
+    // crates/framework/tests/analysis_differential.rs.
+    fn cancellation_neutral(&self) -> bool {
+        true
+    }
+
     fn descriptor(&self) -> SchemeDescriptor {
         SchemeDescriptor {
             name: "Com-D",

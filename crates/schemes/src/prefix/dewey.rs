@@ -21,6 +21,13 @@ impl SiblingAlgebra for DeweyAlgebra {
         "DeweyID"
     }
 
+    // Labels for footprint-disjoint edits depend only on surrounding
+    // structure, never on edit order; claim pinned empirically by
+    // crates/framework/tests/analysis_differential.rs.
+    fn order_independent(&self) -> bool {
+        true
+    }
+
     fn descriptor(&self) -> SchemeDescriptor {
         SchemeDescriptor {
             name: "DeweyID",

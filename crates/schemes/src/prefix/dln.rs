@@ -106,6 +106,13 @@ impl SiblingAlgebra for DlnAlgebra {
         "DLN"
     }
 
+    // Labels for footprint-disjoint edits depend only on surrounding
+    // structure, never on edit order; claim pinned empirically by
+    // crates/framework/tests/analysis_differential.rs.
+    fn order_independent(&self) -> bool {
+        true
+    }
+
     fn descriptor(&self) -> SchemeDescriptor {
         SchemeDescriptor {
             name: "DLN",

@@ -38,6 +38,20 @@ impl SiblingAlgebra for ImprovedBinaryAlgebra {
         "ImprovedBinary"
     }
 
+    // Labels for footprint-disjoint edits depend only on surrounding
+    // structure, never on edit order; claim pinned empirically by
+    // crates/framework/tests/analysis_differential.rs.
+    fn order_independent(&self) -> bool {
+        true
+    }
+
+    // Insertions never rewrite neighbour labels, so a cancelled
+    // create+delete leaves zero residue; pinned empirically by
+    // crates/framework/tests/analysis_differential.rs.
+    fn cancellation_neutral(&self) -> bool {
+        true
+    }
+
     fn descriptor(&self) -> SchemeDescriptor {
         SchemeDescriptor {
             name: "ImprovedBinary",

@@ -44,6 +44,25 @@ pub trait SiblingAlgebra {
     /// Static descriptor (classification + declared Figure 7 row).
     fn descriptor(&self) -> SchemeDescriptor;
 
+    /// True when the algebra's code decisions depend only on the
+    /// `(left, right)` neighbour codes passed in — no hidden temporal
+    /// state — so footprint-disjoint edits commute label-for-label.
+    /// Mirrors [`xupd_labelcore::LabelingScheme::order_independent`];
+    /// conservative default: `false`.
+    fn order_independent(&self) -> bool {
+        false
+    }
+
+    /// True when inserting a sibling never rewrites neighbour codes
+    /// (`insert` always returns `CodeOutcome::Clean`), so a created
+    /// subtree that is later deleted leaves zero residue on surviving
+    /// labels. Mirrors
+    /// [`xupd_labelcore::LabelingScheme::cancellation_neutral`];
+    /// conservative default: `false`.
+    fn cancellation_neutral(&self) -> bool {
+        false
+    }
+
     /// Codes for `n` fresh siblings in document order.
     fn bulk(&mut self, n: usize, stats: &mut SchemeStats) -> Vec<Self::Code>;
 
@@ -305,6 +324,14 @@ impl<A: SiblingAlgebra> LabelingScheme for PrefixScheme<A> {
 
     fn descriptor(&self) -> SchemeDescriptor {
         self.algebra.descriptor()
+    }
+
+    fn order_independent(&self) -> bool {
+        self.algebra.order_independent()
+    }
+
+    fn cancellation_neutral(&self) -> bool {
+        self.algebra.cancellation_neutral()
     }
 
     fn label_tree(&mut self, tree: &XmlTree) -> Result<Labeling<AlgPath<A>>, TreeError> {

@@ -143,6 +143,20 @@ impl LabelingScheme for VectorScheme {
         "Vector"
     }
 
+    // Labels for footprint-disjoint edits depend only on surrounding
+    // structure, never on edit order; claim pinned empirically by
+    // crates/framework/tests/analysis_differential.rs.
+    fn order_independent(&self) -> bool {
+        true
+    }
+
+    // Insertions never rewrite neighbour labels, so a cancelled
+    // create+delete leaves zero residue; pinned empirically by
+    // crates/framework/tests/analysis_differential.rs.
+    fn cancellation_neutral(&self) -> bool {
+        true
+    }
+
     fn descriptor(&self) -> SchemeDescriptor {
         SchemeDescriptor {
             name: "Vector",

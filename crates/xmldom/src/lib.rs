@@ -42,6 +42,22 @@ pub mod serializer;
 pub mod traverse;
 pub mod tree;
 
+/// The names of [`XmlTree`]'s structural mutator methods — the calls
+/// that change tree shape (as opposed to node content). This is the
+/// single source of truth consumed by both `xupd-lint`'s
+/// `no-direct-batch-mutation` rule (R8 forbids calling these in per-op
+/// replay loops outside the sanctioned edit paths) and the batch
+/// analyzer's write-footprint table in `xupd_framework::analysis`; a
+/// sync test on each side keeps them from drifting.
+pub const STRUCTURAL_MUTATORS: &[&str] = &[
+    "append_child",
+    "prepend_child",
+    "insert_before",
+    "insert_after",
+    "detach",
+    "remove_subtree",
+];
+
 pub use builder::TreeBuilder;
 pub use error::{ParseError, TreeError};
 pub use node::{NodeId, NodeKind};

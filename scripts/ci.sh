@@ -52,33 +52,50 @@ smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
 for bench_bin in bench_bulk_labeling bench_label_growth bench_query_eval \
                  bench_update_cost bench_axis_index bench_matrix_pool \
-                 bench_batch_update; do
+                 bench_batch_update bench_log_analysis; do
   echo "    -> ${bench_bin}"
   XUPD_BENCH_ITERS=1 XUPD_RESULTS_DIR="$smoke_dir" \
     cargo run --release -q -p xupd-bench --bin "$bench_bin" > /dev/null
 done
 
-echo "==> XUPD_THREADS sample-order equivalence for the batch-update bench"
+echo "==> XUPD_THREADS={1,4} par_apply_independent equivalence"
+# The analysis differential suite asserts every shard of
+# par_apply_independent matches sequentially applying that component's
+# sub-log, across all 17 schemes. Running it at both pool widths pins
+# the thread-count-invariance contract the analyzer's parallel
+# certificate rests on.
+for threads in 1 4; do
+  XUPD_THREADS="$threads" cargo test --release -q -p xupd-framework \
+    --test analysis_differential > /dev/null \
+    || { echo "    FAIL: analysis differential suite at XUPD_THREADS=$threads"; exit 1; }
+  echo "    ok: shards match sequential apply at XUPD_THREADS=$threads"
+done
+
+echo "==> XUPD_THREADS sample-order equivalence for the batch-update + log-analysis benches"
 # Timings vary run to run, but the sample roster (names, in order) is part
 # of the bench contract: it must not depend on the pool width, or diffing
 # committed BENCH json between commits becomes meaningless.
 order_dir="$(mktemp -d)"
-for threads in 1 4; do
-  XUPD_BENCH_ITERS=1 XUPD_RESULTS_DIR="$order_dir/t$threads" XUPD_THREADS="$threads" \
-    cargo run --release -q -p xupd-bench --bin bench_batch_update > /dev/null
-done
-python3 - "$order_dir/t1/BENCH_batch_update.json" "$order_dir/t4/BENCH_batch_update.json" \
-         results/BENCH_batch_update.json <<'PYEOF'
+for order_bin in bench_batch_update bench_log_analysis; do
+  json_name="BENCH_${order_bin#bench_}.json"
+  for threads in 1 4; do
+    XUPD_BENCH_ITERS=1 XUPD_RESULTS_DIR="$order_dir/t$threads" XUPD_THREADS="$threads" \
+      cargo run --release -q -p xupd-bench --bin "$order_bin" > /dev/null
+  done
+  python3 - "$order_dir/t1/$json_name" "$order_dir/t4/$json_name" \
+           "results/$json_name" "$order_bin" <<'PYEOF'
 import json, sys
-names = [[s["name"] for s in json.load(open(p))["samples"]] for p in sys.argv[1:]]
+names = [[s["name"] for s in json.load(open(p))["samples"]] for p in sys.argv[1:4]]
+bin_name = sys.argv[4]
 if names[0] != names[1]:
-    print("    FAIL: batch-update sample order differs between XUPD_THREADS=1 and 4")
+    print(f"    FAIL: {bin_name} sample order differs between XUPD_THREADS=1 and 4")
     sys.exit(1)
 if names[0] != names[2]:
-    print("    FAIL: batch-update sample order diverged from the committed baseline")
+    print(f"    FAIL: {bin_name} sample order diverged from the committed baseline")
     sys.exit(1)
-print(f"    ok: {len(names[0])} samples, identical roster at XUPD_THREADS=1/4 and in the baseline")
+print(f"    ok: {bin_name}: {len(names[0])} samples, identical roster at XUPD_THREADS=1/4 and in the baseline")
 PYEOF
+done
 rm -rf "$order_dir"
 
 echo "==> alloc diff (report-only: warn when a smoke sample allocates >25% more than its baseline)"
