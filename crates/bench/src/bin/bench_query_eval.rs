@@ -81,6 +81,7 @@ fn main() {
         h.bench_case(&format!("xpath/{}", entry.name()), || {
             let mut total = 0usize;
             for e in &exprs {
+                // lint:allow(R10): this bench *measures* raw evaluation cost
                 total += black_box(doc.evaluate(e)).len();
             }
             total

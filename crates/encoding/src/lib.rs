@@ -41,5 +41,5 @@ pub mod xpath;
 pub use erased::{document_registry, document_registry_figure7, DocSchemeEntry, DynDocument};
 pub use index::NameIndex;
 pub use table::{EncodedDocument, Row};
-pub use topology::Topology;
-pub use xpath::{parse_xpath, XPathError, XPathExpr};
+pub use topology::{row_in_extents, Topology};
+pub use xpath::{parse_xpath, AccessPattern, XPathError, XPathExpr};

@@ -1,6 +1,10 @@
 //! The node table: an [`EncodedDocument`] is the self-contained encoding
 //! of Definition 2 — once built, neither the original tree nor its node
-//! ids are needed.
+//! ids are needed to answer queries. Each row does remember which
+//! [`NodeId`] produced it ([`EncodedDocument::source_id`]): node ids are
+//! never reused across deletions, so the id is a stable node identity
+//! that the incremental query cache uses to map result rows between two
+//! encodings of the same evolving tree.
 //!
 //! Axis evaluation runs on the [`Topology`] sidecar built at encode
 //! time: ancestry is an O(1) interval test, `child`/sibling axes are CSR
@@ -39,6 +43,11 @@ pub struct EncodedDocument<S: LabelingScheme> {
     rows: Vec<Row<S::Label>>,
     topo: Topology,
     index: NameIndex,
+    /// Source tree node id per row, in document order.
+    source_ids: Vec<NodeId>,
+    /// Reverse map: `row_of[id.index()]` is the row encoding that node,
+    /// `usize::MAX` for ids outside this document.
+    row_of: Vec<usize>,
 }
 
 impl<S: LabelingScheme> EncodedDocument<S> {
@@ -72,6 +81,8 @@ impl<S: LabelingScheme> EncodedDocument<S> {
             rows,
             topo,
             index,
+            source_ids: order,
+            row_of: index_of,
         })
     }
 
@@ -302,6 +313,40 @@ impl<S: LabelingScheme> EncodedDocument<S> {
             })
     }
 
+    /// The source-tree [`NodeId`] row `i` encodes. Node ids are never
+    /// reused by [`xupd_xmldom::XmlTree`], so this is a stable identity
+    /// across re-encodings of the same evolving tree.
+    pub fn source_id(&self, i: usize) -> NodeId {
+        self.source_ids[i]
+    }
+
+    /// The row encoding source node `id`, if that node is part of this
+    /// document. O(1) — a direct table probe.
+    pub fn row_of_source(&self, id: NodeId) -> Option<usize> {
+        match self.row_of.get(id.index()) {
+            Some(&r) if r != usize::MAX => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Overwrite the value of text row `i` in place. A text write
+    /// changes no label, no topology and no name bucket, so a snapshot
+    /// can absorb it without any rebuild — the partial-invalidation
+    /// fast path of the incremental query layer. Errors when `i` is not
+    /// a text row.
+    pub fn patch_text(&mut self, i: usize, text: &str) -> Result<(), TreeError> {
+        match &mut self.rows[i].kind {
+            NodeKind::Text { value } => {
+                value.clear();
+                value.push_str(text);
+                Ok(())
+            }
+            other => Err(TreeError::Invariant(format!(
+                "patch_text target row {i} is {other:?}, not a text node"
+            ))),
+        }
+    }
+
     /// Total label storage in bits — the per-scheme cost Figure 7's
     /// *Compact Enc.* column talks about, observable per document here.
     pub fn total_label_bits(&self) -> u64 {
@@ -410,6 +455,28 @@ mod tests {
         // whole-document string value concatenates all text
         let all = enc.string_value(enc.root());
         assert!(all.contains("Wayfarer") && all.contains("USA"));
+    }
+
+    #[test]
+    fn source_ids_round_trip_and_text_patch() {
+        let tree = figure1_document();
+        let mut enc = EncodedDocument::encode(DeweyId::new(), &tree).unwrap();
+        let order = tree.ids_in_doc_order();
+        for (i, &id) in order.iter().enumerate() {
+            assert_eq!(enc.source_id(i), id);
+            assert_eq!(enc.row_of_source(id), Some(i));
+        }
+        let out_of_range = NodeId::from_index(tree.id_bound() + 5);
+        assert_eq!(enc.row_of_source(out_of_range), None);
+
+        let title_text = (0..enc.len())
+            .find(|&i| enc.row(i).kind.value() == Some("Wayfarer") && enc.row(i).kind.is_text())
+            .unwrap();
+        enc.patch_text(title_text, "Sojourner").unwrap();
+        assert_eq!(enc.row(title_text).kind.value(), Some("Sojourner"));
+        let title = enc.parent(title_text).unwrap();
+        assert_eq!(enc.string_value(title), "Sojourner");
+        assert!(enc.patch_text(title, "nope").is_err(), "element row");
     }
 
     #[test]

@@ -27,6 +27,15 @@
 
 use xupd_xmldom::{NodeId, TreeError};
 
+/// Is row `i` inside one of the half-open `(start, end)` intervals?
+/// The intervals must be sorted by start and disjoint. One binary
+/// search — shared by the scoped evaluator and the query cache's
+/// repair path.
+pub fn row_in_extents(extents: &[(usize, usize)], i: usize) -> bool {
+    let k = extents.partition_point(|&(start, _)| start <= i);
+    k > 0 && i < extents[k - 1].1
+}
+
 /// Structural index over a document-order table: parent, depth,
 /// pre-order subtree extents and CSR children arrays.
 ///
@@ -175,6 +184,18 @@ impl Topology {
         Some(siblings.partition_point(|&c| c < i))
     }
 
+    /// Does the subtree rooted at `i` (self included) overlap any of the
+    /// half-open row intervals in `extents`? The intervals must be
+    /// sorted and disjoint — the form the incremental query cache's
+    /// impact analysis produces. One binary search: find the first
+    /// interval ending after `i`, and check it starts before the
+    /// subtree ends.
+    pub fn subtree_intersects(&self, i: usize, extents: &[(usize, usize)]) -> bool {
+        let hi = self.extent[i];
+        let k = extents.partition_point(|&(_, end)| end <= i);
+        k < extents.len() && extents[k].0 < hi
+    }
+
     /// Raw CSR offsets (`len + 1` entries) — exposed for golden tests.
     pub fn child_start(&self) -> &[usize] {
         &self.child_start
@@ -260,6 +281,26 @@ mod tests {
         assert_eq!(t.len(), 1);
         assert_eq!(t.extent(0), 1);
         assert_eq!(t.children(0), Vec::<usize>::new().as_slice());
+    }
+
+    #[test]
+    fn interval_helpers() {
+        let t = sample();
+        let ex = [(1usize, 3usize), (4, 5)];
+        assert!(row_in_extents(&ex, 1));
+        assert!(row_in_extents(&ex, 2));
+        assert!(!row_in_extents(&ex, 3));
+        assert!(row_in_extents(&ex, 4));
+        assert!(!row_in_extents(&ex, 0));
+        assert!(!row_in_extents(&[], 0));
+        // subtree of 1 covers rows [1, 4)
+        assert!(t.subtree_intersects(1, &[(0, 2)]));
+        assert!(t.subtree_intersects(1, &[(3, 4)]));
+        assert!(!t.subtree_intersects(1, &[(4, 5)]));
+        assert!(t.subtree_intersects(0, &[(4, 5)]));
+        assert!(!t.subtree_intersects(2, &[(0, 2), (4, 5)]), "subtree of 2 is [2, 3)");
+        assert!(t.subtree_intersects(2, &[(0, 3)]));
+        assert!(!t.subtree_intersects(4, &[]));
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! requirement for labels from.
 
 use crate::table::EncodedDocument;
+use crate::topology::row_in_extents;
 use std::fmt;
 use xupd_labelcore::LabelingScheme;
 
@@ -329,12 +330,180 @@ impl XPathExpr {
     ///
     /// [`NameIndex`]: crate::index::NameIndex
     pub fn evaluate<S: LabelingScheme>(&self, doc: &EncodedDocument<S>) -> Vec<usize> {
+        eval_plan(&fuse_steps(&self.steps), doc, None)
+    }
+
+    /// Compile the reusable evaluation form: the fused step plan plus
+    /// the static access pattern (distinct name tests, axis shape,
+    /// predicate shape) that both the evaluator and the incremental
+    /// query cache's impact analysis consume. Compiling once amortizes
+    /// the per-call step fusion and name collection
+    /// [`evaluate`](Self::evaluate) redoes on every invocation.
+    pub fn access_pattern(&self) -> AccessPattern {
+        AccessPattern::compile(&self.steps)
+    }
+}
+
+/// The compiled, reusable form of an [`XPathExpr`]: the fused
+/// evaluation plan plus the statically-derived facts a cache
+/// invalidation layer needs — which element/attribute names the query
+/// can ever touch, whether every step is downward (subtree-confined),
+/// and whether a scoped re-evaluation inside touched extents is a sound
+/// repair strategy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessPattern {
+    plan: Vec<Step>,
+    element_names: Vec<String>,
+    attribute_names: Vec<String>,
+    downward_only: bool,
+    repair_safe: bool,
+    fully_named: bool,
+    has_positional: bool,
+}
+
+impl AccessPattern {
+    fn compile(steps: &[Step]) -> AccessPattern {
+        let plan = fuse_steps(steps);
+        let mut element_names = Vec::new();
+        let mut attribute_names = Vec::new();
+        let mut downward_only = true;
+        let mut repair_safe = true;
+        let mut fully_named = true;
+        let mut has_positional = false;
+        for step in &plan {
+            if !matches!(
+                step.axis,
+                Axis::Child
+                    | Axis::Descendant
+                    | Axis::DescendantOrSelf
+                    | Axis::Attribute
+                    | Axis::SelfAxis
+            ) {
+                downward_only = false;
+            }
+            match (&step.test, step.axis) {
+                (NodeTest::Name(n), Axis::Attribute) => attribute_names.push(n.clone()),
+                (NodeTest::Name(n), _) => element_names.push(n.clone()),
+                _ => fully_named = false,
+            }
+            for p in &step.preds {
+                match p {
+                    Pred::Position(_) => {
+                        has_positional = true;
+                        if matches!(step.axis, Axis::Descendant | Axis::DescendantOrSelf) {
+                            // A `[k]` on a subtree-wide axis couples the
+                            // selection to every matching descendant of
+                            // the context: an edit inside a touched
+                            // region can move the k-th pick to a node
+                            // outside it, so scoped re-evaluation is not
+                            // a sound repair for this query.
+                            repair_safe = false;
+                        }
+                    }
+                    Pred::AttrEq(name, _) => attribute_names.push(name.clone()),
+                }
+            }
+        }
+        repair_safe &= downward_only;
+        element_names.sort();
+        element_names.dedup();
+        attribute_names.sort();
+        attribute_names.dedup();
+        AccessPattern {
+            plan,
+            element_names,
+            attribute_names,
+            downward_only,
+            repair_safe,
+            fully_named,
+            has_positional,
+        }
+    }
+
+    /// The fused evaluation plan.
+    pub fn plan(&self) -> &[Step] {
+        &self.plan
+    }
+
+    /// Distinct element names tested anywhere in the plan, sorted.
+    pub fn element_names(&self) -> &[String] {
+        &self.element_names
+    }
+
+    /// Distinct attribute names the plan reads (attribute-axis name
+    /// tests and `[@name="v"]` predicates), sorted.
+    pub fn attribute_names(&self) -> &[String] {
+        &self.attribute_names
+    }
+
+    /// Every step stays inside the context's subtree (child /
+    /// descendant / descendant-or-self / attribute / self axes only).
+    pub fn downward_only(&self) -> bool {
+        self.downward_only
+    }
+
+    /// Is [`evaluate_within`](Self::evaluate_within) a sound repair for
+    /// this query? True when the plan is downward-only and carries no
+    /// positional predicate on a subtree-wide axis.
+    pub fn repair_safe(&self) -> bool {
+        self.repair_safe
+    }
+
+    /// Every plan step carries a concrete name test — the precondition
+    /// for deciding impact from name occurrence alone.
+    pub fn fully_named(&self) -> bool {
+        self.fully_named
+    }
+
+    /// Any step carries a positional `[k]` predicate.
+    pub fn has_positional(&self) -> bool {
+        self.has_positional
+    }
+
+    /// Evaluate the compiled plan — identical results to
+    /// [`XPathExpr::evaluate`], without re-fusing the steps.
+    pub fn evaluate<S: LabelingScheme>(&self, doc: &EncodedDocument<S>) -> Vec<usize> {
+        eval_plan(&self.plan, doc, None)
+    }
+
+    /// Evaluate the plan scoped to the sorted, disjoint half-open row
+    /// intervals `extents`: returns exactly the members of the full
+    /// result that fall inside `extents`, pruning every context whose
+    /// subtree misses all of them.
+    ///
+    /// Sound only for [`repair_safe`](Self::repair_safe) patterns: with
+    /// downward axes the chain from the root to any result inside an
+    /// extent passes only through contexts whose subtrees overlap that
+    /// extent, and per-context predicate scratch stays complete because
+    /// pruning never drops candidates within one context's step.
+    pub fn evaluate_within<S: LabelingScheme>(
+        &self,
+        doc: &EncodedDocument<S>,
+        extents: &[(usize, usize)],
+    ) -> Vec<usize> {
+        if extents.is_empty() {
+            return Vec::new();
+        }
+        eval_plan(&self.plan, doc, Some(extents))
+    }
+}
+
+/// The streaming evaluator core shared by [`XPathExpr::evaluate`],
+/// [`AccessPattern::evaluate`] and [`AccessPattern::evaluate_within`].
+/// With `within` set, contexts whose subtree misses every interval are
+/// pruned after each step and the final result keeps only rows inside
+/// the intervals.
+fn eval_plan<S: LabelingScheme>(
+    plan: &[Step],
+    doc: &EncodedDocument<S>,
+    within: Option<&[(usize, usize)]>,
+) -> Vec<usize> {
+    {
         let topo = doc.topology();
         let index = doc.name_index();
-        let plan = fuse_steps(&self.steps);
         let mut context: Vec<usize> = vec![doc.root()];
         let mut scratch: Vec<usize> = Vec::new();
-        for step in plan.iter() {
+        for (si, step) in plan.iter().enumerate() {
             let mut next: Vec<usize> = Vec::new();
             let mut ordered = true;
             for &ctx in &context {
@@ -445,6 +614,13 @@ impl XPathExpr {
             if !ordered {
                 next.sort_unstable();
                 next.dedup();
+            }
+            if let Some(extents) = within {
+                if si + 1 == plan.len() {
+                    next.retain(|&i| row_in_extents(extents, i));
+                } else {
+                    next.retain(|&i| topo.subtree_intersects(i, extents));
+                }
             }
             context = next;
         }
@@ -689,6 +865,62 @@ mod tests {
         assert_eq!(doc.row(r[0]).kind.name(), Some("item"));
         let none = parse_xpath("//item[@id=\"a\"]").unwrap().evaluate(&doc);
         assert!(none.is_empty());
+    }
+
+    #[test]
+    fn access_pattern_classification() {
+        let p = parse_xpath("//item[@id=\"a\"]/name").unwrap().access_pattern();
+        assert!(p.downward_only() && p.repair_safe() && p.fully_named());
+        assert_eq!(p.element_names(), ["item", "name"]);
+        assert_eq!(p.attribute_names(), ["id"]);
+        assert!(!p.has_positional());
+
+        let p = parse_xpath("//address/ancestor::*").unwrap().access_pattern();
+        assert!(!p.downward_only() && !p.repair_safe());
+        assert!(!p.fully_named(), "wildcard step");
+
+        let p = parse_xpath("/book/publisher/editor/*[2]")
+            .unwrap()
+            .access_pattern();
+        assert!(p.downward_only() && p.repair_safe() && p.has_positional());
+        assert!(!p.fully_named());
+
+        let p = parse_xpath("/book/descendant::editor[1]")
+            .unwrap()
+            .access_pattern();
+        assert!(p.downward_only());
+        assert!(!p.repair_safe(), "positional on a subtree-wide axis");
+    }
+
+    #[test]
+    fn compiled_pattern_evaluates_identically_and_scopes() {
+        let doc = book();
+        for q in [
+            "//name",
+            "/book/publisher/editor/*[2]",
+            "//edition[@year=\"2004\"]",
+            "/book/title/text()",
+            "//*",
+            "//address/ancestor::*",
+        ] {
+            let e = parse_xpath(q).unwrap();
+            assert_eq!(e.access_pattern().evaluate(&doc), e.evaluate(&doc), "{q}");
+        }
+        // scoped evaluation == full result intersected with the extents
+        let e = parse_xpath("//name").unwrap();
+        let pat = e.access_pattern();
+        let full = e.evaluate(&doc);
+        assert_eq!(pat.evaluate_within(&doc, &[(0, doc.len())]), full);
+        assert!(pat.evaluate_within(&doc, &[]).is_empty());
+        let topo = doc.topology();
+        for &r in &full {
+            assert_eq!(pat.evaluate_within(&doc, &[(r, topo.extent(r))]), [r]);
+        }
+        // an extent that misses every match scopes to nothing
+        let title = parse_xpath("//title").unwrap().evaluate(&doc)[0];
+        assert!(pat
+            .evaluate_within(&doc, &[(title, topo.extent(title))])
+            .is_empty());
     }
 
     #[test]

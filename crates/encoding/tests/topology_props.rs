@@ -96,12 +96,14 @@ props! {
             let expr = parse_xpath(q).unwrap();
             let qed = EncodedDocument::encode(Qed::new(), &tree).unwrap();
             prop_assert_eq!(
+                // lint:allow(R10): evaluator-vs-reference property needs both sides
                 expr.evaluate(&qed),
                 evaluate_reference(&expr, &qed),
                 "query {} diverged (QED)", q
             );
             let dewey = EncodedDocument::encode(DeweyId::new(), &tree).unwrap();
             prop_assert_eq!(
+                // lint:allow(R10): evaluator-vs-reference property needs both sides
                 expr.evaluate(&dewey),
                 evaluate_reference(&expr, &dewey),
                 "query {} diverged (DeweyID)", q

@@ -658,18 +658,90 @@ impl<'t> FootprintBuilder<'t> {
 // ---------------------------------------------------------------------
 
 /// Every pre-batch row an op's footprint *references* (anchors, targets,
-/// text points, gap parents).
-fn referenced_rows(fp: &OpFootprint) -> Vec<u32> {
-    let mut rows: Vec<u32> = fp.anchor_reads.clone();
-    for g in &fp.gap_writes {
-        rows.push(g.parent);
-    }
-    for t in &fp.text_writes {
-        if let PointRef::Pre(r) = t {
-            rows.push(*r);
+/// text points, gap parents). Allocation-free: `classify` runs once per
+/// potentially coupled pair, so per-call Vecs would dominate the scan.
+fn referenced_rows(fp: &OpFootprint) -> impl Iterator<Item = u32> + '_ {
+    fp.anchor_reads
+        .iter()
+        .copied()
+        .chain(fp.gap_writes.iter().map(|g| g.parent))
+        .chain(fp.text_writes.iter().filter_map(|t| match t {
+            PointRef::Pre(r) => Some(*r),
+            PointRef::New(_) => None,
+        }))
+}
+
+/// Conservative per-op hulls for the pair scan: the smallest row
+/// interval covering every pre-batch row the footprint mentions
+/// (anchors, gap parents, text points, deleted/moved extents, relabel
+/// regions) and the smallest log-id interval covering creates ∪ uses.
+///
+/// Every [`classify`] edge needs either two footprints that mention a
+/// common pre-batch row neighbourhood (all five conflict kinds compare
+/// rows drawn from the sets above) or a shared log id (dependencies,
+/// and text/text on a batch-created point — `SetText` on a `New` ref
+/// records the id in `uses`). Disjoint hulls on *both* axes therefore
+/// prove the pair edge-free, and the O(k²) scan can skip `classify`
+/// entirely — turning the common case (localized batches with disjoint
+/// footprints) into a cheap interval test per pair.
+#[derive(Clone, Copy)]
+struct PairBounds {
+    /// Row hull `[row_lo, row_hi)`; empty when `row_lo >= row_hi`.
+    row_lo: u32,
+    row_hi: u32,
+    /// Log-id hull `[id_lo, id_hi]`; empty when `id_lo > id_hi`.
+    id_lo: u32,
+    id_hi: u32,
+}
+
+impl PairBounds {
+    fn of(fp: &OpFootprint) -> PairBounds {
+        let mut b = PairBounds {
+            row_lo: u32::MAX,
+            row_hi: 0,
+            id_lo: u32::MAX,
+            id_hi: 0,
+        };
+        let mut row = |r: u32| {
+            b.row_lo = b.row_lo.min(r);
+            b.row_hi = b.row_hi.max(r.saturating_add(1));
+        };
+        for &r in &fp.anchor_reads {
+            row(r);
         }
+        for g in &fp.gap_writes {
+            row(g.parent);
+        }
+        for t in &fp.text_writes {
+            if let PointRef::Pre(r) = t {
+                row(*r);
+            }
+        }
+        for e in fp
+            .deleted_extents
+            .iter()
+            .chain(fp.moved_extents.iter())
+            .chain(fp.regions.iter())
+        {
+            if e.start < e.end {
+                b.row_lo = b.row_lo.min(e.start);
+                b.row_hi = b.row_hi.max(e.end);
+            }
+        }
+        for l in fp.creates.iter().chain(fp.uses.iter()) {
+            b.id_lo = b.id_lo.min(l.0);
+            b.id_hi = b.id_hi.max(l.0);
+        }
+        b
     }
-    rows
+
+    /// Can ops with these hulls possibly produce an edge? False only
+    /// when both the row hulls and the id hulls are provably disjoint.
+    fn may_conflict(&self, other: &PairBounds) -> bool {
+        let rows = self.row_lo < other.row_hi && other.row_lo < self.row_hi;
+        let ids = self.id_lo <= other.id_hi && other.id_lo <= self.id_hi;
+        rows || ids
+    }
 }
 
 /// Classify the coupling between ops `i < j`, if any. Precedence:
@@ -699,27 +771,19 @@ fn classify(a: &OpFootprint, b: &OpFootprint, b_is_move: bool, a_is_move: bool) 
     }
     // Write-after-delete: one op references a row the other deletes.
     let touches_deleted = |x: &OpFootprint, del: &OpFootprint| {
-        referenced_rows(x)
-            .iter()
-            .any(|&r| del.deleted_extents.iter().any(|e| e.contains(r)))
+        referenced_rows(x).any(|r| del.deleted_extents.iter().any(|e| e.contains(r)))
     };
     if touches_deleted(a, b) || touches_deleted(b, a) {
         return Some(EdgeKind::Conflict(ConflictKind::WriteAfterDelete));
     }
     // Extent overlap: deleted/moved extents collide with each other or
     // with the other op's relabel regions.
-    let extents = |x: &OpFootprint| {
-        x.deleted_extents
-            .iter()
-            .chain(x.moved_extents.iter())
-            .copied()
-            .collect::<Vec<Extent>>()
-    };
-    let ea = extents(a);
-    let eb = extents(b);
-    if ea.iter().any(|x| eb.iter().any(|y| x.overlaps(y)))
-        || ea.iter().any(|x| b.regions.iter().any(|y| x.overlaps(y)))
-        || eb.iter().any(|x| a.regions.iter().any(|y| x.overlaps(y)))
+    fn extents(x: &OpFootprint) -> impl Iterator<Item = &Extent> + '_ {
+        x.deleted_extents.iter().chain(x.moved_extents.iter())
+    }
+    if extents(a).any(|x| extents(b).any(|y| x.overlaps(y)))
+        || extents(a).any(|x| b.regions.iter().any(|y| x.overlaps(y)))
+        || extents(b).any(|x| a.regions.iter().any(|y| x.overlaps(y)))
     {
         return Some(EdgeKind::Conflict(ConflictKind::ExtentOverlap));
     }
@@ -833,13 +897,21 @@ pub fn analyze(log: &MutationLog, tree: &XmlTree) -> Result<AnalyzedPlan, TreeEr
         footprints.push(builder.footprint(m)?);
     }
 
-    // Graph: every pair, forward edges only.
+    // Graph: every pair, forward edges only. The hull prefilter keeps
+    // the scan quadratic only in *potentially coupled* pairs — for
+    // disjoint-footprint batches each pair costs two interval tests.
+    let bounds: Vec<PairBounds> = footprints.iter().map(PairBounds::of).collect();
+    let is_move: Vec<bool> = ops
+        .iter()
+        .map(|m| matches!(m, Mutation::MoveSubtree { .. }))
+        .collect();
     let mut edges = Vec::new();
     for i in 0..n {
         for j in (i + 1)..n {
-            let a_is_move = matches!(ops[i], Mutation::MoveSubtree { .. });
-            let b_is_move = matches!(ops[j], Mutation::MoveSubtree { .. });
-            if let Some(kind) = classify(&footprints[i], &footprints[j], b_is_move, a_is_move) {
+            if !bounds[i].may_conflict(&bounds[j]) {
+                continue;
+            }
+            if let Some(kind) = classify(&footprints[i], &footprints[j], is_move[j], is_move[i]) {
                 edges.push(Edge { from: i, to: j, kind });
             }
         }
@@ -1436,6 +1508,74 @@ mod tests {
             plan.edges[0].kind,
             EdgeKind::Conflict(ConflictKind::StructuralOverlap)
         ));
+    }
+
+    /// The hull prefilter in `analyze` must be invisible: its edge set
+    /// is pinned to the unfiltered all-pairs `classify` scan on a
+    /// mixed batch exercising every op family (creates under shared
+    /// and distinct parents, text on pre-batch and batch-created
+    /// points, delete, move).
+    #[test]
+    fn pair_prefilter_matches_brute_force_scan() {
+        let t = parse(
+            "<r><a><x>1</x><y>2</y></a><b><z>3</z></b><c><w>4</w></c><d/><e/></r>",
+        )
+        .unwrap();
+        let log = MutationLog::from(vec![
+            Mutation::CreateElement {
+                id: LogId(0),
+                name: "p".into(),
+                place: Place::LastChildOf(NodeRef::Node(elem(&t, "a"))),
+            },
+            Mutation::CreateElement {
+                id: LogId(1),
+                name: "q".into(),
+                place: Place::LastChildOf(NodeRef::Node(elem(&t, "a"))),
+            },
+            Mutation::CreateNode {
+                id: LogId(2),
+                kind: NodeKind::Text {
+                    value: String::new(),
+                },
+                place: Place::FirstChildOf(NodeRef::Node(elem(&t, "d"))),
+            },
+            Mutation::SetText {
+                target: NodeRef::New(LogId(2)),
+                text: "fresh".into(),
+            },
+            Mutation::SetText {
+                target: NodeRef::Node(text_node(&t, "3")),
+                text: "30".into(),
+            },
+            Mutation::Delete {
+                target: NodeRef::Node(elem(&t, "c")),
+            },
+            Mutation::MoveSubtree {
+                target: NodeRef::Node(elem(&t, "b")),
+                place: Place::LastChildOf(NodeRef::Node(elem(&t, "e"))),
+            },
+        ]);
+        let plan = analyze(&log, &t).unwrap();
+        let ops: Vec<&Mutation> = log.iter().collect();
+        let mut brute = Vec::new();
+        for i in 0..ops.len() {
+            for j in (i + 1)..ops.len() {
+                let a_mv = matches!(ops[i], Mutation::MoveSubtree { .. });
+                let b_mv = matches!(ops[j], Mutation::MoveSubtree { .. });
+                if let Some(kind) =
+                    classify(&plan.footprints[i], &plan.footprints[j], b_mv, a_mv)
+                {
+                    brute.push(Edge { from: i, to: j, kind });
+                }
+            }
+        }
+        assert!(!brute.is_empty(), "scenario must produce real edges");
+        assert_eq!(plan.edges, brute);
+        // And the filter genuinely skips pairs here: the two disjoint
+        // creates (ops 0/2) must share neither rows nor ids.
+        let b0 = PairBounds::of(&plan.footprints[0]);
+        let b2 = PairBounds::of(&plan.footprints[2]);
+        assert!(!b0.may_conflict(&b2));
     }
 
     #[test]

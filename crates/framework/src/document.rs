@@ -25,11 +25,20 @@
 //! labelling, updated incrementally by [`Document::apply`]. Query-side
 //! calls ([`Document::xpath`], [`Document::reconstruct`],
 //! [`Document::encoded`]) run over an encoded snapshot of the current
-//! tree that is built lazily and invalidated by every update — queries
-//! between two updates share one snapshot.
+//! tree that is built lazily — queries between two updates share one
+//! snapshot. Invalidation is **footprint-driven**, not wholesale: a
+//! batch with zero effective ops (empty, all-redundant, or a cancelled
+//! create/delete component under a cancellation-neutral scheme) leaves
+//! the snapshot standing, a text-only batch patches the snapshot's text
+//! rows in place, and only structural batches discard it. Queries
+//! registered through [`Document::register_query`] are maintained
+//! incrementally by the [`QueryCache`] instead of being re-evaluated
+//! per batch.
 
+use crate::analysis;
 use crate::driver::{run_script, DriveStats};
-use crate::mutations::{self, MutationLog};
+use crate::mutations::{self, Mutation, MutationLog, NodeRef};
+use crate::querycache::{CacheStats, QueryCache, QueryId};
 use crate::verify::{verify, VerifyOutcome};
 use std::fmt;
 use xupd_encoding::{parse_xpath, EncodedDocument, XPathError};
@@ -87,6 +96,8 @@ pub struct Document<S: LabelingScheme + Clone + 'static> {
     /// per first query after an update, however many ops the update
     /// batched. Observable for the once-per-batch invalidation contract.
     snapshot_rebuilds: u64,
+    /// Incrementally maintained result sets for registered queries.
+    cache: QueryCache,
 }
 
 impl<S: LabelingScheme + Clone + 'static> Document<S> {
@@ -100,6 +111,7 @@ impl<S: LabelingScheme + Clone + 'static> Document<S> {
             labeling,
             snapshot: None,
             snapshot_rebuilds: 0,
+            cache: QueryCache::new(),
         })
     }
 
@@ -142,21 +154,148 @@ impl<S: LabelingScheme + Clone + 'static> Document<S> {
 
     /// Replay an update script against the live tree through the
     /// scheme's insertion/deletion path, invalidating the query
-    /// snapshot.
+    /// snapshot. Scripts bypass the mutation-log analyzer, so the
+    /// query cache is marked stale and fully refreshes on the next
+    /// cached read — incremental maintenance needs a footprint.
     pub fn apply(&mut self, script: &Script) -> Result<DriveStats, TreeError> {
         self.snapshot = None;
+        self.cache.mark_stale();
         run_script(&mut self.tree, &mut self.scheme, &mut self.labeling, script)
     }
 
     /// Apply a [`MutationLog`] atomically against the live tree (see
     /// [`mutations::apply_log`]): validated up front, all-or-nothing on
-    /// failure. The query snapshot is invalidated exactly **once** per
-    /// applied batch — and not at all when the batch is rejected, since
-    /// a rejected batch changes nothing.
+    /// failure. A rejected batch changes nothing — snapshot and cache
+    /// stay put.
+    ///
+    /// Invalidation is footprint-driven:
+    ///
+    /// * **zero effective ops** (empty log, all writes redundant, or a
+    ///   cancelled create/delete component under a scheme that is
+    ///   [`cancellation_neutral`](LabelingScheme::cancellation_neutral))
+    ///   — the snapshot survives untouched;
+    /// * **text-only batch** — the snapshot's text rows are patched in
+    ///   place, no rebuild;
+    /// * **structural batch** — the snapshot is discarded (rebuilt
+    ///   lazily on the next query), exactly once per batch.
+    ///
+    /// Registered queries are then maintained incrementally by the
+    /// [`QueryCache`] from the same analysis.
     pub fn apply_log(&mut self, log: &MutationLog) -> Result<DriveStats, TreeError> {
-        let stats = mutations::apply_log(&mut self.tree, &mut self.scheme, &mut self.labeling, log)?;
-        self.snapshot = None;
+        if (self.cache.is_empty() || self.cache.is_stale()) && self.snapshot.is_none() {
+            // Nothing to maintain: skip the analysis pass entirely so a
+            // cacheless document pays exactly the pre-cache cost.
+            let stats =
+                mutations::apply_log(&mut self.tree, &mut self.scheme, &mut self.labeling, log)?;
+            self.cache.mark_stale();
+            return Ok(stats);
+        }
+        let plan = analysis::analyze(log, &self.tree)?;
+        let effective = plan.execution_order(false, self.scheme.cancellation_neutral());
+        let stats =
+            mutations::apply_log(&mut self.tree, &mut self.scheme, &mut self.labeling, log)?;
+        if effective.is_empty() {
+            // No observable change: tree bytes and labels are identical
+            // to the pre-batch state, so snapshot and cache stay exact.
+            return Ok(stats);
+        }
+        let ops: Vec<&Mutation> = log.iter().collect();
+        let text_only = effective.iter().all(|&i| {
+            matches!(
+                ops.get(i),
+                Some(Mutation::SetText {
+                    target: NodeRef::Node(_),
+                    ..
+                })
+            )
+        });
+        if text_only {
+            self.patch_snapshot_text(&ops, &effective);
+        } else {
+            self.snapshot = None;
+        }
+        if !self.cache.is_empty() && !self.cache.is_stale() {
+            // Absorb failures (unreachable in practice) degrade to a
+            // stale cache, never to a wrong answer.
+            if self.cache.absorb(log, &plan, &effective, &self.tree).is_err() {
+                self.cache.mark_stale();
+            }
+        }
         Ok(stats)
+    }
+
+    /// Rewrite the snapshot's text rows in place for a text-only batch;
+    /// positions, topology and labels are untouched by construction. On
+    /// any inconsistency the snapshot is dropped instead (lazy rebuild).
+    fn patch_snapshot_text(&mut self, ops: &[&Mutation], effective: &[usize]) {
+        let Some(snap) = self.snapshot.as_mut() else {
+            return;
+        };
+        for &i in effective {
+            if let Some(Mutation::SetText {
+                target: NodeRef::Node(id),
+                text,
+            }) = ops.get(i)
+            {
+                let patched = snap
+                    .row_of_source(*id)
+                    .map(|row| snap.patch_text(row, text).is_ok());
+                if patched != Some(true) {
+                    self.snapshot = None;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Register an XPath query for incremental maintenance: the result
+    /// set is materialized now and kept exact across every
+    /// [`Document::apply_log`] batch by impact analysis. With
+    /// `want_strings`, XPath string values are cached alongside the
+    /// rows.
+    pub fn register_query(
+        &mut self,
+        expr: &str,
+        want_strings: bool,
+    ) -> Result<QueryId, DocumentError> {
+        let expr = parse_xpath(expr)?;
+        Ok(self.cache.register(&expr, want_strings, &self.tree)?)
+    }
+
+    /// The maintained result rows of a registered query (preorder
+    /// positions into [`Document::encoded`]), served from the cache —
+    /// no re-evaluation unless an untracked update forced a refresh.
+    pub fn query_cached(&mut self, q: QueryId) -> Result<&[usize], TreeError> {
+        if self.cache.is_stale() {
+            self.cache.refresh(&self.tree)?;
+        }
+        Ok(self.cache.hit(q))
+    }
+
+    /// The maintained string values of a registered query (empty unless
+    /// registered with `want_strings`).
+    pub fn cached_strings(&mut self, q: QueryId) -> Result<&[String], TreeError> {
+        if self.cache.is_stale() {
+            self.cache.refresh(&self.tree)?;
+        }
+        Ok(self.cache.strings(q))
+    }
+
+    /// Cumulative cache counters, alongside
+    /// [`Document::snapshot_rebuilds`].
+    pub fn cache_stats(&self) -> &CacheStats {
+        self.cache.stats()
+    }
+
+    /// Read access to the query cache (impact summaries, patterns).
+    pub fn query_cache(&self) -> &QueryCache {
+        &self.cache
+    }
+
+    /// Mutable access to the query cache — test seams only.
+    #[doc(hidden)]
+    pub fn query_cache_mut(&mut self) -> &mut QueryCache {
+        &mut self.cache
     }
 
     /// How many times the lazy query snapshot has been (re)built.
@@ -253,6 +392,130 @@ mod tests {
         doc.apply_log(&bad).unwrap_err();
         doc.xpath("//e1").unwrap();
         assert_eq!(doc.snapshot_rebuilds(), 2, "rejected batch is free too");
+    }
+
+    #[test]
+    fn noop_batches_do_not_invalidate_snapshot() {
+        use crate::mutations::{LogId, Mutation, MutationLog, NodeRef, Place};
+        use xupd_xmldom::NodeKind;
+
+        let tree = docs::book();
+        let mut doc = Document::encode(Qed::new(), &tree).unwrap();
+        doc.xpath("//title").unwrap();
+        assert_eq!(doc.snapshot_rebuilds(), 1, "initial lazy build");
+
+        // an empty batch has zero effective ops
+        doc.apply_log(&MutationLog::from(Vec::new())).unwrap();
+        doc.xpath("//title").unwrap();
+        assert_eq!(doc.snapshot_rebuilds(), 1, "empty batch is a no-op");
+
+        // a redundant text write (same value) is certified no-op
+        let (text_id, text_val) = doc
+            .tree()
+            .ids_in_doc_order()
+            .into_iter()
+            .find_map(|id| match doc.tree().kind(id) {
+                NodeKind::Text { value } => Some((id, value.clone())),
+                _ => None,
+            })
+            .unwrap();
+        doc.apply_log(&MutationLog::from(vec![Mutation::SetText {
+            target: NodeRef::Node(text_id),
+            text: text_val,
+        }]))
+        .unwrap();
+        doc.xpath("//title").unwrap();
+        assert_eq!(doc.snapshot_rebuilds(), 1, "redundant write is a no-op");
+
+        // a cancelled create+delete component leaves zero residue under
+        // a cancellation-neutral scheme (Qed)
+        assert!(doc.scheme().cancellation_neutral());
+        let root_el = doc.xpath("/book").unwrap()[0];
+        let root_id = doc.encoded().unwrap().source_id(root_el);
+        doc.apply_log(&MutationLog::from(vec![
+            Mutation::CreateElement {
+                id: LogId(0),
+                name: "tmp".to_string(),
+                place: Place::LastChildOf(NodeRef::Node(root_id)),
+            },
+            Mutation::Delete {
+                target: NodeRef::New(LogId(0)),
+            },
+        ]))
+        .unwrap();
+        doc.xpath("//title").unwrap();
+        assert_eq!(doc.snapshot_rebuilds(), 1, "cancelled component is a no-op");
+
+        // ...but a real structural edit still invalidates exactly once
+        doc.apply_log(&MutationLog::from(vec![Mutation::CreateElement {
+            id: LogId(0),
+            name: "appendix".to_string(),
+            place: Place::LastChildOf(NodeRef::Node(root_id)),
+        }]))
+        .unwrap();
+        doc.xpath("//appendix").unwrap();
+        assert_eq!(doc.snapshot_rebuilds(), 2, "structural batch invalidates");
+    }
+
+    #[test]
+    fn text_only_batches_patch_snapshot_in_place() {
+        use crate::mutations::{Mutation, MutationLog, NodeRef};
+
+        let tree = docs::book();
+        let mut doc = Document::encode(Qed::new(), &tree).unwrap();
+        let title_row = doc.xpath("//title").unwrap()[0];
+        assert_eq!(doc.snapshot_rebuilds(), 1);
+        let enc = doc.encoded().unwrap();
+        let text_row = enc
+            .descendant_range(title_row)
+            .find(|&r| matches!(enc.row(r).kind, xupd_xmldom::NodeKind::Text { .. }))
+            .unwrap();
+        let text_id = enc.source_id(text_row);
+
+        doc.apply_log(&MutationLog::from(vec![Mutation::SetText {
+            target: NodeRef::Node(text_id),
+            text: "Growing Up With a Dream".to_string(),
+        }]))
+        .unwrap();
+        // same snapshot object, new content — no rebuild happened
+        assert_eq!(doc.snapshot_rebuilds(), 1, "text batch patches in place");
+        let enc = doc.encoded().unwrap();
+        assert_eq!(enc.string_value(title_row), "Growing Up With a Dream");
+        assert_eq!(doc.snapshot_rebuilds(), 1);
+        assert!(doc.verify().unwrap().is_sound());
+    }
+
+    #[test]
+    fn registered_queries_survive_batches_and_stay_exact() {
+        use crate::mutations::{LogId, Mutation, MutationLog, NodeRef, Place};
+
+        let tree = docs::xmark_like(23, 70);
+        let mut doc = Document::encode(Qed::new(), &tree).unwrap();
+        let q = doc.register_query("//item", true).unwrap();
+        let base = doc.query_cached(q).unwrap().to_vec();
+        assert_eq!(base, doc.xpath("//item").unwrap());
+
+        // structural batch: cached rows track the fresh evaluation
+        let region = doc.xpath("//regions").unwrap()[0];
+        let region_id = doc.encoded().unwrap().source_id(region);
+        doc.apply_log(&MutationLog::from(vec![Mutation::CreateElement {
+            id: LogId(0),
+            name: "item".to_string(),
+            place: Place::FirstChildOf(NodeRef::Node(region_id)),
+        }]))
+        .unwrap();
+        let cached = doc.query_cached(q).unwrap().to_vec();
+        assert_eq!(cached, doc.xpath("//item").unwrap());
+        assert_eq!(cached.len(), base.len() + 1);
+
+        // script path bypasses the analyzer: cache goes stale, then a
+        // cached read refreshes and is exact again
+        doc.apply(&Script::generate(ScriptKind::Random, 15, doc.tree().len(), 3))
+            .unwrap();
+        assert!(doc.query_cache().is_stale());
+        let cached = doc.query_cached(q).unwrap().to_vec();
+        assert_eq!(cached, doc.xpath("//item").unwrap());
+        assert!(doc.cache_stats().hits >= 2);
     }
 
     #[test]

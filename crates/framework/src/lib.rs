@@ -30,7 +30,12 @@
 //!   read/write footprints, a dependency/conflict graph with a named
 //!   taxonomy, and certificates (no-op detection, coalescing, a
 //!   canonical reorder, independent sub-log partitioning) consumed by
-//!   the batch optimizer and the parallel shard fan-out.
+//!   the batch optimizer and the parallel shard fan-out;
+//! * [`querycache`] — incremental XPath result maintenance: registered
+//!   queries are classified per batch (unaffected / repairable / dirty)
+//!   by intersecting the analyzer's write footprint with each query's
+//!   static access pattern, so cached result sets are kept, delta-
+//!   repaired or rebuilt — never discarded wholesale.
 //!
 //! The checker battery fans out per scheme on the `xupd-exec` scoped
 //! pool (schemes are independent); results and renders are identical at
@@ -43,6 +48,7 @@ pub mod driver;
 pub mod matrix;
 pub mod mutations;
 pub mod orthogonal;
+pub mod querycache;
 pub mod report;
 pub mod verify;
 
@@ -58,6 +64,7 @@ pub use mutations::{
     validate, LogBindings, LogId, Mutation, MutationLog, NodeRef, Place,
 };
 pub use document::{Document, DocumentError};
+pub use querycache::{BatchImpact, CacheStats, QueryCache, QueryClass, QueryId};
 pub use matrix::{
     declared_figure7, measure_all, measure_all_threads, measure_entries_threads, measure_figure7,
     measure_figure7_threads, EvaluationMatrix, MatrixRow,

@@ -1,0 +1,884 @@
+//! Incremental XPath result maintenance: footprint-driven cache
+//! invalidation instead of whole-snapshot discard.
+//!
+//! A [`QueryCache`] holds materialized result sets (preorder row
+//! positions, plus string values where requested) for a registered set
+//! of compiled XPath queries, and keeps them exact across
+//! [`MutationLog`](crate::mutations::MutationLog) batches by *impact
+//! analysis* instead of wholesale re-evaluation. Genevès, Layaïda and
+//! Quint (arXiv 0811.4324) decide statically whether an evolution can
+//! affect a query; here the same decision runs dynamically per batch,
+//! by intersecting the batch's aggregate write footprint — the touched
+//! extents, deleted/moved subtrees and relabel regions
+//! [`analyze`](crate::analysis::analyze) already computes — with each
+//! query's static [`AccessPattern`] (name tests resolved through the
+//! [`NameIndex`] buckets, axis reach as extent intervals).
+//!
+//! Every registered query lands in one of three classes per batch:
+//!
+//! * **unaffected** — the cached rows and strings are provably still
+//!   exact: the query's name tests never occur inside any touched
+//!   extent (old or new coordinates), every cached row precedes the
+//!   first touched row (so no preorder shift reaches it), and — when
+//!   strings are cached — no cached result's subtree overlaps a
+//!   touched extent or a surviving text write. Kept verbatim, zero
+//!   work.
+//! * **repairable** — the plan is downward-only with no positional
+//!   predicate on a subtree-wide axis
+//!   ([`AccessPattern::repair_safe`]): results outside the touched
+//!   extents are membership-stable, so the old rows are remapped
+//!   through their stable [`NodeId`]s, rows falling inside touched
+//!   extents are dropped, and a scoped
+//!   [`AccessPattern::evaluate_within`] over just the touched extents
+//!   produces the splice. Strings are recomputed only for fresh rows
+//!   and for kept rows whose subtree overlaps a touched extent or a
+//!   text write.
+//! * **dirty** — anything else (upward/lateral axes, touched coverage
+//!   over half the document): full re-evaluation, the correct
+//!   fallback.
+//!
+//! The cache evaluates against its own **shadow table**: an
+//! [`EncodedDocument`] under a private unit-label scheme whose labels
+//! are plain preorder positions. The streaming evaluator never reads
+//! labels (axes run on the [`Topology`](xupd_encoding::Topology)
+//! sidecar), so results are identical to evaluating the document's
+//! real snapshot — but rebuilding the shadow after a structural batch
+//! is one cheap O(n) pass regardless of how expensive the document's
+//! actual labelling scheme is, and a text-only batch patches it in
+//! place without any rebuild.
+//!
+//! Staleness safety: the cache only ever serves results derived from
+//! the shadow table of the current tree. Updates that bypass the
+//! mutation-log path (the raw script driver) mark the cache stale;
+//! a stale cache refuses incremental maintenance and fully refreshes
+//! on the next read. The differential suite
+//! (`crates/framework/tests/querycache_differential.rs`) pins every
+//! served result byte-identical to a fresh evaluation.
+
+use crate::analysis::{AnalyzedPlan, PointRef};
+use crate::mutations::{Mutation, MutationLog, NodeRef};
+use std::cmp::Ordering;
+use xupd_encoding::{row_in_extents, AccessPattern, EncodedDocument, NameIndex, XPathExpr};
+use xupd_labelcore::{
+    Compliance, EncodingRep, InsertReport, Label, Labeling, LabelingScheme, OrderKind, Relation,
+    SchemeDescriptor, SchemeStats,
+};
+use xupd_xmldom::{NodeId, TreeError, XmlTree};
+
+// ---------------------------------------------------------------------
+// The shadow scheme
+// ---------------------------------------------------------------------
+
+/// Label of the shadow table: the node's preorder position. Never
+/// consulted by the evaluator — it exists to satisfy the encoding
+/// table's scheme parameter at near-zero cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct ShadowLabel(u32);
+
+impl Label for ShadowLabel {
+    fn size_bits(&self) -> u64 {
+        32
+    }
+    fn display(&self) -> String {
+        self.0.to_string()
+    }
+}
+
+/// The cache's private labelling scheme: plain preorder enumeration.
+/// One O(n) pass per (re)build, no order codes, no prime products, no
+/// bit strings — the whole point of the shadow table is that query
+/// maintenance never pays the document's real label algebra.
+#[derive(Debug, Clone, Default)]
+struct ShadowScheme {
+    stats: SchemeStats,
+}
+
+impl LabelingScheme for ShadowScheme {
+    type Label = ShadowLabel;
+
+    fn name(&self) -> &'static str {
+        "Shadow(querycache)"
+    }
+
+    fn descriptor(&self) -> SchemeDescriptor {
+        SchemeDescriptor {
+            name: "Shadow(querycache)",
+            citation: "[internal]",
+            order: OrderKind::Global,
+            encoding: EncodingRep::Fixed,
+            declared: [Compliance::None; 8],
+            in_figure7: false,
+        }
+    }
+
+    fn label_tree(&mut self, tree: &XmlTree) -> Result<Labeling<ShadowLabel>, TreeError> {
+        let mut l = Labeling::with_capacity_for(tree);
+        for (i, id) in tree.ids_in_doc_order().into_iter().enumerate() {
+            l.set(id, ShadowLabel(i as u32));
+        }
+        Ok(l)
+    }
+
+    fn on_insert(
+        &mut self,
+        tree: &XmlTree,
+        labeling: &mut Labeling<ShadowLabel>,
+        node: NodeId,
+    ) -> Result<InsertReport, TreeError> {
+        // The cache never drives per-op inserts — it re-encodes the
+        // shadow wholesale per structural batch — but the scheme
+        // protocol must still hold for standalone use: renumber.
+        if !tree.is_alive(node) {
+            return Err(TreeError::DanglingNodeId(node));
+        }
+        for (i, id) in tree.ids_in_doc_order().into_iter().enumerate() {
+            labeling.set(id, ShadowLabel(i as u32));
+        }
+        Ok(InsertReport::clean())
+    }
+
+    fn cmp_doc(&self, a: &ShadowLabel, b: &ShadowLabel) -> Ordering {
+        a.cmp(b)
+    }
+
+    fn relation(&self, _rel: Relation, _a: &ShadowLabel, _b: &ShadowLabel) -> Option<bool> {
+        None
+    }
+
+    fn level(&self, _a: &ShadowLabel) -> Option<u32> {
+        None
+    }
+
+    fn stats(&self) -> &SchemeStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Public observability types
+// ---------------------------------------------------------------------
+
+/// Identifier returned by [`QueryCache::register`]; stable for the
+/// cache's lifetime.
+pub type QueryId = usize;
+
+/// What one batch did to one registered query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryClass {
+    /// Cached rows and strings kept verbatim — zero work.
+    Unaffected,
+    /// Delta-repaired: remap survivors, splice a scoped re-evaluation
+    /// of the touched extents.
+    Repaired,
+    /// Fully re-evaluated.
+    Rebuilt,
+}
+
+/// Per-batch impact summary returned by [`QueryCache::absorb`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchImpact {
+    /// The batch only rewrote pre-existing text nodes: the shadow was
+    /// patched in place, no structural maintenance ran.
+    pub text_only: bool,
+    /// Queries kept verbatim.
+    pub unaffected: usize,
+    /// Queries delta-repaired.
+    pub repaired: usize,
+    /// Queries fully re-evaluated.
+    pub rebuilt: usize,
+    /// Cached rows dropped by repairs (deleted or re-derived).
+    pub dropped_rows: u64,
+    /// Rows spliced in by scoped re-evaluation.
+    pub spliced_rows: u64,
+    /// Per-query classification, indexed by [`QueryId`].
+    pub classes: Vec<QueryClass>,
+}
+
+/// Cumulative cache counters, observable alongside the document's
+/// `snapshot_rebuilds`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Cached reads served ([`QueryCache::hit`]).
+    pub hits: u64,
+    /// Batches absorbed incrementally.
+    pub batches_absorbed: u64,
+    /// Query×batch outcomes kept verbatim.
+    pub unaffected: u64,
+    /// Query×batch outcomes delta-repaired.
+    pub repaired: u64,
+    /// Query×batch outcomes fully re-evaluated (includes stale-refresh
+    /// rebuilds).
+    pub rebuilt: u64,
+    /// Rows dropped across all repairs.
+    pub repair_dropped_rows: u64,
+    /// Rows spliced in across all repairs.
+    pub repair_spliced_rows: u64,
+    /// String values recomputed outside full rebuilds.
+    pub string_patches: u64,
+}
+
+struct CachedQuery {
+    pattern: AccessPattern,
+    want_strings: bool,
+    rows: Vec<usize>,
+    /// Parallel to `rows` when `want_strings`, empty otherwise.
+    strings: Vec<String>,
+    /// Test seam: force the unaffected classification regardless of
+    /// impact — exists so the differential suite can prove a
+    /// misclassification is observable.
+    force_unaffected: bool,
+}
+
+/// Materialized result sets for registered XPath queries, maintained
+/// incrementally across mutation-log batches. See the module docs for
+/// the classification lattice and the repair algorithm.
+#[derive(Default)]
+pub struct QueryCache {
+    shadow: Option<EncodedDocument<ShadowScheme>>,
+    queries: Vec<CachedQuery>,
+    stats: CacheStats,
+    stale: bool,
+    last_impact: Option<BatchImpact>,
+}
+
+impl QueryCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        QueryCache::default()
+    }
+
+    /// Number of registered queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True when no query is registered.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Impact summary of the most recently absorbed batch.
+    pub fn last_impact(&self) -> Option<&BatchImpact> {
+        self.last_impact.as_ref()
+    }
+
+    /// True when an un-analyzed update bypassed the cache and the next
+    /// read must fully refresh.
+    pub fn is_stale(&self) -> bool {
+        self.stale
+    }
+
+    /// Record that the tree changed outside the mutation-log path. The
+    /// cache serves nothing until [`refresh`](Self::refresh) runs.
+    pub fn mark_stale(&mut self) {
+        self.stale = true;
+    }
+
+    /// Register a parsed query; the result set is materialized
+    /// immediately against `tree`. With `want_strings`, XPath string
+    /// values are cached alongside the rows.
+    pub fn register(
+        &mut self,
+        expr: &XPathExpr,
+        want_strings: bool,
+        tree: &XmlTree,
+    ) -> Result<QueryId, TreeError> {
+        self.register_pattern(expr.access_pattern(), want_strings, tree)
+    }
+
+    /// Register a pre-compiled access pattern (the zero-reparse path).
+    pub fn register_pattern(
+        &mut self,
+        pattern: AccessPattern,
+        want_strings: bool,
+        tree: &XmlTree,
+    ) -> Result<QueryId, TreeError> {
+        if self.stale {
+            self.refresh(tree)?;
+        }
+        if self.shadow.is_none() {
+            self.shadow = Some(EncodedDocument::encode(ShadowScheme::default(), tree)?);
+        }
+        let (rows, strings) = match &self.shadow {
+            Some(shadow) => {
+                let rows = pattern.evaluate(shadow);
+                let strings = if want_strings {
+                    rows.iter().map(|&r| shadow.string_value(r)).collect()
+                } else {
+                    Vec::new()
+                };
+                (rows, strings)
+            }
+            None => {
+                return Err(TreeError::Invariant(
+                    "query cache shadow table missing after build".to_string(),
+                ))
+            }
+        };
+        self.queries.push(CachedQuery {
+            pattern,
+            want_strings,
+            rows,
+            strings,
+            force_unaffected: false,
+        });
+        Ok(self.queries.len() - 1)
+    }
+
+    /// The cached result rows of `q` (preorder positions into the
+    /// current document), counting a cache hit.
+    pub fn hit(&mut self, q: QueryId) -> &[usize] {
+        self.stats.hits += 1;
+        self.rows(q)
+    }
+
+    /// The cached result rows of `q` without counting a hit.
+    pub fn rows(&self, q: QueryId) -> &[usize] {
+        self.queries.get(q).map_or(&[], |c| c.rows.as_slice())
+    }
+
+    /// The cached string values of `q` (empty unless registered with
+    /// `want_strings`).
+    pub fn strings(&self, q: QueryId) -> &[String] {
+        self.queries.get(q).map_or(&[], |c| c.strings.as_slice())
+    }
+
+    /// The compiled access pattern of `q`.
+    pub fn pattern(&self, q: QueryId) -> Option<&AccessPattern> {
+        self.queries.get(q).map(|c| &c.pattern)
+    }
+
+    /// Test seam: force `q` to classify as unaffected on every
+    /// subsequent batch. Exists so the differential suite can prove
+    /// that a deliberately corrupted classification is caught — never
+    /// use outside tests.
+    #[doc(hidden)]
+    pub fn force_unaffected(&mut self, q: QueryId, on: bool) {
+        if let Some(c) = self.queries.get_mut(q) {
+            c.force_unaffected = on;
+        }
+    }
+
+    /// Rebuild the shadow table and every result set from scratch
+    /// against `tree`, clearing staleness. The heavy-handed fallback —
+    /// [`absorb`](Self::absorb) is the incremental path.
+    pub fn refresh(&mut self, tree: &XmlTree) -> Result<(), TreeError> {
+        let shadow = EncodedDocument::encode(ShadowScheme::default(), tree)?;
+        for q in &mut self.queries {
+            rebuild_query(q, &shadow, &mut self.stats);
+        }
+        self.shadow = Some(shadow);
+        self.stale = false;
+        Ok(())
+    }
+
+    /// Absorb one applied batch: classify every registered query
+    /// against the batch's write footprint and do the minimum
+    /// maintenance its class allows.
+    ///
+    /// `plan` must be the [`analyze`](crate::analysis::analyze) result
+    /// of `log` against the *pre-batch* tree, `effective` the op
+    /// indices that actually executed
+    /// (`plan.execution_order(false, scheme.cancellation_neutral())`),
+    /// and `tree` the *post-batch* tree. A stale cache refreshes fully
+    /// instead.
+    pub fn absorb(
+        &mut self,
+        log: &MutationLog,
+        plan: &AnalyzedPlan,
+        effective: &[usize],
+        tree: &XmlTree,
+    ) -> Result<BatchImpact, TreeError> {
+        let n = self.queries.len();
+        if n == 0 {
+            // Nothing to maintain; drop the shadow so a later
+            // registration re-encodes against the current tree.
+            self.shadow = None;
+            let impact = BatchImpact::default();
+            self.last_impact = Some(impact.clone());
+            return Ok(impact);
+        }
+        if self.stale || self.shadow.is_none() {
+            self.refresh(tree)?;
+            let impact = BatchImpact {
+                rebuilt: n,
+                classes: vec![QueryClass::Rebuilt; n],
+                ..BatchImpact::default()
+            };
+            self.last_impact = Some(impact.clone());
+            return Ok(impact);
+        }
+        self.stats.batches_absorbed += 1;
+        if effective.is_empty() {
+            // Zero effective ops: nothing observable changed.
+            self.stats.unaffected += n as u64;
+            let impact = BatchImpact {
+                text_only: true,
+                unaffected: n,
+                classes: vec![QueryClass::Unaffected; n],
+                ..BatchImpact::default()
+            };
+            self.last_impact = Some(impact.clone());
+            return Ok(impact);
+        }
+        let ops: Vec<&Mutation> = log.iter().collect();
+        let text_only = effective.iter().all(|&i| {
+            matches!(
+                ops.get(i),
+                Some(Mutation::SetText {
+                    target: NodeRef::Node(_),
+                    ..
+                })
+            )
+        });
+        let impact = if text_only {
+            self.absorb_text(&ops, effective)?
+        } else {
+            self.absorb_structural(plan, effective, tree)?
+        };
+        self.last_impact = Some(impact.clone());
+        Ok(impact)
+    }
+
+    /// Text-only fast path: patch the shadow rows in place (topology,
+    /// name buckets and row positions are all untouched by text
+    /// writes), then refresh only the cached strings whose result
+    /// subtree contains a written row.
+    fn absorb_text(
+        &mut self,
+        ops: &[&Mutation],
+        effective: &[usize],
+    ) -> Result<BatchImpact, TreeError> {
+        let shadow = match self.shadow.as_mut() {
+            Some(s) => s,
+            None => {
+                return Err(TreeError::Invariant(
+                    "text absorb without a shadow table".to_string(),
+                ))
+            }
+        };
+        let mut touched: Vec<usize> = Vec::with_capacity(effective.len());
+        for &i in effective {
+            if let Some(Mutation::SetText { target, text }) = ops.get(i) {
+                if let NodeRef::Node(id) = target {
+                    match shadow.row_of_source(*id) {
+                        Some(row) => {
+                            shadow.patch_text(row, text)?;
+                            touched.push(row);
+                        }
+                        None => {
+                            return Err(TreeError::Invariant(
+                                "text write target missing from shadow table".to_string(),
+                            ))
+                        }
+                    }
+                }
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+
+        let shadow = match self.shadow.as_ref() {
+            Some(s) => s,
+            None => {
+                return Err(TreeError::Invariant(
+                    "shadow table vanished mid-absorb".to_string(),
+                ))
+            }
+        };
+        let mut impact = BatchImpact {
+            text_only: true,
+            ..BatchImpact::default()
+        };
+        for q in &mut self.queries {
+            if q.force_unaffected || !q.want_strings {
+                impact.unaffected += 1;
+                impact.classes.push(QueryClass::Unaffected);
+                self.stats.unaffected += 1;
+                continue;
+            }
+            // Result indices whose subtree contains a written row: the
+            // containing results are exactly the ancestors-or-self of
+            // each written row, probed against the sorted result set.
+            let mut refresh: Vec<usize> = Vec::new();
+            for &t in &touched {
+                let mut cur = Some(t);
+                while let Some(p) = cur {
+                    if let Ok(k) = q.rows.binary_search(&p) {
+                        refresh.push(k);
+                    }
+                    cur = shadow.topology().parent(p);
+                }
+            }
+            refresh.sort_unstable();
+            refresh.dedup();
+            if refresh.is_empty() {
+                impact.unaffected += 1;
+                impact.classes.push(QueryClass::Unaffected);
+                self.stats.unaffected += 1;
+            } else {
+                for &k in &refresh {
+                    q.strings[k] = shadow.string_value(q.rows[k]);
+                }
+                self.stats.string_patches += refresh.len() as u64;
+                self.stats.repaired += 1;
+                impact.repaired += 1;
+                impact.classes.push(QueryClass::Repaired);
+            }
+        }
+        Ok(impact)
+    }
+
+    /// Structural path: re-encode the shadow (one cheap preorder
+    /// pass), derive the touched extents in both coordinate systems,
+    /// and classify every query.
+    fn absorb_structural(
+        &mut self,
+        plan: &AnalyzedPlan,
+        effective: &[usize],
+        tree: &XmlTree,
+    ) -> Result<BatchImpact, TreeError> {
+        let old = match self.shadow.take() {
+            Some(s) => s,
+            None => {
+                return Err(TreeError::Invariant(
+                    "structural absorb without a shadow table".to_string(),
+                ))
+            }
+        };
+        let new = EncodedDocument::encode(ShadowScheme::default(), tree)?;
+
+        // Aggregate write footprint of the effective ops, old
+        // coordinates: relabel regions (each = the extent of the node
+        // whose child list changes, so every sibling ripple is inside),
+        // deleted subtrees, moved subtrees.
+        let mut old_raw: Vec<(usize, usize)> = Vec::new();
+        for &i in effective {
+            if let Some(fp) = plan.footprints.get(i) {
+                for e in fp
+                    .regions
+                    .iter()
+                    .chain(fp.deleted_extents.iter())
+                    .chain(fp.moved_extents.iter())
+                {
+                    old_raw.push((e.start as usize, e.end as usize));
+                }
+            }
+        }
+        // New coordinates: map each touched subtree root through its
+        // stable NodeId and take its extent in the new encoding (a
+        // region can only grow or shrink around the same root; deleted
+        // roots simply vanish).
+        let mut new_raw: Vec<(usize, usize)> = old_raw
+            .iter()
+            .filter_map(|&(s, _)| {
+                let id = old.source_id(s);
+                new.row_of_source(id)
+                    .map(|r| (r, new.topology().extent(r)))
+            })
+            .collect();
+        let old_roots: Vec<usize> = old_raw.iter().map(|&(s, _)| s).collect();
+        let new_roots: Vec<usize> = new_raw.iter().map(|&(s, _)| s).collect();
+        let touched_old = merge_intervals(&mut old_raw);
+        let touched_new = merge_intervals(&mut new_raw);
+
+        // Pre-existing text rows written by the batch, new coordinates
+        // (created text nodes already live inside touched extents).
+        let mut text_new: Vec<usize> = Vec::new();
+        for &i in effective {
+            if let Some(fp) = plan.footprints.get(i) {
+                for tw in &fp.text_writes {
+                    if let PointRef::Pre(row) = tw {
+                        let id = old.source_id(*row as usize);
+                        if let Some(r) = new.row_of_source(id) {
+                            text_new.push(r);
+                        }
+                    }
+                }
+            }
+        }
+        text_new.sort_unstable();
+        text_new.dedup();
+
+        // First preorder row any structural effect can reach: the
+        // prefix before it is bit-identical in both coordinate systems.
+        let t_min = touched_old
+            .first()
+            .map(|&(s, _)| s)
+            .into_iter()
+            .chain(touched_new.first().map(|&(s, _)| s))
+            .min();
+        let no_touch = touched_old.is_empty() && touched_new.is_empty();
+        let cover_old: usize = touched_old.iter().map(|&(s, e)| e - s).sum();
+        let cover_new: usize = touched_new.iter().map(|&(s, e)| e - s).sum();
+        let dirty_all =
+            2 * cover_old >= old.len().max(1) || 2 * cover_new >= new.len().max(1);
+
+        let mut impact = BatchImpact::default();
+        for q in &mut self.queries {
+            if q.force_unaffected {
+                impact.unaffected += 1;
+                impact.classes.push(QueryClass::Unaffected);
+                self.stats.unaffected += 1;
+                continue;
+            }
+            // --- unaffected? ---
+            let name_safe = no_touch
+                || (q.pattern.fully_named()
+                    && q.pattern.element_names().iter().all(|n| {
+                        bucket_clear(old.name_index(), n, &touched_old, false)
+                            && bucket_clear(new.name_index(), n, &touched_new, false)
+                    })
+                    && q.pattern.attribute_names().iter().all(|n| {
+                        bucket_clear(old.name_index(), n, &touched_old, true)
+                            && bucket_clear(new.name_index(), n, &touched_new, true)
+                    }));
+            let pos_stable = match t_min {
+                None => true,
+                Some(t) => q.rows.last().map_or(true, |&r| r < t),
+            };
+            let strings_ok = !q.want_strings
+                || (!ancestor_hit(&old, &old_roots, &q.rows)
+                    && !ancestor_hit(&new, &new_roots, &q.rows)
+                    && !text_hit(&new, &text_new, &q.rows));
+            if name_safe && pos_stable && strings_ok {
+                impact.unaffected += 1;
+                impact.classes.push(QueryClass::Unaffected);
+                self.stats.unaffected += 1;
+                continue;
+            }
+            // --- repairable? ---
+            if no_touch {
+                // No structural footprint at all (defensive: text
+                // writes folded into a structural batch) — rows are
+                // stable, only strings need refreshing.
+                let patched = refresh_strings(q, &new, &text_new);
+                self.stats.string_patches += patched;
+                self.stats.repaired += 1;
+                impact.repaired += 1;
+                impact.classes.push(QueryClass::Repaired);
+                continue;
+            }
+            if q.pattern.repair_safe() && !dirty_all {
+                let (dropped, spliced, patched) =
+                    repair_query(q, &old, &new, &touched_new, &text_new);
+                self.stats.repaired += 1;
+                self.stats.repair_dropped_rows += dropped;
+                self.stats.repair_spliced_rows += spliced;
+                self.stats.string_patches += patched;
+                impact.repaired += 1;
+                impact.dropped_rows += dropped;
+                impact.spliced_rows += spliced;
+                impact.classes.push(QueryClass::Repaired);
+                continue;
+            }
+            // --- dirty: full re-evaluation ---
+            rebuild_query(q, &new, &mut self.stats);
+            impact.rebuilt += 1;
+            impact.classes.push(QueryClass::Rebuilt);
+        }
+        self.shadow = Some(new);
+        Ok(impact)
+    }
+}
+
+/// Merge possibly-overlapping intervals into a sorted disjoint cover.
+fn merge_intervals(raw: &mut Vec<(usize, usize)>) -> Vec<(usize, usize)> {
+    raw.sort_unstable();
+    let mut merged: Vec<(usize, usize)> = Vec::with_capacity(raw.len());
+    for &(s, e) in raw.iter() {
+        if s >= e {
+            continue;
+        }
+        match merged.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => merged.push((s, e)),
+        }
+    }
+    merged
+}
+
+/// Is the `name` bucket empty inside every touched extent?
+fn bucket_clear(index: &NameIndex, name: &str, extents: &[(usize, usize)], attr: bool) -> bool {
+    extents.iter().all(|&(s, e)| {
+        if attr {
+            index.attributes_in_range(name, s, e).is_empty()
+        } else {
+            index.elements_in_range(name, s, e).is_empty()
+        }
+    })
+}
+
+/// Does any strict ancestor of a touched root appear in the sorted
+/// result set? (Such a result's string value spans the touched
+/// subtree.)
+fn ancestor_hit(doc: &EncodedDocument<ShadowScheme>, roots: &[usize], rows: &[usize]) -> bool {
+    let topo = doc.topology();
+    roots.iter().any(|&root| {
+        let mut cur = topo.parent(root);
+        while let Some(p) = cur {
+            if rows.binary_search(&p).is_ok() {
+                return true;
+            }
+            cur = topo.parent(p);
+        }
+        false
+    })
+}
+
+/// Does any written text row sit inside (or at) a cached result's
+/// subtree? Equivalently: is any ancestor-or-self of a written row a
+/// cached result?
+fn text_hit(doc: &EncodedDocument<ShadowScheme>, text_rows: &[usize], rows: &[usize]) -> bool {
+    let topo = doc.topology();
+    text_rows.iter().any(|&t| {
+        let mut cur = Some(t);
+        while let Some(p) = cur {
+            if rows.binary_search(&p).is_ok() {
+                return true;
+            }
+            cur = topo.parent(p);
+        }
+        false
+    })
+}
+
+/// Refresh the strings of results whose subtree contains a written text
+/// row; rows are untouched. Returns the number recomputed.
+fn refresh_strings(
+    q: &mut CachedQuery,
+    doc: &EncodedDocument<ShadowScheme>,
+    text_rows: &[usize],
+) -> u64 {
+    if !q.want_strings {
+        return 0;
+    }
+    let topo = doc.topology();
+    let mut refresh: Vec<usize> = Vec::new();
+    for &t in text_rows {
+        let mut cur = Some(t);
+        while let Some(p) = cur {
+            if let Ok(k) = q.rows.binary_search(&p) {
+                refresh.push(k);
+            }
+            cur = topo.parent(p);
+        }
+    }
+    refresh.sort_unstable();
+    refresh.dedup();
+    for &k in &refresh {
+        q.strings[k] = doc.string_value(q.rows[k]);
+    }
+    refresh.len() as u64
+}
+
+/// The delta repair: remap surviving rows through their stable node
+/// ids, drop rows that died or fell inside a touched extent, splice in
+/// a scoped re-evaluation of exactly the touched extents, and refresh
+/// only the strings the batch can have changed. Returns
+/// `(dropped, spliced, strings_patched)`.
+fn repair_query(
+    q: &mut CachedQuery,
+    old: &EncodedDocument<ShadowScheme>,
+    new: &EncodedDocument<ShadowScheme>,
+    touched_new: &[(usize, usize)],
+    text_new: &[usize],
+) -> (u64, u64, u64) {
+    // (new_row, old result index for string reuse); survivors outside
+    // the touched extents keep their relative order, so this stays
+    // sorted.
+    let mut kept: Vec<(usize, Option<usize>)> = Vec::with_capacity(q.rows.len());
+    let mut dropped = 0u64;
+    for (i, &r) in q.rows.iter().enumerate() {
+        let id = old.source_id(r);
+        match new.row_of_source(id) {
+            None => dropped += 1,
+            Some(nr) if row_in_extents(touched_new, nr) => dropped += 1,
+            Some(nr) => kept.push((nr, Some(i))),
+        }
+    }
+    let fresh = q.pattern.evaluate_within(new, touched_new);
+    let spliced = fresh.len() as u64;
+
+    let mut merged: Vec<(usize, Option<usize>)> = Vec::with_capacity(kept.len() + fresh.len());
+    {
+        let mut a = kept.into_iter().peekable();
+        let mut b = fresh.into_iter().peekable();
+        loop {
+            match (a.peek().copied(), b.peek().copied()) {
+                (Some((ra, _)), Some(rb)) => {
+                    if ra < rb {
+                        merged.push((ra, a.next().and_then(|(_, s)| s)));
+                    } else {
+                        merged.push((rb, None));
+                        b.next();
+                    }
+                }
+                (Some((ra, _)), None) => {
+                    merged.push((ra, a.next().and_then(|(_, s)| s)));
+                }
+                (None, Some(rb)) => {
+                    merged.push((rb, None));
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+    }
+
+    let mut patched = 0u64;
+    if q.want_strings {
+        let topo = new.topology();
+        let mut strings = Vec::with_capacity(merged.len());
+        for &(nr, src) in &merged {
+            let reusable = match src {
+                Some(i) => {
+                    // A kept row's cached string survives unless its
+                    // subtree overlaps a touched extent or contains a
+                    // written text row.
+                    let end = topo.extent(nr);
+                    let k = text_new.partition_point(|&t| t < nr);
+                    let text_inside = k < text_new.len() && text_new[k] < end;
+                    if topo.subtree_intersects(nr, touched_new) || text_inside {
+                        None
+                    } else {
+                        Some(i)
+                    }
+                }
+                None => None,
+            };
+            match reusable {
+                Some(i) => strings.push(std::mem::take(&mut q.strings[i])),
+                None => {
+                    patched += 1;
+                    strings.push(new.string_value(nr));
+                }
+            }
+        }
+        q.strings = strings;
+    }
+    q.rows = merged.iter().map(|&(r, _)| r).collect();
+    (dropped, spliced, patched)
+}
+
+/// Full re-evaluation of one query against `doc`.
+fn rebuild_query(
+    q: &mut CachedQuery,
+    doc: &EncodedDocument<ShadowScheme>,
+    stats: &mut CacheStats,
+) {
+    q.rows = q.pattern.evaluate(doc);
+    if q.want_strings {
+        q.strings = q.rows.iter().map(|&r| doc.string_value(r)).collect();
+    }
+    stats.rebuilt += 1;
+}

@@ -1,0 +1,395 @@
+//! Differential soundness suite for `framework::querycache`.
+//!
+//! The incremental maintenance contract is absolute: after any absorbed
+//! batch, every registered query's cached rows and strings must be
+//! byte-identical to a from-scratch evaluation against the current
+//! tree. The suite drives a standalone [`QueryCache`] through mixed
+//! batch sequences (structural scripts, localized hand-built edits,
+//! text-only rewrites, redundant writes, empty logs) across the whole
+//! 17-scheme roster on the `xupd-exec` pool — each scheme computes its
+//! own `effective` set from its own `cancellation_neutral` claim, so
+//! the cache sees exactly what that scheme's optimizer would feed it.
+//!
+//! Beyond agreement, the suite pins that the classification lattice is
+//! non-trivial (a fixed scenario must produce real counts of all three
+//! classes — a cache that classified everything "dirty" would pass the
+//! agreement check while delivering zero speedup) and, via the
+//! shrinking property harness, that a deliberately corrupted
+//! classification (forcing "unaffected" on an affected query) is
+//! *caught* by the same byte-identity check — evidence the oracle has
+//! teeth.
+
+use xupd_encoding::{parse_xpath, EncodedDocument, XPathExpr};
+use xupd_framework::analysis::analyze;
+use xupd_framework::mutations::{apply_log_dyn, batch_of, LogId, Mutation, MutationLog, NodeRef, Place};
+use xupd_framework::querycache::{QueryCache, QueryClass};
+use xupd_labelcore::{DynScheme, SchemeSession};
+use xupd_schemes::prefix::qed::Qed;
+use xupd_schemes::registry;
+use xupd_testkit::prop::{self, Config, Outcome};
+use xupd_workloads::{docs, Script, ScriptKind};
+use xupd_xmldom::{NodeId, NodeKind, XmlTree};
+
+/// The query roster: (expression, want_strings). Spans the lattice —
+/// fully-named repair-safe paths, attribute steps, wildcard and text()
+/// tests (not name-safe), positional predicates on child and descendant
+/// axes, and upward/lateral axes that can never be repaired.
+fn roster() -> Vec<(&'static str, bool)> {
+    vec![
+        ("//item", false),
+        ("//item", true),
+        ("/site/people//name", true),
+        ("//person/name", false),
+        ("//item/@id", false),
+        ("/site/regions/*", false),
+        ("//description/text()", true),
+        ("//item[@id='item0_0']", true),
+        ("/site/open_auctions/open_auction[2]", false),
+        ("/site/descendant::item[3]", false),
+        ("//name/following-sibling::*", false),
+        ("//quantity/..", true),
+    ]
+}
+
+fn parsed_roster() -> Vec<(XPathExpr, bool)> {
+    roster()
+        .into_iter()
+        .map(|(e, ws)| (parse_xpath(e).unwrap(), ws))
+        .collect()
+}
+
+/// From-scratch oracle: encode the current tree fresh and evaluate
+/// every expression against it. Preorder rows are scheme-independent,
+/// so any scheme works as the oracle encoding; strings come from the
+/// same `string_value` the cache serves.
+fn fresh_eval(exprs: &[(XPathExpr, bool)], tree: &XmlTree) -> Vec<(Vec<usize>, Vec<String>)> {
+    let doc = EncodedDocument::encode(Qed::new(), tree).unwrap();
+    let mut out = Vec::with_capacity(exprs.len());
+    for (e, want_strings) in exprs {
+        // lint:allow(R10): the differential oracle must pay full re-evaluation
+        let rows = e.evaluate(&doc);
+        let strings = if *want_strings {
+            rows.iter().map(|&r| doc.string_value(r)).collect()
+        } else {
+            Vec::new()
+        };
+        out.push((rows, strings));
+    }
+    out
+}
+
+fn assert_cache_matches(cache: &QueryCache, exprs: &[(XPathExpr, bool)], tree: &XmlTree, ctx: &str) {
+    let oracle = fresh_eval(exprs, tree);
+    for (q, (rows, strings)) in oracle.iter().enumerate() {
+        assert_eq!(cache.rows(q), rows.as_slice(), "{ctx}: query {q} rows");
+        assert_eq!(cache.strings(q), strings.as_slice(), "{ctx}: query {q} strings");
+    }
+}
+
+/// All alive text-node ids in document order.
+fn text_ids(tree: &XmlTree) -> Vec<NodeId> {
+    tree.ids_in_doc_order()
+        .into_iter()
+        .filter(|&id| matches!(tree.kind(id), NodeKind::Text { .. }))
+        .collect()
+}
+
+/// A text-only batch: rewrite every `stride`-th text node; when
+/// `redundant`, write back the value already held (certified no-op).
+fn text_log(tree: &XmlTree, stride: usize, redundant: bool) -> MutationLog {
+    let ids = text_ids(tree);
+    let ops: Vec<Mutation> = ids
+        .iter()
+        .step_by(stride.max(1))
+        .map(|&id| {
+            let text = if redundant {
+                match tree.kind(id) {
+                    NodeKind::Text { value } => value.clone(),
+                    _ => String::new(),
+                }
+            } else {
+                format!("rewritten-{}", id.index())
+            };
+            Mutation::SetText {
+                target: NodeRef::Node(id),
+                text,
+            }
+        })
+        .collect();
+    MutationLog::from(ops)
+}
+
+/// A localized structural batch: one new <item> (with a name leaf)
+/// prepended inside the first <africa> region — touches one region
+/// extent and nothing else, the shape repair is built for.
+fn localized_log(tree: &XmlTree) -> MutationLog {
+    let africa = tree
+        .ids_in_doc_order()
+        .into_iter()
+        .find(|&id| matches!(tree.kind(id), NodeKind::Element { name } if name == "africa"))
+        .unwrap();
+    MutationLog::from(vec![
+        Mutation::CreateElement {
+            id: LogId(0),
+            name: "item".to_string(),
+            place: Place::FirstChildOf(NodeRef::Node(africa)),
+        },
+        Mutation::CreateElement {
+            id: LogId(1),
+            name: "name".to_string(),
+            place: Place::FirstChildOf(NodeRef::New(LogId(0))),
+        },
+    ])
+}
+
+/// A tail edit: one new element inside the *last* open auction. Every
+/// query whose results precede the auctions section keeps its rows at
+/// stable preorder positions — the unaffected sweet spot.
+fn tail_log(tree: &XmlTree) -> MutationLog {
+    let last_auction = tree
+        .ids_in_doc_order()
+        .into_iter()
+        .filter(|&id| matches!(tree.kind(id), NodeKind::Element { name } if name == "open_auction"))
+        .last()
+        .unwrap();
+    MutationLog::from(vec![Mutation::CreateElement {
+        id: LogId(0),
+        name: "note".to_string(),
+        place: Place::FirstChildOf(NodeRef::Node(last_auction)),
+    }])
+}
+
+/// Drive one scheme through the full batch sequence, checking
+/// byte-identity after every absorb. Returns the per-class tallies.
+fn drive_scheme(
+    session: &mut dyn DynScheme,
+    base: &XmlTree,
+    exprs: &[(XPathExpr, bool)],
+    ctx: &str,
+) -> (usize, usize, usize) {
+    let mut tree = base.clone();
+    session.label_tree(&tree).unwrap();
+    let mut cache = QueryCache::new();
+    for (e, ws) in exprs {
+        cache.register(e, *ws, &tree).unwrap();
+    }
+    assert_cache_matches(&cache, exprs, &tree, &format!("{ctx}/initial"));
+
+    let mut tally = (0usize, 0usize, 0usize);
+    let mut round = 0usize;
+    let mut absorb = |log: &MutationLog,
+                      tree: &mut XmlTree,
+                      session: &mut dyn DynScheme,
+                      cache: &mut QueryCache,
+                      tag: &str| {
+        round += 1;
+        let plan = analyze(log, tree).unwrap();
+        let effective = plan.execution_order(false, session.cancellation_neutral());
+        apply_log_dyn(tree, session, log).unwrap();
+        let impact = cache.absorb(log, &plan, &effective, tree).unwrap();
+        tally.0 += impact.unaffected;
+        tally.1 += impact.repaired;
+        tally.2 += impact.rebuilt;
+        assert_cache_matches(cache, exprs, tree, &format!("{ctx}/round{round}-{tag}"));
+    };
+
+    // 1. localized structural edit (the repair sweet spot)
+    absorb(&localized_log(&tree), &mut tree, session, &mut cache, "localized");
+    // 2. text-only rewrite sweep
+    absorb(&text_log(&tree, 3, false), &mut tree, session, &mut cache, "text");
+    // 3. random structural script
+    let script = Script::generate(ScriptKind::Random, 25, tree.len(), 4242);
+    let log = batch_of(&script, &tree).unwrap();
+    absorb(&log, &mut tree, session, &mut cache, "random");
+    // 4. redundant text writes (zero effective ops)
+    absorb(&text_log(&tree, 2, true), &mut tree, session, &mut cache, "redundant");
+    // 5. empty batch
+    absorb(&MutationLog::from(Vec::new()), &mut tree, session, &mut cache, "empty");
+    // 6. delete-heavy script
+    let script = Script::generate(ScriptKind::MixedDelete, 30, tree.len(), 4243);
+    let log = batch_of(&script, &tree).unwrap();
+    absorb(&log, &mut tree, session, &mut cache, "deletes");
+
+    tally
+}
+
+#[test]
+fn cached_results_match_fresh_eval_across_roster() {
+    let base = docs::xmark_like(31, 72);
+    let exprs = parsed_roster();
+    let entries = registry();
+    assert_eq!(entries.len(), 17);
+    let tallies = xupd_exec::par_map(&entries, |entry| {
+        let mut session = entry.session();
+        let name = entry.name();
+        drive_scheme(session.as_mut(), &base, &exprs, name)
+    });
+    assert_eq!(tallies.len(), 17);
+    for (unaffected, repaired, rebuilt) in tallies {
+        // every run must exercise the whole lattice, not degenerate to
+        // one class
+        assert!(unaffected > 0, "no unaffected outcomes");
+        assert!(repaired > 0, "no repaired outcomes");
+        assert!(rebuilt > 0, "no rebuilt outcomes");
+    }
+}
+
+#[test]
+fn classification_counts_are_pinned_on_fixed_scenario() {
+    // One tail insert against the fixed document, Qed effective set:
+    // the per-query classes are deterministic — pin them so a
+    // regression that silently downgrades everything to "dirty" (still
+    // correct, zero speedup) fails loudly. The edit sits in the last
+    // auction, so queries over the earlier regions/people sections
+    // keep position-stable rows.
+    let base = docs::xmark_like(31, 72);
+    let exprs = parsed_roster();
+    let mut session: Box<dyn DynScheme> = Box::new(SchemeSession::new(Qed::new()));
+    let mut tree = base.clone();
+    session.label_tree(&tree).unwrap();
+    let mut cache = QueryCache::new();
+    for (e, ws) in &exprs {
+        cache.register(e, *ws, &tree).unwrap();
+    }
+    let log = tail_log(&tree);
+    let plan = analyze(&log, &tree).unwrap();
+    let effective = plan.execution_order(false, session.cancellation_neutral());
+    apply_log_dyn(&mut tree, session.as_mut(), &log).unwrap();
+    let impact = cache.absorb(&log, &plan, &effective, &tree).unwrap();
+    assert!(!impact.text_only);
+    assert!(
+        impact.unaffected >= 2,
+        "queries clear of the touched region must be kept: {impact:?}"
+    );
+    assert!(
+        impact.repaired >= 3,
+        "repair-safe queries over the touched region must be repaired: {impact:?}"
+    );
+    assert!(
+        impact.rebuilt >= 2,
+        "upward/lateral and subtree-positional queries must rebuild: {impact:?}"
+    );
+    assert_eq!(
+        impact.classes.len(),
+        exprs.len(),
+        "one class per registered query"
+    );
+    // the lateral-axis and descendant-positional queries can never be
+    // repaired
+    let never_repair = [
+        "/site/descendant::item[3]",
+        "//name/following-sibling::*",
+        "//quantity/..",
+    ];
+    for (q, (text, _)) in roster().iter().enumerate() {
+        if never_repair.contains(text) {
+            assert_ne!(
+                impact.classes[q],
+                QueryClass::Repaired,
+                "{text} must not be classified repairable"
+            );
+        }
+    }
+    assert_cache_matches(&cache, &exprs, &tree, "pinned");
+
+    // a text-only follow-up: rows never move, only strings refresh
+    let log = text_log(&tree, 5, false);
+    let plan = analyze(&log, &tree).unwrap();
+    let effective = plan.execution_order(false, session.cancellation_neutral());
+    apply_log_dyn(&mut tree, session.as_mut(), &log).unwrap();
+    let impact = cache.absorb(&log, &plan, &effective, &tree).unwrap();
+    assert!(impact.text_only);
+    assert_eq!(impact.rebuilt, 0, "text batches never rebuild: {impact:?}");
+    assert!(impact.unaffected > 0);
+    assert_cache_matches(&cache, &exprs, &tree, "pinned-text");
+}
+
+// ---------------------------------------------------------------------
+// Corrupted classification must be caught by the byte-identity oracle.
+// ---------------------------------------------------------------------
+
+/// Force the "unaffected" class on `//item` (strings cached), then
+/// apply an edit that inserts an item at a generated position. The
+/// stale cache must disagree with fresh evaluation — if it doesn't,
+/// the differential harness has no teeth and this property fails.
+#[test]
+fn corrupted_classification_is_caught() {
+    let gen = prop::ints(0usize..4);
+    prop::check(
+        "querycache_corrupted_classification_is_caught",
+        &Config::with_cases(24),
+        &gen,
+        |region_idx| {
+            let tree0 = docs::xmark_like(77, 64);
+            let regions: Vec<NodeId> = tree0
+                .ids_in_doc_order()
+                .into_iter()
+                .filter(|&id| {
+                    matches!(tree0.kind(id), NodeKind::Element { name }
+                        if ["africa", "asia", "europe", "namerica"].contains(&name.as_str()))
+                })
+                .collect();
+            let mut tree = tree0.clone();
+            let mut session: Box<dyn DynScheme> = Box::new(SchemeSession::new(Qed::new()));
+            session.label_tree(&tree).unwrap();
+            let mut cache = QueryCache::new();
+            let expr = parse_xpath("//item").unwrap();
+            let q = cache.register(&expr, true, &tree).unwrap();
+            let before = cache.rows(q).to_vec();
+
+            // corrupt: this query now always claims "unaffected"
+            cache.force_unaffected(q, true);
+
+            let log = MutationLog::from(vec![Mutation::CreateElement {
+                id: LogId(0),
+                name: "item".to_string(),
+                place: Place::FirstChildOf(NodeRef::Node(regions[region_idx])),
+            }]);
+            let plan = analyze(&log, &tree).unwrap();
+            let effective = plan.execution_order(false, session.cancellation_neutral());
+            apply_log_dyn(&mut tree, session.as_mut(), &log).unwrap();
+            let impact = cache.absorb(&log, &plan, &effective, &tree).unwrap();
+            if impact.classes[q] != QueryClass::Unaffected {
+                return Outcome::Fail("forced class was not honored".to_string());
+            }
+
+            // the corrupted cache must now be observably wrong
+            let doc = EncodedDocument::encode(Qed::new(), &tree).unwrap();
+            // oracle re-evaluation inside the corruption check
+            let fresh = expr.evaluate(&doc);
+            if fresh.len() != before.len() + 1 {
+                return Outcome::Fail(format!(
+                    "insert must grow //item: {} -> {}",
+                    before.len(),
+                    fresh.len()
+                ));
+            }
+            if cache.rows(q) == fresh.as_slice() {
+                return Outcome::Fail(
+                    "corrupted classification went undetected: cached rows \
+                     match fresh evaluation despite a skipped repair"
+                        .to_string(),
+                );
+            }
+
+            // un-corrupt and absorb a follow-up batch: the cache must
+            // converge back to exactness via its own classification
+            cache.force_unaffected(q, false);
+            let log2 = text_log(&tree, 4, false);
+            let plan2 = analyze(&log2, &tree).unwrap();
+            let effective2 = plan2.execution_order(false, session.cancellation_neutral());
+            apply_log_dyn(&mut tree, session.as_mut(), &log2).unwrap();
+            // text batches keep the stale rows (by design: absorb
+            // trusts prior state) — a refresh is the recovery path
+            cache.absorb(&log2, &plan2, &effective2, &tree).unwrap();
+            cache.refresh(&tree).unwrap();
+            let doc = EncodedDocument::encode(Qed::new(), &tree).unwrap();
+            // oracle re-evaluation after recovery
+            let fresh = expr.evaluate(&doc);
+            if cache.rows(q) != fresh.as_slice() {
+                return Outcome::Fail("refresh did not restore exactness".to_string());
+            }
+            Outcome::Pass
+        },
+    );
+}

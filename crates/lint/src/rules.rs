@@ -12,6 +12,7 @@
 //! | R7 | no-raw-thread-spawn        | no `thread::spawn`/`scope.spawn` callees outside `crates/exec` — all fan-out goes through the `xupd-exec` pool so `XUPD_THREADS` governs every worker |
 //! | R8 | no-direct-batch-mutation   | no direct structural tree mutation (`append_child`, `detach`, `remove_subtree`, ...) inside a per-op replay loop outside the update driver and the mutation-log module — multi-op edits must flow through `MutationLog` so validation and atomicity cannot be bypassed |
 //! | R9 | no-unanalyzed-reorder      | no hand permutation or splitting (`.sort*`, `.swap`, `.reverse`, `.rotate_*`, `.retain`, `.drain`, `.split_off`, `.shuffle`) of a mutation-log op vector (receiver named `ops`/`log`/`mutations`) outside `framework::analysis` and the mutations module — reordering is only sound under an `AnalyzedPlan` certificate |
+//! | R10 | no-uncached-reevaluate    | no `.evaluate(` call inside a query-batch loop (a `for` loop whose header mentions `queries`/`exprs`) outside `framework::querycache` and its bench baseline — registered query sets must be served through the incremental `QueryCache`, not re-evaluated wholesale per batch |
 
 use crate::lexer::{scan, Suppression, TokKind, Token};
 
@@ -34,7 +35,9 @@ pub const R2_CRATES: &[&str] = &[
 ];
 
 /// All rule ids, in report order.
-pub const ALL_RULES: &[&str] = &["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9"];
+pub const ALL_RULES: &[&str] = &[
+    "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10",
+];
 
 /// Structural tree mutators that R8 forbids calling directly inside a
 /// per-op replay loop — the batch API (`MutationLog`) is the only
@@ -84,6 +87,18 @@ pub const R9_EXEMPT_PATHS: &[&str] = &[
     "crates/framework/src/mutations.rs",
 ];
 
+/// Loop-header idents R10 treats as registered query batches.
+pub const R10_RECEIVERS: &[&str] = &["queries", "exprs"];
+
+/// The two modules allowed to evaluate inside a query-batch loop: the
+/// query cache (rebuild/repair *is* its sanctioned evaluation path) and
+/// the incremental-maintenance bench (its re-evaluate client is the
+/// measured counter-example the cache is compared against).
+pub const R10_EXEMPT_PATHS: &[&str] = &[
+    "crates/framework/src/querycache.rs",
+    "crates/bench/src/bin/bench_incremental_queries.rs",
+];
+
 /// Human name for a rule id.
 pub fn rule_name(id: &str) -> &'static str {
     match id {
@@ -96,6 +111,7 @@ pub fn rule_name(id: &str) -> &'static str {
         "R7" => "no-raw-thread-spawn",
         "R8" => "no-direct-batch-mutation",
         "R9" => "no-unanalyzed-reorder",
+        "R10" => "no-uncached-reevaluate",
         _ => "unknown-rule",
     }
 }
@@ -175,7 +191,8 @@ pub fn check_source(src: &str, ctx: &FileCtx) -> (Vec<Finding>, Vec<Suppression>
     let toks = &scanned.tokens;
     let in_cfg_test = cfg_test_mask(toks, src);
     let in_scheme_impl = labeling_scheme_impl_mask(toks, src);
-    let in_ops_loop = for_ops_loop_mask(toks, src);
+    let in_ops_loop = for_loop_mask(toks, src, &["ops"]);
+    let in_query_loop = for_loop_mask(toks, src, R10_RECEIVERS);
 
     let mut findings: Vec<Finding> = Vec::new();
     let r1_applies =
@@ -202,6 +219,11 @@ pub fn check_source(src: &str, ctx: &FileCtx) -> (Vec<Finding>, Vec<Suppression>
     // analyzer certificates (or opt out explicitly via lint:allow).
     let r9_applies = R2_CRATES.iter().any(|c| *c == ctx.crate_name.as_str())
         && !R9_EXEMPT_PATHS.iter().any(|p| ctx.path == *p);
+    // R10 applies to test code too — oracle/differential drivers that
+    // legitimately pay full re-evaluation opt out via lint:allow — but
+    // not to the cache itself or to its measured re-evaluate baseline.
+    let r10_applies = R2_CRATES.iter().any(|c| *c == ctx.crate_name.as_str())
+        && !R10_EXEMPT_PATHS.iter().any(|p| ctx.path == *p);
 
     for (i, t) in toks.iter().enumerate() {
         if t.kind != TokKind::Ident {
@@ -343,6 +365,30 @@ pub fn check_source(src: &str, ctx: &FileCtx) -> (Vec<Finding>, Vec<Suppression>
                     ".{text}() permutes a mutation-log op vector; reorder only \
                      through a framework::analysis certificate"
                 ),
+            );
+        }
+
+        // R10 — wholesale re-evaluation of a registered query batch.
+        // The method-call shape (`.evaluate(`) inside a for loop whose
+        // header names a query collection is the discard-and-recompute
+        // anti-pattern the incremental QueryCache replaces: footprint
+        // classification keeps/repairs results instead.
+        if r10_applies
+            && in_query_loop[i]
+            && text == "evaluate"
+            && i > 0
+            && toks[i - 1].kind == TokKind::Punct
+            && toks[i - 1].text(src) == "."
+            && next_is(toks, src, i, "(")
+        {
+            push(
+                &mut findings,
+                "R10",
+                ctx,
+                t,
+                ".evaluate() re-runs a whole query batch; serve registered queries \
+                 through framework::querycache"
+                    .to_string(),
             );
         }
 
@@ -507,31 +553,33 @@ fn match_close(toks: &[Token], src: &str, open_idx: usize, open: &str, close: &s
 }
 
 /// Mask of tokens inside the body of any `for` loop whose header (the
-/// tokens between `for` and the body `{`) mentions the ident `ops` —
-/// the driver-style per-op replay shape (`for (i, op) in script.ops...`).
-fn for_ops_loop_mask(toks: &[Token], src: &str) -> Vec<bool> {
+/// tokens between `for` and the body `{`) mentions one of `needles` —
+/// e.g. `ops` for the driver-style per-op replay shape
+/// (`for (i, op) in script.ops...`), or `queries`/`exprs` for a
+/// query-batch loop.
+fn for_loop_mask(toks: &[Token], src: &str, needles: &[&str]) -> Vec<bool> {
     let mut mask = vec![false; toks.len()];
     let mut i = 0;
     while i < toks.len() {
         if toks[i].kind == TokKind::Ident && toks[i].text(src) == "for" {
-            let mut saw_ops = false;
+            let mut saw_needle = false;
             let mut j = i + 1;
             while j < toks.len() {
                 let t = &toks[j];
                 if t.kind == TokKind::Punct && t.text(src) == "{" {
                     break;
                 }
-                if t.kind == TokKind::Ident && t.text(src) == "ops" {
-                    saw_ops = true;
+                if t.kind == TokKind::Ident && needles.contains(&t.text(src)) {
+                    saw_needle = true;
                 }
                 j += 1;
             }
-            if saw_ops && j < toks.len() {
+            if saw_needle && j < toks.len() {
                 let end = match_close(toks, src, j, "{", "}");
                 for m in mask.iter_mut().take(end + 1).skip(j) {
                     *m = true;
                 }
-                // do not jump past `end`: nested for-ops loops inside the
+                // do not jump past `end`: nested needle loops inside the
                 // body would be re-masked identically anyway
             }
         }
@@ -839,6 +887,52 @@ mod tests {
         assert!(unsuppressed(read, "crates/framework/src/checkers.rs")
             .iter()
             .all(|f| f.rule != "R9"));
+    }
+
+    #[test]
+    fn r10_flags_reevaluation_of_query_batches() {
+        let src = r#"
+            fn serve(doc: &Doc, queries: &[XPathExpr]) {
+                for e in queries {
+                    let rows = doc.evaluate(e);
+                }
+            }
+        "#;
+        let f = unsuppressed(src, "crates/framework/src/checkers.rs");
+        assert_eq!(f.iter().filter(|f| f.rule == "R10").count(), 1, "{f:?}");
+        // `exprs` is a query-batch receiver too, test code included
+        let alt = "fn f() { for e in &exprs { doc.evaluate(e); } }";
+        let f = unsuppressed(alt, "crates/encoding/tests/t.rs");
+        assert_eq!(f.iter().filter(|f| f.rule == "R10").count(), 1);
+        // the cache itself and its measured baseline are exempt
+        assert!(unsuppressed(src, "crates/framework/src/querycache.rs")
+            .iter()
+            .all(|f| f.rule != "R10"));
+        assert!(
+            unsuppressed(src, "crates/bench/src/bin/bench_incremental_queries.rs")
+                .iter()
+                .all(|f| f.rule != "R10")
+        );
+        // outside the R2 crate set the rule does not apply
+        assert!(unsuppressed(src, "crates/testkit/src/x.rs").is_empty());
+    }
+
+    #[test]
+    fn r10_leaves_single_evaluations_and_other_loops_alone() {
+        // a one-off evaluation outside a query-batch loop is fine
+        let single = "fn f() { let rows = doc.evaluate(&expr); }";
+        assert!(unsuppressed(single, "crates/framework/src/checkers.rs").is_empty());
+        // a loop over something else is not a query batch
+        let other = "fn f() { for x in items { doc.evaluate(&x.expr); } }";
+        assert!(unsuppressed(other, "crates/framework/src/checkers.rs").is_empty());
+        // `evaluate` as a plain ident (fn name, local) is not a call site
+        let def = "fn evaluate_all(queries: &[Q]) { for q in queries { run(q); } }";
+        assert!(unsuppressed(def, "crates/framework/src/checkers.rs").is_empty());
+        // an explicit lint:allow covers an oracle that must pay full cost
+        let allowed = "fn f() { for e in &exprs {\n    // lint:allow(R10): oracle\n    doc.evaluate(e);\n} }";
+        let (f, unused) = check_source(allowed, &lib_ctx("crates/framework/tests/t.rs"));
+        assert!(f.iter().all(|f| !f.is_unsuppressed()), "{f:?}");
+        assert!(unused.is_empty());
     }
 
     #[test]

@@ -265,6 +265,45 @@ fn r9_clean() {
     assert!(unsuppressed(other, "crates/framework/src/planner.rs").is_empty());
 }
 
+// ---------------------------------------------------------------- R10
+
+#[test]
+fn r10_positive_reevaluating_a_query_batch() {
+    let src = "fn serve(doc: &Doc) {\n    for e in &queries {\n        let rows = doc.evaluate(e);\n    }\n}";
+    for path in ["crates/framework/src/planner.rs", DRIVER_TEST_PATH] {
+        let f = unsuppressed(src, path);
+        assert_eq!(f.len(), 1, "{path}: {f:?}");
+        assert_eq!(f[0].rule, "R10");
+        assert_eq!(f[0].line, 3);
+    }
+}
+
+#[test]
+fn r10_suppressed() {
+    let src = "fn oracle(doc: &Doc) {\n    for e in &exprs {\n        // lint:allow(R10): differential oracle must pay full re-evaluation\n        let rows = doc.evaluate(e);\n    }\n}";
+    let (findings, unused) = check_source(src, &FileCtx::classify(DRIVER_TEST_PATH));
+    assert_eq!(findings.len(), 1);
+    assert!(!findings[0].is_unsuppressed());
+    assert!(unused.is_empty());
+}
+
+#[test]
+fn r10_clean() {
+    let src = "fn serve(doc: &Doc) {\n    for e in &queries {\n        let rows = doc.evaluate(e);\n    }\n}";
+    // the cache itself implements the sanctioned evaluation path
+    assert!(unsuppressed(src, "crates/framework/src/querycache.rs").is_empty());
+    // the bench's re-evaluate client is the measured counter-example
+    assert!(unsuppressed(src, "crates/bench/src/bin/bench_incremental_queries.rs").is_empty());
+    // a single evaluation outside a query-batch loop is fine
+    let single = "fn f(doc: &Doc) { let rows = doc.evaluate(&expr); }";
+    assert!(unsuppressed(single, "crates/framework/src/planner.rs").is_empty());
+    // a loop over something else is not a query batch
+    let other = "fn f(doc: &Doc) { for s in &shards { doc.evaluate(&s.expr); } }";
+    assert!(unsuppressed(other, "crates/framework/src/planner.rs").is_empty());
+    // outside the R2 crate set the rule does not apply at all
+    assert!(unsuppressed(src, "crates/testkit/src/x.rs").is_empty());
+}
+
 // ------------------------------------------------- JSON findings shape
 
 /// The machine-readable findings schema is stable: file/line/col/rule/

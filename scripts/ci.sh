@@ -52,7 +52,7 @@ smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
 for bench_bin in bench_bulk_labeling bench_label_growth bench_query_eval \
                  bench_update_cost bench_axis_index bench_matrix_pool \
-                 bench_batch_update bench_log_analysis; do
+                 bench_batch_update bench_log_analysis bench_incremental_queries; do
   echo "    -> ${bench_bin}"
   XUPD_BENCH_ITERS=1 XUPD_RESULTS_DIR="$smoke_dir" \
     cargo run --release -q -p xupd-bench --bin "$bench_bin" > /dev/null
@@ -71,12 +71,24 @@ for threads in 1 4; do
   echo "    ok: shards match sequential apply at XUPD_THREADS=$threads"
 done
 
+echo "==> XUPD_THREADS={1,4} querycache differential (cached results byte-identical to fresh eval)"
+# The query-cache differential suite drives all 17 schemes through mixed
+# batches and asserts cached rows/strings equal a from-scratch oracle
+# after every absorb. Running it at both pool widths pins that the
+# scheme fan-out never leaks into classification or repair.
+for threads in 1 4; do
+  XUPD_THREADS="$threads" cargo test --release -q -p xupd-framework \
+    --test querycache_differential > /dev/null \
+    || { echo "    FAIL: querycache differential suite at XUPD_THREADS=$threads"; exit 1; }
+  echo "    ok: cache matches fresh evaluation at XUPD_THREADS=$threads"
+done
+
 echo "==> XUPD_THREADS sample-order equivalence for the batch-update + log-analysis benches"
 # Timings vary run to run, but the sample roster (names, in order) is part
 # of the bench contract: it must not depend on the pool width, or diffing
 # committed BENCH json between commits becomes meaningless.
 order_dir="$(mktemp -d)"
-for order_bin in bench_batch_update bench_log_analysis; do
+for order_bin in bench_batch_update bench_log_analysis bench_incremental_queries; do
   json_name="BENCH_${order_bin#bench_}.json"
   for threads in 1 4; do
     XUPD_BENCH_ITERS=1 XUPD_RESULTS_DIR="$order_dir/t$threads" XUPD_THREADS="$threads" \
