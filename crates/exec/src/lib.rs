@@ -23,7 +23,15 @@
 //! Worker count comes from `XUPD_THREADS` when set (minimum 1),
 //! otherwise [`std::thread::available_parallelism`]. Code outside this
 //! crate must not call `std::thread::spawn` directly — lint rule R7
-//! enforces scoped-pool-only concurrency.
+//! enforces pool-only concurrency.
+//!
+//! Besides the scoped one-shot [`par_map`], the crate provides
+//! [`shard::ShardExecutor`] — long-lived workers draining per-lane FIFO
+//! queues — for the document store's serialized per-shard writer lanes.
+
+pub mod shard;
+
+pub use shard::ShardExecutor;
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};

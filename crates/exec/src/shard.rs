@@ -1,0 +1,364 @@
+//! Long-lived per-lane workers: the store's writer lanes.
+//!
+//! [`par_map`](crate::par_map) fits one shape — a fixed item list
+//! fanned out once. The document store needs a different one: **lanes**
+//! (one per shard) that each execute a long, incrementally-submitted
+//! stream of jobs *in submission order*, while distinct lanes run
+//! concurrently. [`ShardExecutor`] provides exactly that, still
+//! dependency-free and unsafe-free:
+//!
+//! * every lane maps statically to one worker (`lane % workers`), and
+//!   each worker drains its queue FIFO — so jobs submitted to the same
+//!   lane never reorder and never overlap;
+//! * with one worker (`XUPD_THREADS=1`, a single-CPU box, or
+//!   `lanes == 1`) jobs run **inline on the submitting thread**, in
+//!   global submission order — byte-for-byte the sequential reference
+//!   behaviour, no threads created at all;
+//! * a panicking job never poisons the executor: the panic payload is
+//!   captured (inline path included), every other job still runs, and
+//!   [`ShardExecutor::drain`] re-raises the payload of the **lowest
+//!   global submission index** — the same panic a sequential replay of
+//!   the submission stream would have surfaced first.
+//!
+//! Determinism: per-lane job order is the submission order at any
+//! worker count. Jobs on different lanes interleave arbitrarily, so a
+//! caller gets reproducible *state* only when lanes touch disjoint
+//! state — which is precisely the store's shard partition.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A queued unit of work.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Lock a mutex, recovering from poisoning: a worker panicking inside a
+/// job is already captured separately, and the queue structures stay
+/// consistent (pushes/pops are atomic under the lock).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// One worker's mailbox: a FIFO of `(submission index, job)` plus a
+/// closed flag for shutdown.
+struct Mailbox {
+    queue: Mutex<(VecDeque<(u64, Job)>, bool)>,
+    ready: Condvar,
+}
+
+/// Shared completion / panic bookkeeping.
+struct Progress {
+    /// Jobs submitted but not yet finished.
+    outstanding: Mutex<u64>,
+    idle: Condvar,
+    /// Captured panics: `(submission index, payload)`.
+    panics: Mutex<Vec<(u64, Box<dyn std::any::Any + Send>)>>,
+}
+
+impl Progress {
+    fn job_done(&self) {
+        let mut n = lock(&self.outstanding);
+        *n -= 1;
+        if *n == 0 {
+            self.idle.notify_all();
+        }
+    }
+
+    fn run_job(&self, seq: u64, job: Job) {
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+            lock(&self.panics).push((seq, payload));
+        }
+        self.job_done();
+    }
+}
+
+/// Long-lived per-lane writer pool. See the module docs for the
+/// ordering, inline-path and panic contracts.
+pub struct ShardExecutor {
+    lanes: usize,
+    /// Empty in inline mode.
+    mailboxes: Vec<Arc<Mailbox>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    progress: Arc<Progress>,
+    next_seq: AtomicU64,
+}
+
+impl ShardExecutor {
+    /// An executor with `lanes` lanes on the pool sized by
+    /// [`worker_count`](crate::worker_count) (the `XUPD_THREADS`
+    /// override applies). At width 1 no threads are created and every
+    /// job runs inline at submission.
+    pub fn new(lanes: usize) -> ShardExecutor {
+        ShardExecutor::with_workers(lanes, crate::worker_count())
+    }
+
+    /// An executor with an explicit worker count — differential tests
+    /// drive this directly so they need not mutate the process
+    /// environment.
+    pub fn with_workers(lanes: usize, workers: usize) -> ShardExecutor {
+        let lanes = lanes.max(1);
+        let workers = workers.max(1).min(lanes);
+        let progress = Arc::new(Progress {
+            outstanding: Mutex::new(0),
+            idle: Condvar::new(),
+            panics: Mutex::new(Vec::new()),
+        });
+        if workers <= 1 {
+            return ShardExecutor {
+                lanes,
+                mailboxes: Vec::new(),
+                handles: Vec::new(),
+                progress,
+                next_seq: AtomicU64::new(0),
+            };
+        }
+        let mailboxes: Vec<Arc<Mailbox>> = (0..workers)
+            .map(|_| {
+                Arc::new(Mailbox {
+                    queue: Mutex::new((VecDeque::new(), false)),
+                    ready: Condvar::new(),
+                })
+            })
+            .collect();
+        let handles = mailboxes
+            .iter()
+            .map(|mailbox| {
+                let mailbox = Arc::clone(mailbox);
+                let progress = Arc::clone(&progress);
+                std::thread::spawn(move || loop {
+                    let next = {
+                        let mut q = lock(&mailbox.queue);
+                        loop {
+                            if let Some(job) = q.0.pop_front() {
+                                break Some(job);
+                            }
+                            if q.1 {
+                                break None;
+                            }
+                            q = mailbox
+                                .ready
+                                .wait(q)
+                                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        }
+                    };
+                    match next {
+                        Some((seq, job)) => progress.run_job(seq, job),
+                        None => return,
+                    }
+                })
+            })
+            .collect();
+        ShardExecutor {
+            lanes,
+            mailboxes,
+            handles,
+            progress,
+            next_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Effective worker count (1 means the inline path).
+    pub fn workers(&self) -> usize {
+        self.handles.len().max(1)
+    }
+
+    /// Submit a job to `lane` (taken modulo the lane count). Jobs on the
+    /// same lane execute in submission order, one at a time; the inline
+    /// path runs the job before returning.
+    pub fn submit<F: FnOnce() + Send + 'static>(&self, lane: usize, job: F) {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let job: Job = Box::new(job);
+        if self.mailboxes.is_empty() {
+            *lock(&self.progress.outstanding) += 1;
+            self.progress.run_job(seq, job);
+            return;
+        }
+        let mailbox = &self.mailboxes[(lane % self.lanes) % self.mailboxes.len()];
+        *lock(&self.progress.outstanding) += 1;
+        {
+            let mut q = lock(&mailbox.queue);
+            q.0.push_back((seq, job));
+        }
+        mailbox.ready.notify_one();
+    }
+
+    /// Block until every submitted job has finished, then re-raise the
+    /// captured panic with the lowest submission index, if any. The
+    /// executor stays usable after a drain (panicking or not).
+    pub fn drain(&self) {
+        {
+            let mut n = lock(&self.progress.outstanding);
+            while *n > 0 {
+                n = self
+                    .progress
+                    .idle
+                    .wait(n)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+        let first = {
+            let mut panics = lock(&self.progress.panics);
+            if panics.is_empty() {
+                None
+            } else {
+                let lowest = panics
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, (seq, _))| *seq)
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                Some(panics.swap_remove(lowest).1)
+            }
+        };
+        if let Some(payload) = first {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for ShardExecutor {
+    fn drop(&mut self) {
+        for mailbox in &self.mailboxes {
+            lock(&mailbox.queue).1 = true;
+            mailbox.ready.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            // A worker never unwinds past run_job's catch, so join errors
+            // cannot happen; if one somehow does, dropping the payload
+            // here beats panicking inside drop.
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Jobs on one lane always run in submission order and never
+    /// overlap, at every worker width.
+    #[test]
+    fn per_lane_fifo_at_any_width() {
+        for workers in [1, 2, 3, 8] {
+            let lanes = 4;
+            let exec = ShardExecutor::with_workers(lanes, workers);
+            let logs: Vec<Arc<Mutex<Vec<u32>>>> =
+                (0..lanes).map(|_| Arc::new(Mutex::new(Vec::new()))).collect();
+            for i in 0..200u32 {
+                let lane = (i as usize) % lanes;
+                let log = Arc::clone(&logs[lane]);
+                exec.submit(lane, move || lock(&log).push(i));
+            }
+            exec.drain();
+            for (lane, log) in logs.iter().enumerate() {
+                let got = lock(log).clone();
+                let want: Vec<u32> = (0..200).filter(|i| *i as usize % lanes == lane).collect();
+                assert_eq!(got, want, "lane {lane} at {workers} workers drains in order");
+            }
+        }
+    }
+
+    /// drain() waits for everything, and the executor accepts new work
+    /// afterwards.
+    #[test]
+    fn drain_is_a_barrier_and_executor_is_reusable() {
+        let exec = ShardExecutor::with_workers(8, 4);
+        let counter = Arc::new(AtomicU64::new(0));
+        for i in 0..64 {
+            let c = Arc::clone(&counter);
+            exec.submit(i, move || {
+                std::thread::yield_now();
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        exec.drain();
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+        for i in 0..16 {
+            let c = Arc::clone(&counter);
+            exec.submit(i, move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        exec.drain();
+        assert_eq!(counter.load(Ordering::Relaxed), 80, "reusable after drain");
+    }
+
+    /// The lowest-submission-index panic is re-raised at drain; all
+    /// other jobs still run first.
+    #[test]
+    fn panic_propagates_lowest_submission_index() {
+        for workers in [1, 4] {
+            let exec = ShardExecutor::with_workers(4, workers);
+            let ran = Arc::new(AtomicU64::new(0));
+            for i in 0..32u64 {
+                let ran = Arc::clone(&ran);
+                exec.submit(i as usize % 4, move || {
+                    if i == 20 || i == 5 {
+                        panic!("boom at {i}");
+                    }
+                    ran.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            let caught = catch_unwind(AssertUnwindSafe(|| exec.drain()));
+            let payload = caught.expect_err("must re-raise");
+            let msg = payload.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert_eq!(msg, "boom at 5", "{workers} workers: lowest submission wins");
+            assert_eq!(
+                ran.load(Ordering::Relaxed),
+                30,
+                "{workers} workers: every non-panicking job still ran"
+            );
+            // the second captured panic does not linger into a clean drain
+            exec.submit(0, || {});
+            let second = catch_unwind(AssertUnwindSafe(|| exec.drain()));
+            let msg = second
+                .expect_err("second payload surfaces next")
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default();
+            assert_eq!(msg, "boom at 20");
+            exec.submit(0, || {});
+            exec.drain();
+        }
+    }
+
+    /// One worker (or one lane) runs inline on the submitting thread.
+    #[test]
+    fn inline_path_runs_on_the_caller() {
+        let caller = std::thread::current().id();
+        for (lanes, workers) in [(4, 1), (1, 8)] {
+            let exec = ShardExecutor::with_workers(lanes, workers);
+            assert_eq!(exec.workers(), 1);
+            let on_caller = Arc::new(Mutex::new(Vec::new()));
+            for i in 0..8 {
+                let log = Arc::clone(&on_caller);
+                exec.submit(i, move || {
+                    lock(&log).push(std::thread::current().id() == caller)
+                });
+            }
+            exec.drain();
+            assert!(lock(&on_caller).iter().all(|&b| b), "inline on the caller");
+        }
+    }
+
+    /// Lane indices wrap modulo the lane count instead of panicking.
+    #[test]
+    fn lane_index_wraps() {
+        let exec = ShardExecutor::with_workers(3, 2);
+        let hits = Arc::new(AtomicU64::new(0));
+        for lane in [0usize, 3, 6, 301] {
+            let hits = Arc::clone(&hits);
+            exec.submit(lane, move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        exec.drain();
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
+    }
+}

@@ -262,6 +262,34 @@ impl<S: LabelingScheme + Clone + 'static> Document<S> {
         Ok(self.cache.register(&expr, want_strings, &self.tree)?)
     }
 
+    /// Read-only cached result rows of a registered query: served
+    /// straight from the [`QueryCache`] with **no** side effects — no
+    /// snapshot rebuild, no cache refresh, no hit counting. Returns
+    /// `None` when the cache is stale (an untracked [`Document::apply`]
+    /// script ran) or `q` was never registered; the caller must then
+    /// take the mutable [`Document::query_cached`] path.
+    ///
+    /// This is the store's concurrent read path: any number of readers
+    /// can share `&Document` without ever triggering the redundant
+    /// snapshot rebuilds an `&mut` accessor would race to perform.
+    pub fn cached_rows(&self, q: QueryId) -> Option<&[usize]> {
+        (!self.cache.is_stale() && q < self.cache.len()).then(|| self.cache.rows(q))
+    }
+
+    /// Read-only cached string values of a registered query (see
+    /// [`Document::cached_rows`]; empty unless registered with
+    /// `want_strings`).
+    pub fn cached_strings_ref(&self, q: QueryId) -> Option<&[String]> {
+        (!self.cache.is_stale() && q < self.cache.len()).then(|| self.cache.strings(q))
+    }
+
+    /// The current encoded snapshot **if one is already built** — never
+    /// builds one. Readers that can live without a snapshot (cached
+    /// queries, stats) use this to stay rebuild-free.
+    pub fn snapshot_ref(&self) -> Option<&EncodedDocument<S>> {
+        self.snapshot.as_ref()
+    }
+
     /// The maintained result rows of a registered query (preorder
     /// positions into [`Document::encoded`]), served from the cache —
     /// no re-evaluation unless an untracked update forced a refresh.
@@ -516,6 +544,63 @@ mod tests {
         let cached = doc.query_cached(q).unwrap().to_vec();
         assert_eq!(cached, doc.xpath("//item").unwrap());
         assert!(doc.cache_stats().hits >= 2);
+    }
+
+    #[test]
+    fn read_only_accessors_never_rebuild_the_snapshot() {
+        use crate::mutations::{LogId, Mutation, MutationLog, NodeRef, Place};
+
+        let tree = docs::xmark_like(11, 60);
+        let mut doc = Document::encode(Qed::new(), &tree).unwrap();
+        let q = doc.register_query("//item", true).unwrap();
+        let oracle = doc.xpath("//item").unwrap();
+        assert_eq!(doc.snapshot_rebuilds(), 1, "xpath built the one snapshot");
+
+        // a structural batch discards the snapshot and repairs the cache
+        let region_id = {
+            let region = doc.xpath("//regions").unwrap()[0];
+            doc.encoded().unwrap().source_id(region)
+        };
+        doc.apply_log(&MutationLog::from(vec![Mutation::CreateElement {
+            id: LogId(0),
+            name: "item".to_string(),
+            place: Place::FirstChildOf(NodeRef::Node(region_id)),
+        }]))
+        .unwrap();
+        assert!(doc.snapshot_ref().is_none(), "structural batch dropped it");
+
+        // concurrent-reader shape: many cached reads off &Document fan
+        // out on the pool — none of them may rebuild the snapshot
+        let rebuilds_before = doc.snapshot_rebuilds();
+        let shared = &doc;
+        let reads: Vec<usize> = (0..64).collect();
+        let row_counts = xupd_exec::par_map(&reads, |_| {
+            let rows = shared.cached_rows(q).expect("cache is fresh");
+            let strings = shared.cached_strings_ref(q).expect("cache is fresh");
+            assert_eq!(rows.len(), strings.len());
+            rows.len()
+        });
+        assert!(row_counts.iter().all(|&n| n == oracle.len() + 1));
+        assert_eq!(
+            doc.snapshot_rebuilds(),
+            rebuilds_before,
+            "read-only accessors triggered zero snapshot rebuilds"
+        );
+        assert!(doc.snapshot_ref().is_none(), "still no snapshot built");
+
+        // the cached rows match a fresh evaluation (which does rebuild)
+        let fresh = doc.xpath("//item").unwrap();
+        assert_eq!(doc.cached_rows(q).unwrap(), fresh.as_slice());
+        assert_eq!(doc.snapshot_rebuilds(), rebuilds_before + 1);
+
+        // stale cache (script path) makes the read-only view refuse
+        doc.apply(&Script::generate(ScriptKind::Random, 5, doc.tree().len(), 2))
+            .unwrap();
+        assert!(doc.cached_rows(q).is_none(), "stale cache is not served");
+        assert!(doc.cached_strings_ref(q).is_none());
+        // unregistered ids are None, not empty slices
+        assert!(doc.query_cached(q).is_ok(), "mut path refreshes");
+        assert!(doc.cached_rows(q + 99).is_none());
     }
 
     #[test]

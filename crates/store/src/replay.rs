@@ -1,0 +1,323 @@
+//! Fleet replay: canonical op stream → sharded writer lanes.
+//!
+//! The [`FleetWorkload`] is one totally ordered op stream. Replay
+//! projects it onto the store's shards — every op goes to the lane
+//! owning its document, **in stream order** — and executes lanes on a
+//! [`ShardExecutor`]. Per-lane FIFO plus deterministic placement means
+//! every document sees exactly its canonical op subsequence at any
+//! worker count, which is the whole determinism argument:
+//!
+//! > final state = fold(per-doc op subsequence) — independent of how
+//! > lanes interleave on workers.
+//!
+//! [`replay_reference`] is the spec executor: a plain sequential loop
+//! over the canonical stream on the calling thread. The differential
+//! suite compares [`Store::state_dump`] after a concurrent replay
+//! against the dump after a reference replay of a fresh store — they
+//! must be byte-identical at any `XUPD_THREADS`.
+//!
+//! Timing (latency histograms, busy nanoseconds, wall time) is
+//! measurement, not state: it feeds reports and never the dump.
+
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use crate::store::Store;
+use xupd_exec::ShardExecutor;
+use xupd_labelcore::LabelingScheme;
+use xupd_testkit::bench::monotonic_ns;
+use xupd_testkit::LatencyHistogram;
+use xupd_workloads::{FleetOp, FleetOpKind, FleetWorkload};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The four store op classes, in report order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpClass {
+    /// Begin a visit.
+    Open,
+    /// Registered query served through the lane.
+    Query,
+    /// Atomic mutation-log batch.
+    Update,
+    /// End a visit.
+    Close,
+}
+
+impl OpClass {
+    /// All classes, in report order.
+    pub const ALL: [OpClass; 4] = [OpClass::Open, OpClass::Query, OpClass::Update, OpClass::Close];
+
+    /// Stable name, matching [`FleetOpKind::class`].
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::Open => "open",
+            OpClass::Query => "query",
+            OpClass::Update => "update",
+            OpClass::Close => "close",
+        }
+    }
+
+    /// Histogram slot.
+    pub fn index(self) -> usize {
+        match self {
+            OpClass::Open => 0,
+            OpClass::Query => 1,
+            OpClass::Update => 2,
+            OpClass::Close => 3,
+        }
+    }
+
+    /// Class of a fleet op.
+    pub fn of(kind: &FleetOpKind) -> OpClass {
+        match kind {
+            FleetOpKind::Open => OpClass::Open,
+            FleetOpKind::Query(_) => OpClass::Query,
+            FleetOpKind::Update(_) => OpClass::Update,
+            FleetOpKind::Close => OpClass::Close,
+        }
+    }
+}
+
+/// Measurements of one writer lane.
+#[derive(Debug, Clone)]
+pub struct LaneMetrics {
+    /// Per-class service-time histograms (op start → op completion,
+    /// nanoseconds), indexed by [`OpClass::index`]. Queue wait is
+    /// excluded: a replay offers the whole trace at once, so
+    /// submit-to-completion time would measure the backlog, not the
+    /// store.
+    pub per_class: [LatencyHistogram; 4],
+    /// Total service time spent executing this lane's ops.
+    pub busy_ns: u64,
+    /// Ops executed.
+    pub ops: u64,
+}
+
+impl LaneMetrics {
+    fn new() -> LaneMetrics {
+        LaneMetrics {
+            per_class: std::array::from_fn(|_| LatencyHistogram::new()),
+            busy_ns: 0,
+            ops: 0,
+        }
+    }
+}
+
+/// What a replay measured. State lives in the [`Store`]; this is
+/// timing only.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Per-lane measurements, indexed by shard.
+    pub lanes: Vec<LaneMetrics>,
+    /// Wall time of the whole replay, submit of the first op to drain.
+    pub wall_ns: u64,
+    /// Worker threads the executor ran (1 = inline).
+    pub workers: usize,
+}
+
+impl ReplayReport {
+    /// Ops executed across all lanes.
+    pub fn total_ops(&self) -> u64 {
+        self.lanes.iter().map(|l| l.ops).sum()
+    }
+
+    /// Total service time across all lanes — the single-threaded cost
+    /// of the workload.
+    pub fn busy_total_ns(&self) -> u64 {
+        self.lanes.iter().map(|l| l.busy_ns).sum()
+    }
+
+    /// One class's latency distribution merged across lanes
+    /// (deterministic merge — lane order does not matter).
+    pub fn class_histogram(&self, class: OpClass) -> LatencyHistogram {
+        let mut h = LatencyHistogram::new();
+        for lane in &self.lanes {
+            h.merge(&lane.per_class[class.index()]);
+        }
+        h
+    }
+
+    /// Modelled makespan at `workers` threads: lanes are bound to
+    /// workers round-robin (`lane % workers`, the executor's actual
+    /// placement) and a worker's finish time is the sum of its lanes'
+    /// busy time. `modelled_makespan_ns(1)` equals
+    /// [`ReplayReport::busy_total_ns`]. This is the machine-independent
+    /// scaling figure single-CPU CI reports alongside measured wall
+    /// time.
+    pub fn modelled_makespan_ns(&self, workers: usize) -> u64 {
+        let workers = workers.max(1).min(self.lanes.len().max(1));
+        let mut per_worker = vec![0u64; workers];
+        for (lane, m) in self.lanes.iter().enumerate() {
+            per_worker[lane % workers] += m.busy_ns;
+        }
+        per_worker.into_iter().max().unwrap_or(0)
+    }
+
+    /// Throughput in ops per second over the measured wall time.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.total_ops() as f64 * 1e9 / self.wall_ns as f64
+        }
+    }
+}
+
+/// Execute one fleet op against the store. Rejections are counted on
+/// the document (deterministic), never raised: a fleet replay is a
+/// workload, not a validator.
+fn run_op<S: LabelingScheme + Clone + 'static>(store: &Store<S>, op: &FleetOp) {
+    let outcome = match &op.kind {
+        FleetOpKind::Open => store.open_doc(op.doc),
+        FleetOpKind::Query(class) => store.serve_query(op.doc, *class).map(|_| ()),
+        FleetOpKind::Update(script) => store.apply_script(op.doc, script).map(|_| ()),
+        FleetOpKind::Close => store.close_doc(op.doc),
+    };
+    if outcome.is_err() {
+        store.count_error(op.doc);
+    }
+}
+
+/// The spec executor: run the canonical stream sequentially on the
+/// calling thread, in stream order. Lane metrics are still recorded
+/// per shard so the modelled makespan can be computed from a reference
+/// run.
+pub fn replay_reference<S: LabelingScheme + Clone + 'static>(
+    store: &Store<S>,
+    fleet: &FleetWorkload,
+) -> ReplayReport {
+    let mut lanes: Vec<LaneMetrics> = (0..store.shards()).map(|_| LaneMetrics::new()).collect();
+    let t_begin = monotonic_ns();
+    for op in &fleet.ops {
+        let lane = store.shard_of(op.doc);
+        let t0 = monotonic_ns();
+        run_op(store, op);
+        let dt = monotonic_ns().saturating_sub(t0);
+        let m = &mut lanes[lane];
+        m.busy_ns += dt;
+        m.ops += 1;
+        m.per_class[OpClass::of(&op.kind).index()].record(dt);
+    }
+    ReplayReport {
+        lanes,
+        wall_ns: monotonic_ns().saturating_sub(t_begin),
+        workers: 1,
+    }
+}
+
+/// Replay the canonical stream through per-shard writer lanes on a
+/// [`ShardExecutor`] with `workers` threads. Ops are submitted in
+/// stream order; each lane drains FIFO, so every document executes its
+/// canonical subsequence regardless of `workers`. Histograms record
+/// per-op service time (see [`LaneMetrics::per_class`]).
+pub fn replay_concurrent<S>(
+    store: &Arc<Store<S>>,
+    fleet: &FleetWorkload,
+    workers: usize,
+) -> ReplayReport
+where
+    S: LabelingScheme + Clone + 'static,
+    Store<S>: Send + Sync,
+{
+    let lane_count = store.shards();
+    let exec = ShardExecutor::with_workers(lane_count, workers);
+    let metrics: Vec<Arc<Mutex<LaneMetrics>>> = (0..lane_count)
+        .map(|_| Arc::new(Mutex::new(LaneMetrics::new())))
+        .collect();
+    let t_begin = monotonic_ns();
+    for op in &fleet.ops {
+        let lane = store.shard_of(op.doc);
+        let store = Arc::clone(store);
+        let m = Arc::clone(&metrics[lane]);
+        let op = op.clone();
+        exec.submit(lane, move || {
+            let t_start = monotonic_ns();
+            run_op(&store, &op);
+            let dt = monotonic_ns().saturating_sub(t_start);
+            let mut g = lock(&m);
+            g.busy_ns += dt;
+            g.ops += 1;
+            g.per_class[OpClass::of(&op.kind).index()].record(dt);
+        });
+    }
+    exec.drain();
+    let wall_ns = monotonic_ns().saturating_sub(t_begin);
+    ReplayReport {
+        lanes: metrics.iter().map(|m| lock(m).clone()).collect(),
+        wall_ns,
+        workers: exec.workers(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreConfig;
+    use xupd_schemes::prefix::qed::Qed;
+    use xupd_workloads::{docs, FleetConfig};
+    use xupd_xmldom::XmlTree;
+
+    fn fleet_store(shards: usize, docs_n: usize) -> Store<Qed> {
+        let trees: Vec<XmlTree> = (0..docs_n as u64).map(|i| docs::xmark_like(i, 30)).collect();
+        let mut cfg = StoreConfig::fleet();
+        cfg.shards = shards;
+        Store::build(&Qed::new(), &cfg, &trees).unwrap()
+    }
+
+    #[test]
+    fn concurrent_replay_matches_reference_state() {
+        let fleet = FleetWorkload::generate(FleetConfig::small(21));
+        let reference = fleet_store(4, fleet.config.docs);
+        let ref_report = replay_reference(&reference, &fleet);
+        let expected = reference.state_dump();
+
+        for workers in [1, 3] {
+            let store = Arc::new(fleet_store(4, fleet.config.docs));
+            let report = replay_concurrent(&store, &fleet, workers);
+            assert_eq!(
+                store.state_dump(),
+                expected,
+                "state diverged at {workers} workers"
+            );
+            assert_eq!(report.total_ops(), ref_report.total_ops());
+        }
+    }
+
+    #[test]
+    fn report_counts_match_the_workload() {
+        let fleet = FleetWorkload::generate(FleetConfig::small(2));
+        let store = fleet_store(3, fleet.config.docs);
+        let report = replay_reference(&store, &fleet);
+        assert_eq!(report.total_ops() as usize, fleet.ops.len());
+        let counts = fleet.class_counts();
+        for class in OpClass::ALL {
+            let h = report.class_histogram(class);
+            assert_eq!(
+                h.count() as usize,
+                counts.get(class.name()).copied().unwrap_or(0),
+                "{} histogram covers every op",
+                class.name()
+            );
+            if !h.is_empty() {
+                assert!(h.quantile(0.999) >= h.quantile(0.5));
+            }
+        }
+        // no rejected ops in a generated fleet
+        store.for_each_doc(|_, slot| assert_eq!(slot.stats().errors, 0));
+    }
+
+    #[test]
+    fn modelled_makespan_scales_down_with_workers() {
+        let fleet = FleetWorkload::generate(FleetConfig::small(33));
+        let store = fleet_store(8, fleet.config.docs);
+        let report = replay_reference(&store, &fleet);
+        let m1 = report.modelled_makespan_ns(1);
+        assert_eq!(m1, report.busy_total_ns());
+        let m4 = report.modelled_makespan_ns(4);
+        assert!(m4 <= m1, "makespan never grows with workers");
+        assert!(m4 >= m1 / 8, "bounded by perfect scaling over lanes");
+        assert!(report.ops_per_sec() > 0.0);
+    }
+}

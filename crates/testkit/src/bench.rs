@@ -269,6 +269,21 @@ impl Harness {
     }
 }
 
+/// Nanoseconds on a monotonic clock, for per-operation latency
+/// measurements that cannot flow through [`Harness::bench`] (the store
+/// fleet driver times each op inside a pool worker). This module is the
+/// only place allowed to touch the wall clock (lint rule R3), so every
+/// other crate takes its timestamps from here. The epoch is the first
+/// call in the process; only differences are meaningful.
+pub fn monotonic_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    Instant::now()
+        .duration_since(epoch)
+        .as_nanos()
+        .min(u128::from(u64::MAX)) as u64
+}
+
 /// The `results/` directory: `XUPD_RESULTS_DIR` when set, otherwise the
 /// nearest ancestor of the current directory that already contains
 /// `results/`, otherwise `./results`.

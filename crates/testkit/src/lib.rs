@@ -16,14 +16,23 @@
 //! * [`bench`] — a wall-clock micro-bench harness (warmup, timed
 //!   iterations, median/p90, JSON emitted into
 //!   `results/BENCH_<suite>.json`) that the former criterion benches
-//!   run on, as plain offline binaries.
+//!   run on, as plain offline binaries. It also hosts
+//!   [`bench::monotonic_ns`], the workspace's single sanctioned
+//!   monotonic clock (lint rule R3 bans ambient clocks everywhere
+//!   else).
+//! * [`hist`] — an HDR-style fixed-bucket latency histogram
+//!   ([`hist::LatencyHistogram`]: `record`/`quantile`/`merge`) for the
+//!   store fleet benches, where per-op latencies at p999 volume would
+//!   drown a sorted-vector percentile.
 //!
 //! Replaying a property failure: the panic report prints the failing
 //! case's seed; rerun with `XUPD_PROP_SEED=<seed> cargo test <name>`.
 
 pub mod alloc;
 pub mod bench;
+pub mod hist;
 pub mod prop;
 pub mod rng;
 
+pub use hist::LatencyHistogram;
 pub use rng::TestRng;

@@ -11,9 +11,14 @@
 //! * [`script`] — update scripts: sequences of structural operations
 //!   ([`ScriptOp`]) addressed by document-order index so any driver can
 //!   replay them against any labelling scheme, plus generators for the
-//!   random / uniform / skewed / zigzag batteries.
+//!   random / uniform / skewed / zigzag batteries;
+//! * [`fleet`] — store-level workloads: a canonical, deterministic
+//!   stream of open / query / batch-update / close operations from many
+//!   user sessions over a Zipf-skewed document fleet.
 
 pub mod docs;
+pub mod fleet;
 pub mod script;
 
+pub use fleet::{FleetConfig, FleetOp, FleetOpKind, FleetWorkload};
 pub use script::{Script, ScriptKind, ScriptOp};

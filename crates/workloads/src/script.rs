@@ -79,7 +79,7 @@ impl ScriptKind {
 }
 
 /// A replayable update script.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Script {
     /// Scenario this script encodes.
     pub kind: ScriptKind,

@@ -52,7 +52,8 @@ smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
 for bench_bin in bench_bulk_labeling bench_label_growth bench_query_eval \
                  bench_update_cost bench_axis_index bench_matrix_pool \
-                 bench_batch_update bench_log_analysis bench_incremental_queries; do
+                 bench_batch_update bench_log_analysis bench_incremental_queries \
+                 bench_store; do
   echo "    -> ${bench_bin}"
   XUPD_BENCH_ITERS=1 XUPD_RESULTS_DIR="$smoke_dir" \
     cargo run --release -q -p xupd-bench --bin "$bench_bin" > /dev/null
@@ -81,6 +82,18 @@ for threads in 1 4; do
     --test querycache_differential > /dev/null \
     || { echo "    FAIL: querycache differential suite at XUPD_THREADS=$threads"; exit 1; }
   echo "    ok: cache matches fresh evaluation at XUPD_THREADS=$threads"
+done
+
+echo "==> XUPD_THREADS={1,4} store differential (sharded fleet state byte-identical to reference)"
+# The store differential suite replays a seeded fleet workload through
+# the sharded writer lanes at widths {1,2,8} and asserts the final
+# state_dump is byte-identical to the sequential reference executor,
+# across four scheme families. Running the suite itself at both pool
+# widths additionally pins that XUPD_THREADS never leaks into state.
+for threads in 1 4; do
+  XUPD_THREADS="$threads" cargo test --release -q --test store_differential > /dev/null \
+    || { echo "    FAIL: store differential suite at XUPD_THREADS=$threads"; exit 1; }
+  echo "    ok: fleet state matches sequential reference at XUPD_THREADS=$threads"
 done
 
 echo "==> XUPD_THREADS sample-order equivalence for the batch-update + log-analysis benches"

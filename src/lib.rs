@@ -18,7 +18,10 @@
 //!   workloads (random / uniform / skewed insertions);
 //! * [`exec`] — the hermetic scoped thread pool the scheme batteries fan
 //!   out on (`XUPD_THREADS=1` reproduces sequential output byte for
-//!   byte).
+//!   byte);
+//! * [`store`] — the sharded concurrent document store: per-shard
+//!   writer lanes, snapshot-isolated reads, and the deterministic fleet
+//!   replay whose final state is byte-identical at any worker count.
 //!
 //! See `README.md` for a tour and `examples/` for runnable entry points.
 
@@ -27,5 +30,6 @@ pub use xupd_exec as exec;
 pub use xupd_framework as framework;
 pub use xupd_labelcore as labelcore;
 pub use xupd_schemes as schemes;
+pub use xupd_store as store;
 pub use xupd_workloads as workloads;
 pub use xupd_xmldom as xmldom;

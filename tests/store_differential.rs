@@ -1,0 +1,130 @@
+//! Store differential suite: the concurrent sharded replay must leave
+//! the fleet in **byte-identical** state to the sequential reference
+//! executor, at every worker width, for representative schemes of each
+//! labelling family.
+//!
+//! This is the store-level analogue of the cross-scheme differential:
+//! the canonical op stream fixes each document's op subsequence, lanes
+//! are FIFO, placement is deterministic — so `Store::state_dump`
+//! (serialized document bytes + per-document stats + cache counters)
+//! must not depend on `XUPD_THREADS` at all.
+
+use std::sync::Arc;
+
+use xml_update_props::labelcore::LabelingScheme;
+use xml_update_props::schemes::containment::accel::XPathAccelerator;
+use xml_update_props::schemes::prefix::dewey::DeweyId;
+use xml_update_props::schemes::prefix::qed::Qed;
+use xml_update_props::schemes::vector::VectorScheme;
+use xml_update_props::store::{replay_concurrent, replay_reference, Store, StoreConfig};
+use xml_update_props::workloads::{docs, FleetConfig, FleetWorkload};
+use xml_update_props::xmldom::XmlTree;
+
+/// The widths the suite pins: inline, small, oversubscribed.
+const WIDTHS: [usize; 3] = [1, 2, 8];
+
+fn fleet_trees(n: usize) -> Vec<XmlTree> {
+    (0..n as u64).map(|i| docs::xmark_like(i, 35)).collect()
+}
+
+/// Replay the same seeded fleet against fresh stores at every width and
+/// diff the full state dump against the reference executor's.
+fn assert_width_invariant<S>(scheme: S, label: &str)
+where
+    S: LabelingScheme + Clone + 'static,
+    Store<S>: Send + Sync,
+{
+    let fleet = FleetWorkload::generate(FleetConfig::small(0xD1FF));
+    let trees = fleet_trees(fleet.config.docs);
+    let mut cfg = StoreConfig::fleet();
+    cfg.shards = 6;
+
+    let reference = Store::build(&scheme, &cfg, &trees).unwrap();
+    let ref_report = replay_reference(&reference, &fleet);
+    let expected = reference.state_dump();
+    assert!(
+        expected.lines().filter(|l| l.starts_with("doc ")).count() == fleet.config.docs,
+        "{label}: dump covers the whole fleet"
+    );
+
+    for workers in WIDTHS {
+        let store = Arc::new(Store::build(&scheme, &cfg, &trees).unwrap());
+        let report = replay_concurrent(&store, &fleet, workers);
+        let dump = store.state_dump();
+        assert_eq!(
+            dump, expected,
+            "{label}: state diverged from reference at {workers} workers"
+        );
+        assert_eq!(
+            report.total_ops() as usize,
+            fleet.ops.len(),
+            "{label}: every op executed at {workers} workers"
+        );
+    }
+    assert_eq!(ref_report.total_ops() as usize, fleet.ops.len());
+}
+
+#[test]
+fn qed_fleet_state_is_width_invariant() {
+    assert_width_invariant(Qed::new(), "QED");
+}
+
+#[test]
+fn dewey_fleet_state_is_width_invariant() {
+    assert_width_invariant(DeweyId::new(), "DeweyID");
+}
+
+#[test]
+fn accel_fleet_state_is_width_invariant() {
+    assert_width_invariant(XPathAccelerator::new(), "XPathAccelerator");
+}
+
+#[test]
+fn vector_fleet_state_is_width_invariant() {
+    assert_width_invariant(VectorScheme::new(), "Vector");
+}
+
+/// Two identically seeded concurrent replays agree with each other,
+/// not just with the reference — no hidden ambient state.
+#[test]
+fn repeated_concurrent_replays_are_byte_identical() {
+    let fleet = FleetWorkload::generate(FleetConfig::small(7));
+    let trees = fleet_trees(fleet.config.docs);
+    let cfg = StoreConfig::fleet();
+    let dump_at = |workers: usize| {
+        let store = Arc::new(Store::build(&Qed::new(), &cfg, &trees).unwrap());
+        replay_concurrent(&store, &fleet, workers);
+        store.state_dump()
+    };
+    let first = dump_at(8);
+    assert_eq!(first, dump_at(8), "same width, same bytes");
+    assert_eq!(first, dump_at(2), "different width, same bytes");
+}
+
+/// The dump carries real update effects: batches landed, queries were
+/// served, documents grew — the differential is not comparing empty
+/// stores.
+#[test]
+fn fleet_replay_actually_exercises_the_store() {
+    let fleet = FleetWorkload::generate(FleetConfig::small(5));
+    let trees = fleet_trees(fleet.config.docs);
+    let store = Store::build(&Qed::new(), &StoreConfig::fleet(), &trees).unwrap();
+    replay_reference(&store, &fleet);
+
+    let mut batches = 0u64;
+    let mut queries = 0u64;
+    let mut grew = 0usize;
+    store.for_each_doc(|id, slot| {
+        let s = slot.stats();
+        batches += s.batches;
+        queries += s.queries;
+        assert_eq!(s.errors, 0, "doc {id}: no rejected ops in a generated fleet");
+        if slot.doc().tree().len() > trees[id as usize].len() {
+            grew += 1;
+        }
+    });
+    let counts = fleet.class_counts();
+    assert_eq!(batches as usize, counts["update"]);
+    assert_eq!(queries as usize, counts["query"]);
+    assert!(grew > 0, "insert-heavy scripts grew at least one document");
+}
