@@ -5,6 +5,7 @@
 //! xupd <file.xml> query   <XPATH> [--scheme NAME]  evaluate an XPath subset query
 //! xupd <file.xml> table                            print the Figure-2-style encoding table
 //! xupd <file.xml> schemes                          list available schemes
+//! xupd <file.xml> flux-check <program.flux>        check a flux update program
 //! ```
 //!
 //! The default scheme is QED (persistent + overflow-free — the safe
@@ -22,10 +23,44 @@ use xupd_xmldom::{parse, NodeKind, XmlTree};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: xupd <file.xml> <labels|query|table|schemes> [XPATH] [--scheme NAME]\n\
+        "usage: xupd <file.xml> <labels|query|table|schemes|flux-check> [XPATH|PROGRAM] [--scheme NAME]\n\
          default scheme: QED. `xupd <file> schemes` lists all."
     );
     ExitCode::from(2)
+}
+
+/// Statically check a flux program against the document, lint-style:
+/// one `line:col: CODE message` per finding. The deeper compile stage
+/// runs only when the static pass is clean, surfacing strict-match
+/// (F010–F012) errors without ever mutating the tree.
+fn flux_check(tree: &XmlTree, program_file: &str) -> ExitCode {
+    let src = match std::fs::read_to_string(program_file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {program_file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let diags = match xupd_flux::FluxProgram::parse(&src) {
+        Ok(p) => {
+            let mut ds = p.check();
+            if ds.is_empty() {
+                if let Err(compile) = p.compile(tree) {
+                    ds = compile;
+                }
+            }
+            ds
+        }
+        Err(ds) => ds,
+    };
+    if diags.is_empty() {
+        println!("{program_file}: ok");
+        return ExitCode::SUCCESS;
+    }
+    for d in &diags {
+        println!("{program_file}:{}", d.render());
+    }
+    ExitCode::FAILURE
 }
 
 fn print_schemes() {
@@ -116,7 +151,7 @@ fn main() -> ExitCode {
     // Validate the command shape before touching the file.
     let query = match args[1].as_str() {
         "labels" | "table" | "schemes" => None,
-        "query" => match args.get(2) {
+        "query" | "flux-check" => match args.get(2) {
             Some(q) if !q.starts_with("--") => Some(q.clone()),
             _ => return usage(),
         },
@@ -149,6 +184,7 @@ fn main() -> ExitCode {
         }
         "labels" => print_labels(&tree, &wanted),
         "query" => print_query(&tree, &wanted, query.as_deref().unwrap_or_default()),
+        "flux-check" => return flux_check(&tree, query.as_deref().unwrap_or_default()),
         _ => unreachable!("validated above"),
     };
     if !matched {

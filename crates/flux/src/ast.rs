@@ -1,0 +1,158 @@
+//! The flux DSL abstract syntax tree.
+//!
+//! Arguments keep their raw source text *and* their parsed form: paths
+//! carry the compiled [`XPathExpr`] (so the static checker can reason
+//! over axes/tests without re-parsing) and tree literals carry the
+//! parsed [`XmlTree`] fragment (document node + one root element).
+//! Every node carries the [`Span`] it came from, so any later stage —
+//! static check, lowering, validation — can anchor a diagnostic to the
+//! exact source range that caused it.
+
+use crate::diag::Span;
+use xupd_encoding::XPathExpr;
+use xupd_xmldom::XmlTree;
+
+/// A path argument: raw text, parsed steps and whether it was written
+/// relative (`.` / `./rest`) — in which case `expr` holds the steps of
+/// the `/rest` part and resolution starts at the `for` context node.
+#[derive(Debug, Clone)]
+pub struct PathArg {
+    /// Raw source text of the path.
+    pub raw: String,
+    /// Parsed XPath (for a relative path: the steps after the leading
+    /// `.`, parsed as if absolute; empty steps for bare `.`).
+    pub expr: XPathExpr,
+    /// `true` when written `.` / `./rest` (resolves from the `for`
+    /// context node instead of the document root).
+    pub relative: bool,
+    /// Source range.
+    pub span: Span,
+}
+
+/// A tree literal argument: the raw snippet and its parsed fragment.
+/// The fragment's document node has exactly one element child (the
+/// fragment root).
+#[derive(Debug, Clone)]
+pub struct TreeArg {
+    /// Raw source text of the snippet.
+    pub raw: String,
+    /// Parsed fragment.
+    pub tree: XmlTree,
+    /// Source range.
+    pub span: Span,
+}
+
+/// Where an `insert`/`move` lands relative to its path argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertPos {
+    /// `into`: last child of the target.
+    Into,
+    /// `first into`: first child of the target.
+    FirstInto,
+    /// `before`: preceding sibling of the target.
+    Before,
+    /// `after`: following sibling of the target.
+    After,
+}
+
+/// One statement of the DSL.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// `insert <tree> into|first into|before|after <path>`
+    Insert {
+        /// The fragment to create.
+        tree: TreeArg,
+        /// Landing position relative to each target.
+        pos: InsertPos,
+        /// Target path.
+        path: PathArg,
+        /// Whole-statement span.
+        span: Span,
+    },
+    /// `delete <path>`
+    Delete {
+        /// Target path.
+        path: PathArg,
+        /// Whole-statement span.
+        span: Span,
+    },
+    /// `replace <path> with <tree>`
+    Replace {
+        /// Target path.
+        path: PathArg,
+        /// The replacement fragment.
+        tree: TreeArg,
+        /// Whole-statement span.
+        span: Span,
+    },
+    /// `rename <path> to <name>`
+    Rename {
+        /// Target path.
+        path: PathArg,
+        /// The new element name.
+        name: String,
+        /// Span of the name word.
+        name_span: Span,
+        /// Whole-statement span.
+        span: Span,
+    },
+    /// `move <path> into|first into|before|after <path>`
+    Move {
+        /// Source path (the subtrees to move).
+        path: PathArg,
+        /// Landing position relative to the destination.
+        pos: InsertPos,
+        /// Destination path (must match exactly one node).
+        dest: PathArg,
+        /// Whole-statement span.
+        span: Span,
+    },
+    /// `set <path> to "<text>"`
+    Set {
+        /// Target path (must select text nodes).
+        path: PathArg,
+        /// The new text value.
+        text: String,
+        /// Whole-statement span.
+        span: Span,
+    },
+    /// `for <path> do <stmts> end` — iterate the path's matches in
+    /// document order, lowering the body once per match with `.`
+    /// bound to the match.
+    For {
+        /// Iteration path.
+        path: PathArg,
+        /// Body statements.
+        body: Vec<Stmt>,
+        /// Whole-statement span.
+        span: Span,
+    },
+}
+
+impl Stmt {
+    /// The whole-statement span.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Insert { span, .. }
+            | Stmt::Delete { span, .. }
+            | Stmt::Replace { span, .. }
+            | Stmt::Rename { span, .. }
+            | Stmt::Move { span, .. }
+            | Stmt::Set { span, .. }
+            | Stmt::For { span, .. } => *span,
+        }
+    }
+
+    /// Statement keyword, for messages.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            Stmt::Insert { .. } => "insert",
+            Stmt::Delete { .. } => "delete",
+            Stmt::Replace { .. } => "replace",
+            Stmt::Rename { .. } => "rename",
+            Stmt::Move { .. } => "move",
+            Stmt::Set { .. } => "set",
+            Stmt::For { .. } => "for",
+        }
+    }
+}

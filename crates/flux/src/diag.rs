@@ -1,0 +1,155 @@
+//! Span-carrying diagnostics for the flux DSL.
+//!
+//! Every stage of the pipeline — lexing, parsing, static checking,
+//! lowering, validation — reports through the same [`Diagnostic`]
+//! shape, so the CLI and the golden tests can treat all failure
+//! classes uniformly. Codes partition the failure space:
+//!
+//! | code | stage    | meaning                                          |
+//! |------|----------|--------------------------------------------------|
+//! | F001 | lex/parse| syntax error (bad token, missing keyword, ...)    |
+//! | F002 | parse    | malformed XPath in a path argument                |
+//! | F003 | parse    | malformed XML tree literal                        |
+//! | F004 | parse    | relative path outside a `for` body                |
+//! | F005 | check    | target shape vs statement kind (text()/attribute) |
+//! | F006 | check    | write into a previously deleted/replaced subtree  |
+//! | F007 | check    | two `set` writes to the same text slot            |
+//! | F008 | check    | `move` of a subtree into itself                   |
+//! | F009 | check    | mutation of the document root                     |
+//! | F010 | lower    | statement target matched no node (strict match)   |
+//! | F011 | lower    | target node kind does not fit the statement       |
+//! | F012 | lower    | ambiguous `move` destination (>1 match)           |
+//! | F020 | validate | compiled log rejected by the shadow simulation    |
+
+use std::fmt;
+
+/// A half-open byte range into the program source, with the 1-based
+/// line/column of its start (columns count characters, not bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: u32,
+    /// 1-based column of `start`, in characters.
+    pub col: u32,
+}
+
+impl Span {
+    /// A span covering `start..end` whose line/column are computed by
+    /// walking `src` (safe on arbitrary byte offsets: counting stops at
+    /// the nearest char boundary at or before `start`).
+    pub fn at(src: &str, start: usize, end: usize) -> Span {
+        let mut line = 1u32;
+        let mut col = 1u32;
+        for (i, c) in src.char_indices() {
+            if i + c.len_utf8() > start {
+                break;
+            }
+            if c == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        Span {
+            start,
+            end,
+            line,
+            col,
+        }
+    }
+
+    /// The smallest span covering both operands.
+    pub fn cover(self, other: Span) -> Span {
+        let (first, start, end) = if self.start <= other.start {
+            (self, self.start, self.end.max(other.end))
+        } else {
+            (other, other.start, self.end.max(other.end))
+        };
+        Span {
+            start,
+            end,
+            line: first.line,
+            col: first.col,
+        }
+    }
+}
+
+/// One pipeline failure: a stable code, a human message and the source
+/// span it anchors to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code (`F001`..`F020`), see the module table.
+    pub code: &'static str,
+    /// Human-readable description.
+    pub message: String,
+    /// Where in the program source.
+    pub span: Span,
+}
+
+impl Diagnostic {
+    /// A diagnostic anchored at `span`.
+    pub fn new(code: &'static str, span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Render as `line:col: CODE message` — the lint-style single-line
+    /// form the `flux-check` CLI mode prints.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: {} {}",
+            self.span.line, self.span.col, self.code, self.message
+        )
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_line_col_counting() {
+        let src = "ab\ncd\nef";
+        let s = Span::at(src, 4, 5);
+        assert_eq!((s.line, s.col), (2, 2));
+        let first = Span::at(src, 0, 1);
+        assert_eq!((first.line, first.col), (1, 1));
+    }
+
+    #[test]
+    fn span_at_tolerates_non_boundary_offsets() {
+        let src = "é x"; // 'é' is two bytes
+        let s = Span::at(src, 1, 2); // inside the 'é'
+        assert_eq!((s.line, s.col), (1, 1));
+    }
+
+    #[test]
+    fn cover_takes_earliest_anchor() {
+        let src = "abc def";
+        let a = Span::at(src, 4, 7);
+        let b = Span::at(src, 0, 3);
+        let c = a.cover(b);
+        assert_eq!((c.start, c.end, c.line, c.col), (0, 7, 1, 1));
+    }
+
+    #[test]
+    fn render_is_lint_style() {
+        let d = Diagnostic::new("F001", Span::at("x", 0, 1), "unexpected token");
+        assert_eq!(d.render(), "1:1: F001 unexpected token");
+        assert_eq!(d.to_string(), d.render());
+    }
+}

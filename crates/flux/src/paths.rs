@@ -1,0 +1,330 @@
+//! XPath resolution directly over an [`XmlTree`] — the lowering-time
+//! twin of the encoded-document evaluator in `xupd_encoding::xpath`.
+//!
+//! Lowering happens *before* any labelling or encoding exists (a flux
+//! program compiles against the bare tree), so the encoded-document
+//! evaluator cannot be used. This walker implements the same step
+//! semantics — same axes, node tests, predicate handling, document
+//! order and duplicate elimination — over tree links plus a preorder
+//! rank/extent table built once per [`Resolver`]. The differential
+//! test in `tests/flux_differential.rs` pins walker results against
+//! `XPathExpr::evaluate` on an encoded twin of the same document.
+
+use xupd_encoding::XPathExpr;
+use xupd_xmldom::{NodeId, XmlTree};
+
+// The Step/Axis/NodeTest/Pred vocabulary is re-exported by
+// xupd_encoding's xpath module.
+use xupd_encoding::xpath::{Axis, NodeTest, Pred};
+
+/// Preorder rank/extent tables over one tree snapshot, shared by every
+/// path resolution of a compile.
+pub struct Resolver<'t> {
+    tree: &'t XmlTree,
+    /// Live node ids in document order.
+    order: Vec<NodeId>,
+    /// `rank[node.index()]` = position in `order` (usize::MAX = dead).
+    rank: Vec<usize>,
+    /// `extent[node.index()]` = one past the last rank of the node's
+    /// subtree (half-open preorder interval).
+    extent: Vec<usize>,
+}
+
+impl<'t> Resolver<'t> {
+    /// Build the rank/extent tables for `tree` (O(n)).
+    pub fn new(tree: &'t XmlTree) -> Resolver<'t> {
+        let order = tree.ids_in_doc_order();
+        let bound = tree.id_bound();
+        let mut rank = vec![usize::MAX; bound];
+        for (r, &id) in order.iter().enumerate() {
+            rank[id.index()] = r;
+        }
+        // Subtree extents from one reverse doc-order sweep: when a node
+        // is visited, all its descendants (which follow it in preorder)
+        // already carry their extents, so its own extent is its last
+        // child's — or rank+1 for a leaf.
+        let mut extent = vec![0usize; bound];
+        for &id in order.iter().rev() {
+            let i = id.index();
+            extent[i] = match tree.children(id).last() {
+                Some(last) => extent[last.index()],
+                None => rank[i] + 1,
+            };
+        }
+        Resolver {
+            tree,
+            order,
+            rank,
+            extent,
+        }
+    }
+
+    /// The tree this resolver indexes.
+    pub fn tree(&self) -> &'t XmlTree {
+        self.tree
+    }
+
+    fn rank_of(&self, id: NodeId) -> usize {
+        self.rank.get(id.index()).copied().unwrap_or(usize::MAX)
+    }
+
+    fn extent_of(&self, id: NodeId) -> usize {
+        self.extent.get(id.index()).copied().unwrap_or(0)
+    }
+
+    /// Evaluate `expr`'s steps from `start` (the document root for
+    /// absolute paths, the `for` context node for relative ones).
+    /// Results are in document order without duplicates — the same
+    /// contract as `XPathExpr::evaluate`.
+    pub fn resolve(&self, expr: &XPathExpr, start: NodeId) -> Vec<NodeId> {
+        let mut context = vec![start];
+        let mut scratch: Vec<NodeId> = Vec::new();
+        for step in expr.steps() {
+            let mut next: Vec<NodeId> = Vec::new();
+            let mut ordered = true;
+            for &ctx in &context {
+                scratch.clear();
+                self.axis_nodes(ctx, step.axis, &mut scratch);
+                scratch.retain(|&n| self.test_matches(n, step.axis, &step.test));
+                for pred in &step.preds {
+                    match pred {
+                        Pred::Position(k) => {
+                            let kept = k.checked_sub(1).and_then(|i| scratch.get(i)).copied();
+                            scratch.clear();
+                            scratch.extend(kept);
+                        }
+                        Pred::AttrEq(name, value) => {
+                            scratch.retain(|&n| {
+                                self.tree.attribute(n, name) == Some(value.as_str())
+                            });
+                        }
+                    }
+                }
+                for &c in &scratch {
+                    if ordered {
+                        if let Some(&last) = next.last() {
+                            if self.rank_of(c) <= self.rank_of(last) {
+                                ordered = false;
+                            }
+                        }
+                    }
+                    next.push(c);
+                }
+            }
+            if !ordered {
+                next.sort_unstable_by_key(|&n| self.rank_of(n));
+                next.dedup();
+            }
+            context = next;
+        }
+        context
+    }
+
+    /// All nodes on `axis` from `ctx`, in the axis's natural order
+    /// (document order for every axis the parser produces, ancestors
+    /// root-first — mirroring the encoded evaluator).
+    fn axis_nodes(&self, ctx: NodeId, axis: Axis, out: &mut Vec<NodeId>) {
+        let tree = self.tree;
+        match axis {
+            Axis::Child => out.extend(tree.children(ctx)),
+            Axis::Descendant => {
+                let (r, e) = (self.rank_of(ctx), self.extent_of(ctx));
+                if r != usize::MAX {
+                    out.extend_from_slice(&self.order[r + 1..e]);
+                }
+            }
+            Axis::DescendantOrSelf => {
+                let (r, e) = (self.rank_of(ctx), self.extent_of(ctx));
+                if r != usize::MAX {
+                    out.extend_from_slice(&self.order[r..e]);
+                }
+            }
+            Axis::Parent => out.extend(tree.parent(ctx)),
+            Axis::Ancestor => {
+                let mut cur = tree.parent(ctx);
+                while let Some(p) = cur {
+                    out.push(p);
+                    cur = tree.parent(p);
+                }
+                out.reverse();
+            }
+            Axis::Following => {
+                let e = self.extent_of(ctx);
+                if e <= self.order.len() {
+                    out.extend_from_slice(&self.order[e..]);
+                }
+            }
+            Axis::Preceding => {
+                let r = self.rank_of(ctx);
+                if r != usize::MAX {
+                    out.extend(
+                        self.order[..r]
+                            .iter()
+                            .copied()
+                            .filter(|&j| self.extent_of(j) <= r),
+                    );
+                }
+            }
+            Axis::FollowingSibling => {
+                let mut cur = tree.next_sibling(ctx);
+                while let Some(s) = cur {
+                    out.push(s);
+                    cur = tree.next_sibling(s);
+                }
+            }
+            Axis::PrecedingSibling => {
+                let mut cur = tree.prev_sibling(ctx);
+                while let Some(s) = cur {
+                    out.push(s);
+                    cur = tree.prev_sibling(s);
+                }
+                out.reverse();
+            }
+            Axis::Attribute => {
+                out.extend(tree.children(ctx).filter(|&c| tree.kind(c).is_attribute()));
+            }
+            Axis::SelfAxis => out.push(ctx),
+        }
+    }
+
+    fn test_matches(&self, id: NodeId, axis: Axis, test: &NodeTest) -> bool {
+        let kind = self.tree.kind(id);
+        match test {
+            NodeTest::AnyNode => true,
+            NodeTest::Text => kind.is_text(),
+            NodeTest::Any => {
+                if axis == Axis::Attribute {
+                    kind.is_attribute()
+                } else {
+                    kind.is_element()
+                }
+            }
+            NodeTest::Name(name) => {
+                if axis == Axis::Attribute {
+                    kind.is_attribute() && kind.name() == Some(name)
+                } else {
+                    kind.is_element() && kind.name() == Some(name)
+                }
+            }
+        }
+    }
+
+    /// Drop every node that lies inside the subtree of an earlier node
+    /// in `nodes` (which must be in document order) — the covering
+    /// filter `delete`/`replace`/`move` sources use so nested matches
+    /// never lower into self-conflicting mutations.
+    pub fn covering(&self, nodes: &[NodeId]) -> Vec<NodeId> {
+        let mut kept = Vec::with_capacity(nodes.len());
+        let mut max_end = 0usize;
+        for &n in nodes {
+            let r = self.rank_of(n);
+            if r == usize::MAX {
+                continue;
+            }
+            if r >= max_end {
+                kept.push(n);
+                max_end = self.extent_of(n);
+            } else {
+                // Inside an earlier kept subtree: extents nest, so any
+                // rank below max_end is covered.
+                max_end = max_end.max(self.extent_of(n));
+            }
+        }
+        kept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xupd_encoding::parse_xpath;
+
+    fn sample() -> XmlTree {
+        // <r><s id="1"><x>one</x></s><s id="2"/><t><x>two</x></t></r>
+        match xupd_xmldom::parse(
+            r#"<r><s id="1"><x>one</x></s><s id="2"/><t><x>two</x></t></r>"#,
+        ) {
+            Ok(t) => t,
+            Err(e) => panic!("sample parse: {e}"),
+        }
+    }
+
+    fn resolve(tree: &XmlTree, path: &str) -> Vec<NodeId> {
+        let r = Resolver::new(tree);
+        let expr = parse_xpath(path).unwrap();
+        r.resolve(&expr, tree.root())
+    }
+
+    fn names(tree: &XmlTree, ids: &[NodeId]) -> Vec<String> {
+        ids.iter()
+            .map(|&i| {
+                tree.kind(i)
+                    .name()
+                    .map(str::to_string)
+                    .unwrap_or_else(|| format!("{:?}", tree.kind(i)))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn child_and_descendant_steps() {
+        let t = sample();
+        assert_eq!(names(&t, &resolve(&t, "/r/s")), ["s", "s"]);
+        assert_eq!(names(&t, &resolve(&t, "//x")), ["x", "x"]);
+        assert_eq!(resolve(&t, "/r/s/x").len(), 1);
+        assert!(resolve(&t, "/r/missing").is_empty());
+    }
+
+    #[test]
+    fn positional_and_attribute_predicates() {
+        let t = sample();
+        assert_eq!(resolve(&t, "/r/s[2]").len(), 1);
+        assert_eq!(resolve(&t, "/r/s[3]").len(), 0);
+        let by_attr = resolve(&t, "/r/s[@id=\"2\"]");
+        assert_eq!(by_attr, resolve(&t, "/r/s[2]"));
+    }
+
+    #[test]
+    fn text_and_self_steps() {
+        let t = sample();
+        let texts = resolve(&t, "/r/s/x/text()");
+        assert_eq!(texts.len(), 1);
+        assert!(t.kind(texts[0]).is_text());
+        assert_eq!(resolve(&t, "/."), [t.root()]);
+    }
+
+    #[test]
+    fn sibling_and_upward_axes() {
+        let t = sample();
+        let second_s = resolve(&t, "/r/s[2]")[0];
+        let r = Resolver::new(&t);
+        let prev = r.resolve(&parse_xpath("/r/s[2]/preceding-sibling::*").unwrap(), t.root());
+        assert_eq!(names(&t, &prev), ["s"]);
+        let anc = r.resolve(&parse_xpath("/r/s[2]/ancestor::*").unwrap(), t.root());
+        assert_eq!(names(&t, &anc), ["r"]);
+        assert_eq!(t.parent(second_s), Some(anc[0]));
+    }
+
+    #[test]
+    fn covering_filter_drops_nested_matches() {
+        let t = sample();
+        let r = Resolver::new(&t);
+        let all = r.resolve(&parse_xpath("//*").unwrap(), t.root());
+        let covered = r.covering(&all);
+        // Only the document element survives: everything else nests
+        // inside it.
+        assert_eq!(names(&t, &covered), ["r"]);
+        let disjoint = r.resolve(&parse_xpath("//x").unwrap(), t.root());
+        assert_eq!(r.covering(&disjoint).len(), 2);
+    }
+
+    #[test]
+    fn relative_resolution_from_context() {
+        let t = sample();
+        let r = Resolver::new(&t);
+        let ctx = r.resolve(&parse_xpath("/r/t").unwrap(), t.root())[0];
+        let xs = r.resolve(&parse_xpath("/x").unwrap(), ctx);
+        assert_eq!(names(&t, &xs), ["x"]);
+        assert_eq!(t.parent(xs[0]), Some(ctx));
+    }
+}

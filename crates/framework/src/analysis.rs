@@ -1012,6 +1012,108 @@ fn check_plan(plan: &AnalyzedPlan, log: &MutationLog) -> Result<(), TreeError> {
     Ok(())
 }
 
+/// How a validated log should be applied through its analyzed plan —
+/// the one knob set shared by every apply entry point
+/// (`Document::apply_opts`, `Store::apply_opts`, the flux DSL's
+/// `update`). Each certificate is *requested* here and *granted* only
+/// when the session's scheme claims the matching capability, so an
+/// option set is always safe to pass: on a scheme without the
+/// capability it degrades to sequential order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApplyOptions {
+    /// Request the canonical reorder certificate (granted only for
+    /// [`order_independent`](DynScheme::order_independent) schemes).
+    pub reorder: bool,
+    /// Request nil-component cancellation (granted only when the
+    /// scheme also claims
+    /// [`cancellation_neutral`](DynScheme::cancellation_neutral)).
+    pub coalesce: bool,
+}
+
+impl Default for ApplyOptions {
+    fn default() -> Self {
+        ApplyOptions::analyzed()
+    }
+}
+
+impl ApplyOptions {
+    /// Original op order, no cancellation — byte- and counter-identical
+    /// to [`apply_log_dyn`](crate::mutations::apply_log_dyn) modulo
+    /// `peak_label_bits` sampling instants.
+    pub fn sequential() -> ApplyOptions {
+        ApplyOptions {
+            reorder: false,
+            coalesce: false,
+        }
+    }
+
+    /// Request the canonical reorder (the historical
+    /// [`apply_plan_dyn`] behaviour). This is the default.
+    pub fn analyzed() -> ApplyOptions {
+        ApplyOptions {
+            reorder: true,
+            coalesce: false,
+        }
+    }
+
+    /// Request reorder *and* nil-component cancellation (the
+    /// historical [`apply_plan_coalesced_dyn`] behaviour).
+    pub fn coalesced() -> ApplyOptions {
+        ApplyOptions {
+            reorder: true,
+            coalesce: true,
+        }
+    }
+
+    /// Builder: set the reorder request.
+    pub fn with_reorder(mut self, reorder: bool) -> ApplyOptions {
+        self.reorder = reorder;
+        self
+    }
+
+    /// Builder: set the coalesce request.
+    pub fn with_coalesce(mut self, coalesce: bool) -> ApplyOptions {
+        self.coalesce = coalesce;
+        self
+    }
+
+    /// Intersect the requested certificates with the scheme's declared
+    /// capabilities, yielding the `(reorder, cancel)` pair actually
+    /// granted. Cancellation additionally requires reorder, matching
+    /// [`AnalyzedPlan::execution_order`]'s contract.
+    pub fn granted(self, order_independent: bool, cancellation_neutral: bool) -> (bool, bool) {
+        let reorder = self.reorder && order_independent;
+        let cancel = self.coalesce && reorder && cancellation_neutral;
+        (reorder, cancel)
+    }
+
+    /// The execution order these options certify for `plan` under
+    /// `session`'s declared capabilities: requested certificates are
+    /// intersected with what the scheme actually claims.
+    pub fn execution_order(self, plan: &AnalyzedPlan, session: &dyn DynScheme) -> Vec<usize> {
+        let (reorder, cancel) =
+            self.granted(session.order_independent(), session.cancellation_neutral());
+        plan.execution_order(reorder, cancel)
+    }
+}
+
+/// The unified analyzed-apply entry point: apply `log` through `plan`
+/// in the order certified by `opts` and the session's capabilities.
+/// Atomic like `apply_log_dyn`: any failure rolls tree and session
+/// back. [`apply_plan_dyn`] and [`apply_plan_coalesced_dyn`] are thin
+/// wrappers over this.
+pub fn apply_plan_with_dyn(
+    tree: &mut XmlTree,
+    session: &mut dyn DynScheme,
+    log: &MutationLog,
+    plan: &AnalyzedPlan,
+    opts: ApplyOptions,
+) -> Result<DriveStats, TreeError> {
+    check_plan(plan, log)?;
+    let order = opts.execution_order(plan, session);
+    apply_in_order(tree, session, log, &order)
+}
+
 fn apply_in_order(
     tree: &mut XmlTree,
     session: &mut dyn DynScheme,
@@ -1064,9 +1166,9 @@ pub fn apply_plan_dyn(
     log: &MutationLog,
     plan: &AnalyzedPlan,
 ) -> Result<DriveStats, TreeError> {
-    check_plan(plan, log)?;
-    let order = plan.execution_order(session.order_independent(), false);
-    apply_in_order(tree, session, log, &order)
+    // Thin wrapper: `ApplyOptions::analyzed()` is this entry point's
+    // historical contract, kept for existing callers.
+    apply_plan_with_dyn(tree, session, log, plan, ApplyOptions::analyzed())
 }
 
 /// [`apply_plan_dyn`] with create+delete cancellation: nil components
@@ -1084,11 +1186,9 @@ pub fn apply_plan_coalesced_dyn(
     log: &MutationLog,
     plan: &AnalyzedPlan,
 ) -> Result<DriveStats, TreeError> {
-    check_plan(plan, log)?;
-    let oi = session.order_independent();
-    let cancel = oi && session.cancellation_neutral();
-    let order = plan.execution_order(oi, cancel);
-    apply_in_order(tree, session, log, &order)
+    // Thin wrapper: `ApplyOptions::coalesced()` is this entry point's
+    // historical contract, kept for existing callers.
+    apply_plan_with_dyn(tree, session, log, plan, ApplyOptions::coalesced())
 }
 
 /// What one shard of [`par_apply_independent`] produced.

@@ -35,14 +35,14 @@
 //! incrementally by the [`QueryCache`] instead of being re-evaluated
 //! per batch.
 
-use crate::analysis;
+use crate::analysis::{self, AnalyzedPlan};
 use crate::driver::{run_script, DriveStats};
 use crate::mutations::{self, Mutation, MutationLog, NodeRef};
 use crate::querycache::{CacheStats, QueryCache, QueryId};
 use crate::verify::{verify, VerifyOutcome};
 use std::fmt;
 use xupd_encoding::{parse_xpath, EncodedDocument, XPathError};
-use xupd_labelcore::{Labeling, LabelingScheme};
+use xupd_labelcore::{Labeling, LabelingScheme, SessionMut};
 use xupd_workloads::Script;
 use xupd_xmldom::{TreeError, XmlTree};
 
@@ -194,10 +194,62 @@ impl<S: LabelingScheme + Clone + 'static> Document<S> {
         let effective = plan.execution_order(false, self.scheme.cancellation_neutral());
         let stats =
             mutations::apply_log(&mut self.tree, &mut self.scheme, &mut self.labeling, log)?;
+        self.maintain_after_apply(log, &plan, &effective);
+        Ok(stats)
+    }
+
+    /// Apply a [`MutationLog`] through a freshly analyzed plan under
+    /// `opts` (see [`analysis::ApplyOptions`]): the one entry point
+    /// unifying `apply_log` / `apply_plan_dyn` /
+    /// `apply_plan_coalesced_dyn` semantics behind an options value.
+    /// Snapshot and cache maintenance match [`Document::apply_log`].
+    pub fn apply_opts(
+        &mut self,
+        log: &MutationLog,
+        opts: analysis::ApplyOptions,
+    ) -> Result<DriveStats, TreeError> {
+        let plan = analysis::analyze(log, &self.tree)?;
+        self.apply_planned(log, &plan, opts)
+    }
+
+    /// [`Document::apply_opts`] with a caller-supplied plan — the
+    /// write path for compiled flux programs, whose compilation
+    /// already analyzed the log. The plan must cover `log` (same
+    /// length); certificates requested in `opts` are granted only
+    /// where the scheme's capabilities allow.
+    pub fn apply_planned(
+        &mut self,
+        log: &MutationLog,
+        plan: &AnalyzedPlan,
+        opts: analysis::ApplyOptions,
+    ) -> Result<DriveStats, TreeError> {
+        let stats = {
+            let mut session = SessionMut::new(&mut self.scheme, &mut self.labeling);
+            analysis::apply_plan_with_dyn(&mut self.tree, &mut session, log, plan, opts)?
+        };
+        let (reorder, cancel) = opts.granted(
+            self.scheme.order_independent(),
+            self.scheme.cancellation_neutral(),
+        );
+        let effective = plan.execution_order(reorder, cancel);
+        self.maintain_after_apply(log, plan, &effective);
+        Ok(stats)
+    }
+
+    /// The shared post-apply maintenance tail: footprint-driven
+    /// snapshot survival / text patching / invalidation, then
+    /// incremental cache absorption. `effective` is the op order that
+    /// actually executed.
+    fn maintain_after_apply(
+        &mut self,
+        log: &MutationLog,
+        plan: &AnalyzedPlan,
+        effective: &[usize],
+    ) {
         if effective.is_empty() {
             // No observable change: tree bytes and labels are identical
             // to the pre-batch state, so snapshot and cache stay exact.
-            return Ok(stats);
+            return;
         }
         let ops: Vec<&Mutation> = log.iter().collect();
         let text_only = effective.iter().all(|&i| {
@@ -210,18 +262,17 @@ impl<S: LabelingScheme + Clone + 'static> Document<S> {
             )
         });
         if text_only {
-            self.patch_snapshot_text(&ops, &effective);
+            self.patch_snapshot_text(&ops, effective);
         } else {
             self.snapshot = None;
         }
         if !self.cache.is_empty() && !self.cache.is_stale() {
             // Absorb failures (unreachable in practice) degrade to a
             // stale cache, never to a wrong answer.
-            if self.cache.absorb(log, &plan, &effective, &self.tree).is_err() {
+            if self.cache.absorb(log, plan, effective, &self.tree).is_err() {
                 self.cache.mark_stale();
             }
         }
-        Ok(stats)
     }
 
     /// Rewrite the snapshot's text rows in place for a text-only batch;

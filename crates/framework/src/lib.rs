@@ -53,9 +53,10 @@ pub mod report;
 pub mod verify;
 
 pub use analysis::{
-    analyze, apply_plan_coalesced_dyn, apply_plan_dyn, commutes, conflicts, op_pair_verdict,
-    par_apply_independent, AnalyzedPlan, ConflictKind, Edge, EdgeKind, Extent, GapKey, GapSlot,
-    OpFootprint, PairVerdict, PointRef, ShardOutcome, MUTATOR_FOOTPRINTS,
+    analyze, apply_plan_coalesced_dyn, apply_plan_dyn, apply_plan_with_dyn, commutes, conflicts,
+    op_pair_verdict, par_apply_independent, AnalyzedPlan, ApplyOptions, ConflictKind, Edge,
+    EdgeKind, Extent, GapKey, GapSlot, OpFootprint, PairVerdict, PointRef, ShardOutcome,
+    MUTATOR_FOOTPRINTS,
 };
 pub use checkers::{measure_scheme, measure_session, Evidence, Measured};
 pub use driver::ElementPool;

@@ -39,8 +39,6 @@ pub use label::{Label, Labeling};
 pub use properties::{Compliance, EncodingRep, OrderKind, Property, SchemeDescriptor};
 pub use quaternary::QCode;
 pub use scheme::{InsertReport, LabelingScheme, Relation};
-#[allow(deprecated)]
-pub use scheme::SchemeVisitor;
 pub use session::{DynScheme, SchemeSession, SessionMut, SessionParts};
 pub use stats::SchemeStats;
 pub use vectorcode::VectorCode;

@@ -172,22 +172,6 @@ pub trait LabelingScheme {
     }
 }
 
-/// Visitor over the full scheme roster — superseded by the object-safe
-/// registry (`xupd_schemes::registry()` returning `SchemeEntry` factories
-/// that build [`crate::session::DynScheme`] sessions), which composes
-/// with the parallel battery in `xupd-exec`. Kept as a thin adapter for
-/// one release.
-///
-/// Implemented by callers; `xupd-schemes` provides `visit_all_schemes`.
-#[deprecated(
-    since = "0.1.0",
-    note = "use xupd_schemes::registry()/registry_figure7() and DynScheme sessions"
-)]
-pub trait SchemeVisitor {
-    /// Called once per scheme with a fresh instance.
-    fn visit<S: LabelingScheme>(&mut self, scheme: S);
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

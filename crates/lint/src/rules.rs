@@ -14,6 +14,7 @@
 //! | R9 | no-unanalyzed-reorder      | no hand permutation or splitting (`.sort*`, `.swap`, `.reverse`, `.rotate_*`, `.retain`, `.drain`, `.split_off`, `.shuffle`) of a mutation-log op vector (receiver named `ops`/`log`/`mutations`) outside `framework::analysis` and the mutations module — reordering is only sound under an `AnalyzedPlan` certificate |
 //! | R10 | no-uncached-reevaluate    | no `.evaluate(` call inside a query-batch loop (a `for` loop whose header mentions `queries`/`exprs`) outside `framework::querycache` and its bench baseline — registered query sets must be served through the incremental `QueryCache`, not re-evaluated wholesale per batch |
 //! | R11 | no-bypass-writer-lane     | no `.doc_mut(` call outside `crates/store` — the store's raw slot handle mutates a fleet document without its shard writer lane, forfeiting the per-document op ordering the differential suite pins; go through `Store::apply_script` / `serve_query` / `query_now` |
+//! | R12 | no-raw-script-in-tests    | no hand-built `ScriptOp` variants in test code of the `results/*`-feeding crates — ad-hoc op lists silently drift from the generated-workload distributions the differential suites certify; drive tests through `Script::generate` or a flux DSL program (the reference differential drivers are path-exempt) |
 
 use crate::lexer::{scan, Suppression, TokKind, Token};
 
@@ -26,6 +27,7 @@ pub const R1_CRATES: &[&str] = &[
     "encoding",
     "framework",
     "store",
+    "flux",
 ];
 
 /// Crates whose code must iterate deterministically (R2): the R1 set plus
@@ -40,12 +42,13 @@ pub const R2_CRATES: &[&str] = &[
     "workloads",
     "bench",
     "store",
+    "flux",
     "xml-update-props",
 ];
 
 /// All rule ids, in report order.
 pub const ALL_RULES: &[&str] = &[
-    "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10", "R11",
+    "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10", "R11", "R12",
 ];
 
 /// Structural tree mutators that R8 forbids calling directly inside a
@@ -96,6 +99,17 @@ pub const R9_EXEMPT_PATHS: &[&str] = &[
     "crates/framework/src/mutations.rs",
 ];
 
+/// The reference differential drivers allowed to hand-build `ScriptOp`
+/// lists (R12): they *are* the executable specification of op
+/// addressing, so their op construction is the oracle, not a drift
+/// hazard. Everything else drives tests through `Script::generate` or
+/// a flux DSL program.
+pub const R12_EXEMPT_PATHS: &[&str] = &[
+    "crates/framework/tests/driver_differential.rs",
+    "tests/determinism.rs",
+    "tests/properties.rs",
+];
+
 /// Loop-header idents R10 treats as registered query batches.
 pub const R10_RECEIVERS: &[&str] = &["queries", "exprs"];
 
@@ -122,6 +136,7 @@ pub fn rule_name(id: &str) -> &'static str {
         "R9" => "no-unanalyzed-reorder",
         "R10" => "no-uncached-reevaluate",
         "R11" => "no-bypass-writer-lane",
+        "R12" => "no-raw-script-in-tests",
         _ => "unknown-rule",
     }
 }
@@ -239,6 +254,14 @@ pub fn check_source(src: &str, ctx: &FileCtx) -> (Vec<Finding>, Vec<Suppression>
     // suite's byte-identical-state guarantee, so it must opt out
     // explicitly via lint:allow.
     let r11_applies = ctx.crate_name != "store";
+    // R12 applies ONLY to test code of the results-feeding crates —
+    // library code (the workloads generator, the driver, the mutation
+    // batcher) legitimately matches on ScriptOp — and not to the
+    // reference differential drivers, which are the executable spec.
+    let r12_applies = ctx.is_test_code
+        && ctx.crate_name != "workloads"
+        && R2_CRATES.iter().any(|c| *c == ctx.crate_name.as_str())
+        && !R12_EXEMPT_PATHS.iter().any(|p| ctx.path == *p);
 
     for (i, t) in toks.iter().enumerate() {
         if t.kind != TokKind::Ident {
@@ -425,6 +448,26 @@ pub fn check_source(src: &str, ctx: &FileCtx) -> (Vec<Finding>, Vec<Suppression>
                 t,
                 ".doc_mut() bypasses the shard writer lane; mutate through \
                  Store::apply_script / serve_query"
+                    .to_string(),
+            );
+        }
+
+        // R12 — hand-built ScriptOp variants in test code. The path
+        // shape (`ScriptOp ::`) catches construction and matching of
+        // raw op lists in ordinary tests; generated workloads
+        // (`Script::generate`) or flux DSL programs keep test inputs on
+        // the certified distributions.
+        if r12_applies
+            && text == "ScriptOp"
+            && next_is(toks, src, i, ":")
+        {
+            push(
+                &mut findings,
+                "R12",
+                ctx,
+                t,
+                "raw ScriptOp in test code; generate scripts via Script::generate \
+                 or compile a flux DSL program"
                     .to_string(),
             );
         }
@@ -993,6 +1036,39 @@ mod tests {
         let (f, unused) = check_source(allowed, &lib_ctx("crates/framework/tests/t.rs"));
         assert!(f.iter().all(|f| !f.is_unsuppressed()), "{f:?}");
         assert!(unused.is_empty());
+    }
+
+    #[test]
+    fn r12_flags_raw_script_ops_in_test_code_only() {
+        let src = "fn t() { let op = ScriptOp::InsertBefore(3); }";
+        // ordinary test code in the R2 crate set is flagged
+        for path in ["crates/framework/tests/a.rs", "crates/flux/tests/a.rs", "tests/a.rs"] {
+            let f = unsuppressed(src, path);
+            assert_eq!(f.iter().filter(|f| f.rule == "R12").count(), 1, "{path}: {f:?}");
+        }
+        // library code may construct and match ops — that is its job
+        assert!(unsuppressed(src, "crates/workloads/src/script.rs").is_empty());
+        assert!(unsuppressed(src, "crates/framework/src/driver.rs").is_empty());
+        // the workloads crate's own tests exercise the generator surface
+        assert!(unsuppressed(src, "crates/workloads/tests/t.rs").is_empty());
+        // the reference differential drivers are the executable spec
+        for path in R12_EXEMPT_PATHS {
+            assert!(unsuppressed(src, path).iter().all(|f| f.rule != "R12"), "{path}");
+        }
+        // outside the R2 crate set the rule does not apply
+        assert!(unsuppressed(src, "crates/testkit/tests/t.rs").is_empty());
+        // `ScriptOp` as a bare ident (imports, type positions) is fine
+        let import = "use xupd_workloads::{Script, ScriptOp}; fn t(op: &ScriptOp) {}";
+        assert!(unsuppressed(import, "crates/framework/tests/a.rs").is_empty());
+    }
+
+    #[test]
+    fn flux_is_in_the_result_feeding_crate_sets() {
+        assert!(R1_CRATES.contains(&"flux"));
+        assert!(R2_CRATES.contains(&"flux"));
+        // and therefore R1 fires on panic paths in its library code
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        assert_eq!(unsuppressed(src, "crates/flux/src/a.rs").len(), 1);
     }
 
     #[test]

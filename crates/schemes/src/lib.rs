@@ -26,9 +26,7 @@
 //! [`registry`] / [`registry_figure7`] expose the roster as plain data:
 //! a `Vec<SchemeEntry>` of descriptors plus `fn() -> Box<dyn DynScheme>`
 //! session factories, which is what the framework's parallel battery,
-//! the benches and the differential tests iterate. The deprecated
-//! [`visit_all_schemes`] / [`visit_figure7_schemes`] visitor entry
-//! points remain as thin adapters for one release.
+//! the benches and the differential tests iterate.
 
 pub mod containment;
 pub mod dde;
@@ -39,8 +37,6 @@ pub mod registry;
 pub mod vector;
 
 pub use registry::{registry, registry_figure7, SchemeEntry};
-#[allow(deprecated)]
-pub use xupd_labelcore::scheme::SchemeVisitor;
 
 /// Names of the twelve Figure 7 schemes in the paper's row order.
 pub const FIGURE7_ORDER: [&str; 12] = [
@@ -57,38 +53,6 @@ pub const FIGURE7_ORDER: [&str; 12] = [
     "CDQS",
     "Vector",
 ];
-
-/// Visit a fresh instance of every implemented scheme (Figure 7 roster
-/// plus the §6 extensions), in a stable order.
-#[deprecated(since = "0.1.0", note = "use registry() and DynScheme sessions")]
-#[allow(deprecated)]
-pub fn visit_all_schemes<V: SchemeVisitor>(v: &mut V) {
-    visit_figure7_schemes(v);
-    v.visit(prefix::cdbs::Cdbs::new());
-    v.visit(prefix::comd::ComD::new());
-    v.visit(prime::Prime::new());
-    v.visit(dde::Dde::new());
-    v.visit(qcontainment::QedContainment::new());
-}
-
-/// Visit a fresh instance of each of the twelve Figure 7 schemes, in the
-/// paper's row order.
-#[deprecated(since = "0.1.0", note = "use registry_figure7() and DynScheme sessions")]
-#[allow(deprecated)]
-pub fn visit_figure7_schemes<V: SchemeVisitor>(v: &mut V) {
-    v.visit(containment::accel::XPathAccelerator::new());
-    v.visit(containment::xrel::XRel::new());
-    v.visit(containment::sector::Sector::new());
-    v.visit(containment::qrs::Qrs::new());
-    v.visit(prefix::dewey::DeweyId::new());
-    v.visit(prefix::ordpath::OrdPath::new());
-    v.visit(prefix::dln::Dln::new());
-    v.visit(prefix::lsdx::Lsdx::new());
-    v.visit(prefix::improved_binary::ImprovedBinary::new());
-    v.visit(prefix::qed::Qed::new());
-    v.visit(prefix::cdqs::Cdqs::new());
-    v.visit(vector::VectorScheme::new());
-}
 
 #[cfg(test)]
 mod tests {

@@ -158,19 +158,4 @@ mod tests {
         }
     }
 
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_visitor_agrees_with_registry() {
-        use xupd_labelcore::{LabelingScheme, SchemeVisitor};
-        struct Names(Vec<&'static str>);
-        impl SchemeVisitor for Names {
-            fn visit<S: LabelingScheme>(&mut self, scheme: S) {
-                self.0.push(scheme.name());
-            }
-        }
-        let mut v = Names(Vec::new());
-        crate::visit_all_schemes(&mut v);
-        let reg: Vec<&str> = registry().iter().map(|e| e.name()).collect();
-        assert_eq!(v.0, reg, "visitor adapter and registry must share one roster");
-    }
 }

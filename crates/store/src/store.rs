@@ -31,7 +31,7 @@ use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use xupd_framework::document::{Document, DocumentError};
 use xupd_framework::driver::DriveStats;
-use xupd_framework::{mutations, QueryId};
+use xupd_framework::{mutations, AnalyzedPlan, ApplyOptions, MutationLog, QueryId};
 use xupd_labelcore::LabelingScheme;
 use xupd_workloads::Script;
 use xupd_xmldom::{serialize_compact, TreeError, XmlTree};
@@ -278,6 +278,46 @@ impl<S: LabelingScheme + Clone + 'static> Store<S> {
         let mut g = write_lock(slot);
         let log = mutations::batch_of(script, g.doc.tree())?;
         let stats = g.doc.apply_log(&log)?;
+        g.stats.absorb_batch(&stats);
+        Ok(stats)
+    }
+
+    /// Apply a pre-built [`MutationLog`] to one document under `opts`
+    /// (see [`ApplyOptions`]), holding that document's write lock for
+    /// the whole batch. The store-level counterpart of
+    /// [`Document::apply_opts`].
+    pub fn apply_opts(
+        &self,
+        doc: u32,
+        log: &MutationLog,
+        opts: ApplyOptions,
+    ) -> Result<DriveStats, StoreError> {
+        let slot = self.slot(doc)?;
+        let mut g = write_lock(slot);
+        let stats = g.doc.apply_opts(log, opts)?;
+        g.stats.absorb_batch(&stats);
+        Ok(stats)
+    }
+
+    /// Compile-then-apply under one write lock: `compile` sees the
+    /// document's current tree and returns a `(log, plan)` pair, which
+    /// is applied through [`Document::apply_planned`] before the lock
+    /// is released — so the tree the log was compiled against is
+    /// exactly the tree it mutates. This is the seam the flux DSL's
+    /// `Store::update` rides on; the error type is generic so compiler
+    /// diagnostics pass through unwrapped.
+    pub fn update_with<E, F>(&self, doc: u32, opts: ApplyOptions, compile: F) -> Result<DriveStats, E>
+    where
+        E: From<StoreError>,
+        F: FnOnce(&XmlTree) -> Result<(MutationLog, AnalyzedPlan), E>,
+    {
+        let slot = self.slot(doc).map_err(E::from)?;
+        let mut g = write_lock(slot);
+        let (log, plan) = compile(g.doc.tree())?;
+        let stats = g
+            .doc
+            .apply_planned(&log, &plan, opts)
+            .map_err(StoreError::from)?;
         g.stats.absorb_batch(&stats);
         Ok(stats)
     }

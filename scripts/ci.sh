@@ -53,7 +53,7 @@ trap 'rm -rf "$smoke_dir"' EXIT
 for bench_bin in bench_bulk_labeling bench_label_growth bench_query_eval \
                  bench_update_cost bench_axis_index bench_matrix_pool \
                  bench_batch_update bench_log_analysis bench_incremental_queries \
-                 bench_store; do
+                 bench_store bench_flux; do
   echo "    -> ${bench_bin}"
   XUPD_BENCH_ITERS=1 XUPD_RESULTS_DIR="$smoke_dir" \
     cargo run --release -q -p xupd-bench --bin "$bench_bin" > /dev/null
@@ -96,12 +96,24 @@ for threads in 1 4; do
   echo "    ok: fleet state matches sequential reference at XUPD_THREADS=$threads"
 done
 
+echo "==> XUPD_THREADS={1,4} flux differential (compiled plans byte-identical to sequential apply)"
+# The flux differential suite proves the DSL compiler's certified-plan
+# apply path leaves byte-identical trees and labels versus sequential
+# apply across all 17 schemes, that statically rejected programs also
+# fail dynamically, and that the lowering walker agrees with the
+# encoded-table evaluator. Both pool widths, same contract.
+for threads in 1 4; do
+  XUPD_THREADS="$threads" cargo test --release -q -p xupd-flux > /dev/null \
+    || { echo "    FAIL: flux suite at XUPD_THREADS=$threads"; exit 1; }
+  echo "    ok: flux compiler differential + diagnostics at XUPD_THREADS=$threads"
+done
+
 echo "==> XUPD_THREADS sample-order equivalence for the batch-update + log-analysis benches"
 # Timings vary run to run, but the sample roster (names, in order) is part
 # of the bench contract: it must not depend on the pool width, or diffing
 # committed BENCH json between commits becomes meaningless.
 order_dir="$(mktemp -d)"
-for order_bin in bench_batch_update bench_log_analysis bench_incremental_queries; do
+for order_bin in bench_batch_update bench_log_analysis bench_incremental_queries bench_flux; do
   json_name="BENCH_${order_bin#bench_}.json"
   for threads in 1 4; do
     XUPD_BENCH_ITERS=1 XUPD_RESULTS_DIR="$order_dir/t$threads" XUPD_THREADS="$threads" \

@@ -21,15 +21,48 @@
 //!   byte);
 //! * [`store`] — the sharded concurrent document store: per-shard
 //!   writer lanes, snapshot-isolated reads, and the deterministic fleet
-//!   replay whose final state is byte-identical at any worker count.
+//!   replay whose final state is byte-identical at any worker count;
+//! * [`flux`] — the FLUX-style typed update DSL: statically checked
+//!   update programs compiled to certified mutation logs.
 //!
-//! See `README.md` for a tour and `examples/` for runnable entry points.
+//! For day-to-day use, `use xml_update_props::prelude::*;` pulls in the
+//! handful of types almost every caller needs. See `README.md` for a
+//! tour and `examples/` for runnable entry points.
 
 pub use xupd_encoding as encoding;
 pub use xupd_exec as exec;
+pub use xupd_flux as flux;
 pub use xupd_framework as framework;
 pub use xupd_labelcore as labelcore;
 pub use xupd_schemes as schemes;
 pub use xupd_store as store;
 pub use xupd_workloads as workloads;
 pub use xupd_xmldom as xmldom;
+
+/// The common surface in one import: document + store facades, the
+/// update DSL, the mutation-log machinery, the scheme registry, and the
+/// error types those entry points return.
+///
+/// ```
+/// use xml_update_props::prelude::*;
+///
+/// let tree = xmldom_parse("<r><a>one</a></r>").unwrap();
+/// let mut doc = Document::encode(xupd_schemes::prefix::qed::Qed::new(), &tree).unwrap();
+/// doc.update("insert <b/> into /r;").unwrap();
+/// assert!(doc.verify().unwrap().is_sound());
+/// ```
+pub mod prelude {
+    pub use xupd_encoding::{parse_xpath, XPathExpr};
+    pub use xupd_flux::{
+        check_source, CompiledUpdate, Diagnostic, DocumentUpdate, FluxError, FluxProgram,
+        StoreUpdate,
+    };
+    pub use xupd_framework::{
+        ApplyOptions, Document, DocumentError, Mutation, MutationLog, NodeRef, Place,
+    };
+    pub use xupd_labelcore::LabelingScheme;
+    pub use xupd_schemes::{registry, registry_figure7};
+    pub use xupd_store::{Store, StoreConfig, StoreError};
+    pub use xupd_workloads::{docs, Script, ScriptKind};
+    pub use xupd_xmldom::{parse as xmldom_parse, serialize_compact, TreeError, XmlTree};
+}
